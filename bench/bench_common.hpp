@@ -1,0 +1,96 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench binary accepts the same flags:
+//   --scale=F            capacity scale (default 1.0 = the paper's hardware)
+//   --periods=N          measured QoS periods (default figure-specific)
+//   --warmup-seconds=N   warm-up before measurement (default 3; paper: 30)
+//   --seed=N             RNG seed (default 42)
+//   --records=N          KV records (default 16384; paper: 1M — timing-
+//                        equivalent, see DESIGN.md)
+// and prints the figure's rows followed by a paper-vs-measured note.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "harness/experiment.hpp"
+#include "stats/table.hpp"
+#include "workload/distributions.hpp"
+
+namespace haechi::bench {
+
+struct BenchArgs {
+  double scale = 1.0;
+  std::size_t periods = 0;  // 0: keep the bench's default
+  SimDuration warmup = Seconds(3);
+  std::uint64_t seed = 42;
+  std::uint64_t records = 16384;
+};
+
+/// Parses the standard flags; exits with a usage message on error.
+inline BenchArgs ParseArgs(int argc, const char* const* argv) {
+  auto flags = Flags::Parse(
+      argc, argv, {"scale", "periods", "warmup-seconds", "seed", "records"});
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\nflags: --scale --periods --warmup-seconds "
+                         "--seed --records\n",
+                 flags.status().ToString().c_str());
+    std::exit(2);
+  }
+  BenchArgs args;
+  args.scale = flags.value().GetDouble("scale", 1.0);
+  args.periods =
+      static_cast<std::size_t>(flags.value().GetInt("periods", 0));
+  args.warmup = Seconds(flags.value().GetInt("warmup-seconds", 3));
+  args.seed = static_cast<std::uint64_t>(flags.value().GetInt("seed", 42));
+  args.records =
+      static_cast<std::uint64_t>(flags.value().GetInt("records", 16384));
+  return args;
+}
+
+/// Baseline experiment config with the standard flags applied.
+inline harness::ExperimentConfig BaseConfig(const BenchArgs& args,
+                                            std::size_t default_periods) {
+  harness::ExperimentConfig config;
+  config.net.capacity_scale = args.scale;
+  config.warmup = args.warmup;
+  config.measure_periods =
+      args.periods > 0 ? args.periods : default_periods;
+  config.seed = args.seed;
+  config.records = args.records;
+  return config;
+}
+
+inline std::int64_t CapacityTokens(const harness::ExperimentConfig& config) {
+  return static_cast<std::int64_t>(config.net.GlobalCapacityIops() *
+                                   ToSeconds(config.qos.period));
+}
+
+/// The paper's Zipf reservation distribution (10 clients, 5 groups, 0.6).
+inline std::vector<std::int64_t> PaperZipf(std::int64_t total) {
+  return workload::ZipfGroupShare(total, 10, 5, 0.6);
+}
+
+inline void PrintHeader(const char* figure, const char* paper_summary) {
+  std::printf("=== %s ===\n", figure);
+  std::printf("paper: %s\n\n", paper_summary);
+}
+
+/// KIOPS normalised to full scale, so numbers remain comparable with the
+/// paper even when run with --scale < 1.
+inline double NormKiops(double kiops, const BenchArgs& args) {
+  return kiops / args.scale;
+}
+
+inline void PrintFooter(const BenchArgs& args) {
+  if (args.scale != 1.0) {
+    std::printf("\n(measured at scale %.3g; KIOPS columns are normalised "
+                "to full scale)\n",
+                args.scale);
+  }
+  std::printf("\n");
+}
+
+}  // namespace haechi::bench

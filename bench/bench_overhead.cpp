@@ -1,0 +1,171 @@
+// Microbenchmarks (google-benchmark) for the hot paths behind the paper's
+// "negligible overhead for token management" claim and for the simulator
+// substrate itself: event queues (binary heap vs timing wheel), stations,
+// the token-report packing, Algorithm 1, and the zipfian sampler.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/capacity_estimator.hpp"
+#include "core/wire.hpp"
+#include "net/station.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timing_wheel.hpp"
+#include "stats/histogram.hpp"
+
+namespace haechi {
+namespace {
+
+// --- event queues -----------------------------------------------------------
+
+template <typename Queue>
+void BM_EventQueueChurn(benchmark::State& state) {
+  // Steady-state churn at a given queue depth: one pop + one push per
+  // iteration, times spread over a short horizon (the simulator's regime).
+  Queue queue;
+  Rng rng(42);
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  SimTime now = 0;
+  for (std::size_t i = 0; i < depth; ++i) {
+    queue.Schedule(now + static_cast<SimTime>(rng.NextBelow(Millis(1))),
+                   [] {});
+  }
+  for (auto _ : state) {
+    sim::Event e = queue.PopNext();
+    now = e.time;
+    queue.Schedule(now + static_cast<SimTime>(rng.NextBelow(Millis(1))),
+                   [] {});
+    benchmark::DoNotOptimize(e.id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_TEMPLATE(BM_EventQueueChurn, sim::BinaryHeapEventQueue)
+    ->Arg(64)
+    ->Arg(4096)
+    ->Arg(262144);
+BENCHMARK_TEMPLATE(BM_EventQueueChurn, sim::HierarchicalTimingWheel)
+    ->Arg(64)
+    ->Arg(4096)
+    ->Arg(262144);
+
+void BM_SimulatorTimerCascade(benchmark::State& state) {
+  // A protocol-like timer mix: the cost of one simulated millisecond with
+  // k periodic timers.
+  const int timers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    std::vector<std::unique_ptr<sim::PeriodicTimer>> running;
+    int fires = 0;
+    running.reserve(static_cast<std::size_t>(timers));
+    for (int i = 0; i < timers; ++i) {
+      running.push_back(std::make_unique<sim::PeriodicTimer>(
+          sim, Micros(100 + i), [&fires] { ++fires; }));
+      running.back()->Start();
+    }
+    state.ResumeTiming();
+    sim.RunUntil(Millis(1));
+    benchmark::DoNotOptimize(fires);
+  }
+}
+BENCHMARK(BM_SimulatorTimerCascade)->Arg(10)->Arg(100);
+
+// --- stations ---------------------------------------------------------------
+
+void BM_FairShareStationFifo(benchmark::State& state) {
+  sim::Simulator sim;
+  net::FairShareStation station(sim, "bench", 0.0, 1, net::Discipline::kFifo);
+  std::uint64_t served = 0;
+  for (auto _ : state) {
+    station.Submit(0, 100, [&served] { ++served; });
+    sim.RunUntil(sim.Now() + 100);
+  }
+  benchmark::DoNotOptimize(served);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FairShareStationFifo);
+
+void BM_FairShareStationRoundRobin(benchmark::State& state) {
+  sim::Simulator sim;
+  net::FairShareStation station(sim, "bench", 0.0, 1,
+                                net::Discipline::kRoundRobin);
+  std::uint64_t served = 0;
+  net::FlowId flow = 0;
+  for (auto _ : state) {
+    station.Submit(flow, 100, [&served] { ++served; });
+    flow = (flow + 1) % 16;
+    sim.RunUntil(sim.Now() + 100);
+  }
+  benchmark::DoNotOptimize(served);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FairShareStationRoundRobin);
+
+// --- token management hot paths ---------------------------------------------
+
+void BM_ReportPacking(benchmark::State& state) {
+  // The engine's 1 ms reporting path boils down to this packing plus one
+  // 8-byte RDMA write.
+  std::uint32_t period = 0;
+  std::uint64_t residual = 123456, completed = 654321;
+  for (auto _ : state) {
+    const std::uint64_t packed =
+        core::PackReport(++period, residual, completed);
+    benchmark::DoNotOptimize(core::ReportResidual(packed));
+    benchmark::DoNotOptimize(core::ReportCompleted(packed));
+    benchmark::DoNotOptimize(core::ReportPeriod(packed));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReportPacking);
+
+void BM_CapacityEstimator(benchmark::State& state) {
+  core::CapacityEstimator est({1'570'000, 125'600, 47'100, 8});
+  Rng rng(7);
+  for (auto _ : state) {
+    est.OnPeriodEnd(1'400'000 +
+                    static_cast<std::int64_t>(rng.NextBelow(200'000)));
+    benchmark::DoNotOptimize(est.Estimate());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CapacityEstimator);
+
+// --- workload / stats -------------------------------------------------------
+
+void BM_ZipfianSample(benchmark::State& state) {
+  ZipfianSampler zipf(static_cast<std::uint64_t>(state.range(0)), 0.99);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfianSample)->Arg(1024)->Arg(1048576);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  stats::Histogram histogram;
+  Rng rng(9);
+  for (auto _ : state) {
+    histogram.Record(static_cast<std::int64_t>(rng.NextBelow(10'000'000)));
+  }
+  benchmark::DoNotOptimize(histogram.Count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramQuantile(benchmark::State& state) {
+  stats::Histogram histogram;
+  Rng rng(9);
+  for (int i = 0; i < 1'000'000; ++i) {
+    histogram.Record(static_cast<std::int64_t>(rng.NextBelow(10'000'000)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(histogram.ValueAtQuantile(0.999));
+  }
+}
+BENCHMARK(BM_HistogramQuantile);
+
+}  // namespace
+}  // namespace haechi
+
+BENCHMARK_MAIN();

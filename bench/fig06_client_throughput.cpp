@@ -1,0 +1,55 @@
+// Figure 6 (Experiment 1A): saturation throughput of each client run one at
+// a time, one-sided vs two-sided I/O. Paper: ~400 KIOPS one-sided,
+// ~327 KIOPS two-sided (about 20% lower) for every client.
+#include "bench/bench_common.hpp"
+
+namespace haechi::bench {
+namespace {
+
+double RunOneClient(const BenchArgs& args, harness::IoPath path,
+                    std::uint64_t seed_offset) {
+  harness::ExperimentConfig config = BaseConfig(args, /*default_periods=*/2);
+  config.mode = harness::Mode::kBare;
+  config.io_path = path;
+  config.warmup = Millis(300);  // single client, fast ramp
+  config.seed = args.seed + seed_offset;
+  const auto saturating =
+      static_cast<std::int64_t>(config.net.GlobalCapacityIops() * 2);
+  config.clients = harness::UniformClients(
+      1, 0, saturating, workload::RequestPattern::kBurst);
+  return harness::Experiment(std::move(config)).Run().total_kiops;
+}
+
+int Main(int argc, const char* const* argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  PrintHeader("Figure 6 / Experiment 1A: per-client saturation throughput",
+              "every client ~400 KIOPS (1-sided), ~327 KIOPS (2-sided)");
+
+  stats::Table table({"client", "1-sided KIOPS", "2-sided KIOPS",
+                      "2-sided / 1-sided"});
+  double one_total = 0, two_total = 0;
+  for (std::uint64_t c = 1; c <= 10; ++c) {
+    const double one =
+        NormKiops(RunOneClient(args, harness::IoPath::kOneSided, c), args);
+    const double two =
+        NormKiops(RunOneClient(args, harness::IoPath::kTwoSided, 100 + c),
+                  args);
+    one_total += one;
+    two_total += two;
+    table.AddRow({"C" + std::to_string(c), stats::Table::Num(one),
+                  stats::Table::Num(two), stats::Table::Num(two / one, 2)});
+  }
+  table.AddRow({"mean", stats::Table::Num(one_total / 10),
+                stats::Table::Num(two_total / 10),
+                stats::Table::Num(two_total / one_total, 2)});
+  table.Print();
+  std::printf("\nshape check: all clients uniform; 2-sided ~20%% below "
+              "1-sided (paper: 327/400 = 0.82)\n");
+  PrintFooter(args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace haechi::bench
+
+int main(int argc, char** argv) { return haechi::bench::Main(argc, argv); }

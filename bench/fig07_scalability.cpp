@@ -1,0 +1,64 @@
+// Figure 7 (Experiment 1B): data-node throughput versus number of active
+// clients. Paper: one-sided scales linearly to 4 clients then saturates at
+// ~1570 KIOPS; two-sided flattens at ~430 KIOPS with just 2 clients.
+#include "bench/bench_common.hpp"
+
+namespace haechi::bench {
+namespace {
+
+double RunClients(const BenchArgs& args, harness::IoPath path,
+                  std::size_t clients) {
+  harness::ExperimentConfig config = BaseConfig(args, /*default_periods=*/2);
+  config.mode = harness::Mode::kBare;
+  config.io_path = path;
+  config.warmup = Millis(300);
+  const auto saturating =
+      static_cast<std::int64_t>(config.net.GlobalCapacityIops() * 2);
+  config.clients = harness::UniformClients(
+      clients, 0, saturating, workload::RequestPattern::kBurst);
+  return harness::Experiment(std::move(config)).Run().total_kiops;
+}
+
+int Main(int argc, const char* const* argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  PrintHeader(
+      "Figure 7 / Experiment 1B: throughput vs number of active clients",
+      "1-sided: linear to 4 clients, saturates ~1570 KIOPS; "
+      "2-sided: saturates ~430 KIOPS at 2 clients");
+
+  stats::Table table(
+      {"clients", "1-sided KIOPS", "2-sided KIOPS"});
+  double one4 = 0, one10 = 0, two2 = 0, two10 = 0, one1 = 0;
+  for (std::size_t n = 1; n <= 10; ++n) {
+    const double one =
+        NormKiops(RunClients(args, harness::IoPath::kOneSided, n), args);
+    const double two =
+        NormKiops(RunClients(args, harness::IoPath::kTwoSided, n), args);
+    if (n == 1) one1 = one;
+    if (n == 2) two2 = two;
+    if (n == 4) one4 = one;
+    if (n == 10) {
+      one10 = one;
+      two10 = two;
+    }
+    table.AddRow({std::to_string(n), stats::Table::Num(one),
+                  stats::Table::Num(two)});
+  }
+  table.Print();
+  std::printf("\nshape check: 1-sided needs %d clients to saturate "
+              "(paper: 4); saturated 1-sided/2-sided = %.2f (paper: "
+              "1570/430 = 3.65)\n",
+              one4 > one10 * 0.97 ? 4 : 5, one10 / two10);
+  std::printf("2-sided saturated by 2 clients: %s (%.0f of %.0f KIOPS)\n",
+              two2 > two10 * 0.95 ? "yes" : "no", two2, two10);
+  std::printf("1-sided linearity: 4 clients / 1 client = %.2f (ideal 4.0, "
+              "capped by saturation)\n",
+              one4 / one1);
+  PrintFooter(args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace haechi::bench
+
+int main(int argc, char** argv) { return haechi::bench::Main(argc, argv); }

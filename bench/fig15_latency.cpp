@@ -1,0 +1,47 @@
+// Figure 15 (Set 3): average, 99% and 99.9% read latency for the burst and
+// constant-rate request patterns. Paper: burst latencies are far higher
+// (deep client-side queueing); constant-rate has almost no queue build-up.
+#include "bench/set3_common.hpp"
+
+namespace haechi::bench {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  PrintHeader("Figure 15 / Set 3: read latency by request pattern",
+              "burst >> constant-rate for average and tail latencies "
+              "(queueing delay at the clients)");
+
+  const Set3Result burst =
+      RunSet3(args, workload::RequestPattern::kBurst, false);
+  const Set3Result constant =
+      RunSet3(args, workload::RequestPattern::kConstantRate, false);
+
+  auto us = [](const stats::Histogram& h, double q) {
+    return static_cast<double>(h.ValueAtQuantile(q)) / 1e3;
+  };
+  stats::Table table({"pattern", "avg us", "p99 us", "p99.9 us", "samples"});
+  table.AddRow({"burst", stats::Table::Num(burst.latency.Mean() / 1e3),
+                stats::Table::Num(us(burst.latency, 0.99)),
+                stats::Table::Num(us(burst.latency, 0.999)),
+                stats::Table::Int(
+                    static_cast<std::int64_t>(burst.latency.Count()))});
+  table.AddRow({"constant-rate",
+                stats::Table::Num(constant.latency.Mean() / 1e3),
+                stats::Table::Num(us(constant.latency, 0.99)),
+                stats::Table::Num(us(constant.latency, 0.999)),
+                stats::Table::Int(
+                    static_cast<std::int64_t>(constant.latency.Count()))});
+  table.Print();
+  std::printf("\nshape check: burst/const-rate avg latency ratio = %.1fx "
+              "(paper: large); note absolute values are model outputs "
+              "(DESIGN.md §6)\n",
+              burst.latency.Mean() / constant.latency.Mean());
+  PrintFooter(args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace haechi::bench
+
+int main(int argc, char** argv) { return haechi::bench::Main(argc, argv); }

@@ -1,0 +1,36 @@
+// Figure 16 (Set 4): Haechi throughput over time when background network
+// congestion starts mid-run. Paper: throughput falls when the congestion
+// begins and the monitor adapts the token allocation; shown for Uniform
+// (a) and Zipf (b) reservation distributions.
+#include "bench/set4_common.hpp"
+
+namespace haechi::bench {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  PrintHeader("Figure 16 / Set 4: congestion starts mid-run (throughput)",
+              "per-period throughput drops at the step; the capacity "
+              "estimate follows it down");
+
+  for (const bool zipf : {false, true}) {
+    std::printf("--- %s reservation distribution ---\n",
+                zipf ? "Zipf" : "Uniform");
+    const Set4Result r = RunSet4(args, zipf, /*congestion_starts=*/true);
+    PrintSeries(args, r, /*show_c1=*/false);
+    const double before = MeanOver(r.period_totals, 1, r.step_period);
+    const double after = MeanOver(r.period_totals, r.step_period + 3,
+                                  r.period_totals.size());
+    std::printf("mean total before %.0f KIOPS, after %.0f KIOPS "
+                "(drop %.1f%%; background consumes ~15%%)\n\n",
+                NormKiops(before / 1e3, args), NormKiops(after / 1e3, args),
+                (1.0 - after / before) * 100.0);
+  }
+  PrintFooter(args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace haechi::bench
+
+int main(int argc, char** argv) { return haechi::bench::Main(argc, argv); }

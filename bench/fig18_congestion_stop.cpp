@@ -1,0 +1,36 @@
+// Figure 18 (Set 4): Haechi throughput over time when background
+// congestion that was present from the start disappears mid-run. Paper:
+// throughput gradually increases as the Adaptive Capacity Estimation
+// algorithm grows the estimate by eta each fully-consumed period.
+#include "bench/set4_common.hpp"
+
+namespace haechi::bench {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  PrintHeader("Figure 18 / Set 4: congestion stops mid-run (throughput)",
+              "per-period throughput climbs gradually after the step "
+              "(eta increments), not instantly");
+
+  for (const bool zipf : {false, true}) {
+    std::printf("--- %s reservation distribution ---\n",
+                zipf ? "Zipf" : "Uniform");
+    const Set4Result r = RunSet4(args, zipf, /*congestion_starts=*/false);
+    PrintSeries(args, r, /*show_c1=*/false);
+    const double before = MeanOver(r.period_totals, 1, r.step_period);
+    const double after = MeanOver(r.period_totals, r.period_totals.size() - 5,
+                                  r.period_totals.size());
+    std::printf("mean total before %.0f KIOPS, last 5 periods %.0f KIOPS "
+                "(recovered %.1f%%)\n\n",
+                NormKiops(before / 1e3, args), NormKiops(after / 1e3, args),
+                (after / before - 1.0) * 100.0);
+  }
+  PrintFooter(args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace haechi::bench
+
+int main(int argc, char** argv) { return haechi::bench::Main(argc, argv); }

@@ -1,0 +1,118 @@
+// Shared runner for Experiment Set 4 (Figures 16-19): Haechi under a
+// capacity step caused by background network traffic outside its domain.
+// 80% of the initial capacity estimate is reserved; background jobs on
+// every client node consume ~15% of the data node while active.
+#pragma once
+
+#include "bench/bench_common.hpp"
+
+namespace haechi::bench {
+
+struct Set4Result {
+  std::vector<std::int64_t> period_totals;   // completed I/Os per period
+  std::vector<std::int64_t> c1_per_period;   // highest-reservation client
+  std::vector<std::int64_t> estimates;       // capacity estimate per period
+  std::int64_t c1_reservation = 0;
+  std::size_t step_period = 0;  // period index where the step happens
+};
+
+/// `congestion_starts`: true = background load begins mid-run (capacity
+/// drops; the paper's over-estimation case, Figs 16/17); false =
+/// background load present from the start and removed mid-run (capacity
+/// rises; under-estimation, Figs 18/19).
+inline Set4Result RunSet4(const BenchArgs& args, bool zipf,
+                          bool congestion_starts) {
+  harness::ExperimentConfig config = BaseConfig(args, /*default_periods=*/30);
+  config.mode = harness::Mode::kHaechi;
+  const std::int64_t cap = CapacityTokens(config);
+  const std::int64_t reserved = cap * 8 / 10;
+  const std::int64_t pool = cap - reserved;
+  const auto reservations = zipf ? PaperZipf(reserved)
+                                 : workload::UniformShare(reserved, 10);
+  for (const auto r : reservations) {
+    harness::ClientSpec spec;
+    spec.reservation = r;
+    spec.demand = r + pool;
+    spec.pattern = workload::RequestPattern::kOpenLoop;
+    config.clients.push_back(spec);
+  }
+
+  // The step lands mid-measurement (paper: 15 s into a 30 s window).
+  const std::size_t step_period = config.measure_periods / 2;
+  const SimTime step_at =
+      config.warmup +
+      static_cast<SimTime>(step_period) * config.qos.period;
+  config.background_demand = cap * 15 / 100 / 10;  // 15% across 10 nodes
+  if (congestion_starts) {
+    config.background_on = step_at;
+    config.background_off = kSimTimeMax;
+  } else {
+    config.background_on = 0;
+    config.background_off = step_at;
+  }
+
+  const auto periods = config.measure_periods;
+  harness::ExperimentResult r = harness::Experiment(std::move(config)).Run();
+
+  Set4Result out;
+  out.c1_reservation = reservations[0];
+  out.step_period = step_period;
+  for (std::size_t p = 0; p < periods; ++p) {
+    out.period_totals.push_back(r.series.PeriodTotal(p));
+    out.c1_per_period.push_back(r.series.At(p, MakeClientId(0)));
+  }
+  // The capacity trace includes warm-up periods; keep the measured tail.
+  const std::size_t skip = r.capacity_trace.size() > periods
+                               ? r.capacity_trace.size() - periods
+                               : 0;
+  for (std::size_t i = skip; i < r.capacity_trace.size(); ++i) {
+    out.estimates.push_back(r.capacity_trace[i].estimate);
+  }
+  return out;
+}
+
+inline void PrintSeries(const BenchArgs& args, const Set4Result& r,
+                        bool show_c1) {
+  stats::Table table(show_c1
+                         ? std::vector<std::string>{"period", "C1 KIOPS",
+                                                    "C1 reservation",
+                                                    "estimate KIOPS", "phase"}
+                         : std::vector<std::string>{"period", "total KIOPS",
+                                                    "estimate KIOPS",
+                                                    "phase"});
+  for (std::size_t p = 0; p < r.period_totals.size(); ++p) {
+    const char* phase = p < r.step_period ? "before" : "after";
+    const double estimate =
+        p < r.estimates.size()
+            ? NormKiops(static_cast<double>(r.estimates[p]) / 1e3, args)
+            : 0.0;
+    if (show_c1) {
+      table.AddRow(
+          {std::to_string(p),
+           stats::Table::Num(NormKiops(
+               static_cast<double>(r.c1_per_period[p]) / 1e3, args)),
+           stats::Table::Num(NormKiops(
+               static_cast<double>(r.c1_reservation) / 1e3, args)),
+           stats::Table::Num(estimate), phase});
+    } else {
+      table.AddRow(
+          {std::to_string(p),
+           stats::Table::Num(NormKiops(
+               static_cast<double>(r.period_totals[p]) / 1e3, args)),
+           stats::Table::Num(estimate), phase});
+    }
+  }
+  table.Print();
+}
+
+/// Mean per-period value over [from, to).
+inline double MeanOver(const std::vector<std::int64_t>& v, std::size_t from,
+                       std::size_t to) {
+  double sum = 0;
+  for (std::size_t i = from; i < to && i < v.size(); ++i) {
+    sum += static_cast<double>(v[i]);
+  }
+  return to > from ? sum / static_cast<double>(to - from) : 0.0;
+}
+
+}  // namespace haechi::bench

@@ -1,0 +1,78 @@
+// Adaptive capacity estimation in action: a narrated version of the
+// paper's Set 4. Background traffic outside Haechi's control starts
+// consuming ~15% of the data node mid-run; the monitor's Algorithm 1
+// detects the change from the clients' silent reports and re-sizes the
+// token allocation, restoring the reservation guarantee; when the
+// congestion clears, eta-increments grow the estimate back.
+//
+// Run:  ./adaptive_capacity [--scale=0.05]
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+using namespace haechi;
+using namespace haechi::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+  harness::ExperimentConfig config = BaseConfig(args, /*default_periods=*/24);
+  if (args.scale == 1.0) config.net.capacity_scale = 0.05;
+  args.scale = config.net.capacity_scale;  // keep KIOPS normalisation right
+  config.warmup = Seconds(1);
+  config.mode = harness::Mode::kHaechi;
+
+  const auto cap = CapacityTokens(config);
+  const auto reservations =
+      workload::ZipfGroupShare(cap * 8 / 10, 10, 5, 0.6);
+  for (const auto r : reservations) {
+    harness::ClientSpec spec;
+    spec.reservation = r;
+    spec.demand = r + cap / 10;
+    spec.pattern = workload::RequestPattern::kOpenLoop;
+    config.clients.push_back(spec);
+  }
+
+  // Congestion window: [1/3, 2/3) of the measured interval.
+  const auto third =
+      static_cast<SimTime>(config.measure_periods / 3) * config.qos.period;
+  config.background_demand = cap * 12 / 100 / 10;
+  config.background_on = config.warmup + third;
+  config.background_off = config.warmup + 2 * third;
+
+  const auto periods = config.measure_periods;
+  harness::ExperimentResult r = harness::Experiment(std::move(config)).Run();
+
+  std::printf("Zipf reservations, 80%% of capacity reserved; background "
+              "traffic eats ~12%% during the middle third.\n\n");
+  stats::Table table({"period", "phase", "total KIOPS", "estimate KIOPS",
+                      "C1 KIOPS", "C1 SLO"});
+  for (std::size_t p = 0; p < periods; ++p) {
+    const char* phase =
+        p < periods / 3 ? "calm" : (p < 2 * periods / 3 ? "CONGESTED" : "calm");
+    const double estimate =
+        p < r.capacity_trace.size()
+            ? NormKiops(static_cast<double>(
+                            r.capacity_trace[r.capacity_trace.size() -
+                                             periods + p]
+                                .estimate) /
+                            1e3,
+                        args)
+            : 0;
+    const double c1 = NormKiops(
+        static_cast<double>(r.series.At(p, MakeClientId(0))) / 1e3, args);
+    const bool slo =
+        r.series.At(p, MakeClientId(0)) >= reservations[0] * 98 / 100;
+    table.AddRow({std::to_string(p), phase,
+                  stats::Table::Num(NormKiops(
+                      static_cast<double>(r.series.PeriodTotal(p)) / 1e3,
+                      args)),
+                  stats::Table::Num(estimate), stats::Table::Num(c1),
+                  slo ? "met" : "missed"});
+  }
+  table.Print();
+  std::printf("\nwatch the estimate column: it tracks the capacity step "
+              "down within a few periods (window-averaged reports) and "
+              "climbs back in eta = 3%% increments once every token is "
+              "consumed again (Algorithm 1).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Admission control walk-through (paper §II-C, Definition 2): why both the
+// aggregate (C_G) and the local (C_L) capacity constraints exist for
+// one-sided I/O, shown against the calibrated fabric capacities.
+//
+// Run:  ./admission_control
+#include <cstdio>
+
+#include "core/admission.hpp"
+#include "net/model_params.hpp"
+
+using namespace haechi;
+
+namespace {
+
+void Try(core::AdmissionController& adm, std::uint32_t id,
+         std::int64_t reservation_iops, const char* why) {
+  const Status s = adm.Admit(MakeClientId(id), reservation_iops);
+  std::printf("  admit client %u at %7lld IOPS: %-8s %s\n", id,
+              static_cast<long long>(reservation_iops),
+              s.ok() ? "ADMITTED" : "REJECTED", s.ok() ? why : why);
+  if (!s.ok()) std::printf("      reason: %s\n", s.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  const net::ModelParams params;  // the paper's calibrated capacities
+  const auto global =
+      static_cast<std::int64_t>(params.GlobalCapacityIops());
+  const auto local = static_cast<std::int64_t>(params.LocalCapacityIops());
+  std::printf("profiled capacities: C_G = %lld IOPS (aggregate), "
+              "C_L = %lld IOPS (single client)\n\n",
+              static_cast<long long>(global), static_cast<long long>(local));
+
+  core::AdmissionController adm(global, local);
+
+  std::printf("the local constraint (one-sided I/O needs several clients "
+              "to saturate the node):\n");
+  Try(adm, 1, 500'000,
+      "-- beyond what one client's NIC can ever deliver");
+  Try(adm, 1, 400'000, "-- exactly C_L: the largest admissible reservation");
+
+  std::printf("\nthe aggregate constraint:\n");
+  Try(adm, 2, 400'000, "");
+  Try(adm, 3, 400'000, "");
+  Try(adm, 4, 400'000, "-- would push the total past C_G");
+  Try(adm, 4, 300'000, "");
+  std::printf("  total reserved: %lld of %lld IOPS\n",
+              static_cast<long long>(adm.TotalReserved()),
+              static_cast<long long>(adm.AggregateCapacity()));
+
+  std::printf("\nelastic SLOs (Update) and departures (Release):\n");
+  const Status grow = adm.Update(MakeClientId(4), 360'000);
+  std::printf("  grow client 4 to 360K: %s (within the remaining "
+              "headroom)\n",
+              grow.ToString().c_str());
+  const Status too_far = adm.Update(MakeClientId(4), 400'000);
+  std::printf("  grow client 4 to 400K: %s\n", too_far.ToString().c_str());
+  const Status release = adm.Release(MakeClientId(2));
+  std::printf("  release client 2:      %s\n", release.ToString().c_str());
+  const Status regrow = adm.Update(MakeClientId(4), 400'000);
+  std::printf("  grow client 4 to 400K: %s (capacity freed by the "
+              "departure)\n",
+              regrow.ToString().c_str());
+  std::printf("  total reserved: %lld of %lld IOPS across %zu clients\n",
+              static_cast<long long>(adm.TotalReserved()),
+              static_cast<long long>(adm.AggregateCapacity()),
+              adm.AdmittedCount());
+
+  std::printf("\nExample 2 from the paper (C_G=100, C_L=50): admission "
+              "passes, but a synchronized burst can still violate the\n"
+              "local constraint at runtime — which is why Haechi monitors "
+              "continuously instead of trusting admission alone.\n");
+  core::AdmissionController example(100, 50);
+  Try(example, 1, 40, "");
+  for (std::uint32_t i = 2; i <= 5; ++i) Try(example, i, 10, "");
+  return 0;
+}

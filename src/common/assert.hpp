@@ -1,0 +1,38 @@
+// Precondition / postcondition / invariant checks, following the Core
+// Guidelines' Expects()/Ensures() style (I.5–I.8). Violations abort with a
+// source location: in a deterministic simulation an invariant violation is
+// always a programming error, never an environmental condition, so aborting
+// (rather than throwing) is the honest response and keeps the checks usable
+// inside noexcept paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace haechi::detail {
+
+[[noreturn]] inline void AssertFail(const char* kind, const char* expr,
+                                    const char* file, int line) {
+  std::fprintf(stderr, "%s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace haechi::detail
+
+#define HAECHI_EXPECTS(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::haechi::detail::AssertFail("Precondition", #cond, __FILE__,   \
+                                         __LINE__))
+
+#define HAECHI_ENSURES(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::haechi::detail::AssertFail("Postcondition", #cond, __FILE__,  \
+                                         __LINE__))
+
+#define HAECHI_ASSERT(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::haechi::detail::AssertFail("Invariant", #cond, __FILE__,      \
+                                         __LINE__))
+
+#define HAECHI_UNREACHABLE(msg)                                             \
+  ::haechi::detail::AssertFail("Unreachable", msg, __FILE__, __LINE__)

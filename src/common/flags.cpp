@@ -1,0 +1,92 @@
+#include "common/flags.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+
+#include "common/assert.hpp"
+
+namespace haechi {
+
+Result<Flags> Flags::Parse(int argc, const char* const* argv,
+                           const std::vector<std::string>& allowed) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) {
+      flags.positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::string value;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+      // `--flag value` form, unless the next token is another flag or absent
+      // (then it is treated as a boolean `true`).
+      if (i + 1 < argc && !std::string_view(argv[i + 1]).starts_with("--")) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (std::find(allowed.begin(), allowed.end(), name) == allowed.end()) {
+      return ErrInvalidArgument("unknown flag --" + name);
+    }
+    flags.values_[name] = value;
+  }
+  return flags;
+}
+
+bool Flags::Has(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::int64_t Flags::GetInt(std::string_view name, std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::int64_t out = 0;
+  const auto& text = it->second;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    std::fprintf(stderr, "flag --%s: '%s' is not an integer\n",
+                 it->first.c_str(), text.c_str());
+    std::abort();
+  }
+  return out;
+}
+
+double Flags::GetDouble(std::string_view name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double out = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    std::fprintf(stderr, "flag --%s: '%s' is not a number\n",
+                 it->first.c_str(), it->second.c_str());
+    std::abort();
+  }
+  return out;
+}
+
+std::string Flags::GetString(std::string_view name, std::string fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+bool Flags::GetBool(std::string_view name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const auto& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  std::fprintf(stderr, "flag --%s: '%s' is not a boolean\n", it->first.c_str(),
+               v.c_str());
+  std::abort();
+}
+
+}  // namespace haechi

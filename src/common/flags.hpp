@@ -1,0 +1,48 @@
+// Tiny command-line flag parsing for bench and example binaries.
+//
+// Supports `--name=value` and `--name value`; unknown flags are an error so
+// typos in experiment sweeps fail loudly rather than silently running the
+// default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace haechi {
+
+/// Parsed view of argv. Parse() consumes `--key[=value]` pairs; remaining
+/// positional arguments are kept in order.
+class Flags {
+ public:
+  /// Parses argv (skipping argv[0]). `allowed` lists every recognised flag
+  /// name; an argument `--x` with `x` not in the list yields an error.
+  static Result<Flags> Parse(int argc, const char* const* argv,
+                             const std::vector<std::string>& allowed);
+
+  [[nodiscard]] bool Has(std::string_view name) const;
+
+  /// Typed getters returning `fallback` when the flag is absent.
+  /// Malformed values abort: a bench invoked with --periods=abc is a usage
+  /// bug that must not produce a silently-default run.
+  [[nodiscard]] std::int64_t GetInt(std::string_view name,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] double GetDouble(std::string_view name, double fallback) const;
+  [[nodiscard]] std::string GetString(std::string_view name,
+                                      std::string fallback) const;
+  [[nodiscard]] bool GetBool(std::string_view name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace haechi

@@ -1,0 +1,48 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace haechi {
+
+namespace {
+
+LogLevel g_threshold = LogLevel::kWarn;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel Logger::threshold() { return g_threshold; }
+void Logger::set_threshold(LogLevel level) { g_threshold = level; }
+
+void Logger::Log(LogLevel level, const char* fmt, ...) {
+  if (!Enabled(level)) return;
+  std::fprintf(stderr, "[%s] ", LevelTag(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+LogLevel ParseLogLevel(std::string_view text) {
+  if (text == "trace") return LogLevel::kTrace;
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+}  // namespace haechi

@@ -1,0 +1,46 @@
+// Leveled logging with printf-style formatting.
+//
+// The simulator is single-threaded, so the logger keeps no locks; benches
+// run at level kWarn by default so the hot path is one branch per call.
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace haechi {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log threshold. Messages below the threshold are dropped.
+class Logger {
+ public:
+  static LogLevel threshold();
+  static void set_threshold(LogLevel level);
+
+  /// Emits one formatted line to stderr, prefixed with level tag.
+  /// Never throws; formatting errors degrade to a warning line.
+  static void Log(LogLevel level, const char* fmt, ...)
+      __attribute__((format(printf, 2, 3)));
+
+  static bool Enabled(LogLevel level) {
+    return static_cast<int>(level) >= static_cast<int>(threshold());
+  }
+};
+
+/// Parses "trace|debug|info|warn|error|off"; defaults to kWarn on no match.
+LogLevel ParseLogLevel(std::string_view text);
+
+}  // namespace haechi
+
+#define HAECHI_LOG(level, ...)                                   \
+  do {                                                           \
+    if (::haechi::Logger::Enabled(level)) {                      \
+      ::haechi::Logger::Log(level, __VA_ARGS__);                 \
+    }                                                            \
+  } while (0)
+
+#define HAECHI_LOG_TRACE(...) HAECHI_LOG(::haechi::LogLevel::kTrace, __VA_ARGS__)
+#define HAECHI_LOG_DEBUG(...) HAECHI_LOG(::haechi::LogLevel::kDebug, __VA_ARGS__)
+#define HAECHI_LOG_INFO(...) HAECHI_LOG(::haechi::LogLevel::kInfo, __VA_ARGS__)
+#define HAECHI_LOG_WARN(...) HAECHI_LOG(::haechi::LogLevel::kWarn, __VA_ARGS__)
+#define HAECHI_LOG_ERROR(...) HAECHI_LOG(::haechi::LogLevel::kError, __VA_ARGS__)

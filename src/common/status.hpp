@@ -1,0 +1,150 @@
+// Minimal Status / Result<T> vocabulary for recoverable errors.
+//
+// C++20 has no std::expected, and exceptions are the wrong tool for errors
+// that are part of a protocol's normal vocabulary (an RDMA completion with a
+// protection fault is data, not a panic). Result<T> keeps those paths
+// explicit and testable.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "common/assert.hpp"
+
+namespace haechi {
+
+/// Coarse error taxonomy; mirrors the classes of failure that surface from
+/// the verbs layer and the QoS protocol.
+enum class StatusCode {
+  kOk,
+  kInvalidArgument,   // caller bug observable from the public API
+  kNotFound,          // lookup misses (keys, client ids)
+  kPermissionDenied,  // rkey / access-flag violations
+  kOutOfRange,        // MR bounds violations
+  kResourceExhausted, // admission rejected, queue full
+  kFailedPrecondition,// operation in wrong state (disconnected QP, ...)
+  kAborted,           // retriable conflict (seqlock torn read)
+  kUnavailable,       // transient: no tokens / would block
+  kInternal,          // invariant violation escaped as an error
+};
+
+/// Human-readable tag for a StatusCode (stable, for logs and test output).
+constexpr std::string_view ToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// An error code plus a context message. The empty (kOk) status is cheap to
+/// construct and copy.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out{haechi::ToString(code_)};
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status ErrInvalidArgument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status ErrNotFound(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status ErrPermissionDenied(std::string msg) {
+  return {StatusCode::kPermissionDenied, std::move(msg)};
+}
+inline Status ErrOutOfRange(std::string msg) {
+  return {StatusCode::kOutOfRange, std::move(msg)};
+}
+inline Status ErrResourceExhausted(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
+}
+inline Status ErrFailedPrecondition(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status ErrAborted(std::string msg) {
+  return {StatusCode::kAborted, std::move(msg)};
+}
+inline Status ErrUnavailable(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
+}
+inline Status ErrInternal(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+
+/// Either a value or a Status explaining its absence.
+/// Accessors enforce the "checked before use" contract with assertions.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {    // NOLINT(google-explicit-constructor)
+    HAECHI_EXPECTS(!std::get<Status>(rep_).ok());
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  [[nodiscard]] const T& value() const& {
+    HAECHI_EXPECTS(ok());
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T& value() & {
+    HAECHI_EXPECTS(ok());
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T&& value() && {
+    HAECHI_EXPECTS(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  [[nodiscard]] Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+  /// Returns the contained value or `fallback` when holding an error.
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace haechi

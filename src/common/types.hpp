@@ -1,0 +1,67 @@
+// Core value types shared by every Haechi module.
+//
+// All simulated time is kept in integer nanoseconds (SimTime) so that event
+// ordering is exact and runs are bit-reproducible; conversion helpers keep
+// call sites free of raw unit arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+
+namespace haechi {
+
+/// Simulated time in nanoseconds since the start of the run.
+/// A plain signed integer (rather than std::chrono) keeps the event queue's
+/// comparisons trivial and makes "time arithmetic bugs" visible in tests.
+using SimTime = std::int64_t;
+
+/// Duration in nanoseconds. Same representation as SimTime; separate alias
+/// purely for reader intent.
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1'000;
+inline constexpr SimDuration kMillisecond = 1'000'000;
+inline constexpr SimDuration kSecond = 1'000'000'000;
+
+constexpr SimDuration Micros(std::int64_t us) { return us * kMicrosecond; }
+constexpr SimDuration Millis(std::int64_t ms) { return ms * kMillisecond; }
+constexpr SimDuration Seconds(std::int64_t s) { return s * kSecond; }
+
+/// Converts a duration to (floating) seconds — for reporting only, never for
+/// simulation arithmetic.
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Converts an operation count over a duration into KIOPS (thousands of I/O
+/// operations per second), the unit the paper reports throughput in.
+constexpr double ToKiops(std::int64_t ops, SimDuration over) {
+  if (over <= 0) return 0.0;
+  return static_cast<double>(ops) / ToSeconds(over) / 1e3;
+}
+
+/// Identifies a node (machine) in the simulated cluster. Node 0 is by
+/// convention the data node; clients are 1..N.
+enum class NodeId : std::uint32_t {};
+
+constexpr NodeId MakeNodeId(std::uint32_t v) { return NodeId{v}; }
+constexpr std::uint32_t Raw(NodeId id) { return static_cast<std::uint32_t>(id); }
+
+/// Identifies a QoS client (tenant) admitted to the data node. Distinct from
+/// NodeId: several logical clients could share a node, and background flows
+/// have node identity but no client identity.
+enum class ClientId : std::uint32_t {};
+
+constexpr ClientId MakeClientId(std::uint32_t v) { return ClientId{v}; }
+constexpr std::uint32_t Raw(ClientId id) { return static_cast<std::uint32_t>(id); }
+
+constexpr bool operator==(ClientId a, ClientId b) { return Raw(a) == Raw(b); }
+constexpr auto operator<=>(ClientId a, ClientId b) { return Raw(a) <=> Raw(b); }
+constexpr bool operator==(NodeId a, NodeId b) { return Raw(a) == Raw(b); }
+constexpr auto operator<=>(NodeId a, NodeId b) { return Raw(a) <=> Raw(b); }
+
+}  // namespace haechi

@@ -1,0 +1,73 @@
+#include "core/admission.hpp"
+
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace haechi::core {
+
+AdmissionController::AdmissionController(std::int64_t aggregate_capacity,
+                                         std::int64_t local_capacity)
+    : aggregate_(aggregate_capacity), local_(local_capacity) {
+  HAECHI_EXPECTS(aggregate_capacity > 0);
+  HAECHI_EXPECTS(local_capacity > 0);
+}
+
+Status AdmissionController::Admit(ClientId client, std::int64_t reservation) {
+  if (reservation < 0) {
+    return ErrInvalidArgument("reservation must be non-negative");
+  }
+  if (clients_.contains(Raw(client))) {
+    return ErrFailedPrecondition("client " + std::to_string(Raw(client)) +
+                                 " already admitted");
+  }
+  if (reservation > local_) {
+    return ErrResourceExhausted(
+        "local capacity violation: reservation " +
+        std::to_string(reservation) + " > C_L*T = " + std::to_string(local_));
+  }
+  if (reserved_ + reservation > aggregate_) {
+    return ErrResourceExhausted(
+        "aggregate capacity violation: total " +
+        std::to_string(reserved_ + reservation) +
+        " > C_G*T = " + std::to_string(aggregate_));
+  }
+  clients_.emplace(Raw(client), reservation);
+  reserved_ += reservation;
+  return Status::Ok();
+}
+
+Status AdmissionController::Release(ClientId client) {
+  const auto it = clients_.find(Raw(client));
+  if (it == clients_.end()) {
+    return ErrNotFound("client " + std::to_string(Raw(client)) +
+                       " not admitted");
+  }
+  reserved_ -= it->second;
+  clients_.erase(it);
+  HAECHI_ENSURES(reserved_ >= 0);
+  return Status::Ok();
+}
+
+Status AdmissionController::Update(ClientId client,
+                                   std::int64_t new_reservation) {
+  const auto it = clients_.find(Raw(client));
+  if (it == clients_.end()) {
+    return ErrNotFound("client " + std::to_string(Raw(client)) +
+                       " not admitted");
+  }
+  if (new_reservation < 0) {
+    return ErrInvalidArgument("reservation must be non-negative");
+  }
+  if (new_reservation > local_) {
+    return ErrResourceExhausted("local capacity violation");
+  }
+  if (reserved_ - it->second + new_reservation > aggregate_) {
+    return ErrResourceExhausted("aggregate capacity violation");
+  }
+  reserved_ += new_reservation - it->second;
+  it->second = new_reservation;
+  return Status::Ok();
+}
+
+}  // namespace haechi::core

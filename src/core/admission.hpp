@@ -1,0 +1,49 @@
+// Admission control (paper §II-C, Definition 2).
+//
+// A new client with reservation R is admitted iff
+//   (aggregate)  sum of admitted reservations + R <= T * C_G
+//   (local)      R <= T * C_L
+// The local constraint exists because one-sided I/O needs several clients
+// to saturate the data node: a single client can never exceed C_L, so a
+// reservation above it is unsatisfiable no matter how idle the node is.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace haechi::core {
+
+class AdmissionController {
+ public:
+  /// Capacities in tokens per QoS period (IOPS * T).
+  AdmissionController(std::int64_t aggregate_capacity,
+                      std::int64_t local_capacity);
+
+  /// Admits `client` with reservation R (tokens/period) or explains why not.
+  Status Admit(ClientId client, std::int64_t reservation);
+
+  /// Releases a client's reservation (disconnect).
+  Status Release(ClientId client);
+
+  /// Adjusts an admitted client's reservation, enforcing both constraints.
+  Status Update(ClientId client, std::int64_t new_reservation);
+
+  [[nodiscard]] std::int64_t TotalReserved() const { return reserved_; }
+  [[nodiscard]] std::int64_t AggregateCapacity() const { return aggregate_; }
+  [[nodiscard]] std::int64_t LocalCapacity() const { return local_; }
+  [[nodiscard]] std::size_t AdmittedCount() const { return clients_.size(); }
+  [[nodiscard]] bool IsAdmitted(ClientId client) const {
+    return clients_.contains(Raw(client));
+  }
+
+ private:
+  std::int64_t aggregate_;
+  std::int64_t local_;
+  std::int64_t reserved_ = 0;
+  std::unordered_map<std::uint32_t, std::int64_t> clients_;
+};
+
+}  // namespace haechi::core

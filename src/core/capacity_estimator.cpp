@@ -1,0 +1,44 @@
+#include "core/capacity_estimator.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace haechi::core {
+
+CapacityEstimator::CapacityEstimator(const Params& params)
+    : params_(params),
+      estimate_(params.profiled),
+      lower_bound_(params.profiled - 3 * params.sigma) {
+  HAECHI_EXPECTS(params.profiled > 0);
+  HAECHI_EXPECTS(params.sigma >= 0);
+  HAECHI_EXPECTS(params.eta >= 0);
+  HAECHI_EXPECTS(params.window > 0);
+  if (lower_bound_ < 0) lower_bound_ = 0;
+}
+
+void CapacityEstimator::OnPeriodEnd(std::int64_t total_completed) {
+  HAECHI_EXPECTS(total_completed >= 0);
+  const std::int64_t u = total_completed;
+  if (u == estimate_) {
+    // Every allocated token was consumed and completed inside the period:
+    // the node may be able to do more. Exact equality is the paper's
+    // condition, and it matters: U < Omega means the node was capacity-
+    // bound, while U > Omega means leftovers from an over-provisioned
+    // previous period spilled across the boundary — in both cases growing
+    // the estimate would compound the over-allocation.
+    estimate_ += params_.eta;
+    ++growth_steps_;
+    return;
+  }
+  if (u >= lower_bound_) {
+    window_.push_back(std::min(u, estimate_));
+    if (window_.size() > params_.window) window_.pop_front();
+    const std::int64_t sum = std::accumulate(window_.begin(), window_.end(),
+                                             std::int64_t{0});
+    estimate_ = sum / static_cast<std::int64_t>(window_.size());
+    return;
+  }
+  // Low-demand period: keep the current estimate.
+}
+
+}  // namespace haechi::core

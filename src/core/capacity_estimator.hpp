@@ -1,0 +1,63 @@
+// Algorithm 1: Adaptive Capacity Estimation.
+//
+// Tracks the data node's IOPS capacity (expressed in tokens per QoS
+// period). Fully deterministic and side-effect free so it is unit-testable
+// independent of the protocol:
+//
+//   if U == Omega_t            : Omega_{t+1} = Omega_t + eta   (all tokens
+//                                consumed -> possible underestimate)
+//   elif Omega_min <= U        : push min(U, Omega) into window W (size M);
+//                                Omega_{t+1} = mean(W)
+//   else                       : Omega_{t+1} = Omega_t         (low-demand
+//                                period; don't poison the estimate)
+//
+// Omega_min = Omega_prof - 3 sigma. The equality test is exact, as in the
+// paper: in a token-closed period, U == Omega happens only when every
+// token was consumed *and* its I/O completed before the period ended
+// (an idle tail — genuine underestimation); U > Omega can only mean a
+// previous over-provisioned period spilled completions across the
+// boundary, and window samples are clamped to Omega so such spill cannot
+// inflate the history either.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/assert.hpp"
+
+namespace haechi::core {
+
+class CapacityEstimator {
+ public:
+  struct Params {
+    std::int64_t profiled = 0;  // Omega_prof, tokens per period
+    std::int64_t sigma = 0;     // std dev of the profiling distribution
+    std::int64_t eta = 0;       // increment on full consumption
+    std::size_t window = 8;     // history size M
+  };
+
+  explicit CapacityEstimator(const Params& params);
+
+  /// Current estimate Omega_t (tokens for the next period).
+  [[nodiscard]] std::int64_t Estimate() const { return estimate_; }
+
+  [[nodiscard]] std::int64_t LowerBound() const { return lower_bound_; }
+
+  /// Feeds one period's total completed I/Os U and advances the estimate.
+  void OnPeriodEnd(std::int64_t total_completed);
+
+  /// Number of samples currently in the history window.
+  [[nodiscard]] std::size_t WindowFill() const { return window_.size(); }
+
+  /// Periods in which the full-consumption branch fired (for tests).
+  [[nodiscard]] std::uint64_t GrowthSteps() const { return growth_steps_; }
+
+ private:
+  Params params_;
+  std::int64_t estimate_;
+  std::int64_t lower_bound_;
+  std::deque<std::int64_t> window_;
+  std::uint64_t growth_steps_ = 0;
+};
+
+}  // namespace haechi::core

@@ -1,0 +1,179 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "workload/distributions.hpp"
+
+namespace haechi::core {
+
+ClusterCoordinator::ClusterCoordinator(sim::Simulator& sim,
+                                       const Config& config,
+                                       std::vector<QosMonitor*> monitors)
+    : sim_(sim), config_(config), monitors_(std::move(monitors)) {
+  HAECHI_EXPECTS(!monitors_.empty());
+  HAECHI_EXPECTS(config.ewma > 0.0 && config.ewma <= 1.0);
+  HAECHI_EXPECTS(config.min_share >= 0.0 &&
+                 config.min_share * static_cast<double>(monitors_.size()) <
+                     1.0);
+  HAECHI_EXPECTS(config.interval > config.lead);
+  timer_ = std::make_unique<sim::PeriodicTimer>(sim_, config_.interval,
+                                                [this] { Rebalance(); });
+}
+
+Result<std::vector<QosWiring>> ClusterCoordinator::AdmitClient(
+    ClientId client, std::int64_t reservation, std::int64_t limit,
+    const std::vector<rdma::QueuePair*>& ctrl_qps) {
+  if (ctrl_qps.size() != monitors_.size()) {
+    return ErrInvalidArgument("need one control QP per data node");
+  }
+  if (Find(client) != nullptr) {
+    return ErrFailedPrecondition("client already admitted to the cluster");
+  }
+  const auto nodes = monitors_.size();
+  const auto split = workload::UniformShare(reservation, nodes);
+
+  std::vector<QosWiring> wirings;
+  wirings.reserve(nodes);
+  for (std::size_t d = 0; d < nodes; ++d) {
+    auto wiring =
+        monitors_[d]->AdmitClient(client, split[d], limit, *ctrl_qps[d]);
+    if (!wiring.ok()) {
+      // Roll back the nodes already admitted.
+      for (std::size_t undone = 0; undone < d; ++undone) {
+        const Status s = monitors_[undone]->ReleaseClient(client);
+        HAECHI_ASSERT(s.ok());
+      }
+      return wiring.status();
+    }
+    wirings.push_back(wiring.value());
+  }
+
+  ClientState state;
+  state.id = client;
+  state.reservation = reservation;
+  state.split.assign(split.begin(), split.end());
+  state.demand_ewma.assign(nodes, 1.0);  // neutral prior: equal split
+  state.last_completed.assign(nodes, 0);
+  clients_.push_back(std::move(state));
+  return wirings;
+}
+
+Status ClusterCoordinator::ReleaseClient(ClientId client) {
+  const auto it =
+      std::find_if(clients_.begin(), clients_.end(),
+                   [&](const ClientState& c) { return c.id == client; });
+  if (it == clients_.end()) return ErrNotFound("client not admitted");
+  for (QosMonitor* monitor : monitors_) {
+    const Status s = monitor->ReleaseClient(client);
+    HAECHI_ASSERT(s.ok());
+  }
+  clients_.erase(it);
+  return Status::Ok();
+}
+
+void ClusterCoordinator::Start(SimTime at) {
+  sim_.ScheduleAt(at, [this] {
+    // First sample lands just before the next period boundary.
+    if (!timer_->Running()) timer_->Start(config_.interval - config_.lead);
+  });
+}
+
+void ClusterCoordinator::Stop() { timer_->Stop(); }
+
+void ClusterCoordinator::Rebalance() {
+  ++stats_.rebalances;
+  const auto nodes = monitors_.size();
+  for (ClientState& client : clients_) {
+    // 1. Refresh per-node usage estimates from the monitors' report slots.
+    //    LastCompleted is cumulative within the current period; reading it
+    //    once per interval approximates the per-period usage.
+    for (std::size_t d = 0; d < nodes; ++d) {
+      const std::uint32_t completed = monitors_[d]->LastCompleted(client.id);
+      client.last_completed[d] = completed;
+      client.demand_ewma[d] =
+          config_.ewma * static_cast<double>(completed) +
+          (1.0 - config_.ewma) * client.demand_ewma[d];
+    }
+
+    // 2. Target split: usage-proportional with a min_share floor.
+    std::vector<double> weights(nodes);
+    const double floor_weight =
+        config_.min_share *
+        std::max(1.0, *std::max_element(client.demand_ewma.begin(),
+                                        client.demand_ewma.end()));
+    for (std::size_t d = 0; d < nodes; ++d) {
+      weights[d] = client.demand_ewma[d] + floor_weight;
+    }
+    const auto target = workload::WeightedShare(client.reservation, weights);
+
+    // 3. Apply decreases first (freeing per-node headroom), then increases.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t d = 0; d < nodes; ++d) {
+        const bool decrease = target[d] < client.split[d];
+        if (pass == 0 ? !decrease : decrease) continue;
+        if (target[d] == client.split[d]) continue;
+        const Status s =
+            monitors_[d]->UpdateReservation(client.id, target[d]);
+        if (s.ok()) {
+          stats_.tokens_moved += static_cast<std::uint64_t>(
+              std::llabs(target[d] - client.split[d]));
+          client.split[d] = target[d];
+        } else {
+          ++stats_.rejected_moves;
+          HAECHI_LOG_DEBUG("cluster: move rejected on node %zu: %s", d,
+                           s.ToString().c_str());
+        }
+      }
+    }
+
+    // 4. If an increase was refused (the target node had no admission
+    //    headroom), the freed tokens must not evaporate: park them on any
+    //    node that will take them so Σ_d R_i,d == R_i stays invariant.
+    std::int64_t placed = 0;
+    for (const auto share : client.split) placed += share;
+    std::int64_t shortfall = client.reservation - placed;
+    HAECHI_ASSERT(shortfall >= 0);
+    for (std::size_t d = 0; d < nodes && shortfall > 0; ++d) {
+      const auto& admission = monitors_[d]->admission();
+      const std::int64_t headroom = std::min(
+          admission.AggregateCapacity() - admission.TotalReserved(),
+          admission.LocalCapacity() - client.split[d]);
+      const std::int64_t add = std::min(shortfall, headroom);
+      if (add <= 0) continue;
+      const Status s = monitors_[d]->UpdateReservation(
+          client.id, client.split[d] + add);
+      if (s.ok()) {
+        client.split[d] += add;
+        shortfall -= add;
+      }
+    }
+    // The pre-rebalance placement fit, and decreases only freed capacity,
+    // so the shortfall always finds a home.
+    HAECHI_ASSERT(shortfall == 0);
+  }
+}
+
+Result<std::vector<std::int64_t>> ClusterCoordinator::SplitOf(
+    ClientId client) const {
+  const ClientState* state = Find(client);
+  if (state == nullptr) return ErrNotFound("client not admitted");
+  return state->split;
+}
+
+const ClusterCoordinator::ClientState* ClusterCoordinator::Find(
+    ClientId client) const {
+  const auto it =
+      std::find_if(clients_.begin(), clients_.end(),
+                   [&](const ClientState& c) { return c.id == client; });
+  return it == clients_.end() ? nullptr : &*it;
+}
+
+ClusterCoordinator::ClientState* ClusterCoordinator::Find(ClientId client) {
+  return const_cast<ClientState*>(
+      static_cast<const ClusterCoordinator*>(this)->Find(client));
+}
+
+}  // namespace haechi::core

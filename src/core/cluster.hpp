@@ -1,0 +1,111 @@
+// Multi-data-node Haechi — the paper's stated future work (§V): "extend
+// Haechi to environments with multiple servers and distributed clients,
+// similar to that for conventional distributed storage [bQueue, pShift,
+// pTrans]".
+//
+// A client holds ONE cluster-wide reservation R_i while its demand spreads
+// unevenly (and shifts) across D data nodes, each running an ordinary
+// QosMonitor. The ClusterCoordinator splits R_i into per-node reservations
+// {R_i,d} and re-balances the split at every period boundary toward the
+// observed per-node usage (an EWMA of the monitors' reported completions),
+// in the spirit of pShift's dynamic token allocation:
+//
+//   demand_ewma[i][d] <- a * completed[i][d] + (1-a) * demand_ewma[i][d]
+//   R[i][*]           <- WeightedShare(R_i, demand_ewma[i][*]),
+//                        with a min_share floor so a node a client goes
+//                        quiet on can ramp back instantly
+//
+// Decreases are applied before increases so the per-node admission
+// controller (which still enforces C_G and C_L per node) never sees a
+// transient over-commitment. If an increase is rejected by a node, the
+// tokens stay where they were — the cluster-wide sum Σ_d R_i,d = R_i is
+// an invariant either way.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "core/monitor.hpp"
+#include "sim/simulator.hpp"
+
+namespace haechi::core {
+
+class ClusterCoordinator {
+ public:
+  struct Config {
+    /// EWMA weight for fresh per-node usage observations.
+    double ewma = 0.5;
+    /// Fraction of R_i every node keeps as a floor (ramp headroom).
+    double min_share = 0.05;
+    /// Rebalancing cadence; normally the QoS period.
+    SimDuration interval = kSecond;
+    /// The rebalancer samples this long *before* each period boundary, so
+    /// it sees the period's final usage reports rather than the freshly
+    /// re-primed slots of the next period.
+    SimDuration lead = kMillisecond;
+  };
+
+  /// The coordinator drives the given per-node monitors; they must outlive
+  /// it. (In a real deployment this is a control-plane service talking to
+  /// each data node's monitor; here it calls them directly, which is
+  /// faithful — coordination is per-period, not per-I/O.)
+  ClusterCoordinator(sim::Simulator& sim, const Config& config,
+                     std::vector<QosMonitor*> monitors);
+
+  ClusterCoordinator(const ClusterCoordinator&) = delete;
+  ClusterCoordinator& operator=(const ClusterCoordinator&) = delete;
+
+  /// Admits `client` with a cluster-wide reservation, initially split
+  /// equally. `ctrl_qps[d]` is the monitor-side control QP on node d.
+  /// Returns one QosWiring per node for the client's per-node engines.
+  Result<std::vector<QosWiring>> AdmitClient(
+      ClientId client, std::int64_t reservation, std::int64_t limit,
+      const std::vector<rdma::QueuePair*>& ctrl_qps);
+
+  /// Releases the client on every node.
+  Status ReleaseClient(ClientId client);
+
+  /// Starts periodic rebalancing at absolute time `at` + interval.
+  void Start(SimTime at);
+  void Stop();
+
+  /// Forces one rebalancing pass (also called by the periodic timer).
+  void Rebalance();
+
+  /// Current per-node reservation split of a client.
+  [[nodiscard]] Result<std::vector<std::int64_t>> SplitOf(
+      ClientId client) const;
+
+  [[nodiscard]] std::size_t NodeCount() const { return monitors_.size(); }
+
+  struct Stats {
+    std::uint64_t rebalances = 0;
+    std::uint64_t tokens_moved = 0;   // total |delta| applied
+    std::uint64_t rejected_moves = 0; // increases refused by admission
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct ClientState {
+    ClientId id;
+    std::int64_t reservation;          // cluster-wide R_i
+    std::vector<std::int64_t> split;   // per-node R_i,d
+    std::vector<double> demand_ewma;   // per-node usage estimate
+    std::vector<std::uint32_t> last_completed;  // last per-node reading
+  };
+
+  [[nodiscard]] const ClientState* Find(ClientId client) const;
+  [[nodiscard]] ClientState* Find(ClientId client);
+
+  sim::Simulator& sim_;
+  Config config_;
+  std::vector<QosMonitor*> monitors_;
+  std::vector<ClientState> clients_;
+  Stats stats_;
+  std::unique_ptr<sim::PeriodicTimer> timer_;
+};
+
+}  // namespace haechi::core

@@ -1,0 +1,80 @@
+// Tunables of the Haechi QoS protocol, with the paper's defaults.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace haechi::core {
+
+struct QosConfig {
+  /// QoS period T (paper: 1 s).
+  SimDuration period = kSecond;
+
+  /// Client token-management tick delta (paper: 1 ms) — the cadence at
+  /// which unused reservation tokens decay back toward rho_i(t).
+  SimDuration token_tick = kMillisecond;
+
+  /// Client reporting interval once signalled (paper: 1 ms).
+  SimDuration report_interval = kMillisecond;
+
+  /// Monitor check interval (paper: 1 ms).
+  SimDuration check_interval = kMillisecond;
+
+  /// Global tokens fetched per remote FAA (paper: B = 1000).
+  std::int64_t token_batch = 1000;
+
+  /// When a client finds the pool empty, it retries the FAA at this
+  /// cadence (waiting for the monitor's token conversion or the next
+  /// period; the paper's step T4).
+  SimDuration pool_retry_interval = kMillisecond;
+
+  /// The engine posts no new token fetch within this window of the
+  /// expected period end: a batch acquired while the monitor rolls the
+  /// period over would be discarded (tokens are not carried across
+  /// periods), silently wasting up to B tokens per client per period and
+  /// breaking Algorithm 1's full-consumption (U == Omega) signal.
+  SimDuration faa_end_guard = Millis(2);
+
+  /// Capacity-estimation increment eta (tokens/period). 0 = derive as
+  /// eta_fraction of the profiled capacity.
+  std::int64_t eta = 0;
+  double eta_fraction = 0.03;
+
+  /// Capacity-estimation history window M.
+  std::size_t history_window = 4;
+
+  /// sigma of the profiled capacity (tokens/period). 0 = derive as
+  /// sigma_fraction of the profiled capacity. The estimator's floor is
+  /// Omega_prof - 3 sigma.
+  std::int64_t sigma = 0;
+  double sigma_fraction = 0.08;
+
+  /// Consecutive underuse periods before the monitor flags a client as
+  /// having over-reserved (Algorithm 1's counter).
+  std::uint32_t underuse_alert_periods = 5;
+
+  /// Disables token conversion (step T2): the paper's Basic Haechi
+  /// ablation, which wastes unused reservation tokens.
+  bool token_conversion = true;
+
+  /// Monitor observes the global-token word through a loopback RDMA CAS
+  /// (as described in the paper) instead of a local load. Identical
+  /// values, small extra NIC traffic; kept for fidelity tests.
+  bool loopback_cas = false;
+
+  /// Upper bound on requests parked in a client engine waiting for
+  /// tokens; beyond it Submit() rejects (runaway-client isolation).
+  std::size_t max_engine_queue = 1u << 20;
+
+  /// I/Os the engine keeps outstanding at its backend at most. The engine
+  /// posts token-backed I/Os immediately (the paper's data-access flow
+  /// performs the one-sided I/O as soon as a request has a token); a
+  /// software send queue in front of the QP absorbs deep bursts, so the
+  /// default is effectively unbounded. Lower it to emulate a hard SQ-depth
+  /// cap; it must not exceed the backend's capacity (KvClient slots) when
+  /// payload copying is on.
+  std::size_t max_backend_outstanding = 1u << 20;
+};
+
+}  // namespace haechi::core

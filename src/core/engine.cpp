@@ -1,0 +1,271 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace haechi::core {
+
+namespace {
+
+// wr_id tag bits distinguish the engine's own QoS ops on its send CQ.
+constexpr std::uint64_t kWrTagFaa = 1ULL << 62;
+constexpr std::uint64_t kWrTagReport = 1ULL << 63;
+
+}  // namespace
+
+ClientQosEngine::ClientQosEngine(sim::Simulator& sim, ClientId id,
+                                 const QosConfig& config, rdma::Node& node,
+                                 rdma::QueuePair& qos_qp,
+                                 rdma::QueuePair& ctrl_qp,
+                                 const QosWiring& wiring)
+    : sim_(sim),
+      id_(id),
+      config_(config),
+      node_(node),
+      qos_qp_(qos_qp),
+      ctrl_qp_(ctrl_qp),
+      wiring_(wiring) {
+  // Control messages are small; a shallow ring of receive buffers suffices
+  // (the monitor sends at most a couple per check interval).
+  ctrl_recv_buffers_.resize(16);
+  for (std::size_t i = 0; i < ctrl_recv_buffers_.size(); ++i) {
+    ctrl_recv_buffers_[i].resize(64);
+    const Status s =
+        ctrl_qp_.PostRecv(i, std::span<std::byte>(ctrl_recv_buffers_[i]));
+    HAECHI_ASSERT(s.ok());
+  }
+  ctrl_qp_.recv_cq().SetNotify(
+      [this](const rdma::WorkCompletion& wc) { HandleCtrl(wc); });
+  ctrl_qp_.send_cq().SetNotify([](const rdma::WorkCompletion&) {});
+
+  report_buffer_.resize(sizeof(std::uint64_t));
+  report_mr_ = &node_.pd().Register(
+      std::span<std::byte>(report_buffer_),
+      rdma::access::kLocalRead | rdma::access::kLocalWrite);
+  qos_qp_.send_cq().SetNotify(
+      [this](const rdma::WorkCompletion& wc) { HandleQosCompletion(wc); });
+
+  token_timer_ = std::make_unique<sim::PeriodicTimer>(
+      sim_, config_.token_tick, [this] { TokenTick(); });
+  report_timer_ = std::make_unique<sim::PeriodicTimer>(
+      sim_, config_.report_interval, [this] { WriteReport(); });
+}
+
+Status ClientQosEngine::Submit(std::uint64_t key, CompleteFn done,
+                               bool is_write) {
+  HAECHI_EXPECTS(done != nullptr);
+  if (backend_ == nullptr) {
+    return ErrFailedPrecondition("no I/O backend configured");
+  }
+  if (queue_.size() >= config_.max_engine_queue) {
+    ++stats_.rejected_submits;
+    return ErrResourceExhausted("engine queue full");
+  }
+  queue_.push_back(Pending{key, is_write, std::move(done)});
+  TryIssue();
+  return Status::Ok();
+}
+
+void ClientQosEngine::HandleCtrl(const rdma::WorkCompletion& wc) {
+  HAECHI_ASSERT(wc.opcode == rdma::Opcode::kRecv);
+  auto& buffer = ctrl_recv_buffers_[wc.wr_id];
+  CtrlType type;
+  HAECHI_ASSERT(wc.byte_len >= sizeof(type));
+  std::memcpy(&type, buffer.data(), sizeof(type));
+  switch (type) {
+    case CtrlType::kPeriodStart: {
+      PeriodStartMsg msg;
+      std::memcpy(&msg, buffer.data(), sizeof(msg));
+      OnPeriodStart(msg);
+      break;
+    }
+    case CtrlType::kReportRequest:
+      OnReportRequest();
+      break;
+    case CtrlType::kOverReserveHint:
+      ++stats_.over_reserve_hints;
+      break;
+  }
+  const Status s =
+      ctrl_qp_.PostRecv(wc.wr_id, std::span<std::byte>(buffer));
+  HAECHI_ASSERT(s.ok());
+}
+
+void ClientQosEngine::OnPeriodStart(const PeriodStartMsg& msg) {
+  ++stats_.periods_started;
+  period_ = msg.period;
+  // Fresh reservation tokens *replace* leftovers (reservation and global).
+  xi_reservation_ = msg.reservation_tokens;
+  decay_x_ = static_cast<double>(msg.reservation_tokens);
+  decay_per_tick_ = static_cast<double>(msg.reservation_tokens) *
+                    static_cast<double>(config_.token_tick) /
+                    static_cast<double>(config_.period);
+  local_global_ = 0;
+  limit_ = msg.limit;
+  stats_.completed_this_period = 0;
+  stats_.issued_this_period = 0;
+  pool_retry_armed_ = false;
+  started_ = true;
+  period_started_at_ = sim_.Now();
+  // Reporting stops until the monitor asks again this period.
+  report_timer_->Stop();
+  if (!token_timer_->Running()) token_timer_->Start();
+  TryIssue();
+}
+
+void ClientQosEngine::OnReportRequest() {
+  if (!report_timer_->Running()) {
+    // First report goes out immediately; the cadence continues from now.
+    WriteReport();
+    report_timer_->Start();
+  }
+}
+
+void ClientQosEngine::TokenTick() {
+  if (!started_) return;
+  decay_x_ = std::max(0.0, decay_x_ - decay_per_tick_);
+  const auto bound = static_cast<std::int64_t>(std::floor(decay_x_));
+  // Insufficient demand: surrender reservation tokens above the backlog
+  // bound X. (They are reclaimed by the monitor's token conversion once
+  // the client reports.)
+  if (xi_reservation_ > bound) xi_reservation_ = bound;
+}
+
+void ClientQosEngine::WriteReport() {
+  // The reported residual is the client's outstanding *claim* on the rest
+  // of the period: unconsumed reservation tokens (decay-adjusted for
+  // insufficient demand), plus locally-held global tokens, plus I/Os
+  // already issued but not yet completed. Reporting claims — rather than
+  // just xi_reservation — keeps the monitor's token conversion from
+  // re-granting capacity that in-flight I/Os will consume (the paper's L,
+  // "the maximum number of outstanding reservation I/Os", generalised to
+  // all token-backed claims; see DESIGN.md §6).
+  const std::int64_t claims =
+      xi_reservation_ + local_global_ +
+      static_cast<std::int64_t>(backend_outstanding_);
+  const std::uint64_t packed = PackReport(
+      period_, static_cast<std::uint64_t>(std::max<std::int64_t>(claims, 0)),
+      static_cast<std::uint64_t>(
+          std::max<std::int64_t>(stats_.completed_this_period, 0)));
+  std::memcpy(report_buffer_.data(), &packed, sizeof(packed));
+  const Status s = qos_qp_.PostWrite(
+      kWrTagReport | next_wr_id_++,
+      std::span<const std::byte>(report_buffer_), wiring_.report_slot_addr,
+      wiring_.report_slot_rkey);
+  if (s.ok()) {
+    ++stats_.report_writes;
+  } else {
+    HAECHI_LOG_WARN("engine %u: report write failed: %s", Raw(id_),
+                    s.ToString().c_str());
+  }
+}
+
+void ClientQosEngine::PostTokenFetch() {
+  HAECHI_ASSERT(!faa_in_flight_);
+  const Status s = qos_qp_.PostFetchAdd(kWrTagFaa | next_wr_id_++,
+                                        wiring_.global_pool_addr,
+                                        wiring_.global_pool_rkey,
+                                        -config_.token_batch);
+  if (!s.ok()) {
+    HAECHI_LOG_WARN("engine %u: FAA post failed: %s", Raw(id_),
+                    s.ToString().c_str());
+    return;
+  }
+  faa_in_flight_ = true;
+  faa_period_ = period_;
+  ++stats_.faa_ops;
+}
+
+void ClientQosEngine::HandleQosCompletion(const rdma::WorkCompletion& wc) {
+  if ((wc.wr_id & kWrTagReport) != 0) return;  // report write acks
+  if ((wc.wr_id & kWrTagFaa) == 0) return;
+  faa_in_flight_ = false;
+  if (!wc.ok()) {
+    HAECHI_LOG_WARN("engine %u: FAA failed: %s", Raw(id_),
+                    std::string(rdma::ToString(wc.status)).c_str());
+    return;
+  }
+  if (faa_period_ != period_) {
+    // The pool was re-initialised for a new period while this fetch was in
+    // flight; its tokens belong to the dead period and are discarded. The
+    // demand that prompted it is still queued — fetch again against the
+    // current period's pool.
+    TryIssue();
+    return;
+  }
+  const auto available = static_cast<std::int64_t>(wc.atomic_result);
+  const std::int64_t acquired =
+      std::clamp<std::int64_t>(available, 0, config_.token_batch);
+  local_global_ += acquired;
+  if (acquired == 0 && !queue_.empty() && !pool_retry_armed_) {
+    // Step T4: wait for token conversion or the next period, polling the
+    // pool at the retry cadence.
+    pool_retry_armed_ = true;
+    const std::uint32_t at_period = period_;
+    sim_.ScheduleAfter(config_.pool_retry_interval, [this, at_period] {
+      pool_retry_armed_ = false;
+      if (period_ == at_period) TryIssue();
+    });
+    return;
+  }
+  TryIssue();
+}
+
+void ClientQosEngine::TryIssue() {
+  if (!started_) return;
+  while (!queue_.empty()) {
+    if (limit_ > 0 && stats_.issued_this_period >= limit_) {
+      ++stats_.limit_throttle_events;
+      return;  // throttled until the next period
+    }
+    if (backend_outstanding_ >= config_.max_backend_outstanding) {
+      return;  // resumes when a completion frees a slot
+    }
+    if (xi_reservation_ > 0) {
+      --xi_reservation_;
+      ++stats_.tokens_from_reservation;
+      IssueOne();
+      continue;
+    }
+    if (local_global_ > 0) {
+      --local_global_;
+      ++stats_.tokens_from_pool;
+      IssueOne();
+      continue;
+    }
+    // No fetch near the period end: a batch still in flight at the
+    // rollover would be discarded (see QosConfig::faa_end_guard).
+    const bool near_end = sim_.Now() - period_started_at_ >=
+                          config_.period - config_.faa_end_guard;
+    if (!faa_in_flight_ && !pool_retry_armed_ && !near_end) PostTokenFetch();
+    return;
+  }
+}
+
+void ClientQosEngine::IssueOne() {
+  Pending request = std::move(queue_.front());
+  queue_.pop_front();
+  ++stats_.issued_this_period;
+  ++backend_outstanding_;
+  const Status s = backend_(
+      request.key, request.is_write,
+      [this, done = std::move(request.done)] {
+        --backend_outstanding_;
+        ++stats_.completed_this_period;
+        ++stats_.completed_total;
+        done();
+        // A completion frees backend capacity; anything parked for that
+        // reason gets another chance.
+        TryIssue();
+      });
+  // The outstanding cap above guarantees the backend has room; a failure
+  // here is a wiring bug (mismatched capacities), not a runtime condition.
+  HAECHI_ASSERT(s.ok());
+}
+
+}  // namespace haechi::core

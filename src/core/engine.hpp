@@ -1,0 +1,149 @@
+// The client-side QoS engine (paper §II-D).
+//
+// Every application I/O passes through Submit(). The engine:
+//
+//  * gates each I/O on a token — a reservation token (xi_reservation,
+//    granted by the monitor each period) or a global token fetched from
+//    the data node's pool with a remote FAA in batches of B (step T3);
+//  * decays unused reservation tokens every delta = 1 ms toward the
+//    backlog bound X = R_i - rho_i(t), returning slack to the system
+//    (client token management);
+//  * once signalled, silently reports {residual reservation, completed
+//    I/Os} every 1 ms with a single 8-byte one-sided WRITE (client
+//    reporting);
+//  * enforces the client's per-period limit L_i by throttling;
+//  * parks excess requests in a bounded queue — a runaway client cannot
+//    push unbacked I/Os to the data node (isolation, §II-F).
+//
+// None of these paths involve the data-node CPU: control messages are the
+// only two-sided traffic and they originate at the monitor.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "core/wire.hpp"
+#include "rdma/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace haechi::core {
+
+class ClientQosEngine {
+ public:
+  /// Completion callback for one application I/O.
+  using CompleteFn = std::function<void()>;
+
+  /// Issues one data I/O (GET or PUT); must call `done` exactly once at
+  /// completion, or return a non-OK status synchronously. QoS accounting
+  /// is op-agnostic: reads and writes consume tokens identically (both are
+  /// record-sized one-sided ops).
+  using IoBackendFn =
+      std::function<Status(std::uint64_t key, bool is_write, CompleteFn done)>;
+
+  struct Stats {
+    std::uint64_t periods_started = 0;
+    std::int64_t completed_this_period = 0;   // N_i
+    std::int64_t issued_this_period = 0;
+    std::int64_t completed_total = 0;
+    std::uint64_t faa_ops = 0;
+    std::uint64_t report_writes = 0;
+    std::uint64_t rejected_submits = 0;
+    std::uint64_t limit_throttle_events = 0;
+    std::int64_t tokens_from_reservation = 0;
+    std::int64_t tokens_from_pool = 0;
+    std::uint64_t over_reserve_hints = 0;
+  };
+
+  /// `qos_qp` is the engine's one-sided QP to the data node (FAA + report
+  /// writes); `ctrl_qp` receives the monitor's two-sided control messages.
+  /// `wiring` carries the pool/report-slot addresses from admission.
+  ClientQosEngine(sim::Simulator& sim, ClientId id, const QosConfig& config,
+                  rdma::Node& node, rdma::QueuePair& qos_qp,
+                  rdma::QueuePair& ctrl_qp, const QosWiring& wiring);
+
+  ClientQosEngine(const ClientQosEngine&) = delete;
+  ClientQosEngine& operator=(const ClientQosEngine&) = delete;
+
+  void SetIoBackend(IoBackendFn backend) { backend_ = std::move(backend); }
+
+  /// Application entry point: queue one I/O for `key`. Rejected with
+  /// kResourceExhausted when the engine queue is full and with
+  /// kFailedPrecondition before the first period begins.
+  Status Submit(std::uint64_t key, CompleteFn done, bool is_write = false);
+
+  [[nodiscard]] ClientId id() const { return id_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::int64_t ReservationTokens() const { return xi_reservation_; }
+  [[nodiscard]] std::int64_t PoolTokens() const { return local_global_; }
+  [[nodiscard]] double DecayBound() const { return decay_x_; }
+  [[nodiscard]] std::size_t QueueDepth() const { return queue_.size(); }
+  [[nodiscard]] std::uint32_t CurrentPeriod() const { return period_; }
+  [[nodiscard]] bool Reporting() const {
+    return report_timer_ && report_timer_->Running();
+  }
+
+ private:
+  struct Pending {
+    std::uint64_t key;
+    bool is_write;
+    CompleteFn done;
+  };
+
+  void HandleCtrl(const rdma::WorkCompletion& wc);
+  void OnPeriodStart(const PeriodStartMsg& msg);
+  void OnReportRequest();
+  void HandleQosCompletion(const rdma::WorkCompletion& wc);
+  void TokenTick();
+  void WriteReport();
+  void TryIssue();
+  void IssueOne();
+  void PostTokenFetch();
+
+  std::size_t backend_outstanding_ = 0;
+
+  sim::Simulator& sim_;
+  ClientId id_;
+  QosConfig config_;
+  rdma::Node& node_;
+  rdma::QueuePair& qos_qp_;
+  rdma::QueuePair& ctrl_qp_;
+  QosWiring wiring_;
+  IoBackendFn backend_;
+
+  // Token state (paper's xi_reservation, X, and the local batch of global
+  // tokens).
+  std::int64_t xi_reservation_ = 0;
+  double decay_x_ = 0.0;
+  double decay_per_tick_ = 0.0;
+  std::int64_t local_global_ = 0;
+  std::int64_t limit_ = 0;  // <=0: unlimited
+  std::uint32_t period_ = 0;
+  bool started_ = false;
+  SimTime period_started_at_ = 0;
+
+  // FAA state.
+  bool faa_in_flight_ = false;
+  std::uint32_t faa_period_ = 0;
+  bool pool_retry_armed_ = false;
+
+  std::deque<Pending> queue_;
+  Stats stats_;
+
+  // Control-plane receive buffers.
+  std::vector<std::vector<std::byte>> ctrl_recv_buffers_;
+
+  // 8-byte report payload lives in a registered MR.
+  std::vector<std::byte> report_buffer_;
+  const rdma::MemoryRegion* report_mr_ = nullptr;
+
+  std::unique_ptr<sim::PeriodicTimer> token_timer_;
+  std::unique_ptr<sim::PeriodicTimer> report_timer_;
+  std::uint64_t next_wr_id_ = 1;
+};
+
+}  // namespace haechi::core

@@ -1,0 +1,374 @@
+#include "core/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace haechi::core {
+
+namespace {
+
+std::int64_t IopsToTokens(double iops, SimDuration period) {
+  return static_cast<std::int64_t>(std::llround(iops * ToSeconds(period)));
+}
+
+}  // namespace
+
+QosMonitor::QosMonitor(sim::Simulator& sim, const QosConfig& config,
+                       rdma::Node& node, double profiled_global_iops,
+                       double profiled_local_iops)
+    : sim_(sim),
+      config_(config),
+      node_(node),
+      admission_(IopsToTokens(profiled_global_iops, config.period),
+                 IopsToTokens(profiled_local_iops, config.period)) {
+  const std::int64_t profiled_tokens =
+      IopsToTokens(profiled_global_iops, config.period);
+  CapacityEstimator::Params params;
+  params.profiled = profiled_tokens;
+  params.sigma =
+      config.sigma > 0
+          ? config.sigma
+          : static_cast<std::int64_t>(std::llround(
+                static_cast<double>(profiled_tokens) * config.sigma_fraction));
+  params.eta = config.eta > 0
+                   ? config.eta
+                   : static_cast<std::int64_t>(std::llround(
+                         static_cast<double>(profiled_tokens) *
+                         config.eta_fraction));
+  params.window = config.history_window;
+  estimator_ = std::make_unique<CapacityEstimator>(params);
+
+  control_block_.resize((1 + kMaxClients) * sizeof(std::uint64_t));
+  control_mr_ = &node_.pd().Register(
+      std::span<std::byte>(control_block_),
+      rdma::access::kLocalRead | rdma::access::kLocalWrite |
+          rdma::access::kRemoteRead | rdma::access::kRemoteWrite |
+          rdma::access::kRemoteAtomic);
+
+  if (config_.loopback_cas) {
+    // The monitor observes the pool word through the NIC, as the paper
+    // describes: a loopback RC connection on the data node itself.
+    auto& cq_a = node_.CreateCq();
+    auto& cq_b = node_.CreateCq();
+    loop_qp_ = &node_.CreateQp(cq_a, cq_a);
+    loop_peer_qp_ = &node_.CreateQp(cq_b, cq_b);
+    node_.fabric().Connect(*loop_qp_, *loop_peer_qp_);
+    cq_a.SetNotify([this](const rdma::WorkCompletion& wc) {
+      loop_cas_in_flight_ = false;
+      if (wc.ok()) {
+        loop_observed_pool_ = static_cast<std::int64_t>(wc.atomic_result);
+      }
+    });
+  }
+
+  period_timer_ = std::make_unique<sim::PeriodicTimer>(
+      sim_, config_.period, [this] { StartPeriod(); });
+  check_timer_ = std::make_unique<sim::PeriodicTimer>(
+      sim_, config_.check_interval, [this] { CheckTick(); });
+}
+
+std::int64_t QosMonitor::ReadPoolWord() const {
+  std::uint64_t raw;
+  std::memcpy(&raw, control_block_.data(), sizeof(raw));
+  return static_cast<std::int64_t>(raw);
+}
+
+void QosMonitor::WritePoolWord(std::int64_t value) {
+  const auto raw = static_cast<std::uint64_t>(value);
+  std::memcpy(control_block_.data(), &raw, sizeof(raw));
+}
+
+std::uint64_t QosMonitor::ReadSlot(std::size_t slot) const {
+  std::uint64_t raw;
+  std::memcpy(&raw, control_block_.data() + (1 + slot) * sizeof(raw),
+              sizeof(raw));
+  return raw;
+}
+
+void QosMonitor::WriteSlot(std::size_t slot, std::uint64_t value) {
+  std::memcpy(control_block_.data() + (1 + slot) * sizeof(value), &value,
+              sizeof(value));
+}
+
+std::int64_t QosMonitor::GlobalPoolValue() const { return ReadPoolWord(); }
+
+Result<QosWiring> QosMonitor::AdmitClient(ClientId client,
+                                          std::int64_t reservation,
+                                          std::int64_t limit,
+                                          rdma::QueuePair& ctrl_qp) {
+  if (clients_.size() >= kMaxClients) {
+    return ErrResourceExhausted("monitor is at its client capacity");
+  }
+  if (limit > 0 && limit < reservation) {
+    return ErrInvalidArgument("limit below reservation");
+  }
+  if (next_slot_ >= kMaxClients) {
+    return ErrResourceExhausted("all report slots consumed");
+  }
+  if (auto s = admission_.Admit(client, reservation); !s.ok()) return s;
+
+  ClientEntry entry;
+  entry.id = client;
+  entry.reservation = reservation;
+  entry.limit = limit;
+  entry.ctrl_qp = &ctrl_qp;
+  entry.slot = next_slot_++;
+  clients_.push_back(entry);
+  ctrl_qp.send_cq().SetNotify([](const rdma::WorkCompletion&) {});
+
+  QosWiring wiring;
+  wiring.global_pool_addr = control_mr_->remote_addr();
+  wiring.global_pool_rkey = control_mr_->rkey();
+  wiring.report_slot_addr =
+      control_mr_->remote_addr() + (1 + entry.slot) * sizeof(std::uint64_t);
+  wiring.report_slot_rkey = control_mr_->rkey();
+  return wiring;
+}
+
+Status QosMonitor::ReleaseClient(ClientId client) {
+  const auto it =
+      std::find_if(clients_.begin(), clients_.end(),
+                   [&](const ClientEntry& e) { return e.id == client; });
+  if (it == clients_.end()) return ErrNotFound("client not admitted");
+  // Slots are not compacted: a released slot stays reserved until restart,
+  // which keeps report-slot addresses stable for live clients.
+  clients_.erase(it);
+  return admission_.Release(client);
+}
+
+Status QosMonitor::UpdateReservation(ClientId client,
+                                     std::int64_t reservation) {
+  const auto it =
+      std::find_if(clients_.begin(), clients_.end(),
+                   [&](const ClientEntry& e) { return e.id == client; });
+  if (it == clients_.end()) return ErrNotFound("client not admitted");
+  if (it->limit > 0 && reservation > it->limit) {
+    return ErrInvalidArgument("reservation above the client's limit");
+  }
+  if (auto s = admission_.Update(client, reservation); !s.ok()) return s;
+  it->reservation = reservation;
+  return Status::Ok();
+}
+
+Result<std::int64_t> QosMonitor::ReservationOf(ClientId client) const {
+  const ClientEntry* entry = FindClient(client);
+  if (entry == nullptr) return ErrNotFound("client not admitted");
+  return entry->reservation;
+}
+
+void QosMonitor::Start(SimTime at) {
+  HAECHI_EXPECTS(!running_);
+  running_ = true;
+  sim_.ScheduleAt(at, [this] {
+    if (!running_) return;
+    StartPeriod();
+    period_timer_->Start();
+    check_timer_->Start();
+  });
+}
+
+void QosMonitor::Stop() {
+  running_ = false;
+  period_timer_->Stop();
+  check_timer_->Stop();
+}
+
+void QosMonitor::SendToClient(ClientEntry& entry, const void* msg,
+                              std::size_t len) {
+  const Status s = entry.ctrl_qp->PostSend(
+      next_wr_id_++,
+      std::span<const std::byte>(static_cast<const std::byte*>(msg), len));
+  if (!s.ok()) {
+    HAECHI_LOG_WARN("monitor: ctrl send to client %u failed: %s",
+                    Raw(entry.id), s.ToString().c_str());
+  }
+}
+
+void QosMonitor::StartPeriod() {
+  if (!running_) return;
+  if (stats_.periods > 0) Calibrate();
+  ++stats_.periods;
+  period_start_time_ = sim_.Now();
+  reporting_active_ = false;
+
+  period_capacity_ = estimator_->Estimate();
+  std::int64_t total_reserved = 0;
+  for (const auto& entry : clients_) total_reserved += entry.reservation;
+  initial_pool_ = std::max<std::int64_t>(period_capacity_ - total_reserved, 0);
+  WritePoolWord(initial_pool_);
+  loop_observed_pool_ = initial_pool_;
+  last_written_pool_ = initial_pool_;
+  recent_grants_.clear();
+
+  // Step T1: push fresh reservation tokens; the message is also the
+  // period-start signal. Report slots are primed with the full residual so
+  // token conversion is conservative until the first real report lands.
+  for (auto& entry : clients_) {
+    WriteSlot(entry.slot,
+              PackReport(stats_.periods,
+                         static_cast<std::uint64_t>(
+                             std::max<std::int64_t>(entry.reservation, 0)),
+                         0));
+    PeriodStartMsg msg;
+    msg.period = stats_.periods;
+    msg.reservation_tokens = entry.reservation;
+    msg.limit = entry.limit;
+    SendToClient(entry, &msg, sizeof(msg));
+  }
+}
+
+void QosMonitor::CheckTick() {
+  if (!running_ || stats_.periods == 0) return;
+  ++stats_.checks;
+
+  std::int64_t observed_now;
+  if (config_.loopback_cas) {
+    observed_now = loop_observed_pool_;
+    if (!loop_cas_in_flight_) {
+      // CAS(0, 0): reads the word through the NIC without disturbing it
+      // (a compare that can only "succeed" by writing the value it found).
+      const Status s = loop_qp_->PostCompareSwap(
+          next_wr_id_++, control_mr_->remote_addr(), control_mr_->rkey(),
+          /*expected=*/0, /*desired=*/0);
+      loop_cas_in_flight_ = s.ok();
+    }
+  } else {
+    observed_now = ReadPoolWord();
+  }
+
+  // Tokens granted since the last check: the word only moves down between
+  // monitor writes, and a draw against an empty pool grants nothing.
+  const std::int64_t grants =
+      std::max<std::int64_t>(last_written_pool_, 0) -
+      std::max<std::int64_t>(observed_now, 0);
+  recent_grants_.push_back(std::max<std::int64_t>(grants, 0));
+  // Lag window: a report in flight can be ~report_interval + transit old;
+  // keep enough intervals to cover it (+1 for safety).
+  const std::size_t lag_checks =
+      static_cast<std::size_t>(config_.report_interval /
+                               std::max<SimDuration>(config_.check_interval,
+                                                     1)) +
+      2;
+  while (recent_grants_.size() > lag_checks) recent_grants_.pop_front();
+  last_written_pool_ = observed_now;
+
+  // Step S2: reservation-token overflow — someone is drawing on the pool.
+  if (!reporting_active_ && observed_now < initial_pool_) {
+    reporting_active_ = true;
+    ++stats_.report_signals;
+    ReportRequestMsg msg;
+    msg.period = stats_.periods;
+    for (auto& entry : clients_) SendToClient(entry, &msg, sizeof(msg));
+  }
+
+  // Step T2: token conversion.
+  if (reporting_active_ && config_.token_conversion) ConvertTokens();
+}
+
+void QosMonitor::ConvertTokens() {
+  std::int64_t outstanding_reservation = 0;  // the paper's L
+  std::int64_t completed_so_far = 0;
+  for (const auto& entry : clients_) {
+    const std::uint64_t slot = ReadSlot(entry.slot);
+    if (ReportPeriod(slot) == (stats_.periods & 0xffff)) {
+      outstanding_reservation += ReportResidual(slot);
+      completed_so_far += ReportCompleted(slot);
+    } else {
+      // Stale (in-flight across the boundary) or missing report: assume
+      // the full reservation is still outstanding — conservative, like the
+      // slot prime it replaced.
+      outstanding_reservation += entry.reservation;
+    }
+  }
+  const SimDuration elapsed = sim_.Now() - period_start_time_;
+  const SimDuration left =
+      std::max<SimDuration>(config_.period - elapsed, 0);
+  // Remaining capacity is the smaller of the paper's time-based budget
+  // C*(T-t)/T and the completion-based budget C - U(t). The time budget
+  // throttles the pool when the node under-delivers (over-estimated
+  // capacity, Fig 16); the completion budget makes conversion strictly
+  // token-conserving — it can recycle surrendered reservations but never
+  // mint tokens beyond the period's capacity estimate, which preserves the
+  // exact U == Omega underestimation signal Algorithm 1's recovery rests
+  // on (Fig 18). (128-bit intermediate: tokens * ns overflows 64 bits.)
+  const auto time_budget = static_cast<std::int64_t>(
+      static_cast<__int128>(period_capacity_) * left / config_.period);
+  const std::int64_t completion_budget =
+      period_capacity_ - completed_so_far;
+  const std::int64_t remaining_capacity =
+      std::min(time_budget, completion_budget);
+  // Grants from the last few checks are invisible in the (lagged) reports;
+  // without this correction the conversion would re-mint them every check.
+  std::int64_t unreported_grants = 0;
+  for (const std::int64_t g : recent_grants_) unreported_grants += g;
+  const std::int64_t new_pool = std::max<std::int64_t>(
+      remaining_capacity - outstanding_reservation - unreported_grants, 0);
+  WritePoolWord(new_pool);
+  last_written_pool_ = new_pool;
+  ++stats_.conversions;
+}
+
+void QosMonitor::Calibrate() {
+  // Step T3: feed Algorithm 1 with the reported completion total. Without
+  // any reports this period (pool untouched), there is no signal — skip.
+  std::int64_t total_completed = 0;
+  for (const auto& entry : clients_) {
+    const std::uint64_t slot = ReadSlot(entry.slot);
+    if (ReportPeriod(slot) == (stats_.periods & 0xffff)) {
+      total_completed += ReportCompleted(slot);
+    }
+  }
+  stats_.last_period_completions = total_completed;
+  if (reporting_active_) {
+    estimator_->OnPeriodEnd(total_completed);
+
+    for (auto& entry : clients_) {
+      const std::uint64_t slot = ReadSlot(entry.slot);
+      if (ReportPeriod(slot) != (stats_.periods & 0xffff)) continue;
+      const auto completed =
+          static_cast<std::int64_t>(ReportCompleted(slot));
+      if (completed < entry.reservation) {
+        ++entry.underuse_streak;
+        if (entry.underuse_streak >= config_.underuse_alert_periods) {
+          ++stats_.over_reserve_hints;
+          if (over_reserve_cb_) over_reserve_cb_(entry.id);
+          OverReserveHintMsg msg;
+          msg.consecutive_periods = entry.underuse_streak;
+          SendToClient(entry, &msg, sizeof(msg));
+          entry.underuse_streak = 0;
+        }
+      } else {
+        entry.underuse_streak = 0;
+      }
+    }
+  }
+  if (period_hook_) {
+    period_hook_(stats_.periods, total_completed, estimator_->Estimate());
+  }
+}
+
+const QosMonitor::ClientEntry* QosMonitor::FindClient(ClientId client) const {
+  const auto it =
+      std::find_if(clients_.begin(), clients_.end(),
+                   [&](const ClientEntry& e) { return e.id == client; });
+  return it == clients_.end() ? nullptr : &*it;
+}
+
+std::uint32_t QosMonitor::LastResidual(ClientId client) const {
+  const ClientEntry* entry = FindClient(client);
+  HAECHI_EXPECTS(entry != nullptr);
+  return ReportResidual(ReadSlot(entry->slot));
+}
+
+std::uint32_t QosMonitor::LastCompleted(ClientId client) const {
+  const ClientEntry* entry = FindClient(client);
+  HAECHI_EXPECTS(entry != nullptr);
+  return ReportCompleted(ReadSlot(entry->slot));
+}
+
+}  // namespace haechi::core

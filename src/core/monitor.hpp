@@ -1,0 +1,181 @@
+// The data-node QoS monitor (paper §II-E).
+//
+// Responsibilities per QoS period:
+//   T1  dispatch fresh reservation tokens to every admitted client over
+//       two-sided RDMA and initialise the global pool word to
+//       C - sum(R_i);
+//   S1  wake every check interval and observe the global pool (local load,
+//       or loopback RDMA CAS when configured);
+//   S2/S3 on the first observed decrease, ask all clients to begin
+//       periodic reporting;
+//   T2  token conversion: xi_global <- max{C*(T-t)/T - L, 0}, where L is
+//       the sum of last-reported residual reservations — reclaiming tokens
+//       surrendered by low-demand clients while capping the pool to the
+//       capacity remaining in the period;
+//   T3  at the period boundary, feed the reported completion total into
+//       Algorithm 1 (CapacityEstimator) and flag persistently under-using
+//       clients.
+//
+// Admission control (AdmissionController) guards both capacity constraints
+// before a client is wired in.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "core/admission.hpp"
+#include "core/capacity_estimator.hpp"
+#include "core/config.hpp"
+#include "core/wire.hpp"
+#include "rdma/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace haechi::core {
+
+class QosMonitor {
+ public:
+  struct Stats {
+    std::uint32_t periods = 0;
+    std::uint64_t checks = 0;
+    std::uint64_t conversions = 0;
+    std::uint64_t report_signals = 0;
+    std::uint64_t over_reserve_hints = 0;
+    std::int64_t last_period_completions = 0;
+  };
+
+  /// Capacities in IOPS, as profiled (Experiment Set 1). `node` is the
+  /// data node; the control block MR lives in its protection domain.
+  QosMonitor(sim::Simulator& sim, const QosConfig& config, rdma::Node& node,
+             double profiled_global_iops, double profiled_local_iops);
+
+  QosMonitor(const QosMonitor&) = delete;
+  QosMonitor& operator=(const QosMonitor&) = delete;
+
+  /// Admits a client (both capacity constraints enforced) and binds its
+  /// control channel. `ctrl_qp` is the monitor-side QP connected to the
+  /// engine's control QP. Reservation/limit in I/Os per period.
+  /// Returns the wiring the engine needs for its one-sided QoS ops.
+  Result<QosWiring> AdmitClient(ClientId client, std::int64_t reservation,
+                                std::int64_t limit,
+                                rdma::QueuePair& ctrl_qp);
+
+  /// Removes a client and releases its reservation.
+  Status ReleaseClient(ClientId client);
+
+  /// Changes an admitted client's reservation, enforcing both capacity
+  /// constraints. Takes effect at the next period boundary (tokens already
+  /// dispatched are never clawed back mid-period). Used by the
+  /// multi-data-node coordinator to shift reservation between nodes.
+  Status UpdateReservation(ClientId client, std::int64_t reservation);
+
+  /// The reservation currently configured for a client.
+  [[nodiscard]] Result<std::int64_t> ReservationOf(ClientId client) const;
+
+  /// Starts period 1 at absolute time `at` and runs until Stop().
+  void Start(SimTime at);
+  void Stop();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const AdmissionController& admission() const {
+    return admission_;
+  }
+  [[nodiscard]] const CapacityEstimator& estimator() const {
+    return *estimator_;
+  }
+
+  /// Current pool word (signed; negative after over-draining FAAs).
+  [[nodiscard]] std::int64_t GlobalPoolValue() const;
+
+  /// Tokens the pool started this period with.
+  [[nodiscard]] std::int64_t InitialPool() const { return initial_pool_; }
+
+  /// Capacity (tokens) allocated for the current period.
+  [[nodiscard]] std::int64_t PeriodCapacity() const { return period_capacity_; }
+
+  [[nodiscard]] bool ReportingActive() const { return reporting_active_; }
+
+  /// Last values read from a client's report slot.
+  [[nodiscard]] std::uint32_t LastResidual(ClientId client) const;
+  [[nodiscard]] std::uint32_t LastCompleted(ClientId client) const;
+
+  /// Invoked when a client under-uses its reservation for
+  /// `underuse_alert_periods` consecutive periods.
+  void SetOverReserveCallback(std::function<void(ClientId)> fn) {
+    over_reserve_cb_ = std::move(fn);
+  }
+
+  /// Per-period telemetry hook, fired at each boundary after calibration:
+  /// (period index just ended, total reported completions, capacity
+  /// estimate for the next period).
+  using PeriodHook =
+      std::function<void(std::uint32_t, std::int64_t, std::int64_t)>;
+  void SetPeriodHook(PeriodHook fn) { period_hook_ = std::move(fn); }
+
+ private:
+  struct ClientEntry {
+    ClientId id;
+    std::int64_t reservation;
+    std::int64_t limit;
+    rdma::QueuePair* ctrl_qp;
+    std::size_t slot;  // index into the report-slot array
+    std::uint32_t underuse_streak = 0;
+  };
+
+  static constexpr std::size_t kMaxClients = 64;
+
+  void StartPeriod();
+  void CheckTick();
+  void ConvertTokens();
+  void Calibrate();
+  [[nodiscard]] std::int64_t ReadPoolWord() const;
+  void WritePoolWord(std::int64_t value);
+  [[nodiscard]] std::uint64_t ReadSlot(std::size_t slot) const;
+  void WriteSlot(std::size_t slot, std::uint64_t value);
+  void SendToClient(ClientEntry& entry, const void* msg, std::size_t len);
+  [[nodiscard]] const ClientEntry* FindClient(ClientId client) const;
+
+  sim::Simulator& sim_;
+  QosConfig config_;
+  rdma::Node& node_;
+  AdmissionController admission_;
+  std::unique_ptr<CapacityEstimator> estimator_;
+
+  // Control block: word 0 = global pool, words 1..kMaxClients = report
+  // slots. Lives in registered memory so clients reach it one-sided.
+  std::vector<std::byte> control_block_;
+  const rdma::MemoryRegion* control_mr_ = nullptr;
+
+  std::vector<ClientEntry> clients_;
+  std::size_t next_slot_ = 0;  // slots are never reused (address stability)
+  Stats stats_;
+  bool running_ = false;
+  SimTime period_start_time_ = 0;
+  std::int64_t period_capacity_ = 0;
+  std::int64_t initial_pool_ = 0;
+  bool reporting_active_ = false;
+  // Grant tracking: the pool word only decreases between monitor writes
+  // (client FAAs), so (last written - observed) measures tokens handed out.
+  // Recent grants are not yet visible in client reports (reporting lag),
+  // and token conversion must not re-mint them.
+  std::int64_t last_written_pool_ = 0;
+  std::deque<std::int64_t> recent_grants_;
+  std::function<void(ClientId)> over_reserve_cb_;
+  PeriodHook period_hook_;
+
+  // Loopback-CAS observation state (config_.loopback_cas).
+  rdma::QueuePair* loop_qp_ = nullptr;
+  rdma::QueuePair* loop_peer_qp_ = nullptr;
+  bool loop_cas_in_flight_ = false;
+  std::int64_t loop_observed_pool_ = 0;
+
+  std::unique_ptr<sim::PeriodicTimer> period_timer_;
+  std::unique_ptr<sim::PeriodicTimer> check_timer_;
+  std::uint64_t next_wr_id_ = 1;
+};
+
+}  // namespace haechi::core

@@ -1,0 +1,87 @@
+// Wire formats shared by the client QoS engine and the data-node QoS
+// monitor.
+//
+// Control traffic is two-sided (SENDs from the monitor); the data-plane
+// QoS state is one-sided:
+//   - the global token pool is a single signed 64-bit word clients FAA;
+//   - each client owns a 64-bit report slot it overwrites with a silent
+//     one-sided WRITE: {residual reservation : 32 | completed I/Os : 32}.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "rdma/verbs.hpp"
+
+namespace haechi::core {
+
+enum class CtrlType : std::uint32_t {
+  kPeriodStart = 1,   // monitor -> engine: new period, fresh tokens
+  kReportRequest = 2, // monitor -> engine: begin periodic reporting
+  kOverReserveHint = 3, // monitor -> engine: reservation looks oversized
+};
+
+/// Monitor -> engine at each period boundary (paper step T1). Doubles as
+/// the period-start synchronisation signal.
+struct PeriodStartMsg {
+  CtrlType type = CtrlType::kPeriodStart;
+  std::uint32_t period = 0;
+  /// Fresh reservation tokens R_i (replace any leftover tokens).
+  std::int64_t reservation_tokens = 0;
+  /// Per-period I/O limit L_i (<= 0 means unlimited).
+  std::int64_t limit = 0;
+};
+
+/// Monitor -> engine when reservation-token overflow is detected (step S3).
+struct ReportRequestMsg {
+  CtrlType type = CtrlType::kReportRequest;
+  std::uint32_t period = 0;
+};
+
+/// Monitor -> engine advisory after persistent reservation underuse.
+struct OverReserveHintMsg {
+  CtrlType type = CtrlType::kOverReserveHint;
+  std::uint32_t consecutive_periods = 0;
+};
+
+/// Packs the client's silent report into the 64-bit slot value:
+/// {period:16 | residual:24 | completed:24}. The period tag lets the
+/// monitor discard writes that were in flight across a period boundary
+/// (a stale report would otherwise overwrite the fresh slot prime and
+/// corrupt token conversion). 24 bits comfortably hold per-period I/O
+/// counts (the paper's data node peaks at ~1.6M I/Os per 1 s period).
+inline constexpr std::uint64_t kReportFieldMask = (1ULL << 24) - 1;
+
+constexpr std::uint64_t PackReport(std::uint32_t period,
+                                   std::uint64_t residual_reservation,
+                                   std::uint64_t completed) {
+  if (residual_reservation > kReportFieldMask) {
+    residual_reservation = kReportFieldMask;
+  }
+  if (completed > kReportFieldMask) completed = kReportFieldMask;
+  return (static_cast<std::uint64_t>(period & 0xffff) << 48) |
+         (residual_reservation << 24) | completed;
+}
+
+constexpr std::uint32_t ReportPeriod(std::uint64_t packed) {
+  return static_cast<std::uint32_t>(packed >> 48);
+}
+
+constexpr std::uint32_t ReportResidual(std::uint64_t packed) {
+  return static_cast<std::uint32_t>((packed >> 24) & kReportFieldMask);
+}
+
+constexpr std::uint32_t ReportCompleted(std::uint64_t packed) {
+  return static_cast<std::uint32_t>(packed & kReportFieldMask);
+}
+
+/// Addresses a client engine needs to run the one-sided QoS data plane,
+/// handed over at admission (out-of-band control plane).
+struct QosWiring {
+  rdma::RemoteAddr global_pool_addr = 0;
+  std::uint32_t global_pool_rkey = 0;
+  rdma::RemoteAddr report_slot_addr = 0;
+  std::uint32_t report_slot_rkey = 0;
+};
+
+}  // namespace haechi::core

@@ -1,0 +1,331 @@
+#include "harness/experiment.hpp"
+
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace haechi::harness {
+
+std::vector<ClientSpec> UniformClients(std::size_t n, std::int64_t reservation,
+                                       std::int64_t demand,
+                                       workload::RequestPattern pattern) {
+  std::vector<ClientSpec> specs(n);
+  for (auto& spec : specs) {
+    spec.reservation = reservation;
+    spec.demand = demand;
+    spec.pattern = pattern;
+  }
+  return specs;
+}
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_(std::move(config)) {
+  HAECHI_EXPECTS(!config_.clients.empty());
+  HAECHI_EXPECTS(config_.measure_periods > 0);
+  if (config_.io_path == IoPath::kTwoSided) {
+    // The paper's two-sided runs are baseline-only; Haechi regulates the
+    // one-sided path.
+    HAECHI_EXPECTS(config_.mode == Mode::kBare);
+  }
+}
+
+Experiment::~Experiment() = default;
+
+std::span<const std::byte> Experiment::WriteValue() {
+  if (write_value_.empty()) {
+    write_value_.assign(server_->config().payload_bytes, std::byte{0xD0});
+  }
+  return write_value_;
+}
+
+void Experiment::BuildCluster() {
+  fabric_ = std::make_unique<rdma::Fabric>(sim_, config_.net, config_.seed);
+  fabric_->set_copy_payloads(config_.copy_payloads);
+
+  rdma::Node& data_node =
+      fabric_->AddNode("data-node", rdma::NodeRole::kData);
+  kvstore::KvServer::Config store_config;
+  store_config.record_count = config_.records;
+  server_ = std::make_unique<kvstore::KvServer>(data_node, store_config);
+  if (config_.copy_payloads) server_->PopulateDeterministic();
+
+  if (config_.mode != Mode::kBare) {
+    core::QosConfig qos = config_.qos;
+    qos.token_conversion = config_.mode == Mode::kHaechi;
+    const double global_iops = config_.profiled_global_iops > 0
+                                   ? config_.profiled_global_iops
+                                   : config_.net.GlobalCapacityIops();
+    const double local_iops = config_.profiled_local_iops > 0
+                                  ? config_.profiled_local_iops
+                                  : config_.net.LocalCapacityIops();
+    monitor_ = std::make_unique<core::QosMonitor>(sim_, qos, data_node,
+                                                  global_iops, local_iops);
+    monitor_->SetPeriodHook([this](std::uint32_t period,
+                                   std::int64_t completions,
+                                   std::int64_t estimate) {
+      result_->capacity_trace.push_back({period, completions, estimate});
+    });
+  }
+
+  for (std::size_t i = 0; i < config_.clients.size(); ++i) BuildClient(i);
+  if (config_.background_demand > 0) {
+    for (std::size_t i = 0; i < config_.clients.size(); ++i) {
+      BuildBackground(i);
+    }
+  }
+}
+
+void Experiment::BuildClient(std::size_t index) {
+  const ClientSpec& spec = config_.clients[index];
+  rdma::Node& data_node = fabric_->node(0);
+  rdma::Node& client_node =
+      fabric_->AddNode("client-" + std::to_string(index + 1));
+  const auto client_id = MakeClientId(static_cast<std::uint32_t>(index));
+
+  // Data path: one-sided QP pair (or RPC channel for the two-sided runs).
+  auto& client_data_cq = client_node.CreateCq();
+  auto& server_data_cq = data_node.CreateCq();
+  // The data QP gets a deep (software) send queue: the QoS engine posts
+  // token-backed I/Os immediately, so queueing happens here and at the
+  // client NIC rather than in the application.
+  auto& client_data_qp =
+      client_node.CreateQp(client_data_cq, client_data_cq, 1u << 22);
+  auto& server_data_qp = data_node.CreateQp(server_data_cq, server_data_cq);
+  fabric_->Connect(client_data_qp, server_data_qp);
+
+  kvstore::KvClient::Config kv_config;
+  kv_config.max_outstanding = 256;
+  auto kv_client = std::make_unique<kvstore::KvClient>(
+      client_node, client_data_qp, server_->view(), kv_config);
+
+  if (config_.io_path == IoPath::kTwoSided) {
+    auto& client_rpc_cq = client_node.CreateCq();
+    auto& client_rpc_recv_cq = client_node.CreateCq();
+    auto& server_rpc_cq = data_node.CreateCq();
+    auto& server_rpc_recv_cq = data_node.CreateCq();
+    auto& client_rpc_qp =
+        client_node.CreateQp(client_rpc_cq, client_rpc_recv_cq);
+    auto& server_rpc_qp =
+        data_node.CreateQp(server_rpc_cq, server_rpc_recv_cq);
+    fabric_->Connect(client_rpc_qp, server_rpc_qp);
+    server_->BindRpcEndpoint(server_rpc_qp);
+    kv_client->BindRpcQp(client_rpc_qp);
+  }
+
+  core::ClientQosEngine* engine = nullptr;
+  if (config_.mode != Mode::kBare) {
+    // QoS data plane (FAA + report writes) and control plane (monitor
+    // SENDs) each get their own QP pair.
+    auto& qos_cq = client_node.CreateCq();
+    auto& qos_srv_cq = data_node.CreateCq();
+    auto& qos_qp = client_node.CreateQp(qos_cq, qos_cq);
+    auto& qos_srv_qp = data_node.CreateQp(qos_srv_cq, qos_srv_cq);
+    fabric_->Connect(qos_qp, qos_srv_qp);
+
+    auto& ctrl_cq = client_node.CreateCq();
+    auto& ctrl_recv_cq = client_node.CreateCq();
+    auto& ctrl_srv_cq = data_node.CreateCq();
+    auto& ctrl_qp = client_node.CreateQp(ctrl_cq, ctrl_recv_cq);
+    auto& ctrl_srv_qp = data_node.CreateQp(ctrl_srv_cq, ctrl_srv_cq);
+    fabric_->Connect(ctrl_qp, ctrl_srv_qp);
+
+    auto wiring = monitor_->AdmitClient(client_id, spec.reservation,
+                                        spec.limit, ctrl_srv_qp);
+    HAECHI_ASSERT(wiring.ok());
+
+    auto qos_engine = std::make_unique<core::ClientQosEngine>(
+        sim_, client_id, config_.qos, client_node, qos_qp, ctrl_qp,
+        wiring.value());
+    kvstore::KvClient* kv = kv_client.get();
+    qos_engine->SetIoBackend(
+        [kv, this](std::uint64_t key, bool is_write,
+                   core::ClientQosEngine::CompleteFn done) {
+          auto finish = [done = std::move(done)](
+                            const kvstore::KvClient::Completion&) { done(); };
+          if (is_write) {
+            return kv->PutOneSided(key, WriteValue(), std::move(finish));
+          }
+          return kv->GetOneSided(key, std::move(finish));
+        });
+    engine = qos_engine.get();
+    engines_.push_back(std::move(qos_engine));
+  }
+
+  // The workload generator: submits either through the engine (QoS modes)
+  // or straight to the KV client (bare).
+  workload::DemandGenerator::Config gen_config;
+  gen_config.pattern = spec.pattern;
+  gen_config.outstanding = config_.outstanding;
+  gen_config.period = config_.qos.period;
+  gen_config.demand_per_period = spec.demand;
+  gen_config.write_fraction = spec.write_fraction;
+
+  Rng gen_rng(config_.seed * 7919 + index * 104729 + 13);
+  workload::KeyChooser chooser(config_.key_kind, config_.records,
+                               config_.key_theta, gen_rng);
+
+  kvstore::KvClient* kv = kv_client.get();
+  const bool two_sided = config_.io_path == IoPath::kTwoSided;
+  workload::DemandGenerator::SubmitFn submit;
+  if (engine != nullptr) {
+    core::ClientQosEngine* eng = engine;
+    submit = [this, eng, client_id](std::uint64_t key, bool is_write,
+                                    workload::DemandGenerator::CompleteFn cb) {
+      auto counted = [this, client_id, cb](const bool measured) {
+        if (measured && measuring_) result_->series.Add(client_id, 1);
+        cb();
+      };
+      const Status s = eng->Submit(
+          key, [counted]() mutable { counted(true); }, is_write);
+      if (!s.ok()) {
+        // Engine queue bounded (isolation): persistent over-demand is shed.
+        // The workload's completion callback still fires so its in-flight
+        // accounting stays correct; the I/O is simply not performed.
+        HAECHI_ASSERT(s.code() == StatusCode::kResourceExhausted);
+        counted(false);
+      }
+    };
+  } else {
+    submit = [this, kv, two_sided, client_id](
+                 std::uint64_t key, bool is_write,
+                 workload::DemandGenerator::CompleteFn cb) {
+      auto done = [this, client_id, cb = std::move(cb)](
+                      const kvstore::KvClient::Completion&) {
+        if (measuring_) result_->series.Add(client_id, 1);
+        cb();
+      };
+      Status s;
+      if (is_write) {
+        s = kv->PutOneSided(key, WriteValue(), std::move(done));
+      } else {
+        s = two_sided ? kv->GetRpc(key, std::move(done))
+                      : kv->GetOneSided(key, std::move(done));
+      }
+      HAECHI_ASSERT(s.ok());
+    };
+  }
+
+  auto generator = std::make_unique<workload::DemandGenerator>(
+      sim_, gen_config, std::move(chooser), std::move(submit));
+  generator->SetLatencySink(&result_->latency, config_.warmup);
+
+  kv_clients_.push_back(std::move(kv_client));
+  generators_.push_back(std::move(generator));
+}
+
+void Experiment::BuildBackground(std::size_t index) {
+  // The Set-4 congestion injection: an unmanaged job on each client node
+  // that issues constant-rate one-sided reads to the data node through its
+  // own QP (so the data-node NIC arbitrates it as a separate flow).
+  rdma::Node& data_node = fabric_->node(0);
+  rdma::Node& client_node = fabric_->node(1 + index);
+
+  auto& bg_cq = client_node.CreateCq();
+  auto& bg_srv_cq = data_node.CreateCq();
+  auto& bg_qp = client_node.CreateQp(bg_cq, bg_cq);
+  auto& bg_srv_qp = data_node.CreateQp(bg_srv_cq, bg_srv_cq);
+  fabric_->Connect(bg_qp, bg_srv_qp);
+
+  kvstore::KvClient::Config kv_config;
+  kv_config.max_outstanding = 256;
+  auto bg_client = std::make_unique<kvstore::KvClient>(
+      client_node, bg_qp, server_->view(), kv_config);
+
+  workload::DemandGenerator::Config gen_config;
+  gen_config.pattern = workload::RequestPattern::kConstantRate;
+  gen_config.period = config_.qos.period;
+  gen_config.demand_per_period = config_.background_demand;
+
+  Rng bg_rng(config_.seed * 31337 + index * 7 + 5);
+  workload::KeyChooser chooser(workload::KeyChooser::Kind::kUniformRandom,
+                               config_.records, 0.0, bg_rng);
+  kvstore::KvClient* kv = bg_client.get();
+  auto generator = std::make_unique<workload::DemandGenerator>(
+      sim_, gen_config, std::move(chooser),
+      [kv](std::uint64_t key, bool /*is_write*/,
+           workload::DemandGenerator::CompleteFn cb) {
+        auto done = std::make_shared<workload::DemandGenerator::CompleteFn>(
+            std::move(cb));
+        const Status s = kv->GetOneSided(
+            key, [done](const kvstore::KvClient::Completion&) { (*done)(); });
+        // Background jobs tolerate saturation: drop on backpressure.
+        if (!s.ok()) (*done)();
+      });
+
+  workload::DemandGenerator* gen = generator.get();
+  if (config_.background_on < config_.background_off) {
+    sim_.ScheduleAt(config_.background_on, [gen] { gen->Start(0); });
+    if (config_.background_off != kSimTimeMax) {
+      sim_.ScheduleAt(config_.background_off, [gen] { gen->Stop(); });
+    }
+  }
+
+  background_clients_.push_back(std::move(bg_client));
+  background_gens_.push_back(std::move(generator));
+}
+
+ExperimentResult Experiment::Run() {
+  result_ = std::make_unique<ExperimentResult>(ExperimentResult{
+      stats::PeriodSeries(config_.clients.size()),
+      {},
+      stats::Histogram(),
+      0.0,
+      {},
+      {},
+      {},
+      0});
+  BuildCluster();
+
+  for (const auto& spec : config_.clients) {
+    result_->reservations.push_back(spec.reservation);
+  }
+
+  // Kick off the QoS monitor (period boundaries at multiples of T) and the
+  // generators (same alignment; engines begin on their first PeriodStart).
+  if (monitor_) monitor_->Start(0);
+  for (auto& generator : generators_) generator->Start(0);
+
+  // Measurement window bookkeeping: one PeriodSeries row per QoS period
+  // after warm-up.
+  sim_.ScheduleAt(config_.warmup, [this] {
+    measuring_ = true;
+    result_->series.BeginPeriod();
+    measured_periods_ = 1;
+    measure_timer_ = std::make_unique<sim::PeriodicTimer>(
+        sim_, config_.qos.period, [this] {
+          if (measured_periods_ >= config_.measure_periods) {
+            measuring_ = false;
+            measure_timer_->Stop();
+            return;
+          }
+          result_->series.BeginPeriod();
+          ++measured_periods_;
+        });
+    measure_timer_->Start();
+  });
+
+  const SimTime end = config_.warmup + static_cast<SimTime>(
+                                           config_.measure_periods) *
+                                           config_.qos.period;
+  sim_.RunUntil(end);
+
+  // Harvest.
+  result_->total_kiops = ToKiops(
+      result_->series.Total(),
+      static_cast<SimDuration>(config_.measure_periods) * config_.qos.period);
+  if (monitor_) result_->monitor_stats = monitor_->stats();
+  for (const auto& engine : engines_) {
+    result_->engine_stats.push_back(engine->stats());
+  }
+  result_->events_run = sim_.EventsRun();
+
+  // Stop the machinery so a subsequent RunUntil in tests drains cleanly.
+  if (monitor_) monitor_->Stop();
+  for (auto& generator : generators_) generator->Stop();
+  for (auto& generator : background_gens_) generator->Stop();
+
+  return std::move(*result_);
+}
+
+}  // namespace haechi::harness

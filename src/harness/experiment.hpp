@@ -1,0 +1,155 @@
+// Experiment assembly: builds the simulated cluster (1 data node + N client
+// nodes), wires the chosen QoS mode, drives the workload, and collects the
+// per-period/per-client measurements every figure of the paper is made of.
+//
+// This is the single entry point used by all bench binaries, the examples,
+// and the integration tests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "core/engine.hpp"
+#include "core/monitor.hpp"
+#include "kvstore/client.hpp"
+#include "kvstore/server.hpp"
+#include "net/model_params.hpp"
+#include "rdma/fabric.hpp"
+#include "sim/simulator.hpp"
+#include "stats/histogram.hpp"
+#include "stats/period_series.hpp"
+#include "workload/generator.hpp"
+
+namespace haechi::harness {
+
+/// Which QoS mechanism runs on the cluster.
+enum class Mode {
+  kBare,         // no QoS: the paper's baseline
+  kHaechi,       // full protocol
+  kBasicHaechi,  // Haechi without token conversion (Fig 10/11 ablation)
+};
+
+/// Which I/O path clients use.
+enum class IoPath { kOneSided, kTwoSided };
+
+/// Per-client experiment parameters (all rates in I/Os per QoS period).
+struct ClientSpec {
+  std::int64_t reservation = 0;
+  std::int64_t limit = 0;  // 0 = unlimited
+  std::int64_t demand = 0;
+  workload::RequestPattern pattern = workload::RequestPattern::kBurst;
+  /// YCSB-style write mix (0.0 = the paper's read-only workload C).
+  double write_fraction = 0.0;
+};
+
+struct ExperimentConfig {
+  Mode mode = Mode::kHaechi;
+  IoPath io_path = IoPath::kOneSided;
+  std::vector<ClientSpec> clients;
+
+  net::ModelParams net;
+  core::QosConfig qos;
+
+  /// Profiled capacities fed to admission control and Algorithm 1; 0 means
+  /// "use the fabric model's analytic value" (the calibrated C_G / C_L).
+  double profiled_global_iops = 0.0;
+  double profiled_local_iops = 0.0;
+
+  std::uint64_t records = 16384;
+  bool copy_payloads = false;  // true: READs move real bytes (slower)
+  std::size_t outstanding = 64;
+
+  SimDuration warmup = Seconds(3);
+  std::size_t measure_periods = 30;
+  std::uint64_t seed = 42;
+
+  workload::KeyChooser::Kind key_kind =
+      workload::KeyChooser::Kind::kUniformRandom;
+  double key_theta = 0.99;
+
+  /// Background one-sided traffic per client node (I/Os per period),
+  /// active in [background_on, background_off) — the Set-4 congestion
+  /// injection. 0 disables.
+  std::int64_t background_demand = 0;
+  SimTime background_on = 0;
+  SimTime background_off = kSimTimeMax;
+};
+
+struct ExperimentResult {
+  /// Completed I/Os per measured period per client.
+  stats::PeriodSeries series;
+  /// The reservation vector actually admitted (tokens per period).
+  std::vector<std::int64_t> reservations;
+  /// Submit-to-completion latency over the measurement window (ns).
+  stats::Histogram latency;
+  /// Aggregate throughput over the measurement window.
+  double total_kiops = 0.0;
+  /// (period index, reported completions, next-period capacity estimate)
+  /// — one entry per monitor period, QoS modes only.
+  struct CapacityPoint {
+    std::uint32_t period;
+    std::int64_t completions;
+    std::int64_t estimate;
+  };
+  std::vector<CapacityPoint> capacity_trace;
+  core::QosMonitor::Stats monitor_stats;
+  std::vector<core::ClientQosEngine::Stats> engine_stats;
+  std::uint64_t events_run = 0;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+  ~Experiment();
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// Builds the cluster, runs warm-up plus the measurement window, and
+  /// returns the collected results.
+  ExperimentResult Run();
+
+  // --- introspection for integration tests (valid after Run()) -----------
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] core::QosMonitor* monitor() { return monitor_.get(); }
+  [[nodiscard]] core::ClientQosEngine& engine(std::size_t i) {
+    return *engines_.at(i);
+  }
+  [[nodiscard]] kvstore::KvServer& server() { return *server_; }
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+
+ private:
+  void BuildCluster();
+  void BuildClient(std::size_t index);
+  void BuildBackground(std::size_t index);
+  /// Record-sized dummy payload shared by all PUTs (its bytes only matter
+  /// when payload copying is on).
+  [[nodiscard]] std::span<const std::byte> WriteValue();
+
+  ExperimentConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<rdma::Fabric> fabric_;
+  std::unique_ptr<kvstore::KvServer> server_;
+  std::unique_ptr<core::QosMonitor> monitor_;
+  std::vector<std::unique_ptr<kvstore::KvClient>> kv_clients_;
+  std::vector<std::unique_ptr<core::ClientQosEngine>> engines_;
+  std::vector<std::unique_ptr<workload::DemandGenerator>> generators_;
+  std::vector<std::unique_ptr<kvstore::KvClient>> background_clients_;
+  std::vector<std::unique_ptr<workload::DemandGenerator>> background_gens_;
+  std::unique_ptr<ExperimentResult> result_;
+  std::unique_ptr<sim::PeriodicTimer> measure_timer_;
+  std::size_t measured_periods_ = 0;
+  bool measuring_ = false;
+  std::vector<std::byte> write_value_;
+};
+
+/// Convenience: N identical clients.
+std::vector<ClientSpec> UniformClients(std::size_t n, std::int64_t reservation,
+                                       std::int64_t demand,
+                                       workload::RequestPattern pattern);
+
+}  // namespace haechi::harness

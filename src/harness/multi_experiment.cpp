@@ -1,0 +1,201 @@
+#include "harness/multi_experiment.hpp"
+
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace haechi::harness {
+
+MultiExperiment::MultiExperiment(MultiExperimentConfig config)
+    : config_(std::move(config)) {
+  HAECHI_EXPECTS(config_.data_nodes >= 1);
+  HAECHI_EXPECTS(!config_.clients.empty());
+  for (const auto& spec : config_.clients) {
+    HAECHI_EXPECTS(spec.demand_per_node.size() == config_.data_nodes);
+  }
+  if (config_.shift_at >= 0) {
+    HAECHI_EXPECTS(config_.shifted_demand.size() == config_.clients.size());
+  }
+}
+
+MultiExperiment::~MultiExperiment() = default;
+
+void MultiExperiment::Build() {
+  fabric_ = std::make_unique<rdma::Fabric>(sim_, config_.net, config_.seed);
+  fabric_->set_copy_payloads(false);
+
+  // Data nodes: KV store + monitor each.
+  std::vector<core::QosMonitor*> monitor_ptrs;
+  for (std::size_t d = 0; d < config_.data_nodes; ++d) {
+    rdma::Node& node = fabric_->AddNode("data-" + std::to_string(d),
+                                        rdma::NodeRole::kData);
+    kvstore::KvServer::Config store;
+    store.record_count = config_.records;
+    servers_.push_back(std::make_unique<kvstore::KvServer>(node, store));
+    monitors_.push_back(std::make_unique<core::QosMonitor>(
+        sim_, config_.qos, node, config_.net.GlobalCapacityIops(),
+        config_.net.LocalCapacityIops()));
+    monitor_ptrs.push_back(monitors_.back().get());
+  }
+  core::ClusterCoordinator::Config cluster = config_.cluster;
+  cluster.interval = config_.qos.period;
+  coordinator_ = std::make_unique<core::ClusterCoordinator>(sim_, cluster,
+                                                            monitor_ptrs);
+
+  kv_clients_.resize(config_.clients.size());
+  engines_.resize(config_.clients.size());
+  generators_.resize(config_.clients.size());
+
+  for (std::size_t i = 0; i < config_.clients.size(); ++i) {
+    const MultiClientSpec& spec = config_.clients[i];
+    const auto client_id = MakeClientId(static_cast<std::uint32_t>(i));
+    rdma::Node& client_node =
+        fabric_->AddNode("client-" + std::to_string(i + 1));
+
+    // Control QPs first: admission returns the per-node wirings.
+    std::vector<rdma::QueuePair*> ctrl_srv_qps;
+    std::vector<rdma::QueuePair*> ctrl_qps;
+    for (std::size_t d = 0; d < config_.data_nodes; ++d) {
+      rdma::Node& data_node = fabric_->node(d);
+      auto& ctrl_cq = client_node.CreateCq();
+      auto& ctrl_recv_cq = client_node.CreateCq();
+      auto& ctrl_srv_cq = data_node.CreateCq();
+      auto& ctrl_qp = client_node.CreateQp(ctrl_cq, ctrl_recv_cq);
+      auto& ctrl_srv_qp = data_node.CreateQp(ctrl_srv_cq, ctrl_srv_cq);
+      fabric_->Connect(ctrl_qp, ctrl_srv_qp);
+      ctrl_qps.push_back(&ctrl_qp);
+      ctrl_srv_qps.push_back(&ctrl_srv_qp);
+    }
+    auto wirings = coordinator_->AdmitClient(client_id, spec.reservation,
+                                             spec.limit, ctrl_srv_qps);
+    HAECHI_ASSERT(wirings.ok());
+
+    for (std::size_t d = 0; d < config_.data_nodes; ++d) {
+      rdma::Node& data_node = fabric_->node(d);
+
+      auto& data_cq = client_node.CreateCq();
+      auto& data_srv_cq = data_node.CreateCq();
+      auto& data_qp = client_node.CreateQp(data_cq, data_cq, 1u << 22);
+      auto& data_srv_qp = data_node.CreateQp(data_srv_cq, data_srv_cq);
+      fabric_->Connect(data_qp, data_srv_qp);
+      kv_clients_[i].push_back(std::make_unique<kvstore::KvClient>(
+          client_node, data_qp, servers_[d]->view(),
+          kvstore::KvClient::Config{}));
+
+      auto& qos_cq = client_node.CreateCq();
+      auto& qos_srv_cq = data_node.CreateCq();
+      auto& qos_qp = client_node.CreateQp(qos_cq, qos_cq);
+      auto& qos_srv_qp = data_node.CreateQp(qos_srv_cq, qos_srv_cq);
+      fabric_->Connect(qos_qp, qos_srv_qp);
+
+      auto engine = std::make_unique<core::ClientQosEngine>(
+          sim_, client_id, config_.qos, client_node, qos_qp, *ctrl_qps[d],
+          wirings.value()[d]);
+      kvstore::KvClient* kv = kv_clients_[i][d].get();
+      engine->SetIoBackend(
+          [kv](std::uint64_t key, bool /*is_write*/,
+               core::ClientQosEngine::CompleteFn done) {
+            return kv->GetOneSided(
+                key, [done = std::move(done)](
+                         const kvstore::KvClient::Completion&) { done(); });
+          });
+
+      workload::DemandGenerator::Config gen;
+      gen.pattern = spec.pattern;
+      gen.period = config_.qos.period;
+      gen.demand_per_period = spec.demand_per_node[d];
+      Rng rng(config_.seed * 31 + i * 1009 + d * 7 + 3);
+      workload::KeyChooser chooser(
+          workload::KeyChooser::Kind::kUniformRandom, config_.records, 0.0,
+          rng);
+      core::ClientQosEngine* eng = engine.get();
+      generators_[i].push_back(std::make_unique<workload::DemandGenerator>(
+          sim_, gen, std::move(chooser),
+          [this, eng, client_id, d](
+              std::uint64_t key, bool /*is_write*/,
+              workload::DemandGenerator::CompleteFn cb) {
+            auto counted = [this, client_id, d, cb](bool measured) {
+              if (measured && measuring_) {
+                result_->node_series[d].Add(client_id, 1);
+              }
+              cb();
+            };
+            const Status s =
+                eng->Submit(key, [counted]() mutable { counted(true); });
+            if (!s.ok()) counted(false);  // shed on engine backpressure
+          }));
+      engines_[i].push_back(std::move(engine));
+    }
+  }
+}
+
+MultiExperimentResult MultiExperiment::Run() {
+  result_ = std::make_unique<MultiExperimentResult>();
+  for (std::size_t d = 0; d < config_.data_nodes; ++d) {
+    result_->node_series.emplace_back(config_.clients.size());
+  }
+  Build();
+
+  for (auto& monitor : monitors_) monitor->Start(0);
+  coordinator_->Start(0);
+  for (auto& per_client : generators_) {
+    for (auto& generator : per_client) generator->Start(0);
+  }
+  if (config_.shift_at >= 0) {
+    sim_.ScheduleAt(config_.shift_at, [this] {
+      for (std::size_t i = 0; i < generators_.size(); ++i) {
+        for (std::size_t d = 0; d < generators_[i].size(); ++d) {
+          generators_[i][d]->set_demand(config_.shifted_demand[i][d]);
+        }
+      }
+    });
+  }
+
+  sim_.ScheduleAt(config_.warmup, [this] {
+    measuring_ = true;
+    for (auto& series : result_->node_series) series.BeginPeriod();
+    measured_periods_ = 1;
+    measure_timer_ = std::make_unique<sim::PeriodicTimer>(
+        sim_, config_.qos.period, [this] {
+          if (measured_periods_ >= config_.measure_periods) {
+            measuring_ = false;
+            measure_timer_->Stop();
+            return;
+          }
+          for (auto& series : result_->node_series) series.BeginPeriod();
+          ++measured_periods_;
+        });
+    measure_timer_->Start();
+  });
+
+  const SimTime end =
+      config_.warmup +
+      static_cast<SimTime>(config_.measure_periods) * config_.qos.period;
+  sim_.RunUntil(end);
+
+  std::int64_t total = 0;
+  for (const auto& series : result_->node_series) total += series.Total();
+  result_->total_kiops = ToKiops(
+      total,
+      static_cast<SimDuration>(config_.measure_periods) * config_.qos.period);
+  for (std::size_t i = 0; i < config_.clients.size(); ++i) {
+    auto split = coordinator_->SplitOf(
+        MakeClientId(static_cast<std::uint32_t>(i)));
+    HAECHI_ASSERT(split.ok());
+    result_->final_split.push_back(split.value());
+  }
+  result_->cluster_stats = coordinator_->stats();
+  for (const auto& per_client : engines_) {
+    auto& row = result_->engine_stats.emplace_back();
+    for (const auto& engine : per_client) row.push_back(engine->stats());
+  }
+
+  coordinator_->Stop();
+  for (auto& monitor : monitors_) monitor->Stop();
+  for (auto& per_client : generators_) {
+    for (auto& generator : per_client) generator->Stop();
+  }
+  return std::move(*result_);
+}
+
+}  // namespace haechi::harness

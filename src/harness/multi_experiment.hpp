@@ -1,0 +1,101 @@
+// Multi-data-node experiment assembly for the ClusterCoordinator extension
+// (the paper's §V future work): D data nodes, each with its own KV store
+// and QoS monitor; every client runs one QoS engine per node, all tied to
+// a single cluster-wide reservation managed by the coordinator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/engine.hpp"
+#include "core/monitor.hpp"
+#include "kvstore/client.hpp"
+#include "kvstore/server.hpp"
+#include "net/model_params.hpp"
+#include "rdma/fabric.hpp"
+#include "sim/simulator.hpp"
+#include "stats/period_series.hpp"
+#include "workload/generator.hpp"
+
+namespace haechi::harness {
+
+struct MultiClientSpec {
+  /// Cluster-wide reservation (I/Os per period, summed over nodes).
+  std::int64_t reservation = 0;
+  std::int64_t limit = 0;  // per node; 0 = unlimited
+  /// Demand per period directed at each data node.
+  std::vector<std::int64_t> demand_per_node;
+  workload::RequestPattern pattern = workload::RequestPattern::kOpenLoop;
+};
+
+struct MultiExperimentConfig {
+  std::size_t data_nodes = 2;
+  std::vector<MultiClientSpec> clients;
+
+  net::ModelParams net;
+  core::QosConfig qos;
+  core::ClusterCoordinator::Config cluster;
+
+  std::uint64_t records = 4096;
+  SimDuration warmup = Seconds(2);
+  std::size_t measure_periods = 8;
+  std::uint64_t seed = 42;
+
+  /// Optional demand shift: at `shift_at` (absolute sim time) every
+  /// client's per-node demand switches to `shifted_demand[client][node]`.
+  SimTime shift_at = -1;
+  std::vector<std::vector<std::int64_t>> shifted_demand;
+};
+
+struct MultiExperimentResult {
+  /// Completed I/Os per measured period per client, one series per node.
+  std::vector<stats::PeriodSeries> node_series;
+  /// Final per-node reservation split of every client.
+  std::vector<std::vector<std::int64_t>> final_split;
+  /// Engine stats indexed [client][node].
+  std::vector<std::vector<core::ClientQosEngine::Stats>> engine_stats;
+  core::ClusterCoordinator::Stats cluster_stats;
+  double total_kiops = 0.0;
+};
+
+class MultiExperiment {
+ public:
+  explicit MultiExperiment(MultiExperimentConfig config);
+  ~MultiExperiment();
+
+  MultiExperiment(const MultiExperiment&) = delete;
+  MultiExperiment& operator=(const MultiExperiment&) = delete;
+
+  MultiExperimentResult Run();
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] core::ClusterCoordinator& coordinator() {
+    return *coordinator_;
+  }
+  [[nodiscard]] core::QosMonitor& monitor(std::size_t node) {
+    return *monitors_.at(node);
+  }
+
+ private:
+  void Build();
+
+  MultiExperimentConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<rdma::Fabric> fabric_;
+  std::vector<std::unique_ptr<kvstore::KvServer>> servers_;
+  std::vector<std::unique_ptr<core::QosMonitor>> monitors_;
+  std::unique_ptr<core::ClusterCoordinator> coordinator_;
+  // Indexed [client][node].
+  std::vector<std::vector<std::unique_ptr<kvstore::KvClient>>> kv_clients_;
+  std::vector<std::vector<std::unique_ptr<core::ClientQosEngine>>> engines_;
+  std::vector<std::vector<std::unique_ptr<workload::DemandGenerator>>>
+      generators_;
+  std::unique_ptr<MultiExperimentResult> result_;
+  std::unique_ptr<sim::PeriodicTimer> measure_timer_;
+  std::size_t measured_periods_ = 0;
+  bool measuring_ = false;
+};
+
+}  // namespace haechi::harness

@@ -1,0 +1,49 @@
+#include "harness/profiling.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "harness/experiment.hpp"
+
+namespace haechi::harness {
+
+ProfileResult ProfileCapacity(const net::ModelParams& params,
+                              std::size_t clients, std::size_t reps,
+                              std::uint64_t seed, SimDuration period) {
+  HAECHI_EXPECTS(clients > 0);
+  HAECHI_EXPECTS(reps > 0);
+  ProfileResult result;
+  result.samples_iops.reserve(reps);
+
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    ExperimentConfig config;
+    config.mode = Mode::kBare;
+    config.io_path = IoPath::kOneSided;
+    config.net = params;
+    config.qos.period = period;
+    // Demand far beyond capacity keeps every client backlogged for the
+    // whole period ("continuous back-to-back 4 KB one-sided I/Os").
+    const auto saturating = static_cast<std::int64_t>(
+        params.GlobalCapacityIops() * ToSeconds(period) * 2.0);
+    config.clients = UniformClients(clients, 0, saturating,
+                                    workload::RequestPattern::kBurst);
+    config.warmup = period / 10;  // pipeline fill
+    config.measure_periods = 1;
+    config.seed = seed + rep * 7717;
+    ExperimentResult r = Experiment(std::move(config)).Run();
+    result.samples_iops.push_back(r.total_kiops * 1e3);
+  }
+
+  double sum = 0.0;
+  for (const double s : result.samples_iops) sum += s;
+  result.mean_iops = sum / static_cast<double>(reps);
+  double var = 0.0;
+  for (const double s : result.samples_iops) {
+    var += (s - result.mean_iops) * (s - result.mean_iops);
+  }
+  result.sigma_iops =
+      reps > 1 ? std::sqrt(var / static_cast<double>(reps - 1)) : 0.0;
+  return result;
+}
+
+}  // namespace haechi::harness

@@ -1,0 +1,29 @@
+// Capacity profiling (paper §II-E): saturate the data node with
+// back-to-back one-sided 4 KB reads from N clients for one QoS period,
+// repeat, and take the mean and standard deviation of the achieved
+// throughput. The result seeds Algorithm 1 (Omega_prof, sigma) and
+// admission control (C_G); the same procedure with one client yields C_L.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/model_params.hpp"
+
+namespace haechi::harness {
+
+struct ProfileResult {
+  double mean_iops = 0.0;
+  double sigma_iops = 0.0;
+  std::vector<double> samples_iops;
+};
+
+/// Runs `reps` independent one-period saturation runs with `clients`
+/// concurrent clients (paper: 10 clients, 1000 reps) and aggregates.
+ProfileResult ProfileCapacity(const net::ModelParams& params,
+                              std::size_t clients, std::size_t reps,
+                              std::uint64_t seed,
+                              SimDuration period = kSecond);
+
+}  // namespace haechi::harness

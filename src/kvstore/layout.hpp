@@ -1,0 +1,69 @@
+// On-"disk" (in-memory) record layout and the RPC wire protocol of the
+// key-value store.
+//
+// The store follows the silent-data-access design of Telepathy [Liu &
+// Varman, IPDPSW'20], the substrate the paper deploys Haechi on: records
+// live in a registered memory region at addresses computable from the key,
+// so a GET is a single one-sided READ. Each record is framed by a seqlock
+// version pair so readers detect torn reads under concurrent writes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rdma/verbs.hpp"
+
+namespace haechi::kvstore {
+
+/// Record frame: [head version][payload][tail version].
+/// A consistent record has head == tail and an even version; writers bump
+/// head (odd), mutate, then bump tail to match (even).
+struct RecordHeader {
+  std::uint64_t version;
+};
+
+inline constexpr std::size_t kVersionBytes = sizeof(std::uint64_t);
+
+/// Stride of one record slot given the payload size.
+constexpr std::size_t RecordStride(std::size_t payload_bytes) {
+  return kVersionBytes + payload_bytes + kVersionBytes;
+}
+
+/// Everything a client needs to address the store remotely. Obtained from
+/// the server out of band at connection setup (the paper's clients likewise
+/// learn the region layout when they attach).
+struct StoreView {
+  rdma::RemoteAddr data_base = 0;
+  std::uint32_t data_rkey = 0;
+  std::uint64_t record_count = 0;
+  std::uint32_t payload_bytes = 0;
+
+  [[nodiscard]] std::size_t stride() const {
+    return RecordStride(payload_bytes);
+  }
+  [[nodiscard]] rdma::RemoteAddr RecordAddr(std::uint64_t key) const {
+    return data_base + key * stride();
+  }
+};
+
+// --- two-sided RPC wire format ---------------------------------------------
+
+enum class RpcOp : std::uint32_t { kGet = 1, kPut = 2 };
+
+enum class RpcStatus : std::uint32_t { kOk = 0, kNotFound = 1, kBadRequest = 2 };
+
+/// Fixed-size request header; PUT payload follows the header.
+struct RpcRequest {
+  RpcOp op;
+  std::uint32_t payload_bytes;  // 0 for GET
+  std::uint64_t key;
+};
+
+/// Fixed-size reply header; GET payload follows the header.
+struct RpcReply {
+  RpcStatus status;
+  std::uint32_t payload_bytes;
+  std::uint64_t key;
+};
+
+}  // namespace haechi::kvstore

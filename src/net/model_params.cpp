@@ -1,0 +1,52 @@
+#include "net/model_params.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace haechi::net {
+
+namespace {
+
+SimDuration ScaleService(SimDuration base, double capacity_scale) {
+  HAECHI_EXPECTS(capacity_scale > 0.0);
+  return static_cast<SimDuration>(
+      std::llround(static_cast<double>(base) / capacity_scale));
+}
+
+}  // namespace
+
+SimDuration ModelParams::ClientNicService(std::uint32_t bytes) const {
+  const auto by_bw = static_cast<SimDuration>(std::llround(
+      static_cast<double>(bytes) / client_nic_bw_bytes_per_sec * 1e9));
+  // capacity_scale shrinks *data* capacity (bandwidth term) only; the
+  // per-packet floor is a message-rate property of the adapter and stays
+  // fixed, so control-plane op costs are scale-invariant.
+  return std::max(ScaleService(by_bw, capacity_scale), min_op_service);
+}
+
+SimDuration ModelParams::ServerNicService(std::uint32_t bytes) const {
+  const auto by_bw = static_cast<SimDuration>(std::llround(
+      static_cast<double>(bytes) / server_nic_bw_bytes_per_sec * 1e9));
+  return std::max(ScaleService(by_bw, capacity_scale), min_op_service);
+}
+
+SimDuration ModelParams::ScaledService(SimDuration base) const {
+  return ScaleService(base, capacity_scale);
+}
+
+double ModelParams::LocalCapacityIops() const {
+  return 1e9 / static_cast<double>(ClientNicService(kRecordBytes));
+}
+
+double ModelParams::GlobalCapacityIops() const {
+  return 1e9 / static_cast<double>(ServerNicService(kRecordBytes));
+}
+
+double ModelParams::TwoSidedCapacityIops() const {
+  return 1e9 /
+         static_cast<double>(ScaleService(server_rpc_service, capacity_scale));
+}
+
+}  // namespace haechi::net

@@ -1,0 +1,35 @@
+#include "rdma/cq.hpp"
+
+namespace haechi::rdma {
+
+std::vector<WorkCompletion> CompletionQueue::Poll(std::size_t max) {
+  std::vector<WorkCompletion> out;
+  const std::size_t n = std::min(max, cqes_.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(cqes_.front());
+    cqes_.pop_front();
+  }
+  return out;
+}
+
+bool CompletionQueue::PollOne(WorkCompletion& out) {
+  if (cqes_.empty()) return false;
+  out = cqes_.front();
+  cqes_.pop_front();
+  return true;
+}
+
+void CompletionQueue::Push(const WorkCompletion& wc) {
+  ++total_;
+  if (notify_) {
+    // Callback-consuming mode: hand the CQE straight to the callback
+    // without buffering, mirroring an application that drains its CQ on
+    // every completion-channel event.
+    notify_(wc);
+    return;
+  }
+  cqes_.push_back(wc);
+}
+
+}  // namespace haechi::rdma

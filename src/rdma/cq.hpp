@@ -1,0 +1,47 @@
+// Completion queues.
+//
+// Completions are pushed by the fabric at the simulated instant an
+// operation finishes and consumed by the application either by polling
+// (Poll) or via a completion callback (the simulated analogue of a
+// completion channel; in a discrete-event world a callback per CQE is the
+// faithful stand-in for "poll in a tight loop", without burning events).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "rdma/verbs.hpp"
+
+namespace haechi::rdma {
+
+class CompletionQueue {
+ public:
+  /// Invoked after each CQE is enqueued. The callback may Poll().
+  using NotifyFn = std::function<void(const WorkCompletion&)>;
+
+  /// Removes up to `max` completions in arrival order.
+  std::vector<WorkCompletion> Poll(std::size_t max);
+
+  /// Removes a single completion; ok()==false WorkCompletion check via
+  /// returned count. Returns true and fills `out` when one was present.
+  bool PollOne(WorkCompletion& out);
+
+  [[nodiscard]] std::size_t Pending() const { return cqes_.size(); }
+
+  /// Installs (or clears, with nullptr) the per-completion callback.
+  void SetNotify(NotifyFn fn) { notify_ = std::move(fn); }
+
+  /// Fabric-side: enqueue a completion and fire the callback.
+  void Push(const WorkCompletion& wc);
+
+  /// Total completions ever pushed (for overhead accounting in benches).
+  [[nodiscard]] std::uint64_t TotalPushed() const { return total_; }
+
+ private:
+  std::deque<WorkCompletion> cqes_;
+  NotifyFn notify_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace haechi::rdma

@@ -1,0 +1,234 @@
+#include "rdma/fabric.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace haechi::rdma {
+
+Node::Node(sim::Simulator& sim, Fabric& fabric, NodeId id, NodeRole role,
+           std::string name, const net::ModelParams& params,
+           std::uint64_t seed)
+    : sim_(sim),
+      fabric_(fabric),
+      id_(id),
+      role_(role),
+      name_(std::move(name)),
+      out_nic_(sim, name_ + "/out-nic", params.service_jitter, seed,
+               net::Discipline::kRoundRobin),
+      in_nic_(sim, name_ + "/in-nic", params.service_jitter, seed + 1,
+              params.responder_discipline),
+      cpu_(sim, name_ + "/cpu", params.service_jitter, seed + 2,
+           params.responder_discipline) {}
+
+CompletionQueue& Node::CreateCq() { return cqs_.emplace_back(); }
+
+QueuePair& Node::CreateQp(CompletionQueue& send_cq, CompletionQueue& recv_cq,
+                          std::size_t send_queue_depth) {
+  return qps_.emplace_back(fabric_, *this, fabric_.next_qp_id_++, send_cq,
+                           recv_cq, send_queue_depth);
+}
+
+Fabric::Fabric(sim::Simulator& sim, net::ModelParams params,
+               std::uint64_t seed)
+    : sim_(sim), params_(params), seed_rng_(seed) {}
+
+Node& Fabric::AddNode(std::string name, NodeRole role) {
+  const auto id = MakeNodeId(static_cast<std::uint32_t>(nodes_.size()));
+  return nodes_.emplace_back(sim_, *this, id, role, std::move(name), params_,
+                             seed_rng_());
+}
+
+SimDuration Fabric::NicService(const Node& node, std::uint32_t bytes) const {
+  return node.role() == NodeRole::kData ? params_.ServerNicService(bytes)
+                                        : params_.ClientNicService(bytes);
+}
+
+void Fabric::Connect(QueuePair& a, QueuePair& b) {
+  HAECHI_EXPECTS(a.remote_ == nullptr && b.remote_ == nullptr);
+  HAECHI_EXPECTS(&a != &b);
+  a.remote_ = &b;
+  b.remote_ = &a;
+}
+
+SimDuration Fabric::InitiatorService(const OpState& op) const {
+  const Node& src = op.src->node();
+  switch (op.opcode) {
+    case Opcode::kSend:
+      if (op.service_class == ServiceClass::kRpcRequest) {
+        return params_.ScaledService(params_.client_rpc_service);
+      }
+      return NicService(src, op.len);
+    case Opcode::kFetchAdd:
+    case Opcode::kCompareSwap:
+      // Atomics are tiny on the wire; initiator charges the packet floor
+      // (a message-rate cost — unaffected by capacity_scale).
+      return params_.min_op_service;
+    case Opcode::kRead:
+    case Opcode::kWrite:
+      return NicService(src, op.len);
+    case Opcode::kRecv:
+      break;
+  }
+  HAECHI_UNREACHABLE("RECV is never initiated through the fabric");
+}
+
+SimDuration Fabric::ResponderService(const OpState& op) const {
+  const Node& dst = op.dst->node();
+  switch (op.opcode) {
+    case Opcode::kFetchAdd:
+    case Opcode::kCompareSwap:
+      // Atomic execution cost is a NIC message-rate property, not data
+      // bandwidth: it stays fixed under capacity_scale.
+      return params_.atomic_service;
+    case Opcode::kRead:
+    case Opcode::kWrite:
+    case Opcode::kSend:
+      return NicService(dst, op.len);
+    case Opcode::kRecv:
+      break;
+  }
+  HAECHI_UNREACHABLE("RECV is never serviced through the fabric");
+}
+
+void Fabric::Initiate(std::shared_ptr<OpState> op) {
+  HAECHI_ASSERT(op->src != nullptr && op->dst != nullptr);
+  Node& src_node = op->src->node();
+  const SimDuration service = InitiatorService(*op);
+  const net::FlowId flow = op->src->id();
+  src_node.out_nic().Submit(flow, service, [this, op = std::move(op)]() mutable {
+    sim_.ScheduleAfter(params_.link_latency, [this, op = std::move(op)]() mutable {
+      ArriveAtResponder(std::move(op));
+    });
+  });
+}
+
+void Fabric::ArriveAtResponder(std::shared_ptr<OpState> op) {
+  ++ops_delivered_;
+  const WcStatus verdict = ValidateRemote(*op);
+  if (verdict != WcStatus::kSuccess) {
+    // NAK path: no responder service time is consumed.
+    CompleteToInitiator(std::move(op), verdict);
+    return;
+  }
+  Node& dst_node = op->dst->node();
+  const SimDuration service = ResponderService(*op);
+  const net::FlowId flow = op->src->id();
+  // Atomics and sub-64-byte transfers ride the responder's fast path: an
+  // RNIC executes small packets in its pipeline immediately; only bulk DMA
+  // queues for bandwidth.
+  const net::Priority priority =
+      (op->opcode == Opcode::kFetchAdd || op->opcode == Opcode::kCompareSwap ||
+       op->len <= kAlwaysCopyBytes)
+          ? net::Priority::kControl
+          : net::Priority::kBulk;
+  dst_node.in_nic().Submit(flow, service, [this, op = std::move(op)]() mutable {
+    ExecuteAtResponder(*op);
+    CompleteToInitiator(std::move(op), WcStatus::kSuccess);
+  }, priority);
+}
+
+WcStatus Fabric::ValidateRemote(const OpState& op) const {
+  if (op.opcode == Opcode::kSend) return WcStatus::kSuccess;
+  const ProtectionDomain& pd = op.dst->node().pd();
+  const MemoryRegion* mr = pd.FindByRkey(op.rkey);
+  if (mr == nullptr) return WcStatus::kRemoteInvalidRkey;
+  if (!mr->Covers(op.remote, op.len)) return WcStatus::kRemoteOutOfRange;
+  AccessFlags required = 0;
+  switch (op.opcode) {
+    case Opcode::kRead: required = access::kRemoteRead; break;
+    case Opcode::kWrite: required = access::kRemoteWrite; break;
+    case Opcode::kFetchAdd:
+    case Opcode::kCompareSwap: required = access::kRemoteAtomic; break;
+    case Opcode::kSend:
+    case Opcode::kRecv: break;
+  }
+  if (!mr->Allows(required)) return WcStatus::kRemoteAccessError;
+  if ((op.opcode == Opcode::kFetchAdd || op.opcode == Opcode::kCompareSwap) &&
+      op.remote % alignof(std::uint64_t) != 0) {
+    return WcStatus::kRemoteMisaligned;
+  }
+  return WcStatus::kSuccess;
+}
+
+void Fabric::ExecuteAtResponder(OpState& op) {
+  // The memory effect happens *now*, at the responder's service instant —
+  // this ordering is what makes the simulated atomics and seqlock reads
+  // behave like hardware DMA.
+  auto* target = reinterpret_cast<std::byte*>(op.remote);
+  switch (op.opcode) {
+    case Opcode::kRead:
+      if (copy_payloads_ || op.len <= kAlwaysCopyBytes) {
+        op.staging.assign(target, target + op.len);
+      }
+      break;
+    case Opcode::kWrite:
+      if (!op.staging.empty()) {
+        std::memcpy(target, op.staging.data(), op.len);
+      }
+      break;
+    case Opcode::kFetchAdd: {
+      auto* word = reinterpret_cast<std::uint64_t*>(target);
+      op.atomic_result = *word;
+      *word = *word + static_cast<std::uint64_t>(op.atomic_delta);
+      break;
+    }
+    case Opcode::kCompareSwap: {
+      auto* word = reinterpret_cast<std::uint64_t*>(target);
+      op.atomic_result = *word;
+      if (*word == op.atomic_expected) *word = op.atomic_desired;
+      break;
+    }
+    case Opcode::kSend:
+      DeliverSend(op);
+      break;
+    case Opcode::kRecv:
+      HAECHI_UNREACHABLE("RECV has no responder execution");
+  }
+}
+
+void Fabric::DeliverSend(OpState& op) {
+  QueuePair& dst = *op.dst;
+  if (dst.recv_queue_.empty()) {
+    // No RECV posted yet: park the payload (infinite RNR retry).
+    HAECHI_LOG_DEBUG("QP %u: SEND parked, no RECV posted", dst.id());
+    dst.parked_sends_.push_back(op.staging);
+    return;
+  }
+  QueuePair::PostedRecv recv = dst.recv_queue_.front();
+  dst.recv_queue_.pop_front();
+  const std::size_t n = std::min(recv.buffer.size(), op.staging.size());
+  std::copy_n(op.staging.begin(), n, recv.buffer.begin());
+  WorkCompletion wc;
+  wc.wr_id = recv.wr_id;
+  wc.opcode = Opcode::kRecv;
+  wc.status = WcStatus::kSuccess;
+  wc.byte_len = static_cast<std::uint32_t>(n);
+  wc.timestamp = sim_.Now();
+  dst.recv_cq_.Push(wc);
+}
+
+void Fabric::CompleteToInitiator(std::shared_ptr<OpState> op,
+                                 WcStatus status) {
+  sim_.ScheduleAfter(params_.link_latency, [this, op = std::move(op), status] {
+    QueuePair& src = *op->src;
+    if (status == WcStatus::kSuccess && op->opcode == Opcode::kRead &&
+        !op->staging.empty()) {
+      std::memcpy(op->local, op->staging.data(), op->len);
+    }
+    WorkCompletion wc;
+    wc.wr_id = op->wr_id;
+    wc.opcode = op->opcode;
+    wc.status = status;
+    wc.byte_len = op->len;
+    wc.atomic_result = op->atomic_result;
+    wc.timestamp = sim_.Now();
+    HAECHI_ASSERT(src.in_flight_ > 0);
+    --src.in_flight_;
+    src.send_cq_.Push(wc);
+  });
+}
+
+}  // namespace haechi::rdma

@@ -1,0 +1,172 @@
+// The simulated RDMA fabric: nodes, their NIC stations, and the timed
+// execution of verbs operations between them.
+//
+// Timing model per op (see DESIGN.md §1 and net/model_params.hpp):
+//
+//   initiator out-NIC (SerialStation)  ── link latency ──▶
+//   responder in-NIC (FairShareStation, flow = initiator QP)
+//   ── link latency ──▶ completion at initiator
+//
+// Completion ordering: strict post order per QP *within a service class*.
+// Small control ops (atomics, sub-64-byte transfers) ride the responder's
+// fast-path lane and may overtake bulk transfers posted earlier on the
+// same QP — the price of modelling the RNIC's small-packet pipeline with
+// one station. Haechi keeps its control plane on dedicated QPs, so it only
+// ever relies on per-class ordering.
+//
+// Memory effects happen at the responder's service instant (the DMA):
+// READ snapshots remote bytes, WRITE applies the posted snapshot, atomics
+// read-modify-write the remote 64-bit word. Validation (rkey, bounds,
+// access flags, alignment) happens when the op reaches the responder, and
+// failures travel back as error completions without consuming responder
+// service time — mirroring RNIC NAK behaviour.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/model_params.hpp"
+#include "net/station.hpp"
+#include "rdma/cq.hpp"
+#include "rdma/memory.hpp"
+#include "rdma/qp.hpp"
+#include "sim/simulator.hpp"
+
+namespace haechi::rdma {
+
+/// Determines which side of the calibrated NIC model a node uses: data
+/// nodes serve one-sided ops at full adapter bandwidth (C_G), client nodes
+/// are bound by the per-QP DMA budget (C_L).
+enum class NodeRole : std::uint8_t { kClient, kData };
+
+/// A machine in the cluster: a protection domain, an outbound NIC pipeline
+/// (round-robin across this node's QPs, like a real adapter's SQ
+/// arbitration — so an 8-byte QoS report never waits behind a deep data
+/// send queue), an inbound NIC engine, and (for data nodes) a CPU used by
+/// the two-sided RPC service.
+class Node {
+ public:
+  Node(sim::Simulator& sim, Fabric& fabric, NodeId id, NodeRole role,
+       std::string name, const net::ModelParams& params, std::uint64_t seed);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] NodeRole role() const { return role_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Fabric& fabric() { return fabric_; }
+  [[nodiscard]] ProtectionDomain& pd() { return pd_; }
+  [[nodiscard]] net::FairShareStation& out_nic() { return out_nic_; }
+  [[nodiscard]] net::FairShareStation& in_nic() { return in_nic_; }
+
+  /// The node's RPC-serving CPU; only the data node's is ever loaded.
+  /// Flow = requesting QP, so CPU time also divides fairly.
+  [[nodiscard]] net::FairShareStation& cpu() { return cpu_; }
+
+  CompletionQueue& CreateCq();
+  QueuePair& CreateQp(CompletionQueue& send_cq, CompletionQueue& recv_cq,
+                      std::size_t send_queue_depth = 256);
+
+ private:
+  sim::Simulator& sim_;
+  Fabric& fabric_;
+  NodeId id_;
+  NodeRole role_;
+  std::string name_;
+  ProtectionDomain pd_;
+  net::FairShareStation out_nic_;
+  net::FairShareStation in_nic_;
+  net::FairShareStation cpu_;
+  std::deque<CompletionQueue> cqs_;
+  std::deque<QueuePair> qps_;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulator& sim, net::ModelParams params, std::uint64_t seed);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Adds a machine. References remain valid for the fabric's lifetime.
+  Node& AddNode(std::string name, NodeRole role = NodeRole::kClient);
+
+  /// Connects two QPs into an RC pair. Loopback (same node) is allowed —
+  /// the QoS monitor's `loopback_cas` mode uses it.
+  void Connect(QueuePair& a, QueuePair& b);
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] const net::ModelParams& params() const { return params_; }
+  [[nodiscard]] std::size_t NodeCount() const { return nodes_.size(); }
+  Node& node(std::size_t index) { return nodes_.at(index); }
+
+  /// When false, READ/WRITE skip the payload memcpy (timing and validation
+  /// are unchanged). Large benches disable copies; correctness tests keep
+  /// them on. SEND payloads and atomics are always real (control plane).
+  void set_copy_payloads(bool on) { copy_payloads_ = on; }
+  [[nodiscard]] bool copy_payloads() const { return copy_payloads_; }
+
+  /// Total ops that reached a responder (served + rejected), for tests.
+  [[nodiscard]] std::uint64_t OpsDelivered() const { return ops_delivered_; }
+
+ private:
+  friend class QueuePair;
+  friend class Node;
+
+  struct OpState {
+    Opcode opcode;
+    std::uint64_t wr_id;
+    QueuePair* src;
+    QueuePair* dst;
+    std::byte* local = nullptr;       // READ destination
+    std::uint32_t len = 0;
+    RemoteAddr remote = 0;
+    std::uint32_t rkey = 0;
+    std::int64_t atomic_delta = 0;    // FETCH_ADD
+    std::uint64_t atomic_expected = 0;  // CMP_SWAP
+    std::uint64_t atomic_desired = 0;   // CMP_SWAP
+    std::uint64_t atomic_result = 0;
+    ServiceClass service_class = ServiceClass::kAuto;
+    std::vector<std::byte> staging;   // WRITE/SEND payload or READ snapshot
+  };
+
+  /// Entry point from QueuePair::Post*: charge the initiator's out-NIC,
+  /// then propagate. (Ops move through the pipeline as shared_ptr because
+  /// std::function requires copyable captures.)
+  void Initiate(std::shared_ptr<OpState> op);
+
+  /// Op arrives at the responder after the link delay.
+  void ArriveAtResponder(std::shared_ptr<OpState> op);
+
+  /// Validation at the responder NIC; kSuccess means "proceed to service".
+  [[nodiscard]] WcStatus ValidateRemote(const OpState& op) const;
+
+  /// Responder service complete: perform memory effects.
+  void ExecuteAtResponder(OpState& op);
+
+  /// Sends the completion back to the initiator (after link delay).
+  void CompleteToInitiator(std::shared_ptr<OpState> op, WcStatus status);
+
+  /// Delivers an inbound SEND payload to the responder's recv path.
+  void DeliverSend(OpState& op);
+
+  [[nodiscard]] SimDuration InitiatorService(const OpState& op) const;
+  [[nodiscard]] SimDuration ResponderService(const OpState& op) const;
+  [[nodiscard]] SimDuration NicService(const Node& node,
+                                       std::uint32_t bytes) const;
+
+  sim::Simulator& sim_;
+  net::ModelParams params_;
+  Rng seed_rng_;
+  std::deque<Node> nodes_;
+  QpId next_qp_id_ = 0;
+  bool copy_payloads_ = true;
+  std::uint64_t ops_delivered_ = 0;
+};
+
+}  // namespace haechi::rdma

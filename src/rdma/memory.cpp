@@ -1,0 +1,47 @@
+#include "rdma/memory.hpp"
+
+#include "common/assert.hpp"
+
+namespace haechi::rdma {
+
+bool MemoryRegion::Covers(RemoteAddr addr, std::size_t len) const {
+  const RemoteAddr base = remote_addr();
+  if (addr < base) return false;
+  const RemoteAddr offset = addr - base;
+  // Overflow-safe: offset + len <= length.
+  return offset <= buffer_.size() && len <= buffer_.size() - offset;
+}
+
+const MemoryRegion& ProtectionDomain::Register(std::span<std::byte> buffer,
+                                               AccessFlags flags) {
+  HAECHI_EXPECTS(!buffer.empty());
+  const std::uint32_t lkey = next_key_++;
+  const std::uint32_t rkey = next_key_++;
+  auto mr = std::make_unique<MemoryRegion>(buffer, lkey, rkey, flags);
+  const MemoryRegion* raw = mr.get();
+  by_rkey_.emplace(rkey, std::move(mr));
+  return *raw;
+}
+
+Status ProtectionDomain::Deregister(std::uint32_t rkey) {
+  if (by_rkey_.erase(rkey) == 0) {
+    return ErrNotFound("no MR with rkey " + std::to_string(rkey));
+  }
+  return Status::Ok();
+}
+
+const MemoryRegion* ProtectionDomain::FindByRkey(std::uint32_t rkey) const {
+  const auto it = by_rkey_.find(rkey);
+  return it == by_rkey_.end() ? nullptr : it->second.get();
+}
+
+const MemoryRegion* ProtectionDomain::FindCovering(const void* addr,
+                                                   std::size_t len) const {
+  const auto target = ToRemoteAddr(addr);
+  for (const auto& [rkey, mr] : by_rkey_) {
+    if (mr->Covers(target, len)) return mr.get();
+  }
+  return nullptr;
+}
+
+}  // namespace haechi::rdma

@@ -1,0 +1,79 @@
+// Memory registration: MemoryRegion and ProtectionDomain.
+//
+// A MemoryRegion grants the fabric access to a caller-owned buffer; remote
+// ops name it by rkey and are validated for key, bounds, and access flags —
+// the checks a real RNIC performs — before any memory effect happens.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "rdma/verbs.hpp"
+
+namespace haechi::rdma {
+
+class MemoryRegion {
+ public:
+  MemoryRegion(std::span<std::byte> buffer, std::uint32_t lkey,
+               std::uint32_t rkey, AccessFlags flags)
+      : buffer_(buffer), lkey_(lkey), rkey_(rkey), flags_(flags) {}
+
+  [[nodiscard]] std::byte* addr() const { return buffer_.data(); }
+  [[nodiscard]] std::size_t length() const { return buffer_.size(); }
+  [[nodiscard]] std::uint32_t lkey() const { return lkey_; }
+  [[nodiscard]] std::uint32_t rkey() const { return rkey_; }
+  [[nodiscard]] AccessFlags flags() const { return flags_; }
+
+  /// Base of the region as a remote address for peers.
+  [[nodiscard]] RemoteAddr remote_addr() const {
+    return ToRemoteAddr(buffer_.data());
+  }
+
+  /// True when [addr, addr+len) lies inside this region.
+  [[nodiscard]] bool Covers(RemoteAddr addr, std::size_t len) const;
+
+  [[nodiscard]] bool Allows(AccessFlags required) const {
+    return (flags_ & required) == required;
+  }
+
+ private:
+  std::span<std::byte> buffer_;
+  std::uint32_t lkey_;
+  std::uint32_t rkey_;
+  AccessFlags flags_;
+};
+
+/// Per-node registry of memory regions. The node's inbound fabric path
+/// resolves rkeys here; local posts resolve lkeys/pointers here.
+class ProtectionDomain {
+ public:
+  /// Registers `buffer` with the given access flags and returns a stable
+  /// reference (valid until Deregister / PD destruction). The caller keeps
+  /// ownership of the bytes and must keep them alive while registered.
+  const MemoryRegion& Register(std::span<std::byte> buffer, AccessFlags flags);
+
+  /// Removes a registration. Outstanding remote ops that resolve the rkey
+  /// afterwards fail with kRemoteInvalidRkey, as on real hardware.
+  Status Deregister(std::uint32_t rkey);
+
+  /// Resolves an rkey for an inbound remote operation.
+  [[nodiscard]] const MemoryRegion* FindByRkey(std::uint32_t rkey) const;
+
+  /// Finds the region containing a local buffer (for validating local
+  /// scatter/gather entries on post).
+  [[nodiscard]] const MemoryRegion* FindCovering(const void* addr,
+                                                 std::size_t len) const;
+
+  [[nodiscard]] std::size_t RegionCount() const { return by_rkey_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, std::unique_ptr<MemoryRegion>> by_rkey_;
+  std::uint32_t next_key_ = 1;
+};
+
+}  // namespace haechi::rdma

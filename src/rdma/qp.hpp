@@ -1,0 +1,103 @@
+// Reliable-connected (RC) queue pairs.
+//
+// A QueuePair validates work requests locally (as ibv_post_send does),
+// then hands them to the Fabric, which times them through the NIC stations
+// and performs the memory effects at the simulated completion instant.
+// Completions arrive on the send CQ (for initiated ops) or the recv CQ
+// (for inbound SENDs matching a posted RECV), in post order per QP.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "rdma/cq.hpp"
+#include "rdma/verbs.hpp"
+
+namespace haechi::rdma {
+
+class Fabric;
+class Node;
+
+/// How the sender's NIC charges for an op. kAuto derives the cost from the
+/// byte count (DMA bandwidth); kRpcRequest charges the per-request CPU+NIC
+/// cost of a two-sided RPC initiation (ModelParams::client_rpc_service) —
+/// this is what makes two-sided I/O slower for the *client* as observed in
+/// the paper's Experiment 1A.
+enum class ServiceClass : std::uint8_t { kAuto, kRpcRequest };
+
+class QueuePair {
+ public:
+  QueuePair(Fabric& fabric, Node& node, QpId id, CompletionQueue& send_cq,
+            CompletionQueue& recv_cq, std::size_t send_queue_depth);
+
+  QueuePair(const QueuePair&) = delete;
+  QueuePair& operator=(const QueuePair&) = delete;
+
+  [[nodiscard]] QpId id() const { return id_; }
+  [[nodiscard]] bool Connected() const { return remote_ != nullptr; }
+  [[nodiscard]] Node& node() { return node_; }
+  [[nodiscard]] CompletionQueue& send_cq() { return send_cq_; }
+  [[nodiscard]] CompletionQueue& recv_cq() { return recv_cq_; }
+
+  /// Number of initiated, not-yet-completed work requests.
+  [[nodiscard]] std::size_t InFlight() const { return in_flight_; }
+
+  /// One-sided READ: remote [remote_addr, +local.size()) -> local buffer.
+  /// `local` must lie in a registered local MR with kLocalWrite access.
+  Status PostRead(std::uint64_t wr_id, std::span<std::byte> local,
+                  RemoteAddr remote_addr, std::uint32_t rkey);
+
+  /// One-sided WRITE: local buffer -> remote [remote_addr, +local.size()).
+  /// The payload is snapshotted at post time (DMA gather).
+  Status PostWrite(std::uint64_t wr_id, std::span<const std::byte> local,
+                   RemoteAddr remote_addr, std::uint32_t rkey);
+
+  /// One-sided 64-bit fetch-and-add. The pre-op remote value is returned in
+  /// WorkCompletion::atomic_result. `delta` is two's-complement, so negative
+  /// deltas (token grabs) work naturally.
+  Status PostFetchAdd(std::uint64_t wr_id, RemoteAddr remote_addr,
+                      std::uint32_t rkey, std::int64_t delta);
+
+  /// One-sided 64-bit compare-and-swap; swaps iff remote == expected.
+  /// The pre-op value is returned in atomic_result either way.
+  Status PostCompareSwap(std::uint64_t wr_id, RemoteAddr remote_addr,
+                         std::uint32_t rkey, std::uint64_t expected,
+                         std::uint64_t desired);
+
+  /// Two-sided SEND; consumed by a RECV posted at the peer.
+  Status PostSend(std::uint64_t wr_id, std::span<const std::byte> payload,
+                  ServiceClass service_class = ServiceClass::kAuto);
+
+  /// Posts a receive buffer for inbound SENDs.
+  Status PostRecv(std::uint64_t wr_id, std::span<std::byte> buffer);
+
+  [[nodiscard]] std::size_t PostedRecvs() const { return recv_queue_.size(); }
+
+ private:
+  friend class Fabric;
+
+  struct PostedRecv {
+    std::uint64_t wr_id;
+    std::span<std::byte> buffer;
+  };
+
+  Status CheckConnectedAndCapacity() const;
+
+  Fabric& fabric_;
+  Node& node_;
+  QpId id_;
+  CompletionQueue& send_cq_;
+  CompletionQueue& recv_cq_;
+  std::size_t send_queue_depth_;
+  QueuePair* remote_ = nullptr;
+  std::size_t in_flight_ = 0;
+  std::deque<PostedRecv> recv_queue_;
+  // Inbound SEND payloads that arrived before a RECV was posted (infinite
+  // RNR retry semantics).
+  std::deque<std::vector<std::byte>> parked_sends_;
+};
+
+}  // namespace haechi::rdma

@@ -1,0 +1,102 @@
+// Vocabulary types for the simulated verbs API.
+//
+// The shapes deliberately mirror libibverbs (work requests, completions,
+// access flags, lkey/rkey) so the Haechi QoS protocol above this layer is
+// written exactly as it would be against real RDMA hardware; only the
+// transport timing underneath is simulated. See DESIGN.md §1.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace haechi::rdma {
+
+/// Work request / completion opcode.
+enum class Opcode : std::uint8_t {
+  kRead,         // one-sided RDMA READ
+  kWrite,        // one-sided RDMA WRITE
+  kSend,         // two-sided SEND
+  kRecv,         // completion of a posted RECV
+  kFetchAdd,     // one-sided atomic fetch-and-add (64-bit)
+  kCompareSwap,  // one-sided atomic compare-and-swap (64-bit)
+};
+
+constexpr std::string_view ToString(Opcode op) {
+  switch (op) {
+    case Opcode::kRead: return "READ";
+    case Opcode::kWrite: return "WRITE";
+    case Opcode::kSend: return "SEND";
+    case Opcode::kRecv: return "RECV";
+    case Opcode::kFetchAdd: return "FETCH_ADD";
+    case Opcode::kCompareSwap: return "CMP_SWAP";
+  }
+  return "UNKNOWN";
+}
+
+/// Completion status, following ibv_wc_status's useful subset.
+enum class WcStatus : std::uint8_t {
+  kSuccess,
+  kRemoteInvalidRkey,   // no MR with that rkey at the responder
+  kRemoteOutOfRange,    // [addr, addr+len) escapes the MR
+  kRemoteAccessError,   // MR lacks the required access flag
+  kRemoteMisaligned,    // atomic target not 8-byte aligned
+};
+
+constexpr std::string_view ToString(WcStatus status) {
+  switch (status) {
+    case WcStatus::kSuccess: return "SUCCESS";
+    case WcStatus::kRemoteInvalidRkey: return "REMOTE_INVALID_RKEY";
+    case WcStatus::kRemoteOutOfRange: return "REMOTE_OUT_OF_RANGE";
+    case WcStatus::kRemoteAccessError: return "REMOTE_ACCESS_ERROR";
+    case WcStatus::kRemoteMisaligned: return "REMOTE_MISALIGNED";
+  }
+  return "UNKNOWN";
+}
+
+/// MR access permissions (bit-or of Access values).
+using AccessFlags = std::uint32_t;
+
+namespace access {
+inline constexpr AccessFlags kLocalRead = 1U << 0;
+inline constexpr AccessFlags kLocalWrite = 1U << 1;
+inline constexpr AccessFlags kRemoteRead = 1U << 2;
+inline constexpr AccessFlags kRemoteWrite = 1U << 3;
+inline constexpr AccessFlags kRemoteAtomic = 1U << 4;
+inline constexpr AccessFlags kAll = kLocalRead | kLocalWrite | kRemoteRead |
+                                    kRemoteWrite | kRemoteAtomic;
+}  // namespace access
+
+/// Work completion delivered to a CompletionQueue.
+struct WorkCompletion {
+  std::uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kRead;
+  WcStatus status = WcStatus::kSuccess;
+  std::uint32_t byte_len = 0;
+  /// For kFetchAdd / kCompareSwap: the remote 64-bit value *before* the op.
+  std::uint64_t atomic_result = 0;
+  /// Simulated time the completion was generated.
+  SimTime timestamp = 0;
+
+  [[nodiscard]] bool ok() const { return status == WcStatus::kSuccess; }
+};
+
+/// Remote addresses are real process pointers reinterpreted as integers —
+/// exactly how verbs exposes remote virtual addresses.
+using RemoteAddr = std::uint64_t;
+
+inline RemoteAddr ToRemoteAddr(const void* p) {
+  return reinterpret_cast<RemoteAddr>(p);
+}
+
+/// READ/WRITE payloads at or below this size are always materialised, even
+/// when bulk payload copying is disabled (Fabric::set_copy_payloads(false)):
+/// small transfers are control-plane state, not bulk data.
+inline constexpr std::uint32_t kAlwaysCopyBytes = 64;
+
+/// Identifies a queue pair fabric-wide; doubles as the fair-share flow id
+/// at the responder's NIC (hardware arbitrates per QP).
+using QpId = std::uint32_t;
+
+}  // namespace haechi::rdma

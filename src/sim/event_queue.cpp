@@ -1,0 +1,81 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace haechi::sim {
+
+EventId BinaryHeapEventQueue::Schedule(SimTime time, EventFn fn) {
+  HAECHI_EXPECTS(fn != nullptr);
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{time, id, std::move(fn)});
+  SiftUp(heap_.size() - 1);
+  done_.push_back(false);
+  ++live_;
+  return id;
+}
+
+bool BinaryHeapEventQueue::Cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_id_ || IsDone(id)) return false;
+  MarkDone(id);
+  HAECHI_ASSERT(live_ > 0);
+  --live_;
+  return true;
+}
+
+void BinaryHeapEventQueue::DropCancelledTop() {
+  // Entries are removed from the heap lazily, so a heap entry whose id is
+  // marked done but which is still physically present is a cancelled entry.
+  while (!heap_.empty() && IsDone(heap_.front().id)) {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+  }
+}
+
+Event BinaryHeapEventQueue::PopNext() {
+  DropCancelledTop();
+  if (heap_.empty()) return {};
+  Event out{heap_.front().time, heap_.front().id,
+            std::move(heap_.front().fn)};
+  MarkDone(out.id);
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+  HAECHI_ASSERT(live_ > 0);
+  --live_;
+  return out;
+}
+
+SimTime BinaryHeapEventQueue::PeekTime() {
+  DropCancelledTop();
+  return heap_.empty() ? kSimTimeMax : heap_.front().time;
+}
+
+void BinaryHeapEventQueue::SiftUp(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!EarlierThan(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void BinaryHeapEventQueue::SiftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = left + 1;
+    std::size_t smallest = i;
+    if (left < n && EarlierThan(heap_[left], heap_[smallest])) smallest = left;
+    if (right < n && EarlierThan(heap_[right], heap_[smallest])) {
+      smallest = right;
+    }
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace haechi::sim

@@ -1,0 +1,101 @@
+// Priority queues of timestamped events.
+//
+// Two interchangeable implementations are provided:
+//  * BinaryHeapEventQueue — vector-based binary heap, the default;
+//  * HierarchicalTimingWheel (timing_wheel.hpp) — O(1) amortised insert/pop
+//    for the dense short-horizon timers this simulator generates.
+// Both deliver events in (time, insertion-sequence) order so simulation
+// results are identical regardless of the queue chosen.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace haechi::sim {
+
+/// Handle for cancelling a scheduled event. Ids are unique per queue and
+/// never reused within a run.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Callback invoked when an event fires. Fires at most once.
+using EventFn = std::function<void()>;
+
+struct Event {
+  SimTime time = 0;
+  EventId id = kInvalidEventId;  // doubles as the insertion sequence number
+  EventFn fn;
+};
+
+/// Interface shared by the queue implementations. Not thread-safe: the
+/// simulation is single-threaded by design (see DESIGN.md §1).
+class EventQueue {
+ public:
+  virtual ~EventQueue() = default;
+
+  /// Enqueues `fn` to fire at absolute time `time`.
+  virtual EventId Schedule(SimTime time, EventFn fn) = 0;
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was already cancelled, or never existed.
+  virtual bool Cancel(EventId id) = 0;
+
+  /// Removes and returns the earliest pending event, skipping cancelled
+  /// entries. Returns an Event with id == kInvalidEventId when empty.
+  virtual Event PopNext() = 0;
+
+  /// Earliest pending time, or kSimTimeMax when empty.
+  [[nodiscard]] virtual SimTime PeekTime() = 0;
+
+  [[nodiscard]] virtual bool Empty() const = 0;
+
+  /// Number of live (non-cancelled, non-fired) events.
+  [[nodiscard]] virtual std::size_t Size() const = 0;
+};
+
+/// Binary-heap event queue ordered by (time, id). Cancellation is lazy:
+/// cancelled entries are dropped when they reach the top, keeping Cancel
+/// O(1). A one-bit-per-event table gives Cancel exact semantics (it can tell
+/// fired ids from pending ones without scanning the heap).
+class BinaryHeapEventQueue final : public EventQueue {
+ public:
+  EventId Schedule(SimTime time, EventFn fn) override;
+  bool Cancel(EventId id) override;
+  Event PopNext() override;
+  [[nodiscard]] SimTime PeekTime() override;
+  [[nodiscard]] bool Empty() const override { return live_ == 0; }
+  [[nodiscard]] std::size_t Size() const override { return live_; }
+
+ private:
+  // Hand-rolled heap (rather than std::priority_queue) so the callback can
+  // be moved out of the popped element instead of copied from a const top().
+  struct Entry {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  static bool EarlierThan(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.id < b.id;
+  }
+
+  void SiftUp(std::size_t i);
+  void SiftDown(std::size_t i);
+  void DropCancelledTop();
+  [[nodiscard]] bool IsDone(EventId id) const {
+    return done_[static_cast<std::size_t>(id - 1)];
+  }
+  void MarkDone(EventId id) { done_[static_cast<std::size_t>(id - 1)] = true; }
+
+  std::vector<Entry> heap_;
+  std::vector<bool> done_;  // indexed by id-1: fired or cancelled
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace haechi::sim

@@ -1,0 +1,82 @@
+#include "stats/csv.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace haechi::stats {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  HAECHI_EXPECTS(!header_.empty());
+}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  HAECHI_EXPECTS(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::Escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::Render() const {
+  std::string out;
+  auto emit = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += Escape(row[i]);
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return ErrInvalidArgument("cannot open " + path + " for writing");
+  }
+  const std::string document = Render();
+  const std::size_t written =
+      std::fwrite(document.data(), 1, document.size(), file);
+  std::fclose(file);
+  if (written != document.size()) {
+    return ErrInternal("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+CsvWriter SeriesToCsv(const PeriodSeries& series) {
+  CsvWriter csv({"period", "client", "completed_ios"});
+  for (std::size_t p = 0; p < series.Periods(); ++p) {
+    for (std::uint32_t c = 0; c < series.Clients(); ++c) {
+      csv.AddRow({std::to_string(p), std::to_string(c),
+                  std::to_string(series.At(p, MakeClientId(c)))});
+    }
+  }
+  return csv;
+}
+
+CsvWriter HistogramToCsv(const Histogram& histogram,
+                         const std::vector<double>& quantiles) {
+  CsvWriter csv({"quantile", "value_ns"});
+  for (const double q : quantiles) {
+    csv.AddRow({std::to_string(q),
+                std::to_string(histogram.ValueAtQuantile(q))});
+  }
+  return csv;
+}
+
+}  // namespace haechi::stats

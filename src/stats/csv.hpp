@@ -1,0 +1,46 @@
+// CSV export for experiment results, so figure data can be re-plotted
+// outside the bench binaries (gnuplot, pandas, ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "stats/histogram.hpp"
+#include "stats/period_series.hpp"
+
+namespace haechi::stats {
+
+/// Streams rows into an in-memory CSV document; WriteFile persists it.
+/// Values are escaped per RFC 4180 (quotes doubled, fields with commas,
+/// quotes or newlines quoted).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  [[nodiscard]] std::string Render() const;
+
+  /// Writes the document to `path` (truncating).
+  Status WriteFile(const std::string& path) const;
+
+  [[nodiscard]] std::size_t Rows() const { return rows_.size(); }
+
+  static std::string Escape(const std::string& field);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One row per (period, client) with completed I/Os — the long format the
+/// paper's bar/series figures are drawn from.
+CsvWriter SeriesToCsv(const PeriodSeries& series);
+
+/// Percentile table of a histogram (quantile, value) rows.
+CsvWriter HistogramToCsv(const Histogram& histogram,
+                         const std::vector<double>& quantiles = {
+                             0.5, 0.9, 0.99, 0.999, 1.0});
+
+}  // namespace haechi::stats

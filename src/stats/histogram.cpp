@@ -1,0 +1,122 @@
+#include "stats/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace haechi::stats {
+
+Histogram::Histogram(int sub_bucket_bits)
+    : sub_bucket_bits_(sub_bucket_bits),
+      sub_bucket_count_(std::int64_t{1} << sub_bucket_bits),
+      min_(std::numeric_limits<std::int64_t>::max()) {
+  HAECHI_EXPECTS(sub_bucket_bits >= 0 && sub_bucket_bits <= 16);
+  // 64 power-of-two ranges is enough for any int64 value.
+  buckets_.resize(static_cast<std::size_t>(64 - sub_bucket_bits) *
+                  static_cast<std::size_t>(sub_bucket_count_));
+}
+
+std::size_t Histogram::BucketIndex(std::int64_t value) const {
+  const auto v = static_cast<std::uint64_t>(value);
+  // Values below sub_bucket_count land in the first linear range exactly.
+  if (v < static_cast<std::uint64_t>(sub_bucket_count_)) {
+    return static_cast<std::size_t>(v);
+  }
+  const int msb = 63 - std::countl_zero(v);
+  const int range = msb - sub_bucket_bits_ + 1;  // >= 1
+  const std::uint64_t sub =
+      (v >> range) & (static_cast<std::uint64_t>(sub_bucket_count_) - 1);
+  // Range r occupies half its sub-buckets (the top half), like HdrHistogram:
+  // index = range * sub_bucket_count/2 + ... ; we use a simpler full-width
+  // layout: each range gets sub_bucket_count slots.
+  return static_cast<std::size_t>(range) *
+             static_cast<std::size_t>(sub_bucket_count_) +
+         static_cast<std::size_t>(sub);
+}
+
+void Histogram::Record(std::int64_t value) { RecordMany(value, 1); }
+
+void Histogram::RecordMany(std::int64_t value, std::uint64_t count) {
+  HAECHI_EXPECTS(value >= 0);
+  if (count == 0) return;
+  buckets_[BucketIndex(value)] += count;
+  count_ += count;
+  sum_ += static_cast<long double>(value) * static_cast<long double>(count);
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+std::int64_t Histogram::Min() const { return count_ == 0 ? 0 : min_; }
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_ / static_cast<long double>(
+                                                      count_));
+}
+
+std::int64_t Histogram::ValueAtQuantile(double q) const {
+  HAECHI_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target && buckets_[i] > 0) {
+      // Invert BucketIndex: reconstruct the lower edge of bucket i.
+      const auto sbc = static_cast<std::size_t>(sub_bucket_count_);
+      const std::size_t range = i / sbc;
+      const std::size_t sub = i % sbc;
+      if (range == 0) return static_cast<std::int64_t>(sub);
+      const int shift = static_cast<int>(range);
+      // Values v in this bucket satisfy msb(v) == shift + sub_bucket_bits - 1
+      // and (v >> shift) & (sbc-1) == sub. Lower edge:
+      const std::uint64_t msb_bit = 1ULL
+                                    << (shift + sub_bucket_bits_ - 1);
+      const std::uint64_t lower =
+          msb_bit | (static_cast<std::uint64_t>(sub) << shift);
+      const std::uint64_t width = 1ULL << shift;
+      return static_cast<std::int64_t>(lower + width / 2);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  HAECHI_EXPECTS(sub_bucket_bits_ == other.sub_bucket_bits_);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<std::int64_t>::max();
+  max_ = 0;
+}
+
+std::string Histogram::Summary(bool as_micros) const {
+  const double scale = as_micros ? 1e-3 : 1.0;
+  const char* unit = as_micros ? "us" : "ns";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.2f%s p50=%.2f%s p99=%.2f%s p99.9=%.2f%s "
+                "max=%.2f%s",
+                static_cast<unsigned long long>(count_), Mean() * scale, unit,
+                static_cast<double>(ValueAtQuantile(0.50)) * scale, unit,
+                static_cast<double>(ValueAtQuantile(0.99)) * scale, unit,
+                static_cast<double>(ValueAtQuantile(0.999)) * scale, unit,
+                static_cast<double>(max_) * scale, unit);
+  return buf;
+}
+
+}  // namespace haechi::stats

@@ -1,0 +1,62 @@
+// Log-bucketed latency histogram in the HdrHistogram style.
+//
+// Values are bucketed with a bounded relative error (default < 1/64 ≈ 1.6 %),
+// which is ample for the paper's avg / p99 / p99.9 latency reporting
+// (Fig 15) while keeping Record() allocation-free and O(1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace haechi::stats {
+
+class Histogram {
+ public:
+  /// `sub_bucket_bits` controls precision: each power-of-two range is split
+  /// into 2^sub_bucket_bits linear sub-buckets.
+  explicit Histogram(int sub_bucket_bits = 6);
+
+  /// Records one non-negative value (e.g. a latency in nanoseconds).
+  void Record(std::int64_t value);
+
+  /// Records `count` occurrences of the value.
+  void RecordMany(std::int64_t value, std::uint64_t count);
+
+  [[nodiscard]] std::uint64_t Count() const { return count_; }
+  [[nodiscard]] std::int64_t Min() const;
+  [[nodiscard]] std::int64_t Max() const { return max_; }
+  [[nodiscard]] double Mean() const;
+
+  /// Value at quantile q in [0, 1]; returns the representative value of the
+  /// bucket containing the q-th sample. Zero when empty.
+  [[nodiscard]] std::int64_t ValueAtQuantile(double q) const;
+
+  [[nodiscard]] std::int64_t Percentile(double p) const {
+    return ValueAtQuantile(p / 100.0);
+  }
+
+  /// Merges another histogram (same sub_bucket_bits) into this one.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  /// One-line summary: count, mean, p50/p99/p99.9, max (values in µs when
+  /// `as_micros`, matching the paper's latency plots).
+  [[nodiscard]] std::string Summary(bool as_micros = true) const;
+
+ private:
+  [[nodiscard]] std::size_t BucketIndex(std::int64_t value) const;
+
+  int sub_bucket_bits_;
+  std::int64_t sub_bucket_count_;  // 2^sub_bucket_bits
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  long double sum_ = 0;  // exact enough for means over billions of samples
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace haechi::stats

@@ -1,0 +1,52 @@
+#include "stats/period_series.hpp"
+
+#include <numeric>
+
+namespace haechi::stats {
+
+void PeriodSeries::BeginPeriod() {
+  matrix_.emplace_back(clients_, 0);
+}
+
+void PeriodSeries::Add(ClientId client, std::int64_t ios) {
+  HAECHI_EXPECTS(!matrix_.empty());
+  HAECHI_EXPECTS(Raw(client) < clients_);
+  matrix_.back()[Raw(client)] += ios;
+}
+
+std::int64_t PeriodSeries::At(std::size_t p, ClientId client) const {
+  HAECHI_EXPECTS(p < matrix_.size());
+  HAECHI_EXPECTS(Raw(client) < clients_);
+  return matrix_[p][Raw(client)];
+}
+
+std::int64_t PeriodSeries::ClientTotal(ClientId client) const {
+  HAECHI_EXPECTS(Raw(client) < clients_);
+  std::int64_t total = 0;
+  for (const auto& row : matrix_) total += row[Raw(client)];
+  return total;
+}
+
+std::int64_t PeriodSeries::PeriodTotal(std::size_t p) const {
+  HAECHI_EXPECTS(p < matrix_.size());
+  const auto& row = matrix_[p];
+  return std::accumulate(row.begin(), row.end(), std::int64_t{0});
+}
+
+std::int64_t PeriodSeries::Total() const {
+  std::int64_t total = 0;
+  for (std::size_t p = 0; p < matrix_.size(); ++p) total += PeriodTotal(p);
+  return total;
+}
+
+std::int64_t PeriodSeries::ClientMinPerPeriod(ClientId client) const {
+  HAECHI_EXPECTS(Raw(client) < clients_);
+  if (matrix_.empty()) return 0;
+  std::int64_t min = matrix_[0][Raw(client)];
+  for (const auto& row : matrix_) {
+    min = std::min(min, row[Raw(client)]);
+  }
+  return min;
+}
+
+}  // namespace haechi::stats

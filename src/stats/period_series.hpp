@@ -1,0 +1,60 @@
+// Per-QoS-period, per-client accounting.
+//
+// Every figure in the paper is either (a) a bar of completed I/Os per client
+// summed over 30 QoS periods, or (b) a time series of per-period values —
+// so this recorder keeps the full (period x client) matrix plus helpers
+// that slice it the way the figures do.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace haechi::stats {
+
+class PeriodSeries {
+ public:
+  explicit PeriodSeries(std::size_t clients) : clients_(clients) {
+    HAECHI_EXPECTS(clients > 0);
+  }
+
+  /// Starts a new period; subsequent Add() calls accumulate into it.
+  void BeginPeriod();
+
+  /// Adds completed I/Os for a client in the current period.
+  void Add(ClientId client, std::int64_t ios);
+
+  [[nodiscard]] std::size_t Periods() const { return matrix_.size(); }
+  [[nodiscard]] std::size_t Clients() const { return clients_; }
+
+  /// Completed I/Os for `client` in period `p` (0-based).
+  [[nodiscard]] std::int64_t At(std::size_t p, ClientId client) const;
+
+  /// Sum over all recorded periods for one client (a Fig-9-style bar).
+  [[nodiscard]] std::int64_t ClientTotal(ClientId client) const;
+
+  /// Sum over all clients in one period (a Fig-16-style series point).
+  [[nodiscard]] std::int64_t PeriodTotal(std::size_t p) const;
+
+  /// Grand total across the matrix.
+  [[nodiscard]] std::int64_t Total() const;
+
+  /// Per-period throughput of one client in KIOPS given the period length.
+  [[nodiscard]] double ClientKiops(std::size_t p, ClientId client,
+                                   SimDuration period) const {
+    return ToKiops(At(p, client), period);
+  }
+
+  /// Smallest per-period completion count for a client (used to check the
+  /// "meets reservation in *each* QoS period" guarantee).
+  [[nodiscard]] std::int64_t ClientMinPerPeriod(ClientId client) const;
+
+ private:
+  std::size_t clients_;
+  std::vector<std::vector<std::int64_t>> matrix_;  // [period][client]
+};
+
+}  // namespace haechi::stats

@@ -1,0 +1,33 @@
+// Plain-text table printer used by the bench harnesses so every figure
+// reproduction prints aligned, diff-friendly rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace haechi::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with column alignment and a separator under the header.
+  [[nodiscard]] std::string Render() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  /// Formats a double with fixed precision — the bench binaries' one true
+  /// number formatter, so outputs are stable across runs.
+  static std::string Num(double v, int precision = 1);
+  static std::string Int(std::int64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace haechi::stats

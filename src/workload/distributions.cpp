@@ -1,0 +1,83 @@
+#include "workload/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace haechi::workload {
+
+std::vector<std::int64_t> UniformShare(std::int64_t total,
+                                       std::size_t clients) {
+  HAECHI_EXPECTS(clients > 0);
+  HAECHI_EXPECTS(total >= 0);
+  const std::int64_t base = total / static_cast<std::int64_t>(clients);
+  std::int64_t remainder = total % static_cast<std::int64_t>(clients);
+  std::vector<std::int64_t> shares(clients, base);
+  for (std::size_t i = 0; remainder > 0; ++i, --remainder) shares[i] += 1;
+  return shares;
+}
+
+std::vector<std::int64_t> WeightedShare(std::int64_t total,
+                                        const std::vector<double>& weights) {
+  HAECHI_EXPECTS(!weights.empty());
+  HAECHI_EXPECTS(total >= 0);
+  double sum = 0.0;
+  for (const double w : weights) {
+    HAECHI_EXPECTS(w >= 0.0);
+    sum += w;
+  }
+  HAECHI_EXPECTS(sum > 0.0);
+
+  // Largest-remainder method: floor everything, then distribute the
+  // leftover units to the largest fractional parts (ties by index).
+  std::vector<std::int64_t> shares(weights.size());
+  std::vector<std::pair<double, std::size_t>> fractions(weights.size());
+  std::int64_t assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double exact = static_cast<double>(total) * weights[i] / sum;
+    shares[i] = static_cast<std::int64_t>(std::floor(exact));
+    assigned += shares[i];
+    fractions[i] = {exact - std::floor(exact), i};
+  }
+  std::sort(fractions.begin(), fractions.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  std::int64_t leftover = total - assigned;
+  for (std::size_t i = 0; leftover > 0; ++i, --leftover) {
+    shares[fractions[i % fractions.size()].second] += 1;
+  }
+  HAECHI_ENSURES(std::accumulate(shares.begin(), shares.end(),
+                                 std::int64_t{0}) == total);
+  return shares;
+}
+
+std::vector<std::int64_t> ZipfGroupShare(std::int64_t total,
+                                         std::size_t clients,
+                                         std::size_t groups, double theta) {
+  HAECHI_EXPECTS(groups > 0 && clients % groups == 0);
+  const std::size_t per_group = clients / groups;
+  std::vector<double> weights(clients);
+  for (std::size_t g = 0; g < groups; ++g) {
+    const double w = 1.0 / std::pow(static_cast<double>(g + 1), theta);
+    for (std::size_t j = 0; j < per_group; ++j) {
+      weights[g * per_group + j] = w;
+    }
+  }
+  return WeightedShare(total, weights);
+}
+
+std::vector<std::int64_t> SpikeShare(std::size_t clients,
+                                     std::size_t hot_count,
+                                     std::int64_t hot_each,
+                                     std::int64_t cold_each) {
+  HAECHI_EXPECTS(hot_count <= clients);
+  std::vector<std::int64_t> shares(clients, cold_each);
+  std::fill_n(shares.begin(), hot_count, hot_each);
+  return shares;
+}
+
+}  // namespace haechi::workload

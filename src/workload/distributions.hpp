@@ -1,0 +1,42 @@
+// Spatial distributions of demand / reservation across clients.
+//
+// The paper evaluates three: Uniform (equal share), Spike (a few hot
+// clients), and Zipf (10 clients in 5 groups of 2, zipfian with exponent
+// 0.6 across groups). These helpers produce per-client I/O budgets that sum
+// to a requested total, with deterministic rounding so totals are exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace haechi::workload {
+
+/// Splits `total` evenly; remainders go to the lowest-indexed clients so
+/// the vector always sums to exactly `total`.
+std::vector<std::int64_t> UniformShare(std::int64_t total,
+                                       std::size_t clients);
+
+/// Splits `total` proportionally to `weights` (exact sum via largest-
+/// remainder rounding).
+std::vector<std::int64_t> WeightedShare(std::int64_t total,
+                                        const std::vector<double>& weights);
+
+/// The paper's Zipf reservation distribution: `clients` are divided into
+/// `groups` equal-size groups; group g (0-based) has weight 1/(g+1)^theta;
+/// both clients of a group get the same share. clients must be divisible
+/// by groups.
+std::vector<std::int64_t> ZipfGroupShare(std::int64_t total,
+                                         std::size_t clients,
+                                         std::size_t groups, double theta);
+
+/// The paper's Spike distribution: the first `hot_count` clients share
+/// `hot_each` a piece; the remaining clients get `cold_each`.
+std::vector<std::int64_t> SpikeShare(std::size_t clients,
+                                     std::size_t hot_count,
+                                     std::int64_t hot_each,
+                                     std::int64_t cold_each);
+
+/// Named selector used by bench/example flags.
+enum class ShareKind { kUniform, kZipf, kSpike };
+
+}  // namespace haechi::workload

@@ -1,0 +1,114 @@
+// Unit tests for admission control (paper §II-C, Definition 2).
+#include <gtest/gtest.h>
+
+#include "core/admission.hpp"
+
+namespace haechi::core {
+namespace {
+
+// Paper's profiled capacities, tokens per 1 s period.
+constexpr std::int64_t kAggregate = 1'570'000;  // C_G * T
+constexpr std::int64_t kLocal = 400'000;        // C_L * T
+
+TEST(Admission, AcceptsWithinBothConstraints) {
+  AdmissionController adm(kAggregate, kLocal);
+  EXPECT_TRUE(adm.Admit(MakeClientId(0), 300'000).ok());
+  EXPECT_TRUE(adm.Admit(MakeClientId(1), 400'000).ok());
+  EXPECT_EQ(adm.TotalReserved(), 700'000);
+  EXPECT_EQ(adm.AdmittedCount(), 2u);
+  EXPECT_TRUE(adm.IsAdmitted(MakeClientId(0)));
+}
+
+TEST(Admission, RejectsLocalCapacityViolation) {
+  // Paper: a single client can never exceed C_L = 400 KIOPS, so a larger
+  // reservation is unsatisfiable even on an idle node.
+  AdmissionController adm(kAggregate, kLocal);
+  const Status s = adm.Admit(MakeClientId(0), 400'001);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.message().find("local"), std::string::npos);
+  EXPECT_EQ(adm.AdmittedCount(), 0u);
+}
+
+TEST(Admission, RejectsAggregateCapacityViolation) {
+  AdmissionController adm(kAggregate, kLocal);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(adm.Admit(MakeClientId(i), 390'000).ok());
+  }
+  // 4 x 390K = 1560K; 11K headroom left.
+  const Status s = adm.Admit(MakeClientId(4), 12'000);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.message().find("aggregate"), std::string::npos);
+  EXPECT_TRUE(adm.Admit(MakeClientId(4), 10'000).ok());
+}
+
+TEST(Admission, ExactFitIsAdmitted) {
+  AdmissionController adm(1000, 1000);
+  EXPECT_TRUE(adm.Admit(MakeClientId(0), 1000).ok());
+  EXPECT_FALSE(adm.Admit(MakeClientId(1), 1).ok());
+}
+
+TEST(Admission, ZeroReservationAlwaysFits) {
+  AdmissionController adm(1000, 1000);
+  EXPECT_TRUE(adm.Admit(MakeClientId(0), 1000).ok());
+  EXPECT_TRUE(adm.Admit(MakeClientId(1), 0).ok());  // best-effort client
+}
+
+TEST(Admission, RejectsDuplicateAdmission) {
+  AdmissionController adm(kAggregate, kLocal);
+  ASSERT_TRUE(adm.Admit(MakeClientId(0), 100).ok());
+  EXPECT_EQ(adm.Admit(MakeClientId(0), 100).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Admission, RejectsNegativeReservation) {
+  AdmissionController adm(kAggregate, kLocal);
+  EXPECT_EQ(adm.Admit(MakeClientId(0), -5).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Admission, ReleaseFreesCapacity) {
+  AdmissionController adm(1000, 1000);
+  ASSERT_TRUE(adm.Admit(MakeClientId(0), 800).ok());
+  EXPECT_FALSE(adm.Admit(MakeClientId(1), 300).ok());
+  ASSERT_TRUE(adm.Release(MakeClientId(0)).ok());
+  EXPECT_EQ(adm.TotalReserved(), 0);
+  EXPECT_FALSE(adm.IsAdmitted(MakeClientId(0)));
+  EXPECT_TRUE(adm.Admit(MakeClientId(1), 300).ok());
+}
+
+TEST(Admission, ReleaseUnknownClientFails) {
+  AdmissionController adm(1000, 1000);
+  EXPECT_EQ(adm.Release(MakeClientId(9)).code(), StatusCode::kNotFound);
+}
+
+TEST(Admission, UpdateGrowsAndShrinks) {
+  AdmissionController adm(1000, 500);
+  ASSERT_TRUE(adm.Admit(MakeClientId(0), 400).ok());
+  ASSERT_TRUE(adm.Admit(MakeClientId(1), 400).ok());
+  // Growing client 0 to 500 fits locally but not in aggregate.
+  EXPECT_FALSE(adm.Update(MakeClientId(0), 700).ok());   // local violation
+  EXPECT_FALSE(adm.Update(MakeClientId(0), 601).ok());   // local violation
+  EXPECT_TRUE(adm.Update(MakeClientId(0), 500).ok());
+  EXPECT_EQ(adm.TotalReserved(), 900);
+  EXPECT_TRUE(adm.Update(MakeClientId(0), 100).ok());
+  EXPECT_EQ(adm.TotalReserved(), 500);
+  EXPECT_EQ(adm.Update(MakeClientId(5), 1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(adm.Update(MakeClientId(0), -1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Admission, PaperExample2Shape) {
+  // Example 2 from the paper: C_G=100, C_L=50; R_1=40, R_2..5=10 each.
+  // All are admitted (sum 80 <= 100, each <= 50) — the example's point is
+  // that the *runtime* local constraint can still be violated later, which
+  // admission alone cannot prevent.
+  AdmissionController adm(100, 50);
+  EXPECT_TRUE(adm.Admit(MakeClientId(1), 40).ok());
+  for (int i = 2; i <= 5; ++i) {
+    EXPECT_TRUE(adm.Admit(MakeClientId(i), 10).ok());
+  }
+  EXPECT_EQ(adm.TotalReserved(), 80);
+}
+
+}  // namespace
+}  // namespace haechi::core

@@ -1,0 +1,86 @@
+// Verifies the fabric timing model reproduces the paper's Section III-B
+// profiling numbers (Table I hardware → calibrated simulation):
+//   one-sided: C_L ≈ 400 KIOPS per client, C_G ≈ 1570 KIOPS aggregate;
+//   two-sided: ≈ 327 KIOPS per client, ≈ 430 KIOPS aggregate;
+//   equal division of saturated capacity among backlogged clients.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace haechi {
+namespace {
+
+using harness::Experiment;
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using harness::IoPath;
+using harness::Mode;
+using harness::UniformClients;
+
+ExperimentConfig BareConfig(std::size_t clients, IoPath path) {
+  ExperimentConfig config;
+  config.mode = Mode::kBare;
+  config.io_path = path;
+  const auto saturating = static_cast<std::int64_t>(
+      config.net.GlobalCapacityIops() * 2.0);
+  config.clients = UniformClients(clients, 0, saturating,
+                                  workload::RequestPattern::kBurst);
+  config.warmup = Millis(200);
+  config.measure_periods = 1;
+  config.records = 1024;
+  return config;
+}
+
+TEST(Calibration, OneSidedSingleClientHitsLocalCapacity) {
+  ExperimentResult r = Experiment(BareConfig(1, IoPath::kOneSided)).Run();
+  // Paper Fig 6: ~400 KIOPS per client.
+  EXPECT_NEAR(r.total_kiops, 400.0, 12.0);
+}
+
+TEST(Calibration, TwoSidedSingleClientSlowerByTwentyPercent) {
+  ExperimentResult r = Experiment(BareConfig(1, IoPath::kTwoSided)).Run();
+  // Paper Fig 6: ~327 KIOPS, about 20% below one-sided.
+  EXPECT_NEAR(r.total_kiops, 327.0, 12.0);
+}
+
+TEST(Calibration, OneSidedSaturatesNearPaperAggregate) {
+  ExperimentResult r = Experiment(BareConfig(10, IoPath::kOneSided)).Run();
+  // Paper Fig 7: ~1570 KIOPS with >= 4 clients.
+  EXPECT_NEAR(r.total_kiops, 1570.0, 40.0);
+}
+
+TEST(Calibration, OneSidedScalesLinearlyToFourClients) {
+  const double one = Experiment(BareConfig(1, IoPath::kOneSided)).Run()
+                         .total_kiops;
+  const double three =
+      Experiment(BareConfig(3, IoPath::kOneSided)).Run().total_kiops;
+  const double four =
+      Experiment(BareConfig(4, IoPath::kOneSided)).Run().total_kiops;
+  EXPECT_NEAR(three, 3 * one, 0.1 * 3 * one);
+  EXPECT_GT(four, 1500.0);
+}
+
+TEST(Calibration, TwoSidedSaturatesWithTwoClients) {
+  const double two =
+      Experiment(BareConfig(2, IoPath::kTwoSided)).Run().total_kiops;
+  const double ten =
+      Experiment(BareConfig(10, IoPath::kTwoSided)).Run().total_kiops;
+  // Paper Fig 7: flattens out at ~430 KIOPS almost immediately.
+  EXPECT_NEAR(two, 430.0, 25.0);
+  EXPECT_NEAR(ten, 430.0, 25.0);
+}
+
+TEST(Calibration, SaturatedCapacityDividesEqually) {
+  ExperimentConfig config = BareConfig(10, IoPath::kOneSided);
+  config.measure_periods = 2;
+  ExperimentResult r = Experiment(std::move(config)).Run();
+  const double expected_each = r.total_kiops / 10.0;
+  for (std::uint32_t c = 0; c < 10; ++c) {
+    const double kiops =
+        ToKiops(r.series.ClientTotal(MakeClientId(c)), 2 * kSecond);
+    EXPECT_NEAR(kiops, expected_each, 0.05 * expected_each) << "client " << c;
+  }
+}
+
+}  // namespace
+}  // namespace haechi

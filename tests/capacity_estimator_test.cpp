@@ -1,0 +1,146 @@
+// Unit tests for Algorithm 1 (Adaptive Capacity Estimation), driven with
+// synthetic per-period completion traces.
+#include <gtest/gtest.h>
+
+#include "core/capacity_estimator.hpp"
+
+namespace haechi::core {
+namespace {
+
+CapacityEstimator::Params Params(std::int64_t profiled = 1'570'000,
+                                 std::int64_t sigma = 125'600,
+                                 std::int64_t eta = 47'100,
+                                 std::size_t window = 8) {
+  return {profiled, sigma, eta, window};
+}
+
+TEST(CapacityEstimator, StartsAtProfiledValue) {
+  CapacityEstimator est(Params());
+  EXPECT_EQ(est.Estimate(), 1'570'000);
+  EXPECT_EQ(est.LowerBound(), 1'570'000 - 3 * 125'600);
+}
+
+TEST(CapacityEstimator, FullConsumptionGrowsByEta) {
+  CapacityEstimator est(Params());
+  est.OnPeriodEnd(1'570'000);  // U == Omega exactly
+  EXPECT_EQ(est.Estimate(), 1'617'100);
+  EXPECT_EQ(est.GrowthSteps(), 1u);
+}
+
+TEST(CapacityEstimator, NearMissDoesNotGrow) {
+  CapacityEstimator est(Params());
+  est.OnPeriodEnd(1'569'999);  // off by one: capacity-bound, not token-bound
+  EXPECT_LT(est.Estimate(), 1'570'000);
+  EXPECT_EQ(est.GrowthSteps(), 0u);
+}
+
+TEST(CapacityEstimator, SpillAboveEstimateDoesNotGrow) {
+  CapacityEstimator est(Params());
+  // U > Omega: completions spilled from an over-provisioned prior period.
+  est.OnPeriodEnd(1'580'000);
+  EXPECT_LE(est.Estimate(), 1'570'000);
+  EXPECT_EQ(est.GrowthSteps(), 0u);
+}
+
+TEST(CapacityEstimator, WindowAveragesRecentHistory) {
+  CapacityEstimator est(Params());
+  est.OnPeriodEnd(1'500'000);
+  EXPECT_EQ(est.Estimate(), 1'500'000);
+  est.OnPeriodEnd(1'400'000);
+  EXPECT_EQ(est.Estimate(), 1'450'000);
+  EXPECT_EQ(est.WindowFill(), 2u);
+}
+
+TEST(CapacityEstimator, WindowEvictsOldestBeyondM) {
+  CapacityEstimator est(Params(1000, 100, 10, /*window=*/2));
+  est.OnPeriodEnd(900);
+  est.OnPeriodEnd(800);
+  est.OnPeriodEnd(700);  // evicts the 900 sample
+  EXPECT_EQ(est.Estimate(), 750);
+  EXPECT_EQ(est.WindowFill(), 2u);
+}
+
+TEST(CapacityEstimator, LowDemandPeriodsAreIgnored) {
+  CapacityEstimator est(Params());
+  const auto before = est.Estimate();
+  est.OnPeriodEnd(100);  // far below Omega_min: idle clients, not capacity
+  EXPECT_EQ(est.Estimate(), before);
+  est.OnPeriodEnd(0);
+  EXPECT_EQ(est.Estimate(), before);
+  EXPECT_EQ(est.WindowFill(), 0u);
+}
+
+TEST(CapacityEstimator, LowerBoundGuardsTheWindow) {
+  CapacityEstimator est(Params(1000, /*sigma=*/50, 10, 4));
+  // Omega_min = 850: a 849 sample must be ignored, an 851 accepted.
+  est.OnPeriodEnd(849);
+  EXPECT_EQ(est.WindowFill(), 0u);
+  est.OnPeriodEnd(851);
+  EXPECT_EQ(est.WindowFill(), 1u);
+  EXPECT_EQ(est.Estimate(), 851);
+}
+
+TEST(CapacityEstimator, ConvergesDownAfterCapacityDrop) {
+  // Paper Set 4, congestion start: true capacity falls from 1570K to
+  // 1256K; the estimate must track it within a few periods.
+  CapacityEstimator est(Params());
+  for (int period = 0; period < 10; ++period) {
+    est.OnPeriodEnd(std::min<std::int64_t>(est.Estimate() - 1, 1'256'000));
+  }
+  EXPECT_NEAR(static_cast<double>(est.Estimate()), 1'256'000, 20'000);
+}
+
+TEST(CapacityEstimator, RecoversUpAfterCapacityRestores) {
+  // Paper Set 4, congestion stop: estimate at 1256K, capacity back to
+  // 1570K; eta increments climb until the window re-centres.
+  CapacityEstimator est(Params());
+  for (int period = 0; period < 10; ++period) {
+    est.OnPeriodEnd(std::min<std::int64_t>(est.Estimate() - 1, 1'256'000));
+  }
+  const auto congested = est.Estimate();
+  int periods_to_recover = 0;
+  // Capacity is now 1570K: while the estimate is below it, every token is
+  // consumed (U == estimate exactly) and the eta branch fires.
+  while (est.Estimate() < 1'540'000 && periods_to_recover < 50) {
+    est.OnPeriodEnd(std::min<std::int64_t>(est.Estimate(), 1'570'000));
+    ++periods_to_recover;
+  }
+  EXPECT_GT(est.Estimate(), congested);
+  // eta = 3% -> recovery within roughly (1570-1256)/47 ≈ 7 growth steps,
+  // alternating with window corrections.
+  EXPECT_LE(periods_to_recover, 30);
+  EXPECT_GE(est.GrowthSteps(), 5u);
+}
+
+TEST(CapacityEstimator, StableUnderSteadyState) {
+  // Realistic steady state: capacity ~1562K with small jitter; the
+  // estimate must stay within a tight band and not drift.
+  CapacityEstimator est(Params());
+  std::int64_t capacity = 1'562'000;
+  for (int period = 0; period < 100; ++period) {
+    const std::int64_t jitter = (period % 5 - 2) * 500;
+    est.OnPeriodEnd(
+        std::min<std::int64_t>(est.Estimate() - 200, capacity + jitter));
+  }
+  EXPECT_NEAR(static_cast<double>(est.Estimate()), 1'562'000, 15'000);
+}
+
+TEST(CapacityEstimator, RejectsNegativeInput) {
+  CapacityEstimator est(Params());
+  EXPECT_DEATH(est.OnPeriodEnd(-1), "Precondition");
+}
+
+TEST(CapacityEstimator, ValidatesParams) {
+  EXPECT_DEATH(CapacityEstimator(Params(0)), "Precondition");
+  EXPECT_DEATH(CapacityEstimator(Params(1000, -1)), "Precondition");
+  EXPECT_DEATH(CapacityEstimator(Params(1000, 0, -1)), "Precondition");
+  EXPECT_DEATH(CapacityEstimator(Params(1000, 0, 0, 0)), "Precondition");
+}
+
+TEST(CapacityEstimator, LowerBoundClampsAtZero) {
+  CapacityEstimator est(Params(100, /*sigma=*/100));  // 100 - 300 < 0
+  EXPECT_EQ(est.LowerBound(), 0);
+}
+
+}  // namespace
+}  // namespace haechi::core

@@ -1,0 +1,204 @@
+// Tests for the multi-data-node extension (the paper's §V future work):
+// the ClusterCoordinator's reservation splitting, usage-driven
+// rebalancing, invariants, and the end-to-end multi-node harness.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "harness/multi_experiment.hpp"
+
+namespace haechi {
+namespace {
+
+using harness::MultiClientSpec;
+using harness::MultiExperiment;
+using harness::MultiExperimentConfig;
+using harness::MultiExperimentResult;
+
+MultiExperimentConfig BaseConfig() {
+  MultiExperimentConfig config;
+  config.net.capacity_scale = 0.02;
+  config.warmup = Seconds(2);
+  config.measure_periods = 6;
+  config.records = 256;
+  config.qos.token_batch = 50;
+  return config;
+}
+
+std::int64_t Capacity(const MultiExperimentConfig& config) {
+  return static_cast<std::int64_t>(config.net.GlobalCapacityIops());
+}
+
+TEST(Cluster, InitialSplitIsEqualAndSumsToReservation) {
+  MultiExperimentConfig config = BaseConfig();
+  config.data_nodes = 3;
+  config.measure_periods = 1;
+  const std::int64_t cap = Capacity(config);
+  MultiClientSpec spec;
+  spec.reservation = cap / 5 * 3;  // cap/5 per node after the even split
+  spec.demand_per_node = {cap / 5, cap / 5, cap / 5};
+  config.clients = {spec};
+
+  MultiExperiment exp(std::move(config));
+  MultiExperimentResult r = exp.Run();
+  ASSERT_EQ(r.final_split.size(), 1u);
+  const auto& split = r.final_split[0];
+  EXPECT_EQ(std::accumulate(split.begin(), split.end(), std::int64_t{0}),
+            cap / 5 * 3);
+}
+
+TEST(Cluster, SplitFollowsSkewedDemand) {
+  MultiExperimentConfig config = BaseConfig();
+  config.data_nodes = 2;
+  const std::int64_t cap = Capacity(config);
+  // 80% of this client's traffic goes to node 0.
+  MultiClientSpec skewed;
+  skewed.reservation = cap / 5;
+  skewed.demand_per_node = {cap / 5 * 8 / 10, cap / 5 * 2 / 10};
+  config.clients = {skewed};
+
+  MultiExperiment exp(std::move(config));
+  MultiExperimentResult r = exp.Run();
+  const auto& split = r.final_split[0];
+  EXPECT_EQ(split[0] + split[1], cap / 5);
+  // The split converges toward the 80/20 demand shape (min_share floor
+  // keeps a sliver on the cold node).
+  EXPECT_GT(split[0], cap / 5 * 65 / 100);
+  EXPECT_LT(split[1], cap / 5 * 35 / 100);
+  EXPECT_GT(r.cluster_stats.rebalances, 0u);
+  EXPECT_GT(r.cluster_stats.tokens_moved, 0u);
+}
+
+TEST(Cluster, ReservationMetAcrossNodesDespiteSkew) {
+  MultiExperimentConfig config = BaseConfig();
+  config.data_nodes = 2;
+  const std::int64_t cap = Capacity(config);
+  // The skewed client competes with node-local heavy clients on node 0.
+  MultiClientSpec skewed;
+  skewed.reservation = cap / 5;
+  skewed.demand_per_node = {cap / 5 * 8 / 10, cap / 5 * 2 / 10};
+  MultiClientSpec hog;  // floods node 0 with best-effort traffic
+  hog.reservation = 0;
+  hog.demand_per_node = {cap, 0};
+  config.clients = {skewed, hog};
+
+  MultiExperiment exp(std::move(config));
+  MultiExperimentResult r = exp.Run();
+  // After the split converges (skip the first 2 measured periods), the
+  // skewed client's cluster-wide completions meet its reservation.
+  const auto id = MakeClientId(0);
+  for (std::size_t p = 2; p < r.node_series[0].Periods(); ++p) {
+    const std::int64_t cluster_total =
+        r.node_series[0].At(p, id) + r.node_series[1].At(p, id);
+    EXPECT_GE(cluster_total, skewed.reservation * 95 / 100)
+        << "period " << p;
+  }
+}
+
+TEST(Cluster, SplitTracksDemandShift) {
+  MultiExperimentConfig config = BaseConfig();
+  config.data_nodes = 2;
+  config.measure_periods = 10;
+  const std::int64_t cap = Capacity(config);
+  MultiClientSpec spec;
+  spec.reservation = cap / 5;
+  spec.demand_per_node = {cap / 5 * 9 / 10, cap / 5 * 1 / 10};
+  config.clients = {spec};
+  // Mid-run the demand flips to the other node.
+  config.shift_at = config.warmup + Seconds(4);
+  config.shifted_demand = {{cap / 5 * 1 / 10, cap / 5 * 9 / 10}};
+
+  MultiExperiment exp(std::move(config));
+  MultiExperimentResult r = exp.Run();
+  const auto& split = r.final_split[0];
+  // By the end the split has followed the flip.
+  EXPECT_GT(split[1], split[0]);
+  EXPECT_EQ(split[0] + split[1], cap / 5);
+}
+
+TEST(Cluster, AdmitRejectsWhenAnyNodeLacksCapacity) {
+  MultiExperimentConfig config = BaseConfig();
+  config.data_nodes = 2;
+  config.measure_periods = 1;
+  const std::int64_t cap = Capacity(config);
+  MultiClientSpec too_big;
+  // Per-node share cap/2 exceeds the per-node local capacity (~cap/4).
+  too_big.reservation = cap;
+  too_big.demand_per_node = {cap / 2, cap / 2};
+  config.clients = {too_big};
+  EXPECT_DEATH(MultiExperiment(std::move(config)).Run(), "");
+}
+
+TEST(Cluster, CoordinatorApiValidation) {
+  sim::Simulator sim;
+  net::ModelParams params;
+  params.capacity_scale = 0.02;
+  rdma::Fabric fabric(sim, params, 1);
+  rdma::Node& data = fabric.AddNode("data", rdma::NodeRole::kData);
+  core::QosConfig qos;
+  core::QosMonitor monitor(sim, qos, data, params.GlobalCapacityIops(),
+                           params.LocalCapacityIops());
+  core::ClusterCoordinator coordinator(sim, {}, {&monitor});
+
+  // Wrong control-QP arity.
+  auto bad = coordinator.AdmitClient(MakeClientId(0), 100, 0, {});
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  // Unknown client queries.
+  EXPECT_EQ(coordinator.SplitOf(MakeClientId(9)).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(coordinator.ReleaseClient(MakeClientId(9)).code(),
+            StatusCode::kNotFound);
+
+  // Admit, duplicate-admit, release.
+  rdma::Node& client_node = fabric.AddNode("client");
+  auto& cq_a = client_node.CreateCq();
+  auto& cq_b = data.CreateCq();
+  auto& qp_a = client_node.CreateQp(cq_a, cq_a);
+  auto& qp_b = data.CreateQp(cq_b, cq_b);
+  fabric.Connect(qp_a, qp_b);
+  auto ok = coordinator.AdmitClient(MakeClientId(0), 100, 0, {&qp_b});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().size(), 1u);
+  auto dup = coordinator.AdmitClient(MakeClientId(0), 100, 0, {&qp_b});
+  EXPECT_EQ(dup.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(coordinator.ReleaseClient(MakeClientId(0)).ok());
+  EXPECT_FALSE(monitor.admission().IsAdmitted(MakeClientId(0)));
+}
+
+TEST(Cluster, MonitorUpdateReservationSemantics) {
+  sim::Simulator sim;
+  net::ModelParams params;
+  params.capacity_scale = 0.02;
+  rdma::Fabric fabric(sim, params, 1);
+  rdma::Node& data = fabric.AddNode("data", rdma::NodeRole::kData);
+  rdma::Node& client_node = fabric.AddNode("client");
+  core::QosConfig qos;
+  core::QosMonitor monitor(sim, qos, data, params.GlobalCapacityIops(),
+                           params.LocalCapacityIops());
+  auto& cq_a = client_node.CreateCq();
+  auto& cq_b = data.CreateCq();
+  auto& qp_a = client_node.CreateQp(cq_a, cq_a);
+  auto& qp_b = data.CreateQp(cq_b, cq_b);
+  fabric.Connect(qp_a, qp_b);
+
+  const auto local = static_cast<std::int64_t>(params.LocalCapacityIops());
+  EXPECT_EQ(monitor.UpdateReservation(MakeClientId(0), 10).code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(monitor
+                  .AdmitClient(MakeClientId(0), 100, /*limit=*/2 * local,
+                               qp_b)
+                  .ok());
+  EXPECT_TRUE(monitor.UpdateReservation(MakeClientId(0), 400).ok());
+  EXPECT_EQ(monitor.ReservationOf(MakeClientId(0)).value(), 400);
+  // Local capacity still enforced on updates.
+  EXPECT_EQ(monitor.UpdateReservation(MakeClientId(0), local + 1).code(),
+            StatusCode::kResourceExhausted);
+  // A reservation above the client's limit is contradictory.
+  EXPECT_EQ(
+      monitor.UpdateReservation(MakeClientId(0), 2 * local + 5).code(),
+      StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace haechi

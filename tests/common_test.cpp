@@ -1,0 +1,155 @@
+// Unit tests for common/: time helpers, ids, Status/Result, and Flags.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "common/flags.hpp"
+#include "common/logging.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace haechi {
+namespace {
+
+TEST(Types, DurationHelpers) {
+  EXPECT_EQ(Micros(3), 3000);
+  EXPECT_EQ(Millis(2), 2'000'000);
+  EXPECT_EQ(Seconds(1), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Millis(1500)), 1.5);
+}
+
+TEST(Types, ToKiops) {
+  EXPECT_DOUBLE_EQ(ToKiops(400'000, kSecond), 400.0);
+  EXPECT_DOUBLE_EQ(ToKiops(1000, Millis(100)), 10.0);
+  EXPECT_DOUBLE_EQ(ToKiops(5, 0), 0.0);  // degenerate window
+}
+
+TEST(Types, StrongIds) {
+  const auto a = MakeClientId(3);
+  const auto b = MakeClientId(3);
+  const auto c = MakeClientId(4);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(Raw(c), 4u);
+}
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  const Status s = ErrNotFound("missing key 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing key 7");
+}
+
+TEST(Status, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(ErrInvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ErrPermissionDenied("").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(ErrOutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ErrResourceExhausted("").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ErrFailedPrecondition("").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ErrAborted("").code(), StatusCode::kAborted);
+  EXPECT_EQ(ErrUnavailable("").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ErrInternal("").code(), StatusCode::kInternal);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(ErrUnavailable("later"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(Flags, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "4.5", "--gamma",
+                        "--name=zipf"};
+  auto flags = Flags::Parse(6, argv, {"alpha", "beta", "gamma", "name"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags.value().GetInt("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(flags.value().GetDouble("beta", 0.0), 4.5);
+  EXPECT_TRUE(flags.value().GetBool("gamma", false));
+  EXPECT_EQ(flags.value().GetString("name", ""), "zipf");
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  auto flags = Flags::Parse(1, argv, {"x"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags.value().GetInt("x", 7), 7);
+  EXPECT_FALSE(flags.value().Has("x"));
+}
+
+TEST(Flags, RejectsUnknownFlag) {
+  const char* argv[] = {"prog", "--bogus=1"};
+  auto flags = Flags::Parse(2, argv, {"known"});
+  EXPECT_FALSE(flags.ok());
+  EXPECT_EQ(flags.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Flags, KeepsPositionalArguments) {
+  const char* argv[] = {"prog", "pos1", "--k=1", "pos2"};
+  auto flags = Flags::Parse(4, argv, {"k"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags.value().positional(),
+            (std::vector<std::string>{"pos1", "pos2"}));
+}
+
+TEST(Flags, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes", "--d=no"};
+  auto flags = Flags::Parse(5, argv, {"a", "b", "c", "d"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags.value().GetBool("a", false));
+  EXPECT_FALSE(flags.value().GetBool("b", true));
+  EXPECT_TRUE(flags.value().GetBool("c", false));
+  EXPECT_FALSE(flags.value().GetBool("d", true));
+}
+
+TEST(Logging, ParseLevels) {
+  EXPECT_EQ(ParseLogLevel("trace"), LogLevel::kTrace);
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("garbage"), LogLevel::kWarn);  // safe default
+}
+
+TEST(Logging, ThresholdGatesEnabled) {
+  const LogLevel old = Logger::threshold();
+  Logger::set_threshold(LogLevel::kError);
+  EXPECT_FALSE(Logger::Enabled(LogLevel::kInfo));
+  EXPECT_FALSE(Logger::Enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Logger::Enabled(LogLevel::kError));
+  Logger::set_threshold(LogLevel::kTrace);
+  EXPECT_TRUE(Logger::Enabled(LogLevel::kDebug));
+  Logger::set_threshold(old);
+}
+
+TEST(Assertions, PreconditionAborts) {
+  EXPECT_DEATH(HAECHI_EXPECTS(1 == 2), "Precondition");
+  EXPECT_DEATH(HAECHI_ENSURES(false), "Postcondition");
+  EXPECT_DEATH(HAECHI_ASSERT(false), "Invariant");
+}
+
+}  // namespace
+}  // namespace haechi

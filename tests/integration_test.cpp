@@ -1,0 +1,167 @@
+// End-to-end protocol tests: full clusters (monitor + engines + KV store +
+// workload) at reduced capacity scale for speed. Shapes and guarantees are
+// scale-invariant (see DESIGN.md).
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "workload/distributions.hpp"
+
+namespace haechi {
+namespace {
+
+using harness::Experiment;
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using harness::IoPath;
+using harness::Mode;
+
+// 5% of the paper's hardware: C_G = 78.5 KIOPS, C_L = 20 KIOPS.
+constexpr double kScale = 0.05;
+
+ExperimentConfig ScaledConfig(Mode mode) {
+  ExperimentConfig config;
+  config.mode = mode;
+  config.net.capacity_scale = kScale;
+  config.warmup = Seconds(2);
+  config.measure_periods = 8;
+  config.records = 1024;
+  return config;
+}
+
+std::int64_t Tokens(const ExperimentConfig& config, double fraction) {
+  return static_cast<std::int64_t>(config.net.GlobalCapacityIops() *
+                                   ToSeconds(config.qos.period) * fraction);
+}
+
+// Experiment 2A (Zipf): with Haechi every client meets its reservation in
+// every period; 90% of capacity reserved, demand = reservation + pool.
+TEST(HaechiIntegration, ZipfReservationsMetEveryPeriod) {
+  ExperimentConfig config = ScaledConfig(Mode::kHaechi);
+  const std::int64_t reserved = Tokens(config, 0.9);
+  const std::int64_t pool = Tokens(config, 0.1);
+  const auto reservations = workload::ZipfGroupShare(reserved, 10, 5, 0.6);
+  for (const auto r : reservations) {
+    harness::ClientSpec spec;
+    spec.reservation = r;
+    spec.demand = r + pool;
+    // Set 2 requires demand sufficiency (Definition 1).
+    spec.pattern = workload::RequestPattern::kOpenLoop;
+    config.clients.push_back(spec);
+  }
+  ExperimentResult result = Experiment(std::move(config)).Run();
+
+  for (std::uint32_t c = 0; c < 10; ++c) {
+    const auto id = MakeClientId(c);
+    // 2% slack: measurement windows are aligned to the monitor's period
+    // boundaries while engine periods lag by the control-message transit,
+    // so a tail of completions can be attributed to the neighbouring
+    // window. The tokens themselves are all consumed within the period.
+    EXPECT_GE(result.series.ClientMinPerPeriod(id),
+              result.reservations[c] * 98 / 100)
+        << "client " << c << " missed its reservation";
+  }
+}
+
+// Experiment 2A (bare baseline): the bare system serves everyone equally,
+// so above-average reservations are missed.
+TEST(HaechiIntegration, BareSystemMissesHighReservations) {
+  ExperimentConfig config = ScaledConfig(Mode::kBare);
+  const std::int64_t reserved = Tokens(config, 0.9);
+  const std::int64_t pool = Tokens(config, 0.1);
+  const auto reservations = workload::ZipfGroupShare(reserved, 10, 5, 0.6);
+  for (const auto r : reservations) {
+    harness::ClientSpec spec;
+    spec.reservation = r;  // recorded but unenforced
+    spec.demand = r + pool;
+    config.clients.push_back(spec);
+  }
+  ExperimentResult result = Experiment(std::move(config)).Run();
+
+  // Clients 0 and 1 (highest Zipf group) fall well short of reservation.
+  const auto want = result.reservations[0];
+  const auto got = result.series.ClientTotal(MakeClientId(0)) /
+                   static_cast<std::int64_t>(result.series.Periods());
+  EXPECT_LT(got, want * 9 / 10);
+}
+
+// Experiment 2B: token conversion moves unused reservation to busy clients;
+// Basic Haechi wastes it.
+TEST(HaechiIntegration, TokenConversionBeatsBasicHaechi) {
+  auto build = [](Mode mode) {
+    ExperimentConfig config = ScaledConfig(mode);
+    const std::int64_t reserved = Tokens(config, 0.9);
+    const std::int64_t pool = Tokens(config, 0.1);
+    const auto reservations =
+        workload::UniformShare(reserved, 10);
+    for (std::size_t i = 0; i < reservations.size(); ++i) {
+      harness::ClientSpec spec;
+      spec.reservation = reservations[i];
+      // C1, C2 have demand below reservation; the rest are hungry.
+      spec.demand = i < 2 ? reservations[i] / 2 : reservations[i] + pool;
+      spec.pattern = workload::RequestPattern::kOpenLoop;
+      config.clients.push_back(spec);
+    }
+    return config;
+  };
+
+  ExperimentResult haechi = Experiment(build(Mode::kHaechi)).Run();
+  ExperimentResult basic = Experiment(build(Mode::kBasicHaechi)).Run();
+
+  // Work conservation: full Haechi recovers most of the surrendered
+  // capacity; Basic wastes it.
+  EXPECT_GT(haechi.total_kiops, basic.total_kiops * 1.05);
+
+  // The reclaimed tokens let hungry clients exceed their reservation.
+  const auto id = MakeClientId(5);
+  EXPECT_GT(haechi.series.ClientTotal(id), basic.series.ClientTotal(id));
+}
+
+// Limits: a client with L_i = R_i never exceeds it.
+TEST(HaechiIntegration, LimitsAreEnforced) {
+  ExperimentConfig config = ScaledConfig(Mode::kHaechi);
+  const std::int64_t reserved = Tokens(config, 0.8);
+  const auto reservations = workload::UniformShare(reserved, 4);
+  for (std::size_t i = 0; i < reservations.size(); ++i) {
+    harness::ClientSpec spec;
+    spec.reservation = reservations[i];
+    spec.demand = reservations[i] * 2;
+    spec.pattern = workload::RequestPattern::kOpenLoop;
+    if (i == 0) spec.limit = reservations[i];  // capped at its reservation
+    config.clients.push_back(spec);
+  }
+  ExperimentResult result = Experiment(std::move(config)).Run();
+
+  const auto id = MakeClientId(0);
+  for (std::size_t p = 1; p + 1 < result.series.Periods(); ++p) {
+    EXPECT_LE(result.series.At(p, id), result.reservations[0] + 160)
+        << "period " << p;
+  }
+  // The other (unlimited) clients soak up the slack.
+  EXPECT_GT(result.series.ClientTotal(MakeClientId(1)),
+            result.series.ClientTotal(id));
+}
+
+// Uniform sufficient demand: Haechi costs almost nothing vs bare.
+TEST(HaechiIntegration, OverheadIsNegligible) {
+  auto build = [](Mode mode) {
+    ExperimentConfig config = ScaledConfig(mode);
+    const std::int64_t reserved = Tokens(config, 0.9);
+    const std::int64_t pool = Tokens(config, 0.1);
+    const auto reservations = workload::UniformShare(reserved, 10);
+    for (const auto r : reservations) {
+      harness::ClientSpec spec;
+      spec.reservation = r;
+      spec.demand = r + pool;
+      spec.pattern = workload::RequestPattern::kOpenLoop;
+      config.clients.push_back(spec);
+    }
+    return config;
+  };
+  ExperimentResult haechi = Experiment(build(Mode::kHaechi)).Run();
+  ExperimentResult bare = Experiment(build(Mode::kBare)).Run();
+  // Paper: < 0.1% throughput loss; allow 2% in the scaled simulation.
+  EXPECT_GT(haechi.total_kiops, bare.total_kiops * 0.98);
+}
+
+}  // namespace
+}  // namespace haechi

@@ -1,0 +1,310 @@
+// Property-based invariant sweeps (parameterised gtest): the DESIGN.md §5
+// invariants checked across randomised reservation vectors, seeds,
+// reserved fractions, and request patterns.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "harness/experiment.hpp"
+#include "workload/distributions.hpp"
+
+namespace haechi {
+namespace {
+
+using harness::ClientSpec;
+using harness::Experiment;
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using harness::Mode;
+
+constexpr double kScale = 0.02;
+
+ExperimentConfig BaseConfig(std::uint64_t seed) {
+  ExperimentConfig config;
+  config.mode = Mode::kHaechi;
+  config.net.capacity_scale = kScale;
+  config.warmup = Seconds(1);
+  config.measure_periods = 4;
+  config.records = 256;
+  config.qos.token_batch = 100;
+  config.seed = seed;
+  return config;
+}
+
+std::int64_t Capacity(const ExperimentConfig& config) {
+  return static_cast<std::int64_t>(config.net.GlobalCapacityIops());
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 1: every admitted, continuously-backlogged client receives at
+// least its reservation each period (demand sufficiency via open loop).
+// Swept over random reservation vectors and seeds.
+
+class ReservationInvariant : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReservationInvariant, BackloggedClientsMeetReservations) {
+  const std::uint64_t seed = GetParam();
+  ExperimentConfig config = BaseConfig(seed);
+  const std::int64_t cap = Capacity(config);
+
+  // Random reservation vector: 3..8 clients, 60-90% of capacity reserved,
+  // random weights.
+  Rng rng(seed * 977 + 3);
+  const std::size_t n = 3 + rng.NextBelow(6);
+  const double reserved_frac = 0.6 + 0.3 * rng.NextDouble();
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = 0.2 + rng.NextDouble();
+  const auto reservations = workload::WeightedShare(
+      static_cast<std::int64_t>(static_cast<double>(cap) * reserved_frac),
+      weights);
+
+  const std::int64_t local_cap =
+      static_cast<std::int64_t>(config.net.LocalCapacityIops());
+  for (const auto r : reservations) {
+    ClientSpec spec;
+    // Stay within the admissible region (local capacity constraint).
+    spec.reservation = std::min(r, local_cap);
+    spec.demand = spec.reservation + cap / 10;
+    spec.pattern = workload::RequestPattern::kOpenLoop;
+    config.clients.push_back(spec);
+  }
+
+  ExperimentResult result = Experiment(std::move(config)).Run();
+  for (std::uint32_t c = 0; c < result.reservations.size(); ++c) {
+    EXPECT_GE(result.series.ClientMinPerPeriod(MakeClientId(c)),
+              result.reservations[c] * 97 / 100)
+        << "seed " << seed << " client " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReservationInvariant,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// Invariant 2/3: work conservation and no systematic over-allocation. With
+// aggregate backlog >= capacity all period, total completions stay within
+// a few percent of capacity — from below AND above.
+
+class WorkConservation
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(WorkConservation, SaturatedThroughputTracksCapacity) {
+  const auto [seed, reserved_frac] = GetParam();
+  ExperimentConfig config = BaseConfig(seed);
+  const std::int64_t cap = Capacity(config);
+  const auto reservations = workload::ZipfGroupShare(
+      static_cast<std::int64_t>(static_cast<double>(cap) * reserved_frac), 10,
+      5, 0.6);
+  for (const auto r : reservations) {
+    ClientSpec spec;
+    spec.reservation = r;
+    spec.demand = r + cap / 5;
+    spec.pattern = workload::RequestPattern::kOpenLoop;
+    config.clients.push_back(spec);
+  }
+  ExperimentResult result = Experiment(std::move(config)).Run();
+  const double capacity_kiops = static_cast<double>(cap) / 1e3;
+  EXPECT_GT(result.total_kiops, capacity_kiops * 0.95);
+  EXPECT_LT(result.total_kiops, capacity_kiops * 1.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FractionsAndSeeds, WorkConservation,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3),
+                       ::testing::Values(0.5, 0.7, 0.9)));
+
+// ---------------------------------------------------------------------------
+// Invariant 3b: work conservation under insufficient demand — idle
+// reservations are recycled to hungry clients (token conversion).
+
+class ConversionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConversionProperty, IdleReservationIsRecycled) {
+  const std::uint64_t seed = GetParam();
+  ExperimentConfig config = BaseConfig(seed);
+  const std::int64_t cap = Capacity(config);
+  const double config_local_iops_ = config.net.LocalCapacityIops();
+  Rng rng(seed * 31 + 7);
+  const auto reservations =
+      workload::UniformShare(cap * 8 / 10, 6);
+  const std::size_t idle_count = 1 + rng.NextBelow(3);
+  for (std::size_t i = 0; i < reservations.size(); ++i) {
+    ClientSpec spec;
+    spec.reservation = reservations[i];
+    spec.demand = i < idle_count ? 0 : reservations[i] + cap;
+    spec.pattern = workload::RequestPattern::kOpenLoop;
+    config.clients.push_back(spec);
+  }
+  const std::size_t active = reservations.size() - idle_count;
+  ExperimentResult result = Experiment(std::move(config)).Run();
+  // Hungry clients recover nearly all surrendered capacity: total reaches
+  // 90% of the achievable ceiling — the node capacity or, with few active
+  // clients, their combined local capacity C_L (paper §II-C).
+  const double ceiling =
+      std::min(static_cast<double>(cap),
+               static_cast<double>(active) * config_local_iops_);
+  EXPECT_GT(result.total_kiops, ceiling / 1e3 * 0.90)
+      << "seed " << seed << " idle " << idle_count;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConversionProperty,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+// ---------------------------------------------------------------------------
+// Invariant 4: limits hold for every client that has one, under random
+// limit placements.
+
+class LimitProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LimitProperty, NoClientExceedsItsLimit) {
+  const std::uint64_t seed = GetParam();
+  ExperimentConfig config = BaseConfig(seed);
+  const std::int64_t cap = Capacity(config);
+  Rng rng(seed * 131 + 17);
+  const auto reservations = workload::UniformShare(cap / 2, 5);
+  for (std::size_t i = 0; i < reservations.size(); ++i) {
+    ClientSpec spec;
+    spec.reservation = reservations[i];
+    spec.demand = cap;  // everyone wants everything
+    spec.pattern = workload::RequestPattern::kOpenLoop;
+    if (rng.NextBelow(2) == 0) {
+      spec.limit = reservations[i] +
+                   static_cast<std::int64_t>(rng.NextBelow(
+                       static_cast<std::uint64_t>(reservations[i])));
+    }
+    config.clients.push_back(spec);
+  }
+  const auto limits = config.clients;
+  ExperimentResult result = Experiment(std::move(config)).Run();
+  for (std::uint32_t c = 0; c < limits.size(); ++c) {
+    if (limits[c].limit <= 0) continue;
+    for (std::size_t p = 0; p < result.series.Periods(); ++p) {
+      EXPECT_LE(result.series.At(p, MakeClientId(c)),
+                limits[c].limit + limits[c].limit / 50 + 64)
+          << "seed " << seed << " client " << c << " period " << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LimitProperty,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+// ---------------------------------------------------------------------------
+// Invariant 6 at the protocol level: after a capacity step the closed loop
+// (reports -> Algorithm 1 -> tokens) re-converges and reservations hold.
+
+class AdaptationProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>> {};
+
+TEST_P(AdaptationProperty, EstimateTracksCapacityStep) {
+  const auto [seed, congestion_starts] = GetParam();
+  ExperimentConfig config = BaseConfig(seed);
+  config.measure_periods = 14;
+  const std::int64_t cap = Capacity(config);
+  const auto reservations = workload::UniformShare(cap * 7 / 10, 5);
+  for (const auto r : reservations) {
+    ClientSpec spec;
+    spec.reservation = r;
+    spec.demand = r + cap / 5;
+    spec.pattern = workload::RequestPattern::kOpenLoop;
+    config.clients.push_back(spec);
+  }
+  // Background flows eat ~20% of the node in [on, off).
+  config.background_demand = cap / 5 / 5;  // per node, 5 nodes
+  if (congestion_starts) {
+    config.background_on = Seconds(8);
+    config.background_off = kSimTimeMax;
+  } else {
+    config.background_on = 0;
+    config.background_off = Seconds(8);
+  }
+  ExperimentResult result = Experiment(std::move(config)).Run();
+  ASSERT_GE(result.capacity_trace.size(), 12u);
+  const auto early = result.capacity_trace[4].estimate;   // pre-step
+  const auto late = result.capacity_trace.back().estimate;
+  if (congestion_starts) {
+    EXPECT_LT(late, early * 95 / 100) << "estimate failed to drop";
+  } else {
+    EXPECT_GT(late, early * 105 / 100) << "estimate failed to recover";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndDirections, AdaptationProperty,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2),
+                       ::testing::Bool()));
+
+// ---------------------------------------------------------------------------
+// Scale invariance: the reproduction's claim that shapes survive
+// capacity_scale (how the benches offer --scale) — normalised per-client
+// shares must agree across scales within a small tolerance.
+
+TEST(ScaleInvariance, NormalisedSharesAgreeAcrossScales) {
+  auto run = [](double scale) {
+    ExperimentConfig config;
+    config.mode = Mode::kHaechi;
+    config.net.capacity_scale = scale;
+    config.warmup = Seconds(1);
+    config.measure_periods = 4;
+    config.records = 256;
+    config.qos.token_batch =
+        std::max<std::int64_t>(10, static_cast<std::int64_t>(1000 * scale));
+    const auto cap = Capacity(config);
+    const auto reservations = workload::ZipfGroupShare(cap * 9 / 10, 10, 5,
+                                                       0.6);
+    for (const auto r : reservations) {
+      ClientSpec spec;
+      spec.reservation = r;
+      spec.demand = r + cap / 10;
+      spec.pattern = workload::RequestPattern::kOpenLoop;
+      config.clients.push_back(spec);
+    }
+    ExperimentResult result = Experiment(std::move(config)).Run();
+    std::vector<double> shares(10);
+    const auto total = result.series.Total();
+    for (std::uint32_t c = 0; c < 10; ++c) {
+      shares[c] = static_cast<double>(
+                      result.series.ClientTotal(MakeClientId(c))) /
+                  static_cast<double>(total);
+    }
+    return shares;
+  };
+  const auto small = run(0.02);
+  const auto large = run(0.08);
+  for (std::size_t c = 0; c < 10; ++c) {
+    EXPECT_NEAR(small[c], large[c], 0.02) << "client " << c;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-cutting: the whole protocol is deterministic for a fixed seed and
+// sensitive to it otherwise.
+
+TEST(Determinism, SameSeedSameResults) {
+  auto run = [](std::uint64_t seed) {
+    ExperimentConfig config = BaseConfig(seed);
+    const std::int64_t cap = Capacity(config);
+    const auto reservations = workload::ZipfGroupShare(cap * 4 / 5, 6, 3, 0.6);
+    for (const auto r : reservations) {
+      ClientSpec spec;
+      spec.reservation = r;
+      spec.demand = r + cap / 10;
+      spec.pattern = workload::RequestPattern::kOpenLoop;
+      config.clients.push_back(spec);
+    }
+    return Experiment(std::move(config)).Run();
+  };
+  ExperimentResult a = run(5);
+  ExperimentResult b = run(5);
+  ExperimentResult c = run(6);
+  EXPECT_EQ(a.total_kiops, b.total_kiops);
+  EXPECT_EQ(a.events_run, b.events_run);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(a.series.ClientTotal(MakeClientId(i)),
+              b.series.ClientTotal(MakeClientId(i)));
+  }
+  EXPECT_NE(a.events_run, c.events_run);
+}
+
+}  // namespace
+}  // namespace haechi

@@ -1,0 +1,427 @@
+// Unit tests for the simulated verbs layer: memory registration and
+// protection, one-sided READ/WRITE data movement, atomics, SEND/RECV,
+// completion ordering, and error (NAK) paths.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "rdma/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace haechi::rdma {
+namespace {
+
+class RdmaTest : public ::testing::Test {
+ protected:
+  RdmaTest()
+      : fabric_(sim_, net::ModelParams{}, /*seed=*/7),
+        server_(fabric_.AddNode("server", NodeRole::kData)),
+        client_(fabric_.AddNode("client")),
+        client_cq_(client_.CreateCq()),
+        server_cq_(server_.CreateCq()),
+        client_qp_(client_.CreateQp(client_cq_, client_cq_)),
+        server_qp_(server_.CreateQp(server_cq_, server_cq_)) {
+    fabric_.Connect(client_qp_, server_qp_);
+  }
+
+  std::vector<WorkCompletion> RunAndPoll(CompletionQueue& cq) {
+    sim_.Run();
+    return cq.Poll(64);
+  }
+
+  sim::Simulator sim_;
+  Fabric fabric_;
+  Node& server_;
+  Node& client_;
+  CompletionQueue& client_cq_;
+  CompletionQueue& server_cq_;
+  QueuePair& client_qp_;
+  QueuePair& server_qp_;
+};
+
+TEST_F(RdmaTest, MemoryRegionCoversExactBounds) {
+  std::vector<std::byte> buf(128);
+  const MemoryRegion& mr =
+      server_.pd().Register(std::span<std::byte>(buf), access::kAll);
+  EXPECT_TRUE(mr.Covers(mr.remote_addr(), 128));
+  EXPECT_TRUE(mr.Covers(mr.remote_addr() + 64, 64));
+  EXPECT_FALSE(mr.Covers(mr.remote_addr() + 64, 65));
+  EXPECT_FALSE(mr.Covers(mr.remote_addr() - 1, 1));
+  EXPECT_NE(mr.lkey(), mr.rkey());
+}
+
+TEST_F(RdmaTest, ProtectionDomainLookups) {
+  std::vector<std::byte> buf(64);
+  const MemoryRegion& mr =
+      server_.pd().Register(std::span<std::byte>(buf), access::kRemoteRead);
+  EXPECT_EQ(server_.pd().FindByRkey(mr.rkey()), &mr);
+  EXPECT_EQ(server_.pd().FindByRkey(mr.rkey() + 999), nullptr);
+  EXPECT_EQ(server_.pd().FindCovering(buf.data() + 10, 20), &mr);
+  EXPECT_EQ(server_.pd().FindCovering(buf.data() + 60, 10), nullptr);
+  ASSERT_TRUE(server_.pd().Deregister(mr.rkey()).ok());
+  EXPECT_EQ(server_.pd().FindByRkey(mr.rkey()), nullptr);
+  EXPECT_FALSE(server_.pd().Deregister(12345).ok());
+}
+
+TEST_F(RdmaTest, ReadMovesRemoteBytes) {
+  std::vector<std::byte> remote(256);
+  for (std::size_t i = 0; i < remote.size(); ++i) {
+    remote[i] = static_cast<std::byte>(i);
+  }
+  const MemoryRegion& rmr =
+      server_.pd().Register(std::span<std::byte>(remote), access::kAll);
+  std::vector<std::byte> local(256);
+  client_.pd().Register(std::span<std::byte>(local),
+                        access::kLocalRead | access::kLocalWrite);
+
+  ASSERT_TRUE(client_qp_
+                  .PostRead(1, std::span<std::byte>(local), rmr.remote_addr(),
+                            rmr.rkey())
+                  .ok());
+  auto wcs = RunAndPoll(client_cq_);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_TRUE(wcs[0].ok());
+  EXPECT_EQ(wcs[0].wr_id, 1u);
+  EXPECT_EQ(wcs[0].opcode, Opcode::kRead);
+  EXPECT_EQ(wcs[0].byte_len, 256u);
+  EXPECT_EQ(std::memcmp(local.data(), remote.data(), 256), 0);
+}
+
+TEST_F(RdmaTest, WriteMovesLocalBytes) {
+  std::vector<std::byte> remote(64, std::byte{0});
+  const MemoryRegion& rmr =
+      server_.pd().Register(std::span<std::byte>(remote), access::kAll);
+  std::vector<std::byte> local(64, std::byte{0xAB});
+  client_.pd().Register(std::span<std::byte>(local),
+                        access::kLocalRead | access::kLocalWrite);
+
+  ASSERT_TRUE(client_qp_
+                  .PostWrite(2, std::span<const std::byte>(local),
+                             rmr.remote_addr(), rmr.rkey())
+                  .ok());
+  auto wcs = RunAndPoll(client_cq_);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_TRUE(wcs[0].ok());
+  EXPECT_EQ(remote[0], std::byte{0xAB});
+  EXPECT_EQ(remote[63], std::byte{0xAB});
+}
+
+TEST_F(RdmaTest, WriteSnapshotsPayloadAtPostTime) {
+  std::vector<std::byte> remote(8, std::byte{0});
+  const MemoryRegion& rmr =
+      server_.pd().Register(std::span<std::byte>(remote), access::kAll);
+  std::vector<std::byte> local(8, std::byte{0x11});
+  client_.pd().Register(std::span<std::byte>(local),
+                        access::kLocalRead | access::kLocalWrite);
+  ASSERT_TRUE(client_qp_
+                  .PostWrite(3, std::span<const std::byte>(local),
+                             rmr.remote_addr(), rmr.rkey())
+                  .ok());
+  // Mutate the source buffer after posting: the DMA gather already copied.
+  local[0] = std::byte{0xFF};
+  sim_.Run();
+  EXPECT_EQ(remote[0], std::byte{0x11});
+}
+
+TEST_F(RdmaTest, FetchAddReturnsOldValueAndAdds) {
+  alignas(8) std::uint64_t word = 100;
+  auto span = std::span<std::byte>(reinterpret_cast<std::byte*>(&word), 8);
+  const MemoryRegion& rmr = server_.pd().Register(span, access::kAll);
+
+  ASSERT_TRUE(client_qp_.PostFetchAdd(4, rmr.remote_addr(), rmr.rkey(), 42)
+                  .ok());
+  auto wcs = RunAndPoll(client_cq_);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_TRUE(wcs[0].ok());
+  EXPECT_EQ(wcs[0].atomic_result, 100u);
+  EXPECT_EQ(word, 142u);
+}
+
+TEST_F(RdmaTest, FetchAddWithNegativeDelta) {
+  alignas(8) std::uint64_t word = 50;
+  auto span = std::span<std::byte>(reinterpret_cast<std::byte*>(&word), 8);
+  const MemoryRegion& rmr = server_.pd().Register(span, access::kAll);
+  ASSERT_TRUE(
+      client_qp_.PostFetchAdd(5, rmr.remote_addr(), rmr.rkey(), -80).ok());
+  sim_.Run();
+  auto wcs = client_cq_.Poll(1);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].atomic_result, 50u);
+  EXPECT_EQ(static_cast<std::int64_t>(word), -30);
+}
+
+TEST_F(RdmaTest, AtomicsAreSequencedAtTheResponder) {
+  // Two FAAs racing from the same client: the second must see the first's
+  // effect (RNIC atomics serialise at the responder).
+  alignas(8) std::uint64_t word = 0;
+  auto span = std::span<std::byte>(reinterpret_cast<std::byte*>(&word), 8);
+  const MemoryRegion& rmr = server_.pd().Register(span, access::kAll);
+  ASSERT_TRUE(
+      client_qp_.PostFetchAdd(6, rmr.remote_addr(), rmr.rkey(), 10).ok());
+  ASSERT_TRUE(
+      client_qp_.PostFetchAdd(7, rmr.remote_addr(), rmr.rkey(), 10).ok());
+  auto wcs = RunAndPoll(client_cq_);
+  ASSERT_EQ(wcs.size(), 2u);
+  EXPECT_EQ(wcs[0].atomic_result, 0u);
+  EXPECT_EQ(wcs[1].atomic_result, 10u);
+  EXPECT_EQ(word, 20u);
+}
+
+TEST_F(RdmaTest, CompareSwapSwapsOnlyOnMatch) {
+  alignas(8) std::uint64_t word = 7;
+  auto span = std::span<std::byte>(reinterpret_cast<std::byte*>(&word), 8);
+  const MemoryRegion& rmr = server_.pd().Register(span, access::kAll);
+
+  ASSERT_TRUE(client_qp_
+                  .PostCompareSwap(8, rmr.remote_addr(), rmr.rkey(),
+                                   /*expected=*/7, /*desired=*/99)
+                  .ok());
+  ASSERT_TRUE(client_qp_
+                  .PostCompareSwap(9, rmr.remote_addr(), rmr.rkey(),
+                                   /*expected=*/7, /*desired=*/55)
+                  .ok());
+  auto wcs = RunAndPoll(client_cq_);
+  ASSERT_EQ(wcs.size(), 2u);
+  EXPECT_EQ(wcs[0].atomic_result, 7u);   // matched, swapped
+  EXPECT_EQ(wcs[1].atomic_result, 99u);  // mismatch, no swap
+  EXPECT_EQ(word, 99u);
+}
+
+TEST_F(RdmaTest, InvalidRkeyCompletesWithError) {
+  std::vector<std::byte> local(32);
+  client_.pd().Register(std::span<std::byte>(local),
+                        access::kLocalRead | access::kLocalWrite);
+  ASSERT_TRUE(client_qp_
+                  .PostRead(10, std::span<std::byte>(local),
+                            0xdeadbeef, /*rkey=*/4242)
+                  .ok());
+  auto wcs = RunAndPoll(client_cq_);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].status, WcStatus::kRemoteInvalidRkey);
+  EXPECT_FALSE(wcs[0].ok());
+}
+
+TEST_F(RdmaTest, OutOfBoundsCompletesWithError) {
+  std::vector<std::byte> remote(64);
+  const MemoryRegion& rmr =
+      server_.pd().Register(std::span<std::byte>(remote), access::kAll);
+  std::vector<std::byte> local(128);
+  client_.pd().Register(std::span<std::byte>(local),
+                        access::kLocalRead | access::kLocalWrite);
+  ASSERT_TRUE(client_qp_
+                  .PostRead(11, std::span<std::byte>(local),
+                            rmr.remote_addr(), rmr.rkey())
+                  .ok());
+  auto wcs = RunAndPoll(client_cq_);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].status, WcStatus::kRemoteOutOfRange);
+}
+
+TEST_F(RdmaTest, MissingAccessFlagCompletesWithError) {
+  std::vector<std::byte> remote(64);
+  const MemoryRegion& rmr = server_.pd().Register(
+      std::span<std::byte>(remote), access::kRemoteRead);  // no write
+  std::vector<std::byte> local(64);
+  client_.pd().Register(std::span<std::byte>(local),
+                        access::kLocalRead | access::kLocalWrite);
+  ASSERT_TRUE(client_qp_
+                  .PostWrite(12, std::span<const std::byte>(local),
+                             rmr.remote_addr(), rmr.rkey())
+                  .ok());
+  auto wcs = RunAndPoll(client_cq_);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].status, WcStatus::kRemoteAccessError);
+}
+
+TEST_F(RdmaTest, MisalignedAtomicCompletesWithError) {
+  std::vector<std::byte> remote(64);
+  const MemoryRegion& rmr =
+      server_.pd().Register(std::span<std::byte>(remote), access::kAll);
+  ASSERT_TRUE(client_qp_
+                  .PostFetchAdd(13, rmr.remote_addr() + 1, rmr.rkey(), 1)
+                  .ok());
+  auto wcs = RunAndPoll(client_cq_);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].status, WcStatus::kRemoteMisaligned);
+}
+
+TEST_F(RdmaTest, LocalValidationFailsSynchronously) {
+  std::vector<std::byte> unregistered(32);
+  const Status s = client_qp_.PostRead(14, std::span<std::byte>(unregistered),
+                                       0x1000, 1);
+  EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(RdmaTest, PostOnDisconnectedQpFails) {
+  auto& cq = client_.CreateCq();
+  auto& lonely = client_.CreateQp(cq, cq);
+  std::vector<std::byte> local(8);
+  client_.pd().Register(std::span<std::byte>(local),
+                        access::kLocalRead | access::kLocalWrite);
+  const Status s = lonely.PostRead(15, std::span<std::byte>(local), 0x1000, 1);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RdmaTest, SendQueueDepthEnforced) {
+  auto& cq_a = client_.CreateCq();
+  auto& cq_b = server_.CreateCq();
+  auto& shallow = client_.CreateQp(cq_a, cq_a, /*send_queue_depth=*/2);
+  auto& peer = server_.CreateQp(cq_b, cq_b);
+  fabric_.Connect(shallow, peer);
+  std::vector<std::byte> payload(16);
+  EXPECT_TRUE(shallow.PostSend(1, payload).ok());
+  EXPECT_TRUE(shallow.PostSend(2, payload).ok());
+  const Status s = shallow.PostSend(3, payload);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(shallow.InFlight(), 2u);
+  sim_.Run();
+  EXPECT_EQ(shallow.InFlight(), 0u);
+  EXPECT_TRUE(shallow.PostSend(4, payload).ok());
+  sim_.Run();
+}
+
+TEST_F(RdmaTest, SendRecvDeliversPayload) {
+  std::vector<std::byte> recv_buf(64);
+  ASSERT_TRUE(server_qp_.PostRecv(100, std::span<std::byte>(recv_buf)).ok());
+  const char msg[] = "hello haechi";
+  ASSERT_TRUE(client_qp_
+                  .PostSend(16, std::span<const std::byte>(
+                                    reinterpret_cast<const std::byte*>(msg),
+                                    sizeof(msg)))
+                  .ok());
+  sim_.Run();
+  auto recv_wcs = server_cq_.Poll(4);
+  // Recv CQE plus the client's send CQE live in different CQs.
+  ASSERT_EQ(recv_wcs.size(), 1u);
+  EXPECT_EQ(recv_wcs[0].opcode, Opcode::kRecv);
+  EXPECT_EQ(recv_wcs[0].wr_id, 100u);
+  EXPECT_EQ(recv_wcs[0].byte_len, sizeof(msg));
+  EXPECT_STREQ(reinterpret_cast<const char*>(recv_buf.data()), msg);
+}
+
+TEST_F(RdmaTest, SendBeforeRecvIsParkedNotLost) {
+  const char msg[] = "early";
+  ASSERT_TRUE(client_qp_
+                  .PostSend(17, std::span<const std::byte>(
+                                    reinterpret_cast<const std::byte*>(msg),
+                                    sizeof(msg)))
+                  .ok());
+  sim_.Run();
+  EXPECT_EQ(server_cq_.Pending(), 0u);
+  std::vector<std::byte> recv_buf(64);
+  ASSERT_TRUE(server_qp_.PostRecv(101, std::span<std::byte>(recv_buf)).ok());
+  auto wcs = server_cq_.Poll(1);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_STREQ(reinterpret_cast<const char*>(recv_buf.data()), msg);
+}
+
+TEST_F(RdmaTest, CompletionsArriveInPostOrder) {
+  std::vector<std::byte> remote(8192);
+  const MemoryRegion& rmr =
+      server_.pd().Register(std::span<std::byte>(remote), access::kAll);
+  std::vector<std::byte> local(8192);
+  client_.pd().Register(std::span<std::byte>(local),
+                        access::kLocalRead | access::kLocalWrite);
+  // Mix of sizes: big read, small write, atomic — same QP, so completions
+  // must arrive in post order (RC ordering).
+  ASSERT_TRUE(client_qp_
+                  .PostRead(1, std::span<std::byte>(local.data(), 4096),
+                            rmr.remote_addr(), rmr.rkey())
+                  .ok());
+  ASSERT_TRUE(client_qp_
+                  .PostWrite(2, std::span<const std::byte>(local.data(), 8),
+                             rmr.remote_addr() + 4096, rmr.rkey())
+                  .ok());
+  ASSERT_TRUE(
+      client_qp_.PostFetchAdd(3, rmr.remote_addr() + 4104, rmr.rkey(), 1)
+          .ok());
+  auto wcs = RunAndPoll(client_cq_);
+  ASSERT_EQ(wcs.size(), 3u);
+  EXPECT_EQ(wcs[0].wr_id, 1u);
+  EXPECT_EQ(wcs[1].wr_id, 2u);
+  EXPECT_EQ(wcs[2].wr_id, 3u);
+}
+
+TEST_F(RdmaTest, TimingMatchesCalibratedModel) {
+  std::vector<std::byte> remote(4096);
+  const MemoryRegion& rmr =
+      server_.pd().Register(std::span<std::byte>(remote), access::kAll);
+  std::vector<std::byte> local(4096);
+  client_.pd().Register(std::span<std::byte>(local),
+                        access::kLocalRead | access::kLocalWrite);
+  net::ModelParams params;  // defaults match the fabric's
+  ASSERT_TRUE(client_qp_
+                  .PostRead(1, std::span<std::byte>(local), rmr.remote_addr(),
+                            rmr.rkey())
+                  .ok());
+  sim_.Run();
+  // Unloaded 4 KB read RTT = client NIC + link + server NIC + link,
+  // plus ±2% jitter.
+  const double expected =
+      static_cast<double>(params.ClientNicService(4096) +
+                          params.ServerNicService(4096) +
+                          2 * params.link_latency);
+  EXPECT_NEAR(static_cast<double>(sim_.Now()), expected, expected * 0.03);
+}
+
+TEST_F(RdmaTest, CqCallbackConsumesCompletions) {
+  std::vector<std::byte> remote(8);
+  const MemoryRegion& rmr =
+      server_.pd().Register(std::span<std::byte>(remote), access::kAll);
+  int called = 0;
+  client_cq_.SetNotify([&](const WorkCompletion& wc) {
+    EXPECT_TRUE(wc.ok());
+    ++called;
+  });
+  ASSERT_TRUE(
+      client_qp_.PostFetchAdd(1, rmr.remote_addr(), rmr.rkey(), 1).ok());
+  sim_.Run();
+  EXPECT_EQ(called, 1);
+  EXPECT_EQ(client_cq_.Pending(), 0u);  // callback mode bypasses the buffer
+}
+
+TEST_F(RdmaTest, SmallWritesCarryDataEvenWithCopiesDisabled) {
+  fabric_.set_copy_payloads(false);
+  std::vector<std::byte> remote(4096 + 64, std::byte{0});
+  const MemoryRegion& rmr =
+      server_.pd().Register(std::span<std::byte>(remote), access::kAll);
+  std::vector<std::byte> small(8, std::byte{0x7});
+  std::vector<std::byte> big(4096, std::byte{0x9});
+  client_.pd().Register(std::span<std::byte>(small),
+                        access::kLocalRead | access::kLocalWrite);
+  client_.pd().Register(std::span<std::byte>(big),
+                        access::kLocalRead | access::kLocalWrite);
+  ASSERT_TRUE(client_qp_
+                  .PostWrite(1, std::span<const std::byte>(small),
+                             rmr.remote_addr(), rmr.rkey())
+                  .ok());
+  ASSERT_TRUE(client_qp_
+                  .PostWrite(2, std::span<const std::byte>(big),
+                             rmr.remote_addr() + 64, rmr.rkey())
+                  .ok());
+  sim_.Run();
+  EXPECT_EQ(remote[0], std::byte{0x7});   // control write materialised
+  EXPECT_EQ(remote[64], std::byte{0x0});  // bulk write skipped (timing-only)
+}
+
+TEST_F(RdmaTest, LoopbackConnectionWorks) {
+  auto& cq_a = server_.CreateCq();
+  auto& cq_b = server_.CreateCq();
+  auto& qp_a = server_.CreateQp(cq_a, cq_a);
+  auto& qp_b = server_.CreateQp(cq_b, cq_b);
+  fabric_.Connect(qp_a, qp_b);
+  alignas(8) std::uint64_t word = 5;
+  const MemoryRegion& rmr = server_.pd().Register(
+      std::span<std::byte>(reinterpret_cast<std::byte*>(&word), 8),
+      access::kAll);
+  ASSERT_TRUE(qp_a.PostCompareSwap(1, rmr.remote_addr(), rmr.rkey(), 0, 0)
+                  .ok());
+  sim_.Run();
+  auto wcs = cq_a.Poll(1);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].atomic_result, 5u);  // pure read via CAS(0,0)
+  EXPECT_EQ(word, 5u);
+}
+
+}  // namespace
+}  // namespace haechi::rdma

@@ -1,0 +1,188 @@
+// Unit tests for stats/: histogram percentiles, period series, tables.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stats/histogram.hpp"
+#include "stats/period_series.hpp"
+#include "stats/csv.hpp"
+#include "stats/table.hpp"
+
+namespace haechi::stats {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Max(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.ValueAtQuantile(0.99), 0);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;  // values < 64 land in exact linear buckets
+  for (int i = 1; i <= 10; ++i) h.Record(i);
+  EXPECT_EQ(h.Count(), 10u);
+  EXPECT_EQ(h.Min(), 1);
+  EXPECT_EQ(h.Max(), 10);
+  EXPECT_DOUBLE_EQ(h.Mean(), 5.5);
+  EXPECT_EQ(h.ValueAtQuantile(0.1), 1);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 10);
+}
+
+TEST(Histogram, BoundedRelativeError) {
+  Histogram h;
+  Rng rng(3);
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.NextBelow(100'000'000)) + 1;
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const auto exact = values[static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1))];
+    const auto approx = h.ValueAtQuantile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.03)
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, RecordManyCountsAll) {
+  Histogram h;
+  h.RecordMany(1000, 500);
+  h.RecordMany(2000, 500);
+  EXPECT_EQ(h.Count(), 1000u);
+  EXPECT_NEAR(h.Mean(), 1500.0, 1.0);
+  EXPECT_LE(h.ValueAtQuantile(0.4), 1100);
+  EXPECT_GE(h.ValueAtQuantile(0.9), 1900);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  a.Record(100);
+  b.Record(300);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_NEAR(a.Mean(), 200.0, 1.0);
+  EXPECT_EQ(a.Max(), 300);
+  EXPECT_EQ(a.Min(), 100);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Max(), 0);
+}
+
+TEST(Histogram, SummaryMentionsPercentiles) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(1000 * i);
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("p99"), std::string::npos);
+  EXPECT_NE(s.find("n=100"), std::string::npos);
+}
+
+TEST(PeriodSeries, AccumulatesPerPeriodPerClient) {
+  PeriodSeries series(3);
+  series.BeginPeriod();
+  series.Add(MakeClientId(0), 5);
+  series.Add(MakeClientId(0), 2);
+  series.Add(MakeClientId(2), 10);
+  series.BeginPeriod();
+  series.Add(MakeClientId(0), 1);
+
+  EXPECT_EQ(series.Periods(), 2u);
+  EXPECT_EQ(series.At(0, MakeClientId(0)), 7);
+  EXPECT_EQ(series.At(0, MakeClientId(1)), 0);
+  EXPECT_EQ(series.At(0, MakeClientId(2)), 10);
+  EXPECT_EQ(series.At(1, MakeClientId(0)), 1);
+  EXPECT_EQ(series.ClientTotal(MakeClientId(0)), 8);
+  EXPECT_EQ(series.PeriodTotal(0), 17);
+  EXPECT_EQ(series.Total(), 18);
+  EXPECT_EQ(series.ClientMinPerPeriod(MakeClientId(0)), 1);
+  EXPECT_EQ(series.ClientMinPerPeriod(MakeClientId(2)), 0);
+}
+
+TEST(PeriodSeries, KiopsConversion) {
+  PeriodSeries series(1);
+  series.BeginPeriod();
+  series.Add(MakeClientId(0), 400'000);
+  EXPECT_DOUBLE_EQ(series.ClientKiops(0, MakeClientId(0), kSecond), 400.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "kiops"});
+  t.AddRow({"client-1", "400.0"});
+  t.AddRow({"c2", "1570.5"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("client-1"), std::string::npos);
+  EXPECT_NE(out.find("1570.5"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(1570.0, 0), "1570");
+  EXPECT_EQ(Table::Int(-42), "-42");
+}
+
+TEST(Csv, RendersHeaderAndRows) {
+  CsvWriter csv({"a", "b"});
+  csv.AddRow({"1", "2"});
+  csv.AddRow({"x", "y"});
+  EXPECT_EQ(csv.Render(), "a,b\n1,2\nx,y\n");
+  EXPECT_EQ(csv.Rows(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::Escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::Escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::Escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(CsvWriter::Escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesFile) {
+  CsvWriter csv({"k", "v"});
+  csv.AddRow({"answer", "42"});
+  const std::string path = ::testing::TempDir() + "/haechi_csv_test.csv";
+  ASSERT_TRUE(csv.WriteFile(path).ok());
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  char buffer[64] = {};
+  const auto read = std::fread(buffer, 1, sizeof(buffer) - 1, file);
+  std::fclose(file);
+  EXPECT_EQ(std::string(buffer, read), "k,v\nanswer,42\n");
+  EXPECT_FALSE(csv.WriteFile("/nonexistent-dir/x.csv").ok());
+}
+
+TEST(Csv, SeriesExportLongFormat) {
+  PeriodSeries series(2);
+  series.BeginPeriod();
+  series.Add(MakeClientId(0), 5);
+  series.BeginPeriod();
+  series.Add(MakeClientId(1), 7);
+  CsvWriter csv = SeriesToCsv(series);
+  const std::string out = csv.Render();
+  EXPECT_NE(out.find("period,client,completed_ios"), std::string::npos);
+  EXPECT_NE(out.find("0,0,5"), std::string::npos);
+  EXPECT_NE(out.find("1,1,7"), std::string::npos);
+  EXPECT_EQ(csv.Rows(), 4u);
+}
+
+TEST(Csv, HistogramExport) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i * 10);
+  CsvWriter csv = HistogramToCsv(h);
+  EXPECT_EQ(csv.Rows(), 5u);
+  EXPECT_NE(csv.Render().find("quantile,value_ns"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace haechi::stats

@@ -1,0 +1,90 @@
+// Tests for the QoS wire formats: report packing, field saturation, and
+// control-message layout stability (the engine parses raw bytes).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/wire.hpp"
+
+namespace haechi::core {
+namespace {
+
+TEST(Wire, ReportRoundTrip) {
+  const std::uint64_t packed = PackReport(7, 123456, 654321);
+  EXPECT_EQ(ReportPeriod(packed), 7u);
+  EXPECT_EQ(ReportResidual(packed), 123456u);
+  EXPECT_EQ(ReportCompleted(packed), 654321u);
+}
+
+TEST(Wire, ReportFieldsAreIndependent) {
+  const std::uint64_t a = PackReport(1, kReportFieldMask, 0);
+  EXPECT_EQ(ReportResidual(a), kReportFieldMask);
+  EXPECT_EQ(ReportCompleted(a), 0u);
+  const std::uint64_t b = PackReport(1, 0, kReportFieldMask);
+  EXPECT_EQ(ReportResidual(b), 0u);
+  EXPECT_EQ(ReportCompleted(b), kReportFieldMask);
+}
+
+TEST(Wire, ReportSaturatesOversizedCounts) {
+  const std::uint64_t packed =
+      PackReport(1, kReportFieldMask + 5, kReportFieldMask + 99);
+  EXPECT_EQ(ReportResidual(packed), kReportFieldMask);
+  EXPECT_EQ(ReportCompleted(packed), kReportFieldMask);
+}
+
+TEST(Wire, ReportFieldHoldsPaperScaleCounts) {
+  // The paper's data node peaks at ~1.6M I/Os per period; 24 bits hold 16M.
+  EXPECT_GT(kReportFieldMask, 1'600'000u * 4);
+}
+
+TEST(Wire, PeriodTagWrapsAt16Bits) {
+  const std::uint64_t packed = PackReport(0x1ffff, 1, 1);
+  EXPECT_EQ(ReportPeriod(packed), 0xffffu);
+}
+
+TEST(Wire, ZeroReportIsValid) {
+  const std::uint64_t packed = PackReport(0, 0, 0);
+  EXPECT_EQ(packed, 0u);
+  EXPECT_EQ(ReportPeriod(packed), 0u);
+}
+
+TEST(Wire, ControlMessageTypesAreFirstField) {
+  // The engine dispatches on the leading 32-bit type; verify layout.
+  PeriodStartMsg start;
+  start.period = 3;
+  start.reservation_tokens = 42;
+  CtrlType type;
+  std::memcpy(&type, &start, sizeof(type));
+  EXPECT_EQ(type, CtrlType::kPeriodStart);
+
+  ReportRequestMsg request;
+  std::memcpy(&type, &request, sizeof(type));
+  EXPECT_EQ(type, CtrlType::kReportRequest);
+
+  OverReserveHintMsg hint;
+  std::memcpy(&type, &hint, sizeof(type));
+  EXPECT_EQ(type, CtrlType::kOverReserveHint);
+}
+
+TEST(Wire, MessagesFitControlBuffers) {
+  // Engine control receive buffers are 64 bytes.
+  static_assert(sizeof(PeriodStartMsg) <= 64);
+  static_assert(sizeof(ReportRequestMsg) <= 64);
+  static_assert(sizeof(OverReserveHintMsg) <= 64);
+  SUCCEED();
+}
+
+TEST(Wire, PeriodStartCarriesTokensAndLimit) {
+  PeriodStartMsg msg;
+  msg.period = 9;
+  msg.reservation_tokens = 123456789;
+  msg.limit = 987654321;
+  PeriodStartMsg decoded;
+  std::memcpy(&decoded, &msg, sizeof(msg));
+  EXPECT_EQ(decoded.period, 9u);
+  EXPECT_EQ(decoded.reservation_tokens, 123456789);
+  EXPECT_EQ(decoded.limit, 987654321);
+}
+
+}  // namespace
+}  // namespace haechi::core

@@ -1,0 +1,304 @@
+// Unit tests for workload/: demand distributions (exact sums, paper
+// shapes) and the demand generator's three request patterns.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/simulator.hpp"
+#include "workload/distributions.hpp"
+#include "workload/generator.hpp"
+
+namespace haechi::workload {
+namespace {
+
+TEST(Distributions, UniformShareExactSum) {
+  const auto shares = UniformShare(1003, 10);
+  EXPECT_EQ(std::accumulate(shares.begin(), shares.end(), std::int64_t{0}),
+            1003);
+  EXPECT_EQ(shares[0], 101);  // remainder goes to the first clients
+  EXPECT_EQ(shares[9], 100);
+}
+
+TEST(Distributions, WeightedShareExactSumAndProportion) {
+  const auto shares = WeightedShare(1000, {3.0, 1.0});
+  EXPECT_EQ(shares[0] + shares[1], 1000);
+  EXPECT_EQ(shares[0], 750);
+  EXPECT_EQ(shares[1], 250);
+}
+
+TEST(Distributions, WeightedShareHandlesAwkwardFractions) {
+  const auto shares = WeightedShare(100, {1.0, 1.0, 1.0});
+  EXPECT_EQ(std::accumulate(shares.begin(), shares.end(), std::int64_t{0}),
+            100);
+  for (const auto s : shares) EXPECT_GE(s, 33);
+}
+
+TEST(Distributions, ZipfGroupShareMatchesPaperNumbers) {
+  // Paper Fig 9(b): 10 clients, 5 groups, theta 0.6, 90% of 1570K reserved
+  // -> the top group's clients get ~236K each (7080K over 30 periods).
+  const auto shares = ZipfGroupShare(1'413'000, 10, 5, 0.6);
+  EXPECT_EQ(std::accumulate(shares.begin(), shares.end(), std::int64_t{0}),
+            1'413'000);
+  EXPECT_EQ(shares[0], shares[1]);  // both clients of a group are equal
+  EXPECT_NEAR(static_cast<double>(shares[0]), 236'000, 1000);
+  EXPECT_NEAR(static_cast<double>(shares[8]), 90'000, 1000);
+  EXPECT_GT(shares[0], shares[2]);
+  EXPECT_GT(shares[2], shares[4]);
+}
+
+TEST(Distributions, SpikeShareMatchesSet3) {
+  // Paper Set 3: C1-C3 at 285K, C4-C10 at 80K.
+  const auto shares = SpikeShare(10, 3, 285'000, 80'000);
+  EXPECT_EQ(shares[0], 285'000);
+  EXPECT_EQ(shares[2], 285'000);
+  EXPECT_EQ(shares[3], 80'000);
+  EXPECT_EQ(shares[9], 80'000);
+}
+
+TEST(KeyChooser, SequentialWraps) {
+  KeyChooser chooser(KeyChooser::Kind::kSequential, 4, 0.0, Rng(1));
+  EXPECT_EQ(chooser.Next(), 0u);
+  EXPECT_EQ(chooser.Next(), 1u);
+  EXPECT_EQ(chooser.Next(), 2u);
+  EXPECT_EQ(chooser.Next(), 3u);
+  EXPECT_EQ(chooser.Next(), 0u);
+}
+
+TEST(KeyChooser, UniformCoversSpace) {
+  KeyChooser chooser(KeyChooser::Kind::kUniformRandom, 8, 0.0, Rng(2));
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 1000; ++i) ++seen[chooser.Next()];
+  for (const int c : seen) EXPECT_GT(c, 50);
+}
+
+// --- generator fixtures -----------------------------------------------------
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  // A backend with a fixed service time and unbounded concurrency.
+  DemandGenerator::SubmitFn InstantBackend(SimDuration latency) {
+    return [this, latency](std::uint64_t, bool,
+                           DemandGenerator::CompleteFn done) {
+      ++submitted_;
+      sim_.ScheduleAfter(latency, [this, done = std::move(done)] {
+        ++completed_;
+        done();
+      });
+    };
+  }
+
+  sim::Simulator sim_;
+  int submitted_ = 0;
+  int completed_ = 0;
+};
+
+TEST_F(GeneratorTest, BurstKeepsWindowOutstanding) {
+  DemandGenerator::Config config;
+  config.pattern = RequestPattern::kBurst;
+  config.outstanding = 8;
+  config.period = Millis(10);
+  config.demand_per_period = 100;
+  int in_flight_max = 0;
+  int in_flight = 0;
+  DemandGenerator gen(sim_, config,
+                      KeyChooser(KeyChooser::Kind::kSequential, 16, 0, Rng(1)),
+                      [&](std::uint64_t, bool, DemandGenerator::CompleteFn done) {
+                        ++in_flight;
+                        in_flight_max = std::max(in_flight_max, in_flight);
+                        sim_.ScheduleAfter(Micros(10),
+                                           [&, done = std::move(done)] {
+                                             --in_flight;
+                                             done();
+                                           });
+                      });
+  gen.Start(0);
+  sim_.RunUntil(Millis(10) - 1);
+  gen.Stop();
+  sim_.Run();
+  EXPECT_EQ(in_flight_max, 8);
+  EXPECT_EQ(gen.SubmittedTotal(), 100);
+  EXPECT_EQ(gen.CompletedTotal(), 100);
+}
+
+TEST_F(GeneratorTest, BurstStopsAtDemandTarget) {
+  DemandGenerator::Config config;
+  config.pattern = RequestPattern::kBurst;
+  config.outstanding = 64;
+  config.period = Millis(10);
+  config.demand_per_period = 5;  // below the window
+  DemandGenerator gen(sim_, config,
+                      KeyChooser(KeyChooser::Kind::kSequential, 16, 0, Rng(1)),
+                      InstantBackend(Micros(1)));
+  gen.Start(0);
+  sim_.RunUntil(Millis(10) - 1);
+  gen.Stop();
+  sim_.Run();
+  EXPECT_EQ(submitted_, 5);
+}
+
+TEST_F(GeneratorTest, ConstantRateSpreadsRequests) {
+  DemandGenerator::Config config;
+  config.pattern = RequestPattern::kConstantRate;
+  config.period = Millis(10);
+  config.demand_per_period = 10;  // one per ms
+  std::vector<SimTime> times;
+  DemandGenerator gen(sim_, config,
+                      KeyChooser(KeyChooser::Kind::kSequential, 16, 0, Rng(1)),
+                      [&](std::uint64_t, bool, DemandGenerator::CompleteFn done) {
+                        times.push_back(sim_.Now());
+                        done();
+                      });
+  gen.Start(0);
+  sim_.RunUntil(Millis(10) - 1);
+  gen.Stop();
+  sim_.Run();
+  ASSERT_EQ(times.size(), 10u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_EQ(times[i] - times[i - 1], Millis(1));
+  }
+}
+
+TEST_F(GeneratorTest, OpenLoopSubmitsEverythingAtOnce) {
+  DemandGenerator::Config config;
+  config.pattern = RequestPattern::kOpenLoop;
+  config.period = Millis(10);
+  config.demand_per_period = 1000;
+  DemandGenerator gen(sim_, config,
+                      KeyChooser(KeyChooser::Kind::kSequential, 16, 0, Rng(1)),
+                      InstantBackend(Millis(100)));  // slow backend
+  gen.Start(0);
+  sim_.Step();  // the period-start event
+  EXPECT_EQ(submitted_, 1000);
+  EXPECT_EQ(gen.InFlight(), 1000);
+  gen.Stop();
+  sim_.Run();
+}
+
+TEST_F(GeneratorTest, DemandRefreshesEveryPeriod) {
+  DemandGenerator::Config config;
+  config.pattern = RequestPattern::kOpenLoop;
+  config.period = Millis(10);
+  config.demand_per_period = 10;
+  DemandGenerator gen(sim_, config,
+                      KeyChooser(KeyChooser::Kind::kSequential, 16, 0, Rng(1)),
+                      InstantBackend(Micros(1)));
+  gen.Start(0);
+  sim_.RunUntil(Millis(35));
+  gen.Stop();
+  sim_.Run();
+  EXPECT_EQ(submitted_, 40);  // periods at 0, 10, 20, 30 ms
+}
+
+TEST_F(GeneratorTest, SetDemandTakesEffectNextPeriod) {
+  DemandGenerator::Config config;
+  config.pattern = RequestPattern::kOpenLoop;
+  config.period = Millis(10);
+  config.demand_per_period = 10;
+  DemandGenerator gen(sim_, config,
+                      KeyChooser(KeyChooser::Kind::kSequential, 16, 0, Rng(1)),
+                      InstantBackend(Micros(1)));
+  gen.Start(0);
+  sim_.RunUntil(Millis(5));
+  gen.set_demand(3);
+  sim_.RunUntil(Millis(15));
+  gen.Stop();
+  sim_.Run();
+  EXPECT_EQ(submitted_, 13);
+}
+
+TEST_F(GeneratorTest, LatencySinkRecordsAfterThreshold) {
+  DemandGenerator::Config config;
+  config.pattern = RequestPattern::kConstantRate;
+  config.period = Millis(10);
+  config.demand_per_period = 10;
+  stats::Histogram latency;
+  DemandGenerator gen(sim_, config,
+                      KeyChooser(KeyChooser::Kind::kSequential, 16, 0, Rng(1)),
+                      InstantBackend(Micros(50)));
+  gen.SetLatencySink(&latency, /*after=*/Millis(5));
+  gen.Start(0);
+  sim_.RunUntil(Millis(10) - 1);
+  gen.Stop();
+  sim_.Run();
+  // Only requests submitted at t >= 5ms are recorded (5 of 10).
+  EXPECT_EQ(latency.Count(), 5u);
+  EXPECT_NEAR(static_cast<double>(latency.Mean()), Micros(50), 1000);
+}
+
+TEST_F(GeneratorTest, StopPreventsFurtherPeriods) {
+  DemandGenerator::Config config;
+  config.pattern = RequestPattern::kOpenLoop;
+  config.period = Millis(10);
+  config.demand_per_period = 7;
+  DemandGenerator gen(sim_, config,
+                      KeyChooser(KeyChooser::Kind::kSequential, 16, 0, Rng(1)),
+                      InstantBackend(Micros(1)));
+  gen.Start(0);
+  sim_.RunUntil(Millis(2));
+  gen.Stop();
+  sim_.Run();
+  EXPECT_EQ(submitted_, 7);
+}
+
+TEST_F(GeneratorTest, DelayedStart) {
+  DemandGenerator::Config config;
+  config.pattern = RequestPattern::kOpenLoop;
+  config.period = Millis(10);
+  config.demand_per_period = 4;
+  DemandGenerator gen(sim_, config,
+                      KeyChooser(KeyChooser::Kind::kSequential, 16, 0, Rng(1)),
+                      InstantBackend(Micros(1)));
+  gen.Start(Millis(100));
+  sim_.RunUntil(Millis(99));
+  EXPECT_EQ(submitted_, 0);
+  sim_.RunUntil(Millis(101));
+  EXPECT_EQ(submitted_, 4);
+  gen.Stop();
+  sim_.Run();
+}
+
+TEST_F(GeneratorTest, WriteFractionProducesWrites) {
+  DemandGenerator::Config config;
+  config.pattern = RequestPattern::kOpenLoop;
+  config.period = Millis(10);
+  config.demand_per_period = 10000;
+  config.write_fraction = 0.3;
+  int writes = 0;
+  DemandGenerator gen(sim_, config,
+                      KeyChooser(KeyChooser::Kind::kSequential, 16, 0, Rng(1)),
+                      [&](std::uint64_t, bool is_write,
+                          DemandGenerator::CompleteFn done) {
+                        writes += is_write;
+                        done();
+                      });
+  gen.Start(0);
+  sim_.RunUntil(Millis(5));
+  gen.Stop();
+  sim_.Run();
+  EXPECT_NEAR(writes, 3000, 200);
+  EXPECT_EQ(gen.WritesSubmitted(), writes);
+}
+
+TEST_F(GeneratorTest, ZeroWriteFractionIsReadOnly) {
+  DemandGenerator::Config config;
+  config.pattern = RequestPattern::kOpenLoop;
+  config.period = Millis(10);
+  config.demand_per_period = 1000;
+  int writes = 0;
+  DemandGenerator gen(sim_, config,
+                      KeyChooser(KeyChooser::Kind::kSequential, 16, 0, Rng(1)),
+                      [&](std::uint64_t, bool is_write,
+                          DemandGenerator::CompleteFn done) {
+                        writes += is_write;
+                        done();
+                      });
+  gen.Start(0);
+  sim_.RunUntil(Millis(5));
+  gen.Stop();
+  sim_.Run();
+  EXPECT_EQ(writes, 0);
+  EXPECT_EQ(gen.WritesSubmitted(), 0);
+}
+
+}  // namespace
+}  // namespace haechi::workload
