@@ -21,6 +21,30 @@ ClusterCoordinator::ClusterCoordinator(sim::Simulator& sim,
   HAECHI_EXPECTS(config.interval > config.lead);
   timer_ = std::make_unique<sim::PeriodicTimer>(sim_, config_.interval,
                                                 [this] { Rebalance(); });
+  // One node's report lease declaring a client dead purges it cluster-wide:
+  // its reservation shards on the other nodes are unreachable capacity the
+  // moment the client is gone.
+  for (QosMonitor* monitor : monitors_) {
+    monitor->SetClientDeadCallback(
+        [this](ClientId client) { OnClientDead(client); });
+  }
+}
+
+void ClusterCoordinator::OnClientDead(ClientId client) {
+  const auto it =
+      std::find_if(clients_.begin(), clients_.end(),
+                   [&](const ClientState& c) { return c.id == client; });
+  if (it == clients_.end()) return;  // unknown or already purged
+  for (QosMonitor* monitor : monitors_) {
+    // The detecting node already released the client; other nodes may have
+    // raced their own lease expiry. Both make NotFound expected here.
+    const Status s = monitor->ReleaseClient(client);
+    HAECHI_ASSERT(s.ok() || s.code() == StatusCode::kNotFound);
+  }
+  clients_.erase(it);
+  ++stats_.dead_clients;
+  HAECHI_LOG_WARN("cluster: purged dead client %u from %zu nodes",
+                  Raw(client), monitors_.size());
 }
 
 Result<std::vector<QosWiring>> ClusterCoordinator::AdmitClient(

@@ -85,6 +85,8 @@ class ClusterCoordinator {
     std::uint64_t rebalances = 0;
     std::uint64_t tokens_moved = 0;   // total |delta| applied
     std::uint64_t rejected_moves = 0; // increases refused by admission
+    /// Clients purged cluster-wide after a node's report lease expired.
+    std::uint64_t dead_clients = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -99,6 +101,7 @@ class ClusterCoordinator {
 
   [[nodiscard]] const ClientState* Find(ClientId client) const;
   [[nodiscard]] ClientState* Find(ClientId client);
+  void OnClientDead(ClientId client);
 
   sim::Simulator& sim_;
   Config config_;

@@ -54,6 +54,25 @@ struct QosConfig {
   /// having over-reserved (Algorithm 1's counter).
   std::uint32_t underuse_alert_periods = 5;
 
+  /// Report lease k: once reporting is active, a client whose report slot
+  /// has not changed for k consecutive check intervals is declared dead —
+  /// its reservation is released through admission control and its
+  /// unreported residual converted into global tokens (work conservation
+  /// under client failure). 0 disables liveness tracking (graceful
+  /// disconnects only). Reports flow every report_interval, so k must
+  /// comfortably exceed report_interval / check_interval; k >= 4 leaves
+  /// room for one lost report WRITE.
+  std::uint32_t report_lease_intervals = 0;
+
+  /// First retry delay after a *failed* token-fetch completion (NAK, retry
+  /// timeout, flush). Doubles on every consecutive failure up to
+  /// faa_retry_backoff_max and resets on success or a new period — the
+  /// engine keeps probing a flaky fabric without hammering it. (An *empty*
+  /// pool is not a failure; that path keeps the paper's fixed
+  /// pool_retry_interval cadence.)
+  SimDuration faa_retry_backoff = kMillisecond;
+  SimDuration faa_retry_backoff_max = Millis(32);
+
   /// Disables token conversion (step T2): the paper's Basic Haechi
   /// ablation, which wastes unused reservation tokens.
   bool token_conversion = true;

@@ -110,6 +110,7 @@ void ClientQosEngine::OnPeriodStart(const PeriodStartMsg& msg) {
   stats_.completed_this_period = 0;
   stats_.issued_this_period = 0;
   pool_retry_armed_ = false;
+  faa_backoff_ = 0;  // a fresh period forgives past fetch failures
   started_ = true;
   period_started_at_ = sim_.Now();
   // Reporting stops until the monitor asks again this period.
@@ -119,11 +120,20 @@ void ClientQosEngine::OnPeriodStart(const PeriodStartMsg& msg) {
 }
 
 void ClientQosEngine::OnReportRequest() {
+  // Duplicate requests (the monitor's half-lease retransmission) are
+  // idempotent: an already-reporting engine just keeps its cadence.
   if (!report_timer_->Running()) {
     // First report goes out immediately; the cadence continues from now.
     WriteReport();
     report_timer_->Start();
   }
+}
+
+void ClientQosEngine::Stop() {
+  started_ = false;
+  token_timer_->Stop();
+  report_timer_->Stop();
+  queue_.clear();
 }
 
 void ClientQosEngine::TokenTick() {
@@ -151,7 +161,8 @@ void ClientQosEngine::WriteReport() {
   const std::uint64_t packed = PackReport(
       period_, static_cast<std::uint64_t>(std::max<std::int64_t>(claims, 0)),
       static_cast<std::uint64_t>(
-          std::max<std::int64_t>(stats_.completed_this_period, 0)));
+          std::max<std::int64_t>(stats_.completed_this_period, 0)),
+      report_seq_++);
   std::memcpy(report_buffer_.data(), &packed, sizeof(packed));
   const Status s = qos_qp_.PostWrite(
       kWrTagReport | next_wr_id_++,
@@ -160,6 +171,7 @@ void ClientQosEngine::WriteReport() {
   if (s.ok()) {
     ++stats_.report_writes;
   } else {
+    ++stats_.report_failures;
     HAECHI_LOG_WARN("engine %u: report write failed: %s", Raw(id_),
                     s.ToString().c_str());
   }
@@ -172,8 +184,10 @@ void ClientQosEngine::PostTokenFetch() {
                                         wiring_.global_pool_rkey,
                                         -config_.token_batch);
   if (!s.ok()) {
+    ++stats_.faa_failures;
     HAECHI_LOG_WARN("engine %u: FAA post failed: %s", Raw(id_),
                     s.ToString().c_str());
+    ArmFaaRetry();
     return;
   }
   faa_in_flight_ = true;
@@ -181,15 +195,40 @@ void ClientQosEngine::PostTokenFetch() {
   ++stats_.faa_ops;
 }
 
+void ClientQosEngine::ArmFaaRetry() {
+  // Exponential backoff: transient fabric faults (dropped FAA, NAK burst)
+  // resolve in a retry or two; a dead data node stops costing more than
+  // one probe per faa_retry_backoff_max.
+  if (faa_retry_armed_) return;
+  faa_backoff_ = faa_backoff_ == 0
+                     ? config_.faa_retry_backoff
+                     : std::min<SimDuration>(faa_backoff_ * 2,
+                                             config_.faa_retry_backoff_max);
+  faa_retry_armed_ = true;
+  const std::uint32_t at_period = period_;
+  sim_.ScheduleAfter(faa_backoff_, [this, at_period] {
+    faa_retry_armed_ = false;
+    if (!started_ || period_ != at_period) return;
+    ++stats_.faa_retries;
+    TryIssue();
+  });
+}
+
 void ClientQosEngine::HandleQosCompletion(const rdma::WorkCompletion& wc) {
-  if ((wc.wr_id & kWrTagReport) != 0) return;  // report write acks
+  if ((wc.wr_id & kWrTagReport) != 0) {  // report write acks
+    if (!wc.ok()) ++stats_.report_failures;
+    return;
+  }
   if ((wc.wr_id & kWrTagFaa) == 0) return;
   faa_in_flight_ = false;
   if (!wc.ok()) {
+    ++stats_.faa_failures;
     HAECHI_LOG_WARN("engine %u: FAA failed: %s", Raw(id_),
                     std::string(rdma::ToString(wc.status)).c_str());
+    ArmFaaRetry();
     return;
   }
+  faa_backoff_ = 0;  // a successful fetch resets the backoff ladder
   if (faa_period_ != period_) {
     // The pool was re-initialised for a new period while this fetch was in
     // flight; its tokens belong to the dead period and are discarded. The

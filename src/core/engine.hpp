@@ -57,6 +57,12 @@ class ClientQosEngine {
     std::int64_t tokens_from_reservation = 0;
     std::int64_t tokens_from_pool = 0;
     std::uint64_t over_reserve_hints = 0;
+    /// Token fetches that failed (post rejected or error completion).
+    std::uint64_t faa_failures = 0;
+    /// Backed-off re-attempts after failed fetches.
+    std::uint64_t faa_retries = 0;
+    /// Report writes that failed (post rejected or error completion).
+    std::uint64_t report_failures = 0;
   };
 
   /// `qos_qp` is the engine's one-sided QP to the data node (FAA + report
@@ -75,6 +81,12 @@ class ClientQosEngine {
   /// kResourceExhausted when the engine queue is full and with
   /// kFailedPrecondition before the first period begins.
   Status Submit(std::uint64_t key, CompleteFn done, bool is_write = false);
+
+  /// Quiesces the engine (client crash/teardown): timers stop, queued
+  /// requests are dropped, new submits are rejected until the next
+  /// PeriodStart. The object must outlive any in-flight completions —
+  /// callbacks it registered still fire and must find it alive.
+  void Stop();
 
   [[nodiscard]] ClientId id() const { return id_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
@@ -103,6 +115,7 @@ class ClientQosEngine {
   void TryIssue();
   void IssueOne();
   void PostTokenFetch();
+  void ArmFaaRetry();
 
   std::size_t backend_outstanding_ = 0;
 
@@ -130,6 +143,14 @@ class ClientQosEngine {
   bool faa_in_flight_ = false;
   std::uint32_t faa_period_ = 0;
   bool pool_retry_armed_ = false;
+  // Failure backoff: current delay (0 = healthy, next failure starts at
+  // config_.faa_retry_backoff), doubling per consecutive failure.
+  SimDuration faa_backoff_ = 0;
+  bool faa_retry_armed_ = false;
+
+  // Report sequence number; makes consecutive report words bitwise
+  // distinct so the monitor's lease sees an idle client as alive.
+  std::uint8_t report_seq_ = 0;
 
   std::deque<Pending> queue_;
   Stats stats_;

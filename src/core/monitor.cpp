@@ -101,13 +101,22 @@ Result<QosWiring> QosMonitor::AdmitClient(ClientId client,
                                           std::int64_t reservation,
                                           std::int64_t limit,
                                           rdma::QueuePair& ctrl_qp) {
+  if (FindClient(client) != nullptr) {
+    // Re-admission handshake: a restarted client admits under its old id
+    // before the report lease caught its previous incarnation. Retire the
+    // stale entry first so neither its admission slot nor its report slot
+    // leaks.
+    const Status released = ReleaseClient(client);
+    HAECHI_ASSERT(released.ok());
+    ++stats_.readmissions;
+  }
   if (clients_.size() >= kMaxClients) {
     return ErrResourceExhausted("monitor is at its client capacity");
   }
   if (limit > 0 && limit < reservation) {
     return ErrInvalidArgument("limit below reservation");
   }
-  if (next_slot_ >= kMaxClients) {
+  if (free_slots_.empty() && next_slot_ >= kMaxClients) {
     return ErrResourceExhausted("all report slots consumed");
   }
   if (auto s = admission_.Admit(client, reservation); !s.ok()) return s;
@@ -117,9 +126,26 @@ Result<QosWiring> QosMonitor::AdmitClient(ClientId client,
   entry.reservation = reservation;
   entry.limit = limit;
   entry.ctrl_qp = &ctrl_qp;
-  entry.slot = next_slot_++;
+  entry.slot = AllocateSlot();
+  // Prime the (possibly recycled) slot with a stale-tagged conservative
+  // report so leftover bytes from a previous occupant cannot be read as
+  // this client's data, then baseline the lease on those bytes.
+  WriteSlot(entry.slot,
+            PackReport(stats_.periods - 1,
+                       static_cast<std::uint64_t>(
+                           std::max<std::int64_t>(reservation, 0)),
+                       0));
+  entry.last_slot_raw = ReadSlot(entry.slot);
+  entry.lease_misses = 0;
   clients_.push_back(entry);
   ctrl_qp.send_cq().SetNotify([](const rdma::WorkCompletion&) {});
+  if (reporting_active_) {
+    // The period's ReportRequest broadcast predates this client; ask it
+    // directly, or its silent slot would trip the report lease.
+    ReportRequestMsg msg;
+    msg.period = stats_.periods;
+    SendToClient(clients_.back(), &msg, sizeof(msg));
+  }
 
   QosWiring wiring;
   wiring.global_pool_addr = control_mr_->remote_addr();
@@ -135,10 +161,21 @@ Status QosMonitor::ReleaseClient(ClientId client) {
       std::find_if(clients_.begin(), clients_.end(),
                    [&](const ClientEntry& e) { return e.id == client; });
   if (it == clients_.end()) return ErrNotFound("client not admitted");
-  // Slots are not compacted: a released slot stays reserved until restart,
-  // which keeps report-slot addresses stable for live clients.
+  // Quarantine the slot until the next period boundary: a report WRITE the
+  // departing client already has in flight must not land in a stranger's
+  // recycled slot. Live slots are never compacted (address stability).
+  retired_slots_.push_back(it->slot);
   clients_.erase(it);
   return admission_.Release(client);
+}
+
+std::size_t QosMonitor::AllocateSlot() {
+  if (!free_slots_.empty()) {
+    const std::size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  return next_slot_++;
 }
 
 Status QosMonitor::UpdateReservation(ClientId client,
@@ -192,6 +229,23 @@ void QosMonitor::SendToClient(ClientEntry& entry, const void* msg,
 void QosMonitor::StartPeriod() {
   if (!running_) return;
   if (stats_.periods > 0) Calibrate();
+  dead_completed_this_period_ = 0;
+
+  // Close the ledger of the period that just ended: attribute the final
+  // pool movement to grants and snapshot the boundary value.
+  if (!ledger_.empty()) {
+    PeriodLedger& prev = ledger_.back();
+    const std::int64_t raw = ReadPoolWord();
+    prev.granted += ledger_last_pool_ - raw;
+    prev.end_pool = raw;
+  }
+
+  // Slots retired last period sat out a full boundary; any stale in-flight
+  // WRITE to them has long landed, so they are safe to recycle.
+  free_slots_.insert(free_slots_.end(), retired_slots_.begin(),
+                     retired_slots_.end());
+  retired_slots_.clear();
+
   ++stats_.periods;
   period_start_time_ = sim_.Now();
   reporting_active_ = false;
@@ -205,6 +259,17 @@ void QosMonitor::StartPeriod() {
   last_written_pool_ = initial_pool_;
   recent_grants_.clear();
 
+  PeriodLedger ledger;
+  ledger.period = stats_.periods;
+  ledger.capacity = period_capacity_;
+  ledger.dispatched = total_reserved;
+  ledger.initial_pool = initial_pool_;
+  ledger.end_pool = initial_pool_;
+  ledger_.push_back(ledger);
+  ledger_last_pool_ = initial_pool_;
+  // Bound memory on endless runs; tests look at recent periods only.
+  if (ledger_.size() > 4096) ledger_.erase(ledger_.begin());
+
   // Step T1: push fresh reservation tokens; the message is also the
   // period-start signal. Report slots are primed with the full residual so
   // token conversion is conservative until the first real report lands.
@@ -214,6 +279,10 @@ void QosMonitor::StartPeriod() {
                          static_cast<std::uint64_t>(
                              std::max<std::int64_t>(entry.reservation, 0)),
                          0));
+    // The prime re-baselines the lease: every client gets a fresh k-check
+    // allowance each period.
+    entry.last_slot_raw = ReadSlot(entry.slot);
+    entry.lease_misses = 0;
     PeriodStartMsg msg;
     msg.period = stats_.periods;
     msg.reservation_tokens = entry.reservation;
@@ -225,6 +294,14 @@ void QosMonitor::StartPeriod() {
 void QosMonitor::CheckTick() {
   if (!running_ || stats_.periods == 0) return;
   ++stats_.checks;
+
+  // Ledger grant sampling reads the word directly (it is local memory, so
+  // this is exact even when the QoS observation path is loopback CAS).
+  if (!ledger_.empty()) {
+    const std::int64_t raw = ReadPoolWord();
+    ledger_.back().granted += ledger_last_pool_ - raw;
+    ledger_last_pool_ = raw;
+  }
 
   std::int64_t observed_now;
   if (config_.loopback_cas) {
@@ -266,16 +343,83 @@ void QosMonitor::CheckTick() {
     for (auto& entry : clients_) SendToClient(entry, &msg, sizeof(msg));
   }
 
+  // Report lease: only meaningful once clients were asked to report.
+  if (reporting_active_ && config_.report_lease_intervals > 0) CheckLeases();
+
   // Step T2: token conversion.
   if (reporting_active_ && config_.token_conversion) ConvertTokens();
 }
 
+void QosMonitor::CheckLeases() {
+  // Two-phase: collect expirations first, then declare — DeclareDead
+  // erases from clients_ and must not run under this iteration.
+  std::vector<ClientId> dead;
+  for (ClientEntry& entry : clients_) {
+    const std::uint64_t raw = ReadSlot(entry.slot);
+    if (raw != entry.last_slot_raw) {
+      entry.last_slot_raw = raw;
+      entry.lease_misses = 0;
+      continue;
+    }
+    ++entry.lease_misses;
+    if (entry.lease_misses ==
+        std::max<std::uint32_t>(config_.report_lease_intervals / 2, 1)) {
+      // Half-lease nudge: the ReportRequest SEND itself may have been
+      // lost; a live client answers this within one report interval.
+      ++stats_.report_request_resends;
+      ReportRequestMsg msg;
+      msg.period = stats_.periods;
+      SendToClient(entry, &msg, sizeof(msg));
+    }
+    if (entry.lease_misses >= config_.report_lease_intervals) {
+      dead.push_back(entry.id);
+    }
+  }
+  for (const ClientId id : dead) DeclareDead(id);
+}
+
+void QosMonitor::DeclareDead(ClientId client) {
+  const auto it =
+      std::find_if(clients_.begin(), clients_.end(),
+                   [&](const ClientEntry& e) { return e.id == client; });
+  if (it == clients_.end()) return;
+  // Unreported residual: the client's own last word if it reported this
+  // period, else the full reservation it was dispatched.
+  const std::uint64_t slot = ReadSlot(it->slot);
+  std::int64_t residual;
+  if (ReportPeriod(slot) == (stats_.periods & kReportPeriodMask)) {
+    residual = static_cast<std::int64_t>(ReportResidual(slot));
+    dead_completed_this_period_ +=
+        static_cast<std::int64_t>(ReportCompleted(slot));
+  } else {
+    residual = std::max<std::int64_t>(it->reservation, 0);
+  }
+  HAECHI_LOG_WARN(
+      "monitor: client %u report lease expired after %u checks; reclaiming "
+      "%lld residual tokens",
+      Raw(client), it->lease_misses, static_cast<long long>(residual));
+  ++stats_.lease_expirations;
+  stats_.reclaimed_tokens += residual;
+  if (!ledger_.empty()) ledger_.back().reclaimed += residual;
+  retired_slots_.push_back(it->slot);
+  clients_.erase(it);
+  const Status released = admission_.Release(client);
+  HAECHI_ASSERT(released.ok());
+  // Work conservation: realise the reclaimed residual in the pool now —
+  // the dead client no longer contributes to L, so conversion re-mints
+  // its surrendered claims for everyone else.
+  if (config_.token_conversion && reporting_active_) ConvertTokens();
+  if (client_dead_cb_) client_dead_cb_(client);
+}
+
 void QosMonitor::ConvertTokens() {
   std::int64_t outstanding_reservation = 0;  // the paper's L
-  std::int64_t completed_so_far = 0;
+  // Dead clients' salvaged completions still count against this period's
+  // completion budget.
+  std::int64_t completed_so_far = dead_completed_this_period_;
   for (const auto& entry : clients_) {
     const std::uint64_t slot = ReadSlot(entry.slot);
-    if (ReportPeriod(slot) == (stats_.periods & 0xffff)) {
+    if (ReportPeriod(slot) == (stats_.periods & kReportPeriodMask)) {
       outstanding_reservation += ReportResidual(slot);
       completed_so_far += ReportCompleted(slot);
     } else {
@@ -308,6 +452,16 @@ void QosMonitor::ConvertTokens() {
   for (const std::int64_t g : recent_grants_) unreported_grants += g;
   const std::int64_t new_pool = std::max<std::int64_t>(
       remaining_capacity - outstanding_reservation - unreported_grants, 0);
+  if (!ledger_.empty()) {
+    // Attribute pool movement since the last ledger sample to grants, and
+    // the overwrite itself to minting (negative when conversion shrinks
+    // the pool as the period drains).
+    PeriodLedger& cur = ledger_.back();
+    const std::int64_t raw_before = ReadPoolWord();
+    cur.granted += ledger_last_pool_ - raw_before;
+    cur.minted += new_pool - raw_before;
+    ledger_last_pool_ = new_pool;
+  }
   WritePoolWord(new_pool);
   last_written_pool_ = new_pool;
   ++stats_.conversions;
@@ -316,10 +470,13 @@ void QosMonitor::ConvertTokens() {
 void QosMonitor::Calibrate() {
   // Step T3: feed Algorithm 1 with the reported completion total. Without
   // any reports this period (pool untouched), there is no signal — skip.
-  std::int64_t total_completed = 0;
+  // Clients that died mid-period still did their reported work; start the
+  // total from their salvaged counts so Algorithm 1 does not read a crash
+  // as a capacity drop.
+  std::int64_t total_completed = dead_completed_this_period_;
   for (const auto& entry : clients_) {
     const std::uint64_t slot = ReadSlot(entry.slot);
-    if (ReportPeriod(slot) == (stats_.periods & 0xffff)) {
+    if (ReportPeriod(slot) == (stats_.periods & kReportPeriodMask)) {
       total_completed += ReportCompleted(slot);
     }
   }
@@ -329,7 +486,7 @@ void QosMonitor::Calibrate() {
 
     for (auto& entry : clients_) {
       const std::uint64_t slot = ReadSlot(entry.slot);
-      if (ReportPeriod(slot) != (stats_.periods & 0xffff)) continue;
+      if (ReportPeriod(slot) != (stats_.periods & kReportPeriodMask)) continue;
       const auto completed =
           static_cast<std::int64_t>(ReportCompleted(slot));
       if (completed < entry.reservation) {

@@ -46,6 +46,39 @@ class QosMonitor {
     std::uint64_t report_signals = 0;
     std::uint64_t over_reserve_hints = 0;
     std::int64_t last_period_completions = 0;
+    /// Clients declared dead by the report lease.
+    std::uint64_t lease_expirations = 0;
+    /// AdmitClient calls that replaced a still-admitted incarnation of the
+    /// same client id (post-restart re-admission handshake).
+    std::uint64_t readmissions = 0;
+    /// Residual claims reclaimed from dead clients (tokens).
+    std::int64_t reclaimed_tokens = 0;
+    /// Half-lease ReportRequest retransmissions to silent clients.
+    std::uint64_t report_request_resends = 0;
+  };
+
+  /// Per-period token ledger, one entry per started period. All fields are
+  /// exact (the monitor reads the pool word from its own memory), so tests
+  /// can assert conservation identities:
+  ///   initial_pool + minted - granted == end_pool          (always)
+  ///   dispatched + initial_pool == capacity                (when
+  ///                                        dispatched <= capacity)
+  struct PeriodLedger {
+    std::uint32_t period = 0;
+    /// Capacity estimate the period was provisioned with (T * C_hat).
+    std::int64_t capacity = 0;
+    /// Reservation tokens dispatched at T1 (sum of R_i).
+    std::int64_t dispatched = 0;
+    std::int64_t initial_pool = 0;
+    /// Net pool adjustment by token conversion: positive mints recycled
+    /// tokens, negative expires them as the period drains.
+    std::int64_t minted = 0;
+    /// Pool tokens drawn by client FAAs (observed word decreases).
+    std::int64_t granted = 0;
+    /// Portion of `minted` attributable to dead-client reclamation.
+    std::int64_t reclaimed = 0;
+    /// Pool word at the period boundary (pre-re-initialisation).
+    std::int64_t end_pool = 0;
   };
 
   /// Capacities in IOPS, as profiled (Experiment Set 1). `node` is the
@@ -103,10 +136,22 @@ class QosMonitor {
   [[nodiscard]] std::uint32_t LastResidual(ClientId client) const;
   [[nodiscard]] std::uint32_t LastCompleted(ClientId client) const;
 
+  /// Per-period token ledger (one entry per started period, oldest first;
+  /// the newest entry is still accumulating until its boundary).
+  [[nodiscard]] const std::vector<PeriodLedger>& ledger() const {
+    return ledger_;
+  }
+
   /// Invoked when a client under-uses its reservation for
   /// `underuse_alert_periods` consecutive periods.
   void SetOverReserveCallback(std::function<void(ClientId)> fn) {
     over_reserve_cb_ = std::move(fn);
+  }
+
+  /// Invoked after the report lease declares a client dead and its
+  /// reservation has been released (admission slot already freed).
+  void SetClientDeadCallback(std::function<void(ClientId)> fn) {
+    client_dead_cb_ = std::move(fn);
   }
 
   /// Per-period telemetry hook, fired at each boundary after calibration:
@@ -124,14 +169,22 @@ class QosMonitor {
     rdma::QueuePair* ctrl_qp;
     std::size_t slot;  // index into the report-slot array
     std::uint32_t underuse_streak = 0;
+    // Report-lease state: raw slot bytes at the last check and the number
+    // of consecutive checks they stayed identical (the report seq field
+    // guarantees a live client changes them every report_interval).
+    std::uint64_t last_slot_raw = 0;
+    std::uint32_t lease_misses = 0;
   };
 
   static constexpr std::size_t kMaxClients = 64;
 
   void StartPeriod();
   void CheckTick();
+  void CheckLeases();
+  void DeclareDead(ClientId client);
   void ConvertTokens();
   void Calibrate();
+  [[nodiscard]] std::size_t AllocateSlot();
   [[nodiscard]] std::int64_t ReadPoolWord() const;
   void WritePoolWord(std::int64_t value);
   [[nodiscard]] std::uint64_t ReadSlot(std::size_t slot) const;
@@ -151,7 +204,13 @@ class QosMonitor {
   const rdma::MemoryRegion* control_mr_ = nullptr;
 
   std::vector<ClientEntry> clients_;
-  std::size_t next_slot_ = 0;  // slots are never reused (address stability)
+  std::size_t next_slot_ = 0;  // high-water mark of the slot array
+  // Slots of released/dead clients are quarantined until the next period
+  // boundary (any in-flight stale WRITE to them lands within the current
+  // period) and only then become reusable — without reuse, kMaxClients
+  // crash/restart cycles would exhaust the slot array for good.
+  std::vector<std::size_t> retired_slots_;
+  std::vector<std::size_t> free_slots_;
   Stats stats_;
   bool running_ = false;
   SimTime period_start_time_ = 0;
@@ -165,7 +224,18 @@ class QosMonitor {
   std::int64_t last_written_pool_ = 0;
   std::deque<std::int64_t> recent_grants_;
   std::function<void(ClientId)> over_reserve_cb_;
+  std::function<void(ClientId)> client_dead_cb_;
   PeriodHook period_hook_;
+
+  // Token ledger bookkeeping: ledger_last_pool_ is the raw pool word at
+  // the monitor's last observation/write, so every decrease between
+  // samples is attributed to client grants exactly.
+  std::vector<PeriodLedger> ledger_;
+  std::int64_t ledger_last_pool_ = 0;
+  // Completion counts salvaged from clients that died mid-period; folded
+  // into Calibrate's total so capacity estimation does not see a phantom
+  // capacity drop.
+  std::int64_t dead_completed_this_period_ = 0;
 
   // Loopback-CAS observation state (config_.loopback_cas).
   rdma::QueuePair* loop_qp_ = nullptr;

@@ -5,7 +5,7 @@
 // QoS state is one-sided:
 //   - the global token pool is a single signed 64-bit word clients FAA;
 //   - each client owns a 64-bit report slot it overwrites with a silent
-//     one-sided WRITE: {residual reservation : 32 | completed I/Os : 32}.
+//     one-sided WRITE: {period:12 | seq:8 | residual:22 | completed:22}.
 #pragma once
 
 #include <cstdint>
@@ -45,30 +45,45 @@ struct OverReserveHintMsg {
 };
 
 /// Packs the client's silent report into the 64-bit slot value:
-/// {period:16 | residual:24 | completed:24}. The period tag lets the
-/// monitor discard writes that were in flight across a period boundary
-/// (a stale report would otherwise overwrite the fresh slot prime and
-/// corrupt token conversion). 24 bits comfortably hold per-period I/O
-/// counts (the paper's data node peaks at ~1.6M I/Os per 1 s period).
-inline constexpr std::uint64_t kReportFieldMask = (1ULL << 24) - 1;
+/// {period:12 | seq:8 | residual:22 | completed:22}.
+///
+/// The period tag lets the monitor discard writes that were in flight
+/// across a period boundary (a stale report would otherwise overwrite the
+/// fresh slot prime and corrupt token conversion); 12 bits only need to
+/// distinguish neighbouring periods. The seq field increments on every
+/// client write, which makes consecutive reports bitwise distinct even
+/// when their payload is unchanged (an idle client reporting residual 0 /
+/// completed 0 every interval) — the monitor's report lease detects
+/// liveness as "the slot changed since my last check", so without seq an
+/// idle-but-alive client would be indistinguishable from a dead one.
+/// 22 bits comfortably hold per-period I/O counts (the paper's data node
+/// peaks at ~1.6M I/Os per 1 s period; the cap is ~4.19M).
+inline constexpr std::uint64_t kReportFieldMask = (1ULL << 22) - 1;
+inline constexpr std::uint32_t kReportPeriodMask = (1U << 12) - 1;
 
 constexpr std::uint64_t PackReport(std::uint32_t period,
                                    std::uint64_t residual_reservation,
-                                   std::uint64_t completed) {
+                                   std::uint64_t completed,
+                                   std::uint8_t seq = 0) {
   if (residual_reservation > kReportFieldMask) {
     residual_reservation = kReportFieldMask;
   }
   if (completed > kReportFieldMask) completed = kReportFieldMask;
-  return (static_cast<std::uint64_t>(period & 0xffff) << 48) |
-         (residual_reservation << 24) | completed;
+  return (static_cast<std::uint64_t>(period & kReportPeriodMask) << 52) |
+         (static_cast<std::uint64_t>(seq) << 44) |
+         (residual_reservation << 22) | completed;
 }
 
 constexpr std::uint32_t ReportPeriod(std::uint64_t packed) {
-  return static_cast<std::uint32_t>(packed >> 48);
+  return static_cast<std::uint32_t>(packed >> 52) & kReportPeriodMask;
+}
+
+constexpr std::uint8_t ReportSeq(std::uint64_t packed) {
+  return static_cast<std::uint8_t>((packed >> 44) & 0xff);
 }
 
 constexpr std::uint32_t ReportResidual(std::uint64_t packed) {
-  return static_cast<std::uint32_t>((packed >> 24) & kReportFieldMask);
+  return static_cast<std::uint32_t>((packed >> 22) & kReportFieldMask);
 }
 
 constexpr std::uint32_t ReportCompleted(std::uint64_t packed) {

@@ -74,13 +74,54 @@ void Experiment::BuildCluster() {
       BuildBackground(i);
     }
   }
+
+  if (!config_.faults.Empty()) fabric_->InstallFaultPlan(config_.faults);
+  for (const auto& fault : config_.client_faults) {
+    HAECHI_EXPECTS(fault.client < rigs_.size());
+    sim_.ScheduleAt(fault.crash_at,
+                    [this, fault] { CrashClient(fault.client); });
+    if (fault.restart_at != kSimTimeMax) {
+      HAECHI_EXPECTS(fault.restart_at > fault.crash_at);
+      sim_.ScheduleAt(fault.restart_at,
+                      [this, fault] { RestartClient(fault.client); });
+    }
+  }
 }
 
 void Experiment::BuildClient(std::size_t index) {
+  HAECHI_EXPECTS(rigs_.size() == index);
+  rigs_.push_back(ClientRig{});
+  rigs_.back().node =
+      &fabric_->AddNode("client-" + std::to_string(index + 1));
+  WireClient(index);
+}
+
+void Experiment::CrashClient(std::size_t index) {
+  ClientRig& rig = rigs_.at(index);
+  fabric_->CrashNode(rig.node->id());
+  // The node's QPs are already in the error state; quiesce the software
+  // above them. The monitor is NOT told — it must discover the death
+  // through its report lease, exactly like a real silent crash.
+  if (rig.engine != nullptr) rig.engine->Stop();
+  rig.generator->Stop();
+  if (index < background_gens_.size()) background_gens_[index]->Stop();
+}
+
+void Experiment::RestartClient(std::size_t index) {
+  ClientRig& rig = rigs_.at(index);
+  HAECHI_EXPECTS(fabric_->IsCrashed(rig.node->id()));
+  fabric_->RestartNode(rig.node->id());
+  // Fresh QPs, KV client, engine and generator on the surviving node; the
+  // engine re-admits under its old client id (re-admission handshake).
+  // The previous incarnation stays in the ownership pools untouched.
+  WireClient(index);
+  rigs_.at(index).generator->Start(sim_.Now());
+}
+
+void Experiment::WireClient(std::size_t index) {
   const ClientSpec& spec = config_.clients[index];
   rdma::Node& data_node = fabric_->node(0);
-  rdma::Node& client_node =
-      fabric_->AddNode("client-" + std::to_string(index + 1));
+  rdma::Node& client_node = *rigs_.at(index).node;
   const auto client_id = MakeClientId(static_cast<std::uint32_t>(index));
 
   // Data path: one-sided QP pair (or RPC channel for the two-sided runs).
@@ -139,10 +180,18 @@ void Experiment::BuildClient(std::size_t index) {
         wiring.value());
     kvstore::KvClient* kv = kv_client.get();
     qos_engine->SetIoBackend(
-        [kv, this](std::uint64_t key, bool is_write,
-                   core::ClientQosEngine::CompleteFn done) {
-          auto finish = [done = std::move(done)](
-                            const kvstore::KvClient::Completion&) { done(); };
+        [kv, this, client_id](std::uint64_t key, bool is_write,
+                              core::ClientQosEngine::CompleteFn done) {
+          // Only I/Os the data node actually served count toward the
+          // measured series: under fault injection a flushed or timed-out
+          // op completes with an error and delivered no service.
+          auto finish = [this, client_id, done = std::move(done)](
+                            const kvstore::KvClient::Completion& completion) {
+            if (completion.status.ok() && measuring_) {
+              result_->series.Add(client_id, 1);
+            }
+            done();
+          };
           if (is_write) {
             return kv->PutOneSided(key, WriteValue(), std::move(finish));
           }
@@ -170,20 +219,15 @@ void Experiment::BuildClient(std::size_t index) {
   workload::DemandGenerator::SubmitFn submit;
   if (engine != nullptr) {
     core::ClientQosEngine* eng = engine;
-    submit = [this, eng, client_id](std::uint64_t key, bool is_write,
-                                    workload::DemandGenerator::CompleteFn cb) {
-      auto counted = [this, client_id, cb](const bool measured) {
-        if (measured && measuring_) result_->series.Add(client_id, 1);
-        cb();
-      };
-      const Status s = eng->Submit(
-          key, [counted]() mutable { counted(true); }, is_write);
+    submit = [eng](std::uint64_t key, bool is_write,
+                   workload::DemandGenerator::CompleteFn cb) {
+      // Successful completions are counted in the engine's I/O backend;
+      // here only the workload's in-flight accounting is closed.
+      const Status s = eng->Submit(key, cb, is_write);
       if (!s.ok()) {
-        // Engine queue bounded (isolation): persistent over-demand is shed.
-        // The workload's completion callback still fires so its in-flight
-        // accounting stays correct; the I/O is simply not performed.
-        HAECHI_ASSERT(s.code() == StatusCode::kResourceExhausted);
-        counted(false);
+        // Engine queue bounded (isolation) — persistent over-demand is
+        // shed; the I/O is simply not performed.
+        cb();
       }
     };
   } else {
@@ -191,18 +235,20 @@ void Experiment::BuildClient(std::size_t index) {
                  std::uint64_t key, bool is_write,
                  workload::DemandGenerator::CompleteFn cb) {
       auto done = [this, client_id, cb = std::move(cb)](
-                      const kvstore::KvClient::Completion&) {
-        if (measuring_) result_->series.Add(client_id, 1);
+                      const kvstore::KvClient::Completion& completion) {
+        if (completion.status.ok() && measuring_) {
+          result_->series.Add(client_id, 1);
+        }
         cb();
       };
       Status s;
       if (is_write) {
-        s = kv->PutOneSided(key, WriteValue(), std::move(done));
+        s = kv->PutOneSided(key, WriteValue(), done);
       } else {
-        s = two_sided ? kv->GetRpc(key, std::move(done))
-                      : kv->GetOneSided(key, std::move(done));
+        s = two_sided ? kv->GetRpc(key, done) : kv->GetOneSided(key, done);
       }
-      HAECHI_ASSERT(s.ok());
+      // Shed on backpressure or a faulted QP; accounting still closes.
+      if (!s.ok()) done(kvstore::KvClient::Completion{s, {}, 0});
     };
   }
 
@@ -210,6 +256,10 @@ void Experiment::BuildClient(std::size_t index) {
       sim_, gen_config, std::move(chooser), std::move(submit));
   generator->SetLatencySink(&result_->latency, config_.warmup);
 
+  ClientRig& rig = rigs_.at(index);
+  rig.kv = kv_client.get();
+  rig.engine = engine;
+  rig.generator = generator.get();
   kv_clients_.push_back(std::move(kv_client));
   generators_.push_back(std::move(generator));
 }
@@ -274,7 +324,8 @@ ExperimentResult Experiment::Run() {
       {},
       {},
       {},
-      0});
+      0,
+      {}});
   BuildCluster();
 
   for (const auto& spec : config_.clients) {
@@ -284,7 +335,7 @@ ExperimentResult Experiment::Run() {
   // Kick off the QoS monitor (period boundaries at multiples of T) and the
   // generators (same alignment; engines begin on their first PeriodStart).
   if (monitor_) monitor_->Start(0);
-  for (auto& generator : generators_) generator->Start(0);
+  for (auto& rig : rigs_) rig.generator->Start(0);
 
   // Measurement window bookkeeping: one PeriodSeries row per QoS period
   // after warm-up.
@@ -315,14 +366,17 @@ ExperimentResult Experiment::Run() {
       result_->series.Total(),
       static_cast<SimDuration>(config_.measure_periods) * config_.qos.period);
   if (monitor_) result_->monitor_stats = monitor_->stats();
-  for (const auto& engine : engines_) {
-    result_->engine_stats.push_back(engine->stats());
+  for (const auto& rig : rigs_) {
+    if (rig.engine != nullptr) {
+      result_->engine_stats.push_back(rig.engine->stats());
+    }
   }
   result_->events_run = sim_.EventsRun();
+  result_->fault_stats = fabric_->fault_stats();
 
   // Stop the machinery so a subsequent RunUntil in tests drains cleanly.
   if (monitor_) monitor_->Stop();
-  for (auto& generator : generators_) generator->Stop();
+  for (auto& rig : rigs_) rig.generator->Stop();
   for (auto& generator : background_gens_) generator->Stop();
 
   return std::move(*result_);

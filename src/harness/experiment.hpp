@@ -19,6 +19,7 @@
 #include "kvstore/server.hpp"
 #include "net/model_params.hpp"
 #include "rdma/fabric.hpp"
+#include "rdma/fault.hpp"
 #include "sim/simulator.hpp"
 #include "stats/histogram.hpp"
 #include "stats/period_series.hpp"
@@ -77,6 +78,22 @@ struct ExperimentConfig {
   std::int64_t background_demand = 0;
   SimTime background_on = 0;
   SimTime background_off = kSimTimeMax;
+
+  /// Deterministic fabric fault schedule (drops/delays/duplicates/QP
+  /// errors/node events), installed before the run starts. Empty = none.
+  rdma::FaultPlan faults;
+
+  /// Scripted whole-client failure: at crash_at the client's node crashes
+  /// (engine and generators stop mid-flight; the monitor's report lease
+  /// later reclaims its reservation). At restart_at — if not kSimTimeMax —
+  /// the node restarts with fresh QPs and the client re-admits under its
+  /// old id (the re-admission handshake) and resumes its workload.
+  struct ClientFault {
+    std::size_t client = 0;
+    SimTime crash_at = 0;
+    SimTime restart_at = kSimTimeMax;
+  };
+  std::vector<ClientFault> client_faults;
 };
 
 struct ExperimentResult {
@@ -97,8 +114,11 @@ struct ExperimentResult {
   };
   std::vector<CapacityPoint> capacity_trace;
   core::QosMonitor::Stats monitor_stats;
+  /// One entry per client (the *current* engine after any restarts).
   std::vector<core::ClientQosEngine::Stats> engine_stats;
   std::uint64_t events_run = 0;
+  /// Fabric fault-injection counters (zero when no plan was installed).
+  rdma::Fabric::FaultStats fault_stats;
 };
 
 class Experiment {
@@ -115,16 +135,33 @@ class Experiment {
 
   // --- introspection for integration tests (valid after Run()) -----------
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] rdma::Fabric& fabric() { return *fabric_; }
   [[nodiscard]] core::QosMonitor* monitor() { return monitor_.get(); }
+  /// The client's *current* engine (the newest incarnation after restarts).
   [[nodiscard]] core::ClientQosEngine& engine(std::size_t i) {
-    return *engines_.at(i);
+    return *rigs_.at(i).engine;
   }
   [[nodiscard]] kvstore::KvServer& server() { return *server_; }
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
 
  private:
+  /// The live machinery of one client. Pointers move to new incarnations
+  /// on restart; retired objects stay owned by the pools below (in-flight
+  /// simulator callbacks may still reach them).
+  struct ClientRig {
+    rdma::Node* node = nullptr;
+    kvstore::KvClient* kv = nullptr;
+    core::ClientQosEngine* engine = nullptr;  // null in bare mode
+    workload::DemandGenerator* generator = nullptr;
+  };
+
   void BuildCluster();
   void BuildClient(std::size_t index);
+  /// (Re-)creates the client's QPs, KV client, engine and generator on its
+  /// existing node; used at build time and again after a node restart.
+  void WireClient(std::size_t index);
+  void CrashClient(std::size_t index);
+  void RestartClient(std::size_t index);
   void BuildBackground(std::size_t index);
   /// Record-sized dummy payload shared by all PUTs (its bytes only matter
   /// when payload copying is on).
@@ -135,9 +172,13 @@ class Experiment {
   std::unique_ptr<rdma::Fabric> fabric_;
   std::unique_ptr<kvstore::KvServer> server_;
   std::unique_ptr<core::QosMonitor> monitor_;
+  // Ownership pools; entries are never destroyed mid-run (restart retires
+  // the old incarnation here — its CQ callbacks and timers must stay
+  // valid) — rigs_ points at the live ones.
   std::vector<std::unique_ptr<kvstore::KvClient>> kv_clients_;
   std::vector<std::unique_ptr<core::ClientQosEngine>> engines_;
   std::vector<std::unique_ptr<workload::DemandGenerator>> generators_;
+  std::vector<ClientRig> rigs_;
   std::vector<std::unique_ptr<kvstore::KvClient>> background_clients_;
   std::vector<std::unique_ptr<workload::DemandGenerator>> background_gens_;
   std::unique_ptr<ExperimentResult> result_;

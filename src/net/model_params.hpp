@@ -65,6 +65,13 @@ struct ModelParams {
   /// One-way propagation + switching latency, ns.
   SimDuration link_latency = 1500;
 
+  /// RC transport give-up time, ns: how long the initiating RNIC retries a
+  /// request that gets no response (lost packet, crashed responder) before
+  /// completing it with WcStatus::kRetryExceeded. Real RC timeouts are
+  /// configurable per QP (ibv_modify_qp timeout/retry_cnt); a few RTTs is
+  /// representative for an in-rack fabric and keeps fault tests fast.
+  SimDuration retry_timeout = 12'000;
+
   /// Multiplicative service-time jitter: each service time is scaled by a
   /// uniform factor in [1-jitter, 1+jitter]. Nonzero jitter gives the
   /// capacity-profiling distribution a real sigma (Algorithm 1's lower

@@ -99,21 +99,87 @@ void Fabric::Initiate(std::shared_ptr<OpState> op) {
   const SimDuration service = InitiatorService(*op);
   const net::FlowId flow = op->src->id();
   src_node.out_nic().Submit(flow, service, [this, op = std::move(op)]() mutable {
-    sim_.ScheduleAfter(params_.link_latency, [this, op = std::move(op)]() mutable {
+    Node& src = op->src->node();
+    if (src.crashed_) {
+      // The process died while the WR sat in the send queue.
+      AbandonOp(*op);
+      return;
+    }
+    FaultInjector::Decision decision;
+    if (injector_ != nullptr) {
+      decision = injector_->Decide(src.id(), op->dst->node().id(), op->opcode,
+                                   op->src->id(), sim_.Now());
+    }
+    if (decision.drop) {
+      // The request packet is lost; RC retransmits blindly until the
+      // transport gives up and reports a retry-exceeded completion. The
+      // responder never sees the op.
+      ++fault_stats_.ops_dropped;
+      sim_.ScheduleAfter(params_.retry_timeout,
+                         [this, op = std::move(op)]() mutable {
+                           FinishCompletion(std::move(op),
+                                            WcStatus::kRetryExceeded);
+                         });
+      return;
+    }
+    const SimDuration latency = params_.link_latency + decision.extra_delay;
+    if (decision.extra_delay > 0) ++fault_stats_.ops_delayed;
+    if (src.paused_) {
+      // Outbound side of the partition: the op cannot leave the node (nor
+      // can a duplicate of it); it resumes its journey when the partition
+      // heals.
+      DeferOnNode(src.id(), {std::move(op), DeferredOp::Stage::kArrive,
+                             /*duplicate=*/false, WcStatus::kSuccess});
+      return;
+    }
+    if (decision.duplicate) {
+      // The wire delivers the request twice; the copy trails the original
+      // by a packet slot so per-QP arrival order stays deterministic.
+      ++fault_stats_.ops_duplicated;
+      sim_.ScheduleAfter(latency + params_.min_op_service, [this, op] {
+        ArriveAtResponder(op, /*duplicate=*/true);
+      });
+    }
+    sim_.ScheduleAfter(latency, [this, op = std::move(op)]() mutable {
       ArriveAtResponder(std::move(op));
     });
   });
 }
 
-void Fabric::ArriveAtResponder(std::shared_ptr<OpState> op) {
-  ++ops_delivered_;
+void Fabric::ArriveAtResponder(std::shared_ptr<OpState> op, bool duplicate) {
+  Node& dst_node = op->dst->node();
+  if (dst_node.crashed_) {
+    // A dead responder never ACKs: the initiator's RNIC retries until its
+    // transport timer expires. The duplicate copy just evaporates.
+    if (duplicate) return;
+    ++fault_stats_.dead_target_naks;
+    sim_.ScheduleAfter(params_.retry_timeout,
+                       [this, op = std::move(op)]() mutable {
+                         FinishCompletion(std::move(op),
+                                          WcStatus::kRetryExceeded);
+                       });
+    return;
+  }
+  if (dst_node.paused_) {
+    DeferOnNode(dst_node.id(), {std::move(op), DeferredOp::Stage::kArrive,
+                                duplicate, WcStatus::kSuccess});
+    return;
+  }
+  if (!duplicate) ++ops_delivered_;
+  if (op->dst->state() == QpState::kError) {
+    // The remote QP is dead (its node may have crashed and restarted): the
+    // responder NAKs and the initiator's retries can never succeed.
+    if (duplicate) return;
+    CompleteToInitiator(std::move(op), WcStatus::kRetryExceeded);
+    return;
+  }
   const WcStatus verdict = ValidateRemote(*op);
   if (verdict != WcStatus::kSuccess) {
     // NAK path: no responder service time is consumed.
+    if (duplicate) return;
     CompleteToInitiator(std::move(op), verdict);
     return;
   }
-  Node& dst_node = op->dst->node();
   const SimDuration service = ResponderService(*op);
   const net::FlowId flow = op->src->id();
   // Atomics and sub-64-byte transfers ride the responder's fast path: an
@@ -124,9 +190,21 @@ void Fabric::ArriveAtResponder(std::shared_ptr<OpState> op) {
        op->len <= kAlwaysCopyBytes)
           ? net::Priority::kControl
           : net::Priority::kBulk;
-  dst_node.in_nic().Submit(flow, service, [this, op = std::move(op)]() mutable {
-    ExecuteAtResponder(*op);
-    CompleteToInitiator(std::move(op), WcStatus::kSuccess);
+  dst_node.in_nic().Submit(flow, service,
+                           [this, op = std::move(op), duplicate]() mutable {
+    if (op->dst->node().crashed_) {
+      // The responder died while the op was queued at its NIC: no memory
+      // effect, no ACK — the initiator times out.
+      if (duplicate) return;
+      sim_.ScheduleAfter(params_.retry_timeout,
+                         [this, op = std::move(op)]() mutable {
+                           FinishCompletion(std::move(op),
+                                            WcStatus::kRetryExceeded);
+                         });
+      return;
+    }
+    ExecuteAtResponder(*op, duplicate);
+    if (!duplicate) CompleteToInitiator(std::move(op), WcStatus::kSuccess);
   }, priority);
 }
 
@@ -153,10 +231,18 @@ WcStatus Fabric::ValidateRemote(const OpState& op) const {
   return WcStatus::kSuccess;
 }
 
-void Fabric::ExecuteAtResponder(OpState& op) {
+void Fabric::ExecuteAtResponder(OpState& op, bool duplicate) {
   // The memory effect happens *now*, at the responder's service instant —
   // this ordering is what makes the simulated atomics and seqlock reads
   // behave like hardware DMA.
+  //
+  // A duplicated request re-executes only the idempotent WRITE DMA: the RC
+  // transport deduplicates by PSN, so atomics never apply twice (a
+  // double-drained token pool would violate exactly-once FAA semantics),
+  // SENDs never consume a second RECV, and a duplicate READ's snapshot is
+  // discarded with the duplicate itself. What a duplicate always costs is
+  // responder service time — charged by our caller either way.
+  if (duplicate && op.opcode != Opcode::kWrite) return;
   auto* target = reinterpret_cast<std::byte*>(op.remote);
   switch (op.opcode) {
     case Opcode::kRead:
@@ -212,23 +298,165 @@ void Fabric::DeliverSend(OpState& op) {
 
 void Fabric::CompleteToInitiator(std::shared_ptr<OpState> op,
                                  WcStatus status) {
-  sim_.ScheduleAfter(params_.link_latency, [this, op = std::move(op), status] {
-    QueuePair& src = *op->src;
-    if (status == WcStatus::kSuccess && op->opcode == Opcode::kRead &&
-        !op->staging.empty()) {
-      std::memcpy(op->local, op->staging.data(), op->len);
+  sim_.ScheduleAfter(params_.link_latency,
+                     [this, op = std::move(op), status]() mutable {
+                       FinishCompletion(std::move(op), status);
+                     });
+}
+
+void Fabric::FinishCompletion(std::shared_ptr<OpState> op, WcStatus status) {
+  QueuePair& src = *op->src;
+  Node& src_node = src.node();
+  if (src_node.crashed_) {
+    // Nobody is home to poll the CQ; the completion dies with the process.
+    ++fault_stats_.dropped_completions;
+    AbandonOp(*op);
+    return;
+  }
+  if (src_node.paused_) {
+    DeferOnNode(src_node.id(), {std::move(op), DeferredOp::Stage::kComplete,
+                                /*duplicate=*/false, status});
+    return;
+  }
+  if (src.state_ == QpState::kError && status == WcStatus::kSuccess) {
+    // The QP erred while the op was in flight: hardware flushes it. Remote
+    // NAK statuses earned before the transition are reported as-is.
+    status = WcStatus::kFlushError;
+    ++fault_stats_.flushed_completions;
+  }
+  if (status == WcStatus::kSuccess && op->opcode == Opcode::kRead &&
+      !op->staging.empty()) {
+    std::memcpy(op->local, op->staging.data(), op->len);
+  }
+  WorkCompletion wc;
+  wc.wr_id = op->wr_id;
+  wc.opcode = op->opcode;
+  wc.status = status;
+  wc.byte_len = op->len;
+  wc.atomic_result = op->atomic_result;
+  wc.timestamp = sim_.Now();
+  HAECHI_ASSERT(src.in_flight_ > 0);
+  --src.in_flight_;
+  src.send_cq_.Push(wc);
+}
+
+void Fabric::AbandonOp(const OpState& op) {
+  QueuePair& src = *op.src;
+  HAECHI_ASSERT(src.in_flight_ > 0);
+  --src.in_flight_;
+}
+
+void Fabric::InstallFaultPlan(const FaultPlan& plan) {
+  HAECHI_EXPECTS(injector_ == nullptr);
+  injector_ = std::make_unique<FaultInjector>(plan);
+  for (const NodeEvent& event : plan.node_events) {
+    sim_.ScheduleAt(event.at, [this, event] { ApplyNodeEvent(event); });
+  }
+  for (const QpFailure& failure : plan.qp_failures) {
+    sim_.ScheduleAt(failure.at, [this, id = failure.qp] {
+      QueuePair* qp = FindQp(id);
+      HAECHI_ASSERT(qp != nullptr);
+      qp->SetError();
+    });
+  }
+}
+
+void Fabric::ApplyNodeEvent(const NodeEvent& event) {
+  switch (event.kind) {
+    case NodeEvent::Kind::kCrash: CrashNode(event.node); break;
+    case NodeEvent::Kind::kRestart: RestartNode(event.node); break;
+    case NodeEvent::Kind::kPause: PauseNode(event.node); break;
+    case NodeEvent::Kind::kResume: ResumeNode(event.node); break;
+  }
+}
+
+QueuePair* Fabric::FindQp(QpId id) {
+  for (Node& node : nodes_) {
+    for (QueuePair& qp : node.qps_) {
+      if (qp.id() == id) return &qp;
     }
-    WorkCompletion wc;
-    wc.wr_id = op->wr_id;
-    wc.opcode = op->opcode;
-    wc.status = status;
-    wc.byte_len = op->len;
-    wc.atomic_result = op->atomic_result;
-    wc.timestamp = sim_.Now();
-    HAECHI_ASSERT(src.in_flight_ > 0);
-    --src.in_flight_;
-    src.send_cq_.Push(wc);
-  });
+  }
+  return nullptr;
+}
+
+void Fabric::CrashNode(NodeId node) {
+  Node& n = NodeRef(node);
+  if (n.crashed_) return;
+  n.crashed_ = true;
+  n.paused_ = false;
+  for (QueuePair& qp : n.qps_) qp.SetError();
+  // Anything the node had on hold dies with it: held arrivals addressed to
+  // it time out at their initiators; held outbound ops and completions
+  // belonged to the dead process.
+  auto held = deferred_.extract(Raw(node));
+  if (!held.empty()) {
+    for (DeferredOp& deferred : held.mapped()) {
+      const bool inbound = deferred.stage == DeferredOp::Stage::kArrive &&
+                           &deferred.op->dst->node() == &n;
+      if (inbound) {
+        if (deferred.duplicate) continue;
+        ++fault_stats_.dead_target_naks;
+        sim_.ScheduleAfter(params_.retry_timeout,
+                           [this, op = std::move(deferred.op)]() mutable {
+                             FinishCompletion(std::move(op),
+                                              WcStatus::kRetryExceeded);
+                           });
+      } else {
+        ++fault_stats_.dropped_completions;
+        AbandonOp(*deferred.op);
+      }
+    }
+  }
+  HAECHI_LOG_DEBUG("fabric: node %u (%s) crashed", Raw(node),
+                   n.name().c_str());
+  if (fault_hook_) fault_hook_(node, NodeFault::kCrash);
+}
+
+void Fabric::RestartNode(NodeId node) {
+  Node& n = NodeRef(node);
+  if (!n.crashed_) return;
+  n.crashed_ = false;
+  ++n.incarnation_;
+  HAECHI_LOG_DEBUG("fabric: node %u (%s) restarted (incarnation %u)",
+                   Raw(node), n.name().c_str(), n.incarnation_);
+  if (fault_hook_) fault_hook_(node, NodeFault::kRestart);
+}
+
+void Fabric::PauseNode(NodeId node) {
+  Node& n = NodeRef(node);
+  if (n.crashed_ || n.paused_) return;
+  n.paused_ = true;
+  if (fault_hook_) fault_hook_(node, NodeFault::kPause);
+}
+
+void Fabric::ResumeNode(NodeId node) {
+  Node& n = NodeRef(node);
+  if (!n.paused_) return;
+  n.paused_ = false;
+  auto held = deferred_.extract(Raw(node));
+  if (!held.empty()) {
+    for (DeferredOp& deferred : held.mapped()) {
+      if (deferred.stage == DeferredOp::Stage::kArrive) {
+        ArriveAtResponder(std::move(deferred.op), deferred.duplicate);
+      } else {
+        FinishCompletion(std::move(deferred.op), deferred.status);
+      }
+    }
+  }
+  if (fault_hook_) fault_hook_(node, NodeFault::kResume);
+}
+
+bool Fabric::IsCrashed(NodeId node) const {
+  return nodes_.at(Raw(node)).crashed_;
+}
+
+bool Fabric::IsPaused(NodeId node) const {
+  return nodes_.at(Raw(node)).paused_;
+}
+
+void Fabric::DeferOnNode(NodeId node, DeferredOp deferred) {
+  ++fault_stats_.deferred_ops;
+  deferred_[Raw(node)].push_back(std::move(deferred));
 }
 
 }  // namespace haechi::rdma

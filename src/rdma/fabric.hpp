@@ -24,14 +24,18 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/model_params.hpp"
 #include "net/station.hpp"
 #include "rdma/cq.hpp"
+#include "rdma/fault.hpp"
 #include "rdma/memory.hpp"
 #include "rdma/qp.hpp"
 #include "sim/simulator.hpp"
@@ -72,7 +76,16 @@ class Node {
   QueuePair& CreateQp(CompletionQueue& send_cq, CompletionQueue& recv_cq,
                       std::size_t send_queue_depth = 256);
 
+  /// Fault-injection state (driven by Fabric::CrashNode & friends).
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] bool paused() const { return paused_; }
+  /// Bumped on every restart; lets observers distinguish the pre- and
+  /// post-crash lives of a node.
+  [[nodiscard]] std::uint32_t incarnation() const { return incarnation_; }
+
  private:
+  friend class Fabric;
+
   sim::Simulator& sim_;
   Fabric& fabric_;
   NodeId id_;
@@ -84,6 +97,9 @@ class Node {
   net::FairShareStation cpu_;
   std::deque<CompletionQueue> cqs_;
   std::deque<QueuePair> qps_;
+  bool crashed_ = false;
+  bool paused_ = false;
+  std::uint32_t incarnation_ = 0;
 };
 
 class Fabric {
@@ -114,6 +130,54 @@ class Fabric {
   /// Total ops that reached a responder (served + rejected), for tests.
   [[nodiscard]] std::uint64_t OpsDelivered() const { return ops_delivered_; }
 
+  // --- fault injection ----------------------------------------------------
+
+  /// Installs a fault plan: transport rules take effect immediately and the
+  /// plan's node/QP events are scheduled on the simulator. At most one plan
+  /// per fabric.
+  void InstallFaultPlan(const FaultPlan& plan);
+
+  /// Kills a node: its QPs enter the error state, ops addressed to it time
+  /// out at their initiators (kRetryExceeded after retry_timeout — a dead
+  /// responder never ACKs), and completions destined for it vanish with the
+  /// process. Idempotent.
+  void CrashNode(NodeId node);
+
+  /// Revives a crashed node with a new incarnation. Old QPs stay in the
+  /// error state — software must create fresh ones and re-connect, exactly
+  /// as after a real reboot.
+  void RestartNode(NodeId node);
+
+  /// Partitions a node symmetrically: arrivals at it and completions for it
+  /// are held (in order) until ResumeNode. Idempotent.
+  void PauseNode(NodeId node);
+
+  /// Heals the partition and replays every held op in arrival order.
+  void ResumeNode(NodeId node);
+
+  [[nodiscard]] bool IsCrashed(NodeId node) const;
+  [[nodiscard]] bool IsPaused(NodeId node) const;
+
+  enum class NodeFault : std::uint8_t { kCrash, kRestart, kPause, kResume };
+  /// Observer for node lifecycle transitions (whether applied via a plan or
+  /// directly); the harness uses it to stop/revive the node's software.
+  using NodeFaultHook = std::function<void(NodeId, NodeFault)>;
+  void SetNodeFaultHook(NodeFaultHook hook) { fault_hook_ = std::move(hook); }
+
+  /// The installed plan's runtime evaluator, or nullptr.
+  [[nodiscard]] FaultInjector* injector() { return injector_.get(); }
+
+  struct FaultStats {
+    std::uint64_t ops_dropped = 0;        // transport drops (retry-exceeded)
+    std::uint64_t ops_delayed = 0;
+    std::uint64_t ops_duplicated = 0;
+    std::uint64_t dead_target_naks = 0;   // ops that timed out on a crashed node
+    std::uint64_t flushed_completions = 0;
+    std::uint64_t dropped_completions = 0;  // completions for crashed nodes
+    std::uint64_t deferred_ops = 0;       // held by a paused node
+  };
+  [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
+
  private:
   friend class QueuePair;
   friend class Node;
@@ -140,17 +204,31 @@ class Fabric {
   /// std::function requires copyable captures.)
   void Initiate(std::shared_ptr<OpState> op);
 
-  /// Op arrives at the responder after the link delay.
-  void ArriveAtResponder(std::shared_ptr<OpState> op);
+  /// Op arrives at the responder after the link delay. `duplicate` marks
+  /// the second delivery of a duplicated request: it consumes responder
+  /// service (and re-applies idempotent WRITE DMA) but never generates a
+  /// completion — the transport deduplicates by PSN.
+  void ArriveAtResponder(std::shared_ptr<OpState> op, bool duplicate = false);
 
   /// Validation at the responder NIC; kSuccess means "proceed to service".
   [[nodiscard]] WcStatus ValidateRemote(const OpState& op) const;
 
   /// Responder service complete: perform memory effects.
-  void ExecuteAtResponder(OpState& op);
+  void ExecuteAtResponder(OpState& op, bool duplicate = false);
 
   /// Sends the completion back to the initiator (after link delay).
   void CompleteToInitiator(std::shared_ptr<OpState> op, WcStatus status);
+
+  /// Delivers (or defers / drops) the completion at the initiator, applying
+  /// crash / pause / QP-flush semantics at the delivery instant.
+  void FinishCompletion(std::shared_ptr<OpState> op, WcStatus status);
+
+  /// The initiating process died before this op completed: release its
+  /// in-flight slot without generating a CQE.
+  void AbandonOp(const OpState& op);
+
+  void ApplyNodeEvent(const NodeEvent& event);
+  [[nodiscard]] QueuePair* FindQp(QpId id);
 
   /// Delivers an inbound SEND payload to the responder's recv path.
   void DeliverSend(OpState& op);
@@ -160,6 +238,17 @@ class Fabric {
   [[nodiscard]] SimDuration NicService(const Node& node,
                                        std::uint32_t bytes) const;
 
+  /// An op held by a paused node, replayed in order on resume.
+  struct DeferredOp {
+    std::shared_ptr<OpState> op;
+    enum class Stage : std::uint8_t { kArrive, kComplete } stage;
+    bool duplicate = false;
+    WcStatus status = WcStatus::kSuccess;
+  };
+
+  Node& NodeRef(NodeId id) { return nodes_.at(Raw(id)); }
+  void DeferOnNode(NodeId node, DeferredOp deferred);
+
   sim::Simulator& sim_;
   net::ModelParams params_;
   Rng seed_rng_;
@@ -167,6 +256,11 @@ class Fabric {
   QpId next_qp_id_ = 0;
   bool copy_payloads_ = true;
   std::uint64_t ops_delivered_ = 0;
+
+  std::unique_ptr<FaultInjector> injector_;
+  NodeFaultHook fault_hook_;
+  FaultStats fault_stats_;
+  std::unordered_map<std::uint32_t, std::vector<DeferredOp>> deferred_;
 };
 
 }  // namespace haechi::rdma

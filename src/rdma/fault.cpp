@@ -1,0 +1,77 @@
+#include "rdma/fault.hpp"
+
+#include <utility>
+
+namespace haechi::rdma {
+
+FaultPlan& FaultPlan::Add(FaultRule rule) {
+  rules.push_back(rule);
+  return *this;
+}
+
+FaultPlan& FaultPlan::CrashAt(NodeId node, SimTime at) {
+  node_events.push_back({NodeEvent::Kind::kCrash, node, at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::RestartAt(NodeId node, SimTime at) {
+  node_events.push_back({NodeEvent::Kind::kRestart, node, at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::PauseAt(NodeId node, SimTime at) {
+  node_events.push_back({NodeEvent::Kind::kPause, node, at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::ResumeAt(NodeId node, SimTime at) {
+  node_events.push_back({NodeEvent::Kind::kResume, node, at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::FailQpAt(QpId qp, SimTime at) {
+  qp_failures.push_back({qp, at});
+  return *this;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)),
+      triggers_(plan_.rules.size(), 0),
+      rng_(plan_.seed) {}
+
+FaultInjector::Decision FaultInjector::Decide(NodeId initiator,
+                                              NodeId responder, Opcode opcode,
+                                              QpId qp, SimTime now) {
+  ++stats_.evaluated;
+  Decision decision;
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& rule = plan_.rules[i];
+    if (now < rule.from || now >= rule.until) continue;
+    if (triggers_[i] >= rule.max_triggers) continue;
+    if (rule.initiator && *rule.initiator != initiator) continue;
+    if (rule.responder && *rule.responder != responder) continue;
+    if (rule.opcode && *rule.opcode != opcode) continue;
+    if (rule.qp && *rule.qp != qp) continue;
+    if (rule.probability < 1.0 && rng_.NextDouble() >= rule.probability) {
+      continue;
+    }
+    ++triggers_[i];
+    switch (rule.action) {
+      case FaultAction::kDrop:
+        if (!decision.drop) ++stats_.drops;
+        decision.drop = true;
+        break;
+      case FaultAction::kDelay:
+        ++stats_.delays;
+        decision.extra_delay += rule.delay;
+        break;
+      case FaultAction::kDuplicate:
+        if (!decision.duplicate) ++stats_.duplicates;
+        decision.duplicate = true;
+        break;
+    }
+  }
+  return decision;
+}
+
+}  // namespace haechi::rdma

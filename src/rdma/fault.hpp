@@ -1,0 +1,135 @@
+// Deterministic fault injection for the simulated RDMA fabric.
+//
+// A FaultPlan is a declarative, copyable schedule of transport faults
+// (per-op drop / delay / duplicate rules) and whole-node events (crash,
+// restart, pause, resume) plus targeted QP failures. Installed on a Fabric
+// it perturbs the verbs pipeline exactly where real RNICs fail:
+//
+//   drop       the request packet is lost; RC retransmission gives up after
+//              ModelParams::retry_timeout and the op completes with
+//              kRetryExceeded. No responder memory effect.
+//   delay      extra wire latency before the op reaches the responder.
+//   duplicate  the request is delivered twice. PSN-based transport dedup
+//              shields atomics and SENDs (exactly-once), so the duplicate
+//              only re-applies idempotent WRITE DMA and burns responder
+//              service time — matching RC semantics on the wire.
+//   crash      the node's QPs enter the error state, inbound requests time
+//              out at their initiators (kRetryExceeded) and completions
+//              addressed to the node are discarded (the process is gone).
+//   pause      a symmetric partition: arrivals at and completions for the
+//              node are held and replayed in order on resume.
+//
+// Determinism contract (DESIGN.md §8): the simulator is single-threaded and
+// every probabilistic rule draws from one injector-owned xoshiro stream in
+// op-interception order, which is itself a pure function of the simulation.
+// Identical (plan, seed, workload) therefore yields a bit-identical
+// completion trace; rules with probability >= 1 consume no randomness, so
+// adding a deterministic rule never perturbs the draws of others.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "rdma/verbs.hpp"
+
+namespace haechi::rdma {
+
+/// What a matched FaultRule does to a verbs op in flight.
+enum class FaultAction : std::uint8_t { kDrop, kDelay, kDuplicate };
+
+/// One transport-fault rule. Every unset matcher is a wildcard.
+struct FaultRule {
+  FaultAction action = FaultAction::kDrop;
+  /// Probability in [0, 1] that a matching op triggers the rule. Values
+  /// >= 1 trigger unconditionally and consume no randomness.
+  double probability = 1.0;
+  /// Extra wire latency applied by kDelay (ignored otherwise).
+  SimDuration delay = 0;
+  std::optional<NodeId> initiator;
+  std::optional<NodeId> responder;
+  std::optional<Opcode> opcode;
+  std::optional<QpId> qp;  // initiating QP
+  /// Active window [from, until) in simulated time.
+  SimTime from = 0;
+  SimTime until = kSimTimeMax;
+  /// The rule disarms after this many triggers.
+  std::uint64_t max_triggers = std::numeric_limits<std::uint64_t>::max();
+};
+
+/// A scheduled whole-node lifecycle event.
+struct NodeEvent {
+  enum class Kind : std::uint8_t { kCrash, kRestart, kPause, kResume };
+  Kind kind = Kind::kCrash;
+  NodeId node = MakeNodeId(0);
+  SimTime at = 0;
+};
+
+/// A scheduled transition of one QP into the error state.
+struct QpFailure {
+  QpId qp = 0;
+  SimTime at = 0;
+};
+
+/// Declarative fault schedule; copyable so experiment configs can embed it.
+struct FaultPlan {
+  /// Seeds the injector's random stream (probabilistic rules only).
+  std::uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+  std::vector<NodeEvent> node_events;
+  std::vector<QpFailure> qp_failures;
+
+  [[nodiscard]] bool Empty() const {
+    return rules.empty() && node_events.empty() && qp_failures.empty();
+  }
+
+  // Fluent builders for test/experiment setup.
+  FaultPlan& Add(FaultRule rule);
+  FaultPlan& CrashAt(NodeId node, SimTime at);
+  FaultPlan& RestartAt(NodeId node, SimTime at);
+  FaultPlan& PauseAt(NodeId node, SimTime at);
+  FaultPlan& ResumeAt(NodeId node, SimTime at);
+  FaultPlan& FailQpAt(QpId qp, SimTime at);
+};
+
+/// Runtime evaluator owned by the Fabric once a plan is installed.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// The combined verdict for one op: a drop wins over everything else,
+  /// delays from multiple matching rules accumulate, and a duplicate flag
+  /// composes with a delay (the copy travels with the same total latency).
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    SimDuration extra_delay = 0;
+  };
+
+  /// Evaluates every armed rule, in plan order, against one op about to
+  /// leave the initiator's NIC. Probabilistic rules draw from the injector
+  /// stream whether or not an earlier rule already triggered, keeping the
+  /// stream aligned across runs.
+  Decision Decide(NodeId initiator, NodeId responder, Opcode opcode, QpId qp,
+                  SimTime now);
+
+  struct Stats {
+    std::uint64_t evaluated = 0;  // ops inspected
+    std::uint64_t drops = 0;
+    std::uint64_t delays = 0;
+    std::uint64_t duplicates = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  std::vector<std::uint64_t> triggers_;  // per-rule trigger counts
+  Rng rng_;
+  Stats stats_;
+};
+
+}  // namespace haechi::rdma

@@ -20,6 +20,10 @@ QueuePair::QueuePair(Fabric& fabric, Node& node, QpId id,
 }
 
 Status QueuePair::CheckConnectedAndCapacity() const {
+  if (state_ == QpState::kError) {
+    return ErrFailedPrecondition("QP " + std::to_string(id_) +
+                                 " is in the error state");
+  }
   if (remote_ == nullptr) {
     return ErrFailedPrecondition("QP " + std::to_string(id_) +
                                  " is not connected");

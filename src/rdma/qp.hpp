@@ -28,6 +28,13 @@ class Node;
 /// the paper's Experiment 1A.
 enum class ServiceClass : std::uint8_t { kAuto, kRpcRequest };
 
+/// Lifecycle of a QP, condensed to the two states the fault model needs:
+/// ready (RTS) or error. A QP enters kError through fault injection (a
+/// scheduled QP failure or its node crashing); real hardware gets there on
+/// any fatal completion. Posts are rejected in kError and in-flight ops
+/// complete with kFlushError, as ibverbs specifies.
+enum class QpState : std::uint8_t { kReady, kError };
+
 class QueuePair {
  public:
   QueuePair(Fabric& fabric, Node& node, QpId id, CompletionQueue& send_cq,
@@ -38,6 +45,14 @@ class QueuePair {
 
   [[nodiscard]] QpId id() const { return id_; }
   [[nodiscard]] bool Connected() const { return remote_ != nullptr; }
+  [[nodiscard]] QpState state() const { return state_; }
+
+  /// Forces the QP into the error state: subsequent posts fail with
+  /// kFailedPrecondition and in-flight ops are flushed (kFlushError).
+  /// Posted RECVs stay queued — inbound SENDs are NAK'd at the fabric, so
+  /// they can never match; this mirrors hardware, where flushing recvs
+  /// requires destroying the QP.
+  void SetError() { state_ = QpState::kError; }
   [[nodiscard]] Node& node() { return node_; }
   [[nodiscard]] CompletionQueue& send_cq() { return send_cq_; }
   [[nodiscard]] CompletionQueue& recv_cq() { return recv_cq_; }
@@ -93,6 +108,7 @@ class QueuePair {
   CompletionQueue& recv_cq_;
   std::size_t send_queue_depth_;
   QueuePair* remote_ = nullptr;
+  QpState state_ = QpState::kReady;
   std::size_t in_flight_ = 0;
   std::deque<PostedRecv> recv_queue_;
   // Inbound SEND payloads that arrived before a RECV was posted (infinite

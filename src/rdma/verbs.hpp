@@ -42,6 +42,8 @@ enum class WcStatus : std::uint8_t {
   kRemoteOutOfRange,    // [addr, addr+len) escapes the MR
   kRemoteAccessError,   // MR lacks the required access flag
   kRemoteMisaligned,    // atomic target not 8-byte aligned
+  kRetryExceeded,       // transport retries exhausted (lost packet / dead peer)
+  kFlushError,          // WR flushed because the QP entered the error state
 };
 
 constexpr std::string_view ToString(WcStatus status) {
@@ -51,6 +53,8 @@ constexpr std::string_view ToString(WcStatus status) {
     case WcStatus::kRemoteOutOfRange: return "REMOTE_OUT_OF_RANGE";
     case WcStatus::kRemoteAccessError: return "REMOTE_ACCESS_ERROR";
     case WcStatus::kRemoteMisaligned: return "REMOTE_MISALIGNED";
+    case WcStatus::kRetryExceeded: return "RETRY_EXCEEDED";
+    case WcStatus::kFlushError: return "WR_FLUSH_ERR";
   }
   return "UNKNOWN";
 }

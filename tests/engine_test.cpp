@@ -105,14 +105,13 @@ class EngineTest : public ::testing::Test {
                     .ok());
   }
 
-  int SubmitMany(int n) {
-    int completed = 0;
+  // Completion callbacks fire from simulator events long after SubmitMany
+  // returns, so the counter must outlive the call frame.
+  void SubmitMany(int n) {
     for (int i = 0; i < n; ++i) {
-      const Status s =
-          engine_->Submit(0, [&completed] { ++completed; });
+      const Status s = engine_->Submit(0, [this] { ++submit_completed_; });
       if (!s.ok()) break;
     }
-    return completed;  // snapshot; callbacks fire later
   }
 
   sim::Simulator sim_;
@@ -133,6 +132,7 @@ class EngineTest : public ::testing::Test {
   QosConfig config_;
   std::unique_ptr<ClientQosEngine> engine_;
   int backend_calls_ = 0;
+  int submit_completed_ = 0;
 };
 
 TEST_F(EngineTest, NothingIssuesBeforeFirstPeriod) {

@@ -60,8 +60,9 @@ class MonitorTest : public ::testing::Test {
   /// Impersonates an engine: writes a packed report into the slot memory
   /// (directly — the one-sided path itself is covered by engine_test).
   void WriteReport(const QosWiring& wiring, std::uint32_t period,
-                   std::uint64_t residual, std::uint64_t completed) {
-    const std::uint64_t packed = PackReport(period, residual, completed);
+                   std::uint64_t residual, std::uint64_t completed,
+                   std::uint8_t seq = 0) {
+    const std::uint64_t packed = PackReport(period, residual, completed, seq);
     std::memcpy(reinterpret_cast<void*>(wiring.report_slot_addr), &packed,
                 sizeof(packed));
   }
@@ -247,6 +248,91 @@ TEST_F(MonitorTest, DistinctReportSlotsPerClient) {
   WriteReport(b, 1, 3333, 4444);
   EXPECT_EQ(monitor_->LastResidual(MakeClientId(0)), 1111u);
   EXPECT_EQ(monitor_->LastCompleted(MakeClientId(1)), 4444u);
+}
+
+// ---------------------------------------------------------------------------
+// Report lease: client-failure detection and reclamation.
+
+TEST_F(MonitorTest, LeaseExpiryReclaimsSilentClientAndKeepsReportingOne) {
+  config_.report_lease_intervals = 4;
+  monitor_ = std::make_unique<QosMonitor>(sim_, config_, server_, 100'000,
+                                          50'000);
+  const QosWiring alive = Admit(0, 30'000);
+  Admit(1, 20'000);
+  ClientId dead = MakeClientId(999);
+  monitor_->SetClientDeadCallback([&](ClientId id) { dead = id; });
+  monitor_->Start(0);
+
+  sim_.RunUntil(Millis(1) + Micros(100));
+  DrainPool(alive, 10);  // activates reporting at the 2 ms check
+  // Client 0 keeps reporting an unchanged payload but a fresh seq — the
+  // lease must read that as alive (idle != dead). Client 1 stays silent.
+  for (int m = 2; m <= 8; ++m) {
+    sim_.RunUntil(Millis(m) - Micros(500));
+    WriteReport(alive, 1, 30'000, 0, static_cast<std::uint8_t>(m));
+  }
+  sim_.RunUntil(Millis(10));
+
+  // Client 1 missed k = 4 consecutive checks: declared dead, its admission
+  // released, its primed residual (the full reservation) reclaimed.
+  EXPECT_EQ(monitor_->stats().lease_expirations, 1u);
+  EXPECT_EQ(dead, MakeClientId(1));
+  EXPECT_FALSE(monitor_->admission().IsAdmitted(MakeClientId(1)));
+  EXPECT_TRUE(monitor_->admission().IsAdmitted(MakeClientId(0)));
+  EXPECT_EQ(monitor_->admission().TotalReserved(), 30'000);
+  EXPECT_EQ(monitor_->stats().reclaimed_tokens, 20'000);
+  // At half-lease (2 misses) the monitor re-sent a ReportRequest before
+  // giving up on the client.
+  EXPECT_GE(monitor_->stats().report_request_resends, 1u);
+  // Work conservation: the death triggered an immediate conversion, so the
+  // reclaimed 20'000 showed up in the global pool (time budget ~99'500
+  // minus client 0's 30'000 claims — well above the 50'000 initial pool).
+  EXPECT_GT(PoolWord(alive), 60'000);
+}
+
+TEST_F(MonitorTest, LeaseIsInertUntilReportingActivates) {
+  config_.report_lease_intervals = 2;
+  monitor_ = std::make_unique<QosMonitor>(sim_, config_, server_, 100'000,
+                                          50'000);
+  Admit(0, 30'000);
+  monitor_->Start(0);
+  // No pool draw -> reporting never signalled -> silence is not a crime.
+  sim_.RunUntil(Millis(50));
+  EXPECT_EQ(monitor_->stats().lease_expirations, 0u);
+  EXPECT_TRUE(monitor_->admission().IsAdmitted(MakeClientId(0)));
+}
+
+TEST_F(MonitorTest, ReadmissionReplacesStaleIncarnation) {
+  const QosWiring first = Admit(0, 30'000);
+  EXPECT_EQ(monitor_->admission().TotalReserved(), 30'000);
+  // The same client id re-admits after a restart: the stale admission is
+  // released first, so the new reservation replaces (not stacks on) it.
+  const QosWiring second = Admit(0, 25'000);
+  EXPECT_EQ(monitor_->stats().readmissions, 1u);
+  EXPECT_EQ(monitor_->admission().AdmittedCount(), 1u);
+  EXPECT_EQ(monitor_->admission().TotalReserved(), 25'000);
+  // The retired slot is quarantined until the next period boundary, so the
+  // new incarnation writes elsewhere (an in-flight stale WRITE cannot
+  // corrupt it).
+  EXPECT_NE(first.report_slot_addr, second.report_slot_addr);
+  EXPECT_EQ(first.global_pool_addr, second.global_pool_addr);
+}
+
+TEST_F(MonitorTest, SlotsRecycleAcrossPeriodBoundaries) {
+  // 120 admit/release cycles against 64 physical slots: retired slots are
+  // quarantined for one period, then recycled — churn must never exhaust
+  // the slot table as long as boundaries keep passing.
+  monitor_->Start(0);
+  std::uint32_t id = 0;
+  for (int period = 0; period < 6; ++period) {
+    for (int i = 0; i < 20; ++i) {
+      Admit(id, 1'000);
+      EXPECT_TRUE(monitor_->ReleaseClient(MakeClientId(id)).ok());
+      ++id;
+    }
+    sim_.RunUntil(Seconds(period + 1) + Millis(1));
+  }
+  EXPECT_EQ(monitor_->admission().AdmittedCount(), 0u);
 }
 
 }  // namespace

@@ -58,8 +58,10 @@ TEST_F(RdmaTest, ProtectionDomainLookups) {
   EXPECT_EQ(server_.pd().FindByRkey(mr.rkey() + 999), nullptr);
   EXPECT_EQ(server_.pd().FindCovering(buf.data() + 10, 20), &mr);
   EXPECT_EQ(server_.pd().FindCovering(buf.data() + 60, 10), nullptr);
-  ASSERT_TRUE(server_.pd().Deregister(mr.rkey()).ok());
-  EXPECT_EQ(server_.pd().FindByRkey(mr.rkey()), nullptr);
+  // Deregister frees the MR (the PD owns it) — snapshot the rkey first.
+  const std::uint32_t rkey = mr.rkey();
+  ASSERT_TRUE(server_.pd().Deregister(rkey).ok());
+  EXPECT_EQ(server_.pd().FindByRkey(rkey), nullptr);
   EXPECT_FALSE(server_.pd().Deregister(12345).ok());
 }
 

@@ -186,5 +186,84 @@ TEST_F(ResilienceTest, BackendErrorsSurfaceAsPrecondition) {
   EXPECT_EQ(calls, 0);  // no tokens yet -> backend untouched
 }
 
+TEST_F(ResilienceTest, FaaRetryBackoffRecoversThroughADropWindow) {
+  // The fabric drops every token FAA for the first 10 ms. The engine must
+  // back off exponentially (not spin), then recover the moment the window
+  // closes and serve the queued pool-backed demand.
+  rdma::FaultPlan plan;
+  rdma::FaultRule drop_faa;
+  drop_faa.action = rdma::FaultAction::kDrop;
+  drop_faa.opcode = rdma::Opcode::kFetchAdd;
+  drop_faa.until = Millis(10);
+  plan.Add(drop_faa);
+  fabric_.InstallFaultPlan(plan);
+
+  std::uint64_t pool = 1000;
+  std::memcpy(control_block_.data(), &pool, sizeof(pool));
+  auto engine = MakeEngine(GoodWiring());
+  SendPeriodStart(1, /*tokens=*/2);
+  for (int i = 0; i < 8; ++i) engine->Submit(0, [] {});
+
+  sim_.RunUntil(Millis(5));
+  // Mid-window: reservation-backed I/Os done, pool demand blocked, at
+  // least one failed fetch and one backoff retry behind us.
+  EXPECT_EQ(backend_calls_, 2);
+  EXPECT_GE(engine->stats().faa_failures, 1u);
+  EXPECT_GE(engine->stats().faa_retries, 1u);
+
+  sim_.RunUntil(Millis(100));
+  // Window closed: a backoff retry landed, one FAA fetched the batch, and
+  // the whole queue drained.
+  EXPECT_EQ(backend_calls_, 8);
+  EXPECT_EQ(engine->stats().tokens_from_pool, 6);
+  EXPECT_EQ(engine->QueueDepth(), 0u);
+  EXPECT_GE(engine->stats().faa_failures, 2u);
+  EXPECT_GE(engine->stats().faa_retries, 2u);
+  EXPECT_GE(fabric_.fault_stats().ops_dropped, 2u);
+}
+
+TEST_F(ResilienceTest, ReportWriteFailuresAreCountedNotFatal) {
+  QosWiring wiring = GoodWiring();
+  wiring.report_slot_rkey = 0xbeef;  // report WRITEs will NAK
+  std::uint64_t pool = 1000;
+  std::memcpy(control_block_.data(), &pool, sizeof(pool));
+  auto engine = MakeEngine(wiring);
+  SendPeriodStart(1, /*tokens=*/3);
+  for (int i = 0; i < 3; ++i) engine->Submit(0, [] {});
+  sim_.RunUntil(Millis(1));
+  SendReportRequest(1);
+  sim_.RunUntil(Millis(6));
+  // Reports were posted on the 1 ms cadence, every one completed in error,
+  // and the engine neither crashed nor stopped serving.
+  EXPECT_GE(engine->stats().report_writes, 2u);
+  EXPECT_GE(engine->stats().report_failures, 2u);
+  EXPECT_EQ(backend_calls_, 3);
+  // The data path is untouched: a further submit rides pool tokens (only
+  // the report slot's rkey is broken).
+  engine->Submit(0, [] {});
+  sim_.RunUntil(Millis(8));
+  EXPECT_EQ(backend_calls_, 4);
+  EXPECT_EQ(engine->stats().tokens_from_pool, 1);
+}
+
+TEST_F(ResilienceTest, StopQuiescesQueueAndTimers) {
+  QosWiring wiring = GoodWiring();
+  wiring.global_pool_rkey = 0xdead;  // pool fetches fail -> demand queues
+  auto engine = MakeEngine(wiring);
+  SendPeriodStart(1, /*tokens=*/2);
+  for (int i = 0; i < 6; ++i) engine->Submit(0, [] {});
+  sim_.RunUntil(Millis(2));
+  EXPECT_EQ(backend_calls_, 2);
+  EXPECT_EQ(engine->QueueDepth(), 4u);
+  EXPECT_GE(engine->stats().faa_failures, 1u);
+
+  // Crash handling calls Stop(): the backlog is shed, timers stop, and no
+  // pending backoff retry fires work afterwards.
+  engine->Stop();
+  EXPECT_EQ(engine->QueueDepth(), 0u);
+  sim_.RunUntil(Millis(200));
+  EXPECT_EQ(backend_calls_, 2);
+}
+
 }  // namespace
 }  // namespace haechi::core

@@ -33,13 +33,29 @@ TEST(Wire, ReportSaturatesOversizedCounts) {
 }
 
 TEST(Wire, ReportFieldHoldsPaperScaleCounts) {
-  // The paper's data node peaks at ~1.6M I/Os per period; 24 bits hold 16M.
-  EXPECT_GT(kReportFieldMask, 1'600'000u * 4);
+  // The paper's data node peaks at ~1.6M I/Os per period; 22 bits hold
+  // ~4.19M, and the fields saturate (clamp) rather than wrap beyond that.
+  EXPECT_GT(kReportFieldMask, 1'600'000u * 2);
+  const std::uint64_t packed = PackReport(1, kReportFieldMask + 7, 1);
+  EXPECT_EQ(ReportResidual(packed), kReportFieldMask);
 }
 
-TEST(Wire, PeriodTagWrapsAt16Bits) {
-  const std::uint64_t packed = PackReport(0x1ffff, 1, 1);
-  EXPECT_EQ(ReportPeriod(packed), 0xffffu);
+TEST(Wire, PeriodTagWrapsAt12Bits) {
+  const std::uint64_t packed = PackReport(0x1fff, 1, 1);
+  EXPECT_EQ(ReportPeriod(packed), 0xfffu);
+}
+
+TEST(Wire, SeqMakesIdenticalPayloadsDistinct) {
+  // The report lease detects liveness as "slot bytes changed"; the seq
+  // field must distinguish consecutive idle reports.
+  const std::uint64_t a = PackReport(7, 100, 50, 1);
+  const std::uint64_t b = PackReport(7, 100, 50, 2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ReportSeq(a), 1u);
+  EXPECT_EQ(ReportSeq(b), 2u);
+  EXPECT_EQ(ReportPeriod(a), ReportPeriod(b));
+  EXPECT_EQ(ReportResidual(a), ReportResidual(b));
+  EXPECT_EQ(ReportCompleted(a), ReportCompleted(b));
 }
 
 TEST(Wire, ZeroReportIsValid) {

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Configure, build and run the full test suite under every CMake preset
+# (default, asan, tsan — see CMakePresets.json). Usage:
+#
+#   tools/run_ctest_matrix.sh              # the whole matrix
+#   tools/run_ctest_matrix.sh asan         # one preset
+#   JOBS=8 tools/run_ctest_matrix.sh       # override parallelism
+#
+# Exits non-zero on the first failing preset.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PRESETS=("$@")
+if [[ ${#PRESETS[@]} -eq 0 ]]; then
+  PRESETS=(default asan tsan)
+fi
+JOBS="${JOBS:-$(nproc)}"
+
+for preset in "${PRESETS[@]}"; do
+  echo "==== [$preset] configure ===="
+  cmake --preset "$preset"
+  echo "==== [$preset] build ===="
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "==== [$preset] ctest ===="
+  ctest --preset "$preset" -j "$JOBS"
+done
+
+echo "==== matrix passed: ${PRESETS[*]} ===="
