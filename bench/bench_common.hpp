@@ -73,6 +73,45 @@ inline std::vector<std::int64_t> PaperZipf(std::int64_t total) {
   return workload::ZipfGroupShare(total, 10, 5, 0.6);
 }
 
+/// Appends one ClientSpec per reservation with per-client demands — the
+/// loop every figure bench was hand-rolling.
+inline void AddClients(harness::ExperimentConfig& config,
+                       const std::vector<std::int64_t>& reservations,
+                       const std::vector<std::int64_t>& demands,
+                       workload::RequestPattern pattern) {
+  for (std::size_t i = 0; i < reservations.size(); ++i) {
+    harness::ClientSpec spec;
+    spec.reservation = reservations[i];
+    spec.demand = demands[i];
+    spec.pattern = pattern;
+    config.clients.push_back(spec);
+  }
+}
+
+/// Same, with demand as a function of (client index, reservation).
+template <typename DemandFn>
+void AddClients(harness::ExperimentConfig& config,
+                const std::vector<std::int64_t>& reservations,
+                DemandFn demand_of, workload::RequestPattern pattern) {
+  for (std::size_t i = 0; i < reservations.size(); ++i) {
+    harness::ClientSpec spec;
+    spec.reservation = reservations[i];
+    spec.demand = demand_of(i, reservations[i]);
+    spec.pattern = pattern;
+    config.clients.push_back(spec);
+  }
+}
+
+/// Mean per-period value over [from, to).
+inline double MeanOver(const std::vector<std::int64_t>& v, std::size_t from,
+                       std::size_t to) {
+  double sum = 0;
+  for (std::size_t i = from; i < to && i < v.size(); ++i) {
+    sum += static_cast<double>(v[i]);
+  }
+  return to > from ? sum / static_cast<double>(to - from) : 0.0;
+}
+
 inline void PrintHeader(const char* figure, const char* paper_summary) {
   std::printf("=== %s ===\n", figure);
   std::printf("paper: %s\n\n", paper_summary);

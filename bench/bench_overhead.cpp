@@ -1,19 +1,50 @@
 // Microbenchmarks (google-benchmark) for the hot paths behind the paper's
 // "negligible overhead for token management" claim and for the simulator
 // substrate itself: event queues (binary heap vs timing wheel), stations,
-// the token-report packing, Algorithm 1, and the zipfian sampler.
+// the token-report packing, Algorithm 1, and the zipfian sampler — plus
+// the tracing-overhead contract (DESIGN.md §9.2): after the google
+// benchmarks, main() sweeps full experiments over token batch B with the
+// flight recorder on vs off and writes the ratios to BENCH_overhead.json.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "core/capacity_estimator.hpp"
 #include "core/wire.hpp"
+#include "harness/experiment.hpp"
 #include "net/station.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timing_wheel.hpp"
 #include "stats/histogram.hpp"
+#include "workload/distributions.hpp"
 
 namespace haechi {
 namespace {
+
+#if !HAECHI_TRACE_ENABLED
+// Compile-time proof of the HAECHI_TRACE=OFF cost contract: the macro must
+// elide its payload expressions entirely, leaving no branch and no
+// argument evaluation on any instrumented path. ActiveRecorder() is not
+// constexpr, so if the disabled macro expanded to anything that touches
+// the recorder — or evaluated `++evaluated` — this function would not be
+// constant-evaluable and the static_assert would fail to compile.
+constexpr bool TraceArgumentsElided() {
+  int evaluated = 0;
+  HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, 0, obs::EventType::kTokenFetch,
+                     0, ++evaluated);
+  HAECHI_TRACE_DETAIL(obs::ActorKind::kKv, 0, obs::EventType::kKvIssue, 0,
+                      ++evaluated);
+  return evaluated == 0;
+}
+static_assert(TraceArgumentsElided(),
+              "HAECHI_TRACE=OFF must compile trace sites down to ((void)0)");
+#endif
 
 // --- event queues -----------------------------------------------------------
 
@@ -165,7 +196,163 @@ void BM_HistogramQuantile(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramQuantile);
 
+// --- flight recorder --------------------------------------------------------
+
+void BM_TraceEmitInactive(benchmark::State& state) {
+  // The cost of an instrumentation site when no recorder is installed:
+  // one pointer load + branch with tracing compiled in, literally nothing
+  // with HAECHI_TRACE=OFF.
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, 0,
+                       obs::EventType::kTokenFetch, 0, i);
+    benchmark::DoNotOptimize(++i);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceEmitInactive);
+
+#if HAECHI_TRACE_ENABLED
+void BM_TraceEmitActive(benchmark::State& state) {
+  sim::Simulator sim;
+  obs::Recorder recorder(sim);
+  obs::ScopedRecorder scope(&recorder);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, 0,
+                       obs::EventType::kTokenFetch, 0, i);
+    benchmark::DoNotOptimize(++i);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceEmitActive);
+#endif
+
+// --- end-to-end tracing overhead sweep (BENCH_overhead.json) ----------------
+
+/// A saturated 4-client Haechi run; wall-clock time dominated by the token
+/// path when B is small (B=1 posts one FAA round trip per token).
+harness::ExperimentConfig OverheadConfig(std::int64_t token_batch,
+                                         bool tracing) {
+  harness::ExperimentConfig config;
+  config.mode = harness::Mode::kHaechi;
+  config.net.capacity_scale = 0.02;
+  config.warmup = Seconds(1);
+  config.measure_periods = 3;
+  config.records = 256;
+  config.qos.token_batch = token_batch;
+  const auto cap =
+      static_cast<std::int64_t>(config.net.GlobalCapacityIops());
+  for (const auto r : workload::UniformShare(cap * 6 / 10, 4)) {
+    harness::ClientSpec spec;
+    spec.reservation = r;
+    spec.demand = r + cap / 5;
+    spec.pattern = workload::RequestPattern::kOpenLoop;
+    config.clients.push_back(spec);
+  }
+  config.trace.enabled = tracing;
+  return config;
+}
+
+struct OverheadRun {
+  std::int64_t token_batch = 0;
+  bool tracing = false;
+  double wall_ms = 0.0;
+  std::uint64_t events_run = 0;
+  std::int64_t completed = 0;
+  double ops_per_sec = 0.0;  // simulated completions per wall second
+};
+
+OverheadRun MeasureOverhead(std::int64_t token_batch, bool tracing) {
+  harness::Experiment experiment(OverheadConfig(token_batch, tracing));
+  const auto start = std::chrono::steady_clock::now();
+  harness::ExperimentResult result = experiment.Run();
+  const auto stop = std::chrono::steady_clock::now();
+
+  OverheadRun run;
+  run.token_batch = token_batch;
+  run.tracing = tracing;
+  run.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  run.events_run = result.events_run;
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    run.completed += result.series.ClientTotal(MakeClientId(c));
+  }
+  run.ops_per_sec =
+      static_cast<double>(run.completed) / (run.wall_ms / 1e3);
+  return run;
+}
+
+/// Sweeps B in {1, 10, 100, 1000} with the recorder off then on and writes
+/// the machine-readable summary the overhead contract is checked against.
+int WriteOverheadJson(const std::string& path) {
+  std::vector<OverheadRun> runs;
+  for (const std::int64_t batch : {1, 10, 100, 1000}) {
+    // Off first, on second, so cache warm-up favours the tracing arm
+    // symmetrically across batches.
+    runs.push_back(MeasureOverhead(batch, false));
+    runs.push_back(MeasureOverhead(batch, true));
+  }
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"overhead\",\n");
+  std::fprintf(out, "  \"trace_compiled\": %s,\n",
+               HAECHI_TRACE_ENABLED ? "true" : "false");
+  std::fprintf(out, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const OverheadRun& r = runs[i];
+    std::fprintf(out,
+                 "    {\"token_batch\": %lld, \"tracing\": %s, "
+                 "\"wall_ms\": %.3f, \"events_run\": %llu, "
+                 "\"completed\": %lld, \"ops_per_sec\": %.1f}%s\n",
+                 static_cast<long long>(r.token_batch),
+                 r.tracing ? "true" : "false", r.wall_ms,
+                 static_cast<unsigned long long>(r.events_run),
+                 static_cast<long long>(r.completed), r.ops_per_sec,
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"tracing_delta_percent\": {");
+  for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
+    const double off = runs[i].ops_per_sec;
+    const double on = runs[i + 1].ops_per_sec;
+    std::fprintf(out, "%s\"%lld\": %.2f", i > 0 ? ", " : "",
+                 static_cast<long long>(runs[i].token_batch),
+                 off > 0.0 ? (off - on) / off * 100.0 : 0.0);
+  }
+  std::fprintf(out, "}\n}\n");
+  std::fclose(out);
+  std::printf("tracing overhead sweep written to %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace haechi
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our own flag before google-benchmark sees the argv.
+  std::string json_out = "BENCH_overhead.json";
+  bool sweep = true;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--json-out=", 0) == 0) {
+      json_out = arg.substr(11);
+    } else if (arg == "--no-sweep") {
+      sweep = false;  // microbenchmarks only
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return sweep ? haechi::WriteOverheadJson(json_out) : 0;
+}

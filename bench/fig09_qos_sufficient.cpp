@@ -24,20 +24,16 @@ RunResult Run(const BenchArgs& args, bool zipf, harness::Mode mode) {
   const std::int64_t pool = cap - reserved;
   const auto reservations = zipf ? PaperZipf(reserved)
                                  : workload::UniformShare(reserved, 10);
-  for (const auto r : reservations) {
-    harness::ClientSpec spec;
-    spec.reservation = r;
-    // Paper: "a client's demand equals the sum of the initial global
-    // tokens and its reservation". The Haechi runs need demand sufficiency
-    // (Definition 1), realised by the open-loop pattern; the bare baseline
-    // uses the closed-loop burst pattern of Experiment 1, which is what
-    // produces the paper's pure equal sharing (~158K each).
-    spec.demand = r + pool;
-    spec.pattern = mode == harness::Mode::kBare
-                       ? workload::RequestPattern::kBurst
-                       : workload::RequestPattern::kOpenLoop;
-    config.clients.push_back(spec);
-  }
+  // Paper: "a client's demand equals the sum of the initial global
+  // tokens and its reservation". The Haechi runs need demand sufficiency
+  // (Definition 1), realised by the open-loop pattern; the bare baseline
+  // uses the closed-loop burst pattern of Experiment 1, which is what
+  // produces the paper's pure equal sharing (~158K each).
+  AddClients(config, reservations,
+             [pool](std::size_t, std::int64_t r) { return r + pool; },
+             mode == harness::Mode::kBare
+                 ? workload::RequestPattern::kBurst
+                 : workload::RequestPattern::kOpenLoop);
   const auto periods = config.measure_periods;
   const auto period = config.qos.period;
   harness::ExperimentResult r = harness::Experiment(std::move(config)).Run();

@@ -21,14 +21,12 @@ RunResult Run(const BenchArgs& args, bool zipf, harness::Mode mode) {
   const std::int64_t pool = cap - reserved;
   const auto reservations = zipf ? PaperZipf(reserved)
                                  : workload::UniformShare(reserved, 10);
-  for (std::size_t i = 0; i < reservations.size(); ++i) {
-    harness::ClientSpec spec;
-    spec.reservation = reservations[i];
-    // C1, C2 stop at half their reservation; everyone else is hungry.
-    spec.demand = i < 2 ? reservations[i] / 2 : reservations[i] + pool;
-    spec.pattern = workload::RequestPattern::kOpenLoop;
-    config.clients.push_back(spec);
-  }
+  // C1, C2 stop at half their reservation; everyone else is hungry.
+  AddClients(config, reservations,
+             [pool](std::size_t i, std::int64_t r) {
+               return i < 2 ? r / 2 : r + pool;
+             },
+             workload::RequestPattern::kOpenLoop);
   const auto periods = config.measure_periods;
   const auto period = config.qos.period;
   harness::ExperimentResult r = harness::Experiment(std::move(config)).Run();

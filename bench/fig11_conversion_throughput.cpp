@@ -15,15 +15,13 @@ double Run(const BenchArgs& args, bool zipf, harness::Mode mode) {
   const std::int64_t pool = cap - reserved;
   const auto reservations = zipf ? PaperZipf(reserved)
                                  : workload::UniformShare(reserved, 10);
-  for (std::size_t i = 0; i < reservations.size(); ++i) {
-    harness::ClientSpec spec;
-    spec.reservation = reservations[i];
-    spec.demand = i < 2 ? reservations[i] / 2 : reservations[i] + pool;
-    spec.pattern = mode == harness::Mode::kBare
-                       ? workload::RequestPattern::kBurst
-                       : workload::RequestPattern::kOpenLoop;
-    config.clients.push_back(spec);
-  }
+  AddClients(config, reservations,
+             [pool](std::size_t i, std::int64_t r) {
+               return i < 2 ? r / 2 : r + pool;
+             },
+             mode == harness::Mode::kBare
+                 ? workload::RequestPattern::kBurst
+                 : workload::RequestPattern::kOpenLoop);
   return harness::Experiment(std::move(config)).Run().total_kiops;
 }
 

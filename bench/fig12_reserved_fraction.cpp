@@ -17,18 +17,14 @@ double Run(const BenchArgs& args, bool zipf, int reserved_pct,
   const std::int64_t pool = cap - reserved;
   const auto reservations = zipf ? PaperZipf(reserved)
                                  : workload::UniformShare(reserved, 10);
-  for (const auto r : reservations) {
-    harness::ClientSpec spec;
-    spec.reservation = r;
-    spec.demand = r + pool;
-    // Experiment 2C uses the closed-loop burst pattern ("as before, all
-    // clients use the burst request pattern"): the droop at high reserved
-    // fractions comes from low-reservation clients idling once the small
-    // pool is gone while the completion-gated high-reservation clients
-    // cannot exceed the local capacity C_L — Experiment 1C's effect.
-    spec.pattern = workload::RequestPattern::kBurst;
-    config.clients.push_back(spec);
-  }
+  // Experiment 2C uses the closed-loop burst pattern ("as before, all
+  // clients use the burst request pattern"): the droop at high reserved
+  // fractions comes from low-reservation clients idling once the small
+  // pool is gone while the completion-gated high-reservation clients
+  // cannot exceed the local capacity C_L — Experiment 1C's effect.
+  AddClients(config, reservations,
+             [pool](std::size_t, std::int64_t r) { return r + pool; },
+             workload::RequestPattern::kBurst);
   return harness::Experiment(std::move(config)).Run().total_kiops;
 }
 

@@ -31,15 +31,8 @@ inline Set3Result RunSet3(const BenchArgs& args,
     const auto res_hot = static_cast<std::int64_t>(285'000 * args.scale);
     const auto dem_hot = static_cast<std::int64_t>(340'000 * args.scale);
     const auto cold = static_cast<std::int64_t>(80'000 * args.scale);
-    const auto reservations = workload::SpikeShare(10, 3, res_hot, cold);
-    const auto demands = workload::SpikeShare(10, 3, dem_hot, cold);
-    for (std::size_t i = 0; i < reservations.size(); ++i) {
-      harness::ClientSpec spec;
-      spec.reservation = reservations[i];
-      spec.demand = demands[i];
-      spec.pattern = pattern;
-      config.clients.push_back(spec);
-    }
+    AddClients(config, workload::SpikeShare(10, 3, res_hot, cold),
+               workload::SpikeShare(10, 3, dem_hot, cold), pattern);
     return config;
   };
 

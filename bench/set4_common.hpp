@@ -29,13 +29,9 @@ inline Set4Result RunSet4(const BenchArgs& args, bool zipf,
   const std::int64_t pool = cap - reserved;
   const auto reservations = zipf ? PaperZipf(reserved)
                                  : workload::UniformShare(reserved, 10);
-  for (const auto r : reservations) {
-    harness::ClientSpec spec;
-    spec.reservation = r;
-    spec.demand = r + pool;
-    spec.pattern = workload::RequestPattern::kOpenLoop;
-    config.clients.push_back(spec);
-  }
+  AddClients(config, reservations,
+             [pool](std::size_t, std::int64_t r) { return r + pool; },
+             workload::RequestPattern::kOpenLoop);
 
   // The step lands mid-measurement (paper: 15 s into a 30 s window).
   const std::size_t step_period = config.measure_periods / 2;
@@ -103,16 +99,6 @@ inline void PrintSeries(const BenchArgs& args, const Set4Result& r,
     }
   }
   table.Print();
-}
-
-/// Mean per-period value over [from, to).
-inline double MeanOver(const std::vector<std::int64_t>& v, std::size_t from,
-                       std::size_t to) {
-  double sum = 0;
-  for (std::size_t i = from; i < to && i < v.size(); ++i) {
-    sum += static_cast<double>(v[i]);
-  }
-  return to > from ? sum / static_cast<double>(to - from) : 0.0;
 }
 
 }  // namespace haechi::bench

@@ -28,6 +28,7 @@ void CapacityEstimator::OnPeriodEnd(std::int64_t total_completed) {
     // the estimate would compound the over-allocation.
     estimate_ += params_.eta;
     ++growth_steps_;
+    last_decision_ = Decision::kGrow;
     return;
   }
   if (u >= lower_bound_) {
@@ -36,9 +37,11 @@ void CapacityEstimator::OnPeriodEnd(std::int64_t total_completed) {
     const std::int64_t sum = std::accumulate(window_.begin(), window_.end(),
                                              std::int64_t{0});
     estimate_ = sum / static_cast<std::int64_t>(window_.size());
+    last_decision_ = Decision::kWindow;
     return;
   }
   // Low-demand period: keep the current estimate.
+  last_decision_ = Decision::kHold;
 }
 
 }  // namespace haechi::core

@@ -36,6 +36,15 @@ class CapacityEstimator {
     std::size_t window = 8;     // history size M
   };
 
+  /// Which branch of Algorithm 1 the last OnPeriodEnd took. Exposed so the
+  /// monitor can stamp it into kCapacityEstimate trace events.
+  enum class Decision : std::int8_t {
+    kNone = 0,    // no period fed yet
+    kGrow = 1,    // U == Omega: estimate += eta
+    kWindow = 2,  // Omega_min <= U: windowed mean
+    kHold = 3,    // low-demand period: estimate kept
+  };
+
   explicit CapacityEstimator(const Params& params);
 
   /// Current estimate Omega_t (tokens for the next period).
@@ -52,12 +61,15 @@ class CapacityEstimator {
   /// Periods in which the full-consumption branch fired (for tests).
   [[nodiscard]] std::uint64_t GrowthSteps() const { return growth_steps_; }
 
+  [[nodiscard]] Decision LastDecision() const { return last_decision_; }
+
  private:
   Params params_;
   std::int64_t estimate_;
   std::int64_t lower_bound_;
   std::deque<std::int64_t> window_;
   std::uint64_t growth_steps_ = 0;
+  Decision last_decision_ = Decision::kNone;
 };
 
 }  // namespace haechi::core

@@ -7,6 +7,7 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace haechi::core {
 
@@ -99,6 +100,9 @@ void ClientQosEngine::HandleCtrl(const rdma::WorkCompletion& wc) {
 void ClientQosEngine::OnPeriodStart(const PeriodStartMsg& msg) {
   ++stats_.periods_started;
   period_ = msg.period;
+  HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, Raw(id_),
+                     obs::EventType::kEnginePeriodStart, period_,
+                     msg.reservation_tokens, msg.limit);
   // Fresh reservation tokens *replace* leftovers (reservation and global).
   xi_reservation_ = msg.reservation_tokens;
   decay_x_ = static_cast<double>(msg.reservation_tokens);
@@ -130,6 +134,10 @@ void ClientQosEngine::OnReportRequest() {
 }
 
 void ClientQosEngine::Stop() {
+  if (started_) {
+    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, Raw(id_),
+                       obs::EventType::kEngineStop, period_);
+  }
   started_ = false;
   token_timer_->Stop();
   report_timer_->Stop();
@@ -143,7 +151,12 @@ void ClientQosEngine::TokenTick() {
   // Insufficient demand: surrender reservation tokens above the backlog
   // bound X. (They are reclaimed by the monitor's token conversion once
   // the client reports.)
-  if (xi_reservation_ > bound) xi_reservation_ = bound;
+  if (xi_reservation_ > bound) {
+    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, Raw(id_),
+                       obs::EventType::kTokenDecay, period_,
+                       xi_reservation_ - bound, bound);
+    xi_reservation_ = bound;
+  }
 }
 
 void ClientQosEngine::WriteReport() {
@@ -170,6 +183,12 @@ void ClientQosEngine::WriteReport() {
       wiring_.report_slot_rkey);
   if (s.ok()) {
     ++stats_.report_writes;
+    HAECHI_TRACE_EVENT(
+        obs::ActorKind::kEngine, Raw(id_), obs::EventType::kReportWrite,
+        period_,
+        static_cast<std::int64_t>(ReportResidual(packed)),
+        static_cast<std::int64_t>(ReportCompleted(packed)),
+        static_cast<std::int64_t>(stats_.report_writes));
   } else {
     ++stats_.report_failures;
     HAECHI_LOG_WARN("engine %u: report write failed: %s", Raw(id_),
@@ -187,12 +206,18 @@ void ClientQosEngine::PostTokenFetch() {
     ++stats_.faa_failures;
     HAECHI_LOG_WARN("engine %u: FAA post failed: %s", Raw(id_),
                     s.ToString().c_str());
+    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, Raw(id_),
+                       obs::EventType::kTokenFetchFail, period_,
+                       faa_backoff_);
     ArmFaaRetry();
     return;
   }
   faa_in_flight_ = true;
   faa_period_ = period_;
   ++stats_.faa_ops;
+  HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, Raw(id_),
+                     obs::EventType::kTokenFetch, period_,
+                     config_.token_batch);
 }
 
 void ClientQosEngine::ArmFaaRetry() {
@@ -225,11 +250,17 @@ void ClientQosEngine::HandleQosCompletion(const rdma::WorkCompletion& wc) {
     ++stats_.faa_failures;
     HAECHI_LOG_WARN("engine %u: FAA failed: %s", Raw(id_),
                     std::string(rdma::ToString(wc.status)).c_str());
+    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, Raw(id_),
+                       obs::EventType::kTokenFetchFail, period_,
+                       faa_backoff_);
     ArmFaaRetry();
     return;
   }
   faa_backoff_ = 0;  // a successful fetch resets the backoff ladder
   if (faa_period_ != period_) {
+    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, Raw(id_),
+                       obs::EventType::kTokenDiscard, faa_period_,
+                       static_cast<std::int64_t>(wc.atomic_result));
     // The pool was re-initialised for a new period while this fetch was in
     // flight; its tokens belong to the dead period and are discarded. The
     // demand that prompted it is still queued — fetch again against the
@@ -241,10 +272,15 @@ void ClientQosEngine::HandleQosCompletion(const rdma::WorkCompletion& wc) {
   const std::int64_t acquired =
       std::clamp<std::int64_t>(available, 0, config_.token_batch);
   local_global_ += acquired;
+  HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, Raw(id_),
+                     obs::EventType::kTokenFetchDone, period_, available,
+                     acquired);
   if (acquired == 0 && !queue_.empty() && !pool_retry_armed_) {
     // Step T4: wait for token conversion or the next period, polling the
     // pool at the retry cadence.
     pool_retry_armed_ = true;
+    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, Raw(id_),
+                       obs::EventType::kPoolEmpty, period_, available);
     const std::uint32_t at_period = period_;
     sim_.ScheduleAfter(config_.pool_retry_interval, [this, at_period] {
       pool_retry_armed_ = false;

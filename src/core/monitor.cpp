@@ -7,6 +7,7 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace haechi::core {
 
@@ -101,6 +102,7 @@ Result<QosWiring> QosMonitor::AdmitClient(ClientId client,
                                           std::int64_t reservation,
                                           std::int64_t limit,
                                           rdma::QueuePair& ctrl_qp) {
+  [[maybe_unused]] bool readmission = false;
   if (FindClient(client) != nullptr) {
     // Re-admission handshake: a restarted client admits under its old id
     // before the report lease caught its previous incarnation. Retire the
@@ -109,6 +111,7 @@ Result<QosWiring> QosMonitor::AdmitClient(ClientId client,
     const Status released = ReleaseClient(client);
     HAECHI_ASSERT(released.ok());
     ++stats_.readmissions;
+    readmission = true;
   }
   if (clients_.size() >= kMaxClients) {
     return ErrResourceExhausted("monitor is at its client capacity");
@@ -119,7 +122,17 @@ Result<QosWiring> QosMonitor::AdmitClient(ClientId client,
   if (free_slots_.empty() && next_slot_ >= kMaxClients) {
     return ErrResourceExhausted("all report slots consumed");
   }
-  if (auto s = admission_.Admit(client, reservation); !s.ok()) return s;
+  if (auto s = admission_.Admit(client, reservation); !s.ok()) {
+    HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0,
+                       obs::EventType::kAdmitReject, stats_.periods,
+                       static_cast<std::int64_t>(Raw(client)), reservation);
+    return s;
+  }
+  HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0,
+                     readmission ? obs::EventType::kReadmit
+                                 : obs::EventType::kAdmit,
+                     stats_.periods, static_cast<std::int64_t>(Raw(client)),
+                     reservation, limit);
 
   ClientEntry entry;
   entry.id = client;
@@ -166,6 +179,8 @@ Status QosMonitor::ReleaseClient(ClientId client) {
   // recycled slot. Live slots are never compacted (address stability).
   retired_slots_.push_back(it->slot);
   clients_.erase(it);
+  HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0, obs::EventType::kRelease,
+                     stats_.periods, static_cast<std::int64_t>(Raw(client)));
   return admission_.Release(client);
 }
 
@@ -238,6 +253,9 @@ void QosMonitor::StartPeriod() {
     const std::int64_t raw = ReadPoolWord();
     prev.granted += ledger_last_pool_ - raw;
     prev.end_pool = raw;
+    HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0,
+                       obs::EventType::kMonitorPeriodEnd, stats_.periods, raw,
+                       stats_.last_period_completions);
   }
 
   // Slots retired last period sat out a full boundary; any stale in-flight
@@ -267,6 +285,9 @@ void QosMonitor::StartPeriod() {
   ledger.end_pool = initial_pool_;
   ledger_.push_back(ledger);
   ledger_last_pool_ = initial_pool_;
+  HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0,
+                     obs::EventType::kMonitorPeriodStart, stats_.periods,
+                     period_capacity_, total_reserved, initial_pool_);
   // Bound memory on endless runs; tests look at recent periods only.
   if (ledger_.size() > 4096) ledger_.erase(ledger_.begin());
 
@@ -301,6 +322,8 @@ void QosMonitor::CheckTick() {
     const std::int64_t raw = ReadPoolWord();
     ledger_.back().granted += ledger_last_pool_ - raw;
     ledger_last_pool_ = raw;
+    HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0,
+                       obs::EventType::kPoolSample, stats_.periods, raw);
   }
 
   std::int64_t observed_now;
@@ -338,6 +361,9 @@ void QosMonitor::CheckTick() {
   if (!reporting_active_ && observed_now < initial_pool_) {
     reporting_active_ = true;
     ++stats_.report_signals;
+    HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0,
+                       obs::EventType::kReportSignal, stats_.periods,
+                       observed_now, initial_pool_);
     ReportRequestMsg msg;
     msg.period = stats_.periods;
     for (auto& entry : clients_) SendToClient(entry, &msg, sizeof(msg));
@@ -367,6 +393,9 @@ void QosMonitor::CheckLeases() {
       // Half-lease nudge: the ReportRequest SEND itself may have been
       // lost; a live client answers this within one report interval.
       ++stats_.report_request_resends;
+      HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0,
+                         obs::EventType::kReportResend, stats_.periods,
+                         static_cast<std::int64_t>(Raw(entry.id)));
       ReportRequestMsg msg;
       msg.period = stats_.periods;
       SendToClient(entry, &msg, sizeof(msg));
@@ -387,10 +416,11 @@ void QosMonitor::DeclareDead(ClientId client) {
   // period, else the full reservation it was dispatched.
   const std::uint64_t slot = ReadSlot(it->slot);
   std::int64_t residual;
+  std::int64_t salvaged = 0;
   if (ReportPeriod(slot) == (stats_.periods & kReportPeriodMask)) {
     residual = static_cast<std::int64_t>(ReportResidual(slot));
-    dead_completed_this_period_ +=
-        static_cast<std::int64_t>(ReportCompleted(slot));
+    salvaged = static_cast<std::int64_t>(ReportCompleted(slot));
+    dead_completed_this_period_ += salvaged;
   } else {
     residual = std::max<std::int64_t>(it->reservation, 0);
   }
@@ -399,6 +429,10 @@ void QosMonitor::DeclareDead(ClientId client) {
       "%lld residual tokens",
       Raw(client), it->lease_misses, static_cast<long long>(residual));
   ++stats_.lease_expirations;
+  HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0,
+                     obs::EventType::kLeaseExpire, stats_.periods,
+                     static_cast<std::int64_t>(Raw(client)), residual,
+                     salvaged);
   stats_.reclaimed_tokens += residual;
   if (!ledger_.empty()) ledger_.back().reclaimed += residual;
   retired_slots_.push_back(it->slot);
@@ -461,6 +495,9 @@ void QosMonitor::ConvertTokens() {
     cur.granted += ledger_last_pool_ - raw_before;
     cur.minted += new_pool - raw_before;
     ledger_last_pool_ = new_pool;
+    HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0,
+                       obs::EventType::kTokenConvert, stats_.periods,
+                       raw_before, new_pool, outstanding_reservation);
   }
   WritePoolWord(new_pool);
   last_written_pool_ = new_pool;
@@ -478,11 +515,20 @@ void QosMonitor::Calibrate() {
     const std::uint64_t slot = ReadSlot(entry.slot);
     if (ReportPeriod(slot) == (stats_.periods & kReportPeriodMask)) {
       total_completed += ReportCompleted(slot);
+      HAECHI_TRACE_EVENT(
+          obs::ActorKind::kMonitor, 0, obs::EventType::kClientPeriodReport,
+          stats_.periods, static_cast<std::int64_t>(Raw(entry.id)),
+          static_cast<std::int64_t>(ReportCompleted(slot)),
+          static_cast<std::int64_t>(ReportResidual(slot)));
     }
   }
   stats_.last_period_completions = total_completed;
   if (reporting_active_) {
     estimator_->OnPeriodEnd(total_completed);
+    HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0,
+                       obs::EventType::kCapacityEstimate, stats_.periods,
+                       total_completed, estimator_->Estimate(),
+                       static_cast<std::int64_t>(estimator_->LastDecision()));
 
     for (auto& entry : clients_) {
       const std::uint64_t slot = ReadSlot(entry.slot);

@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "obs/export.hpp"
 
 namespace haechi::harness {
 
@@ -65,6 +66,17 @@ void Experiment::BuildCluster() {
                                    std::int64_t completions,
                                    std::int64_t estimate) {
       result_->capacity_trace.push_back({period, completions, estimate});
+      // One metrics snapshot per QoS period: the registry's long-format
+      // CSV carries the same per-period trajectory the figures plot.
+      metrics_.Add("monitor.completions", completions);
+      metrics_.Set("monitor.capacity_estimate",
+                   static_cast<double>(estimate));
+      metrics_.Set("monitor.initial_pool",
+                   static_cast<double>(monitor_->InitialPool()));
+      metrics_.Set("monitor.reclaimed_tokens",
+                   static_cast<double>(monitor_->stats().reclaimed_tokens));
+      metrics_.Record("monitor.period_completions", completions);
+      metrics_.SnapshotPeriod(period);
     });
   }
 
@@ -98,6 +110,11 @@ void Experiment::BuildClient(std::size_t index) {
 
 void Experiment::CrashClient(std::size_t index) {
   ClientRig& rig = rigs_.at(index);
+  HAECHI_LOG_INFO("experiment: crashing client %zu at t=%lld ns", index,
+                  static_cast<long long>(sim_.Now()));
+  HAECHI_TRACE_EVENT(obs::ActorKind::kHarness,
+                     static_cast<std::uint32_t>(index),
+                     obs::EventType::kClientCrash, 0);
   fabric_->CrashNode(rig.node->id());
   // The node's QPs are already in the error state; quiesce the software
   // above them. The monitor is NOT told — it must discover the death
@@ -109,6 +126,11 @@ void Experiment::CrashClient(std::size_t index) {
 
 void Experiment::RestartClient(std::size_t index) {
   ClientRig& rig = rigs_.at(index);
+  HAECHI_LOG_INFO("experiment: restarting client %zu at t=%lld ns", index,
+                  static_cast<long long>(sim_.Now()));
+  HAECHI_TRACE_EVENT(obs::ActorKind::kHarness,
+                     static_cast<std::uint32_t>(index),
+                     obs::EventType::kClientRestart, 0);
   HAECHI_EXPECTS(fabric_->IsCrashed(rig.node->id()));
   fabric_->RestartNode(rig.node->id());
   // Fresh QPs, KV client, engine and generator on the surviving node; the
@@ -326,6 +348,28 @@ ExperimentResult Experiment::Run() {
       {},
       0,
       {}});
+
+  // The flight recorder spans cluster build (admission events) through the
+  // final period boundary; it is installed process-wide so instrumentation
+  // deep in core/rdma/kvstore reaches it without plumbing.
+  if (config_.trace.enabled || !config_.trace.out_path.empty()) {
+    obs::Recorder::Options trace_options;
+    trace_options.ring_capacity = config_.trace.ring_capacity;
+    trace_options.detail = config_.trace.detail;
+    recorder_ = std::make_unique<obs::Recorder>(sim_, trace_options);
+  }
+  obs::ScopedRecorder trace_scope(recorder_.get());
+  HAECHI_TRACE_EVENT(obs::ActorKind::kHarness, 0, obs::EventType::kRunConfig,
+                     0, config_.qos.period, config_.qos.token_batch,
+                     static_cast<std::int64_t>(config_.measure_periods));
+  for (std::size_t i = 0; i < config_.clients.size(); ++i) {
+    [[maybe_unused]] const ClientSpec& spec = config_.clients[i];
+    HAECHI_TRACE_EVENT(obs::ActorKind::kHarness,
+                       static_cast<std::uint32_t>(i),
+                       obs::EventType::kClientSpec, 0, spec.reservation,
+                       spec.limit, spec.demand);
+  }
+
   BuildCluster();
 
   for (const auto& spec : config_.clients) {
@@ -341,6 +385,8 @@ ExperimentResult Experiment::Run() {
   // after warm-up.
   sim_.ScheduleAt(config_.warmup, [this] {
     measuring_ = true;
+    HAECHI_TRACE_EVENT(obs::ActorKind::kHarness, 0,
+                       obs::EventType::kMeasureStart, 0);
     result_->series.BeginPeriod();
     measured_periods_ = 1;
     measure_timer_ = std::make_unique<sim::PeriodicTimer>(
@@ -360,6 +406,8 @@ ExperimentResult Experiment::Run() {
                                            config_.measure_periods) *
                                            config_.qos.period;
   sim_.RunUntil(end);
+  HAECHI_TRACE_EVENT(obs::ActorKind::kHarness, 0,
+                     obs::EventType::kMeasureEnd, 0);
 
   // Harvest.
   result_->total_kiops = ToKiops(
@@ -373,6 +421,48 @@ ExperimentResult Experiment::Run() {
   }
   result_->events_run = sim_.EventsRun();
   result_->fault_stats = fabric_->fault_stats();
+
+  // Run-level roll-ups into the metrics registry (cumulative counters; the
+  // per-period trajectory lives in the snapshots above).
+  metrics_.Set("run.total_kiops", result_->total_kiops);
+  metrics_.Add("run.events", static_cast<std::int64_t>(result_->events_run));
+  metrics_.Add("fabric.ops_dropped",
+               static_cast<std::int64_t>(result_->fault_stats.ops_dropped));
+  metrics_.Add("fabric.ops_delayed",
+               static_cast<std::int64_t>(result_->fault_stats.ops_delayed));
+  metrics_.Add(
+      "fabric.ops_duplicated",
+      static_cast<std::int64_t>(result_->fault_stats.ops_duplicated));
+  for (const auto& engine_stats : result_->engine_stats) {
+    metrics_.Add("engine.faa_ops",
+                 static_cast<std::int64_t>(engine_stats.faa_ops));
+    metrics_.Add("engine.report_writes",
+                 static_cast<std::int64_t>(engine_stats.report_writes));
+    metrics_.Add("engine.completed_total",
+                 static_cast<std::int64_t>(engine_stats.completed_total));
+  }
+
+  if (recorder_ != nullptr && !config_.trace.out_path.empty()) {
+    const Status exported =
+        obs::ExportTraceFile(*recorder_, config_.trace.out_path);
+    if (exported.ok()) {
+      HAECHI_LOG_INFO("experiment: exported %llu trace events to %s",
+                      static_cast<unsigned long long>(
+                          recorder_->TotalEmitted()),
+                      config_.trace.out_path.c_str());
+    } else {
+      HAECHI_LOG_WARN("experiment: trace export failed: %s",
+                      exported.ToString().c_str());
+    }
+  }
+  if (!config_.trace.metrics_out.empty()) {
+    const Status written =
+        metrics_.ToCsv().WriteFile(config_.trace.metrics_out);
+    if (!written.ok()) {
+      HAECHI_LOG_WARN("experiment: metrics export failed: %s",
+                      written.ToString().c_str());
+    }
+  }
 
   // Stop the machinery so a subsequent RunUntil in tests drains cleanly.
   if (monitor_) monitor_->Stop();

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
@@ -18,6 +19,8 @@
 #include "kvstore/client.hpp"
 #include "kvstore/server.hpp"
 #include "net/model_params.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rdma/fabric.hpp"
 #include "rdma/fault.hpp"
 #include "sim/simulator.hpp"
@@ -94,6 +97,22 @@ struct ExperimentConfig {
     SimTime restart_at = kSimTimeMax;
   };
   std::vector<ClientFault> client_faults;
+
+  /// Flight-recorder tracing (src/obs). `enabled` installs a Recorder for
+  /// the whole run (cluster build through teardown); `out_path` also
+  /// exports the merged stream when the run ends (".json" => Perfetto
+  /// trace-event JSON, anything else => CSV — the audit tool's input).
+  /// `metrics_out` writes the per-period metrics snapshots as CSV. When
+  /// tracing is compiled out (HAECHI_TRACE=OFF) a recorder is still
+  /// installed but records only the harness's own bookkeeping events.
+  struct TraceConfig {
+    bool enabled = false;
+    bool detail = false;  // also record per-I/O kRdma*/kKv* events
+    std::size_t ring_capacity = 1u << 16;
+    std::string out_path;
+    std::string metrics_out;
+  };
+  TraceConfig trace;
 };
 
 struct ExperimentResult {
@@ -143,6 +162,10 @@ class Experiment {
   }
   [[nodiscard]] kvstore::KvServer& server() { return *server_; }
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  /// The run's flight recorder (null unless config.trace asked for one).
+  [[nodiscard]] obs::Recorder* recorder() { return recorder_.get(); }
+  /// Per-period metrics snapshots (populated for QoS modes during Run).
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
 
  private:
   /// The live machinery of one client. Pointers move to new incarnations
@@ -182,6 +205,8 @@ class Experiment {
   std::vector<std::unique_ptr<kvstore::KvClient>> background_clients_;
   std::vector<std::unique_ptr<workload::DemandGenerator>> background_gens_;
   std::unique_ptr<ExperimentResult> result_;
+  std::unique_ptr<obs::Recorder> recorder_;
+  obs::MetricsRegistry metrics_;
   std::unique_ptr<sim::PeriodicTimer> measure_timer_;
   std::size_t measured_periods_ = 0;
   bool measuring_ = false;

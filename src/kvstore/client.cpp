@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 #include "kvstore/server.hpp"
 
 namespace haechi::kvstore {
@@ -59,6 +60,9 @@ void KvClient::ReleaseSlot(const PendingOp& op) {
 
 Status KvClient::GetOneSided(std::uint64_t key, DoneFn done) {
   HAECHI_EXPECTS(done != nullptr);
+  HAECHI_TRACE_DETAIL(obs::ActorKind::kKv, Raw(node_.id()),
+                      obs::EventType::kKvIssue, 0, 0,
+                      static_cast<std::int64_t>(key));
   if (key >= view_.record_count) {
     return ErrNotFound("key " + std::to_string(key) + " out of range");
   }
@@ -77,6 +81,9 @@ Status KvClient::GetOneSided(std::uint64_t key, DoneFn done) {
 Status KvClient::PutOneSided(std::uint64_t key,
                              std::span<const std::byte> value, DoneFn done) {
   HAECHI_EXPECTS(done != nullptr);
+  HAECHI_TRACE_DETAIL(obs::ActorKind::kKv, Raw(node_.id()),
+                      obs::EventType::kKvIssue, 0, 1,
+                      static_cast<std::int64_t>(key));
   if (key >= view_.record_count) {
     return ErrNotFound("key " + std::to_string(key) + " out of range");
   }
@@ -180,6 +187,11 @@ void KvClient::OnDataCompletion(const rdma::WorkCompletion& wc) {
 
 void KvClient::FinishOp(PendingOp op, const Completion& completion) {
   ++completed_;
+  HAECHI_TRACE_DETAIL(obs::ActorKind::kKv, Raw(node_.id()),
+                      obs::EventType::kKvComplete, 0,
+                      op.opcode == rdma::Opcode::kWrite ? 1 : 0,
+                      static_cast<std::int64_t>(op.key),
+                      static_cast<std::int64_t>(completion.status.code()));
   op.done(completion);
 }
 

@@ -1,0 +1,555 @@
+#include "obs/audit.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+#include <set>
+
+namespace haechi::obs {
+
+namespace {
+
+constexpr SimTime kTimeMax = std::numeric_limits<SimTime>::max();
+
+std::string Fmt(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+/// What the audit knows about one client, collected across subsystems.
+struct ClientInfo {
+  std::int64_t spec_reservation = -1;
+  std::int64_t spec_demand = -1;
+  // (time, reservation) of every admit/readmit the monitor recorded.
+  std::vector<std::pair<SimTime, std::int64_t>> admits;
+  // Lease expiries / releases (time only).
+  std::vector<SimTime> departures;
+  // Scripted whole-client crash windows [crash, restart) from the harness.
+  std::vector<std::pair<SimTime, SimTime>> crash_windows;
+
+  [[nodiscard]] std::int64_t ReservationAt(SimTime t) const {
+    std::int64_t r = spec_reservation;
+    for (const auto& [at, res] : admits) {
+      if (at <= t) r = res;
+    }
+    return r;
+  }
+
+  [[nodiscard]] bool DepartedBy(SimTime t) const {
+    SimTime last_departure = -1;
+    for (const SimTime at : departures) {
+      if (at <= t) last_departure = std::max(last_departure, at);
+    }
+    if (last_departure < 0) return false;
+    for (const auto& [at, res] : admits) {
+      if (at >= last_departure && at <= t) return false;  // readmitted
+    }
+    return true;
+  }
+};
+
+/// Per-(client, period) tallies from the engine's event stream.
+struct EnginePeriod {
+  std::int64_t reservation = -1;  // pushed at kEnginePeriodStart
+  std::int64_t decay_surrendered = 0;
+  std::int64_t faa_posted = 0;
+  std::int64_t faa_done = 0;
+  std::int64_t faa_discard = 0;
+  std::vector<std::int64_t> report_residuals;
+};
+
+}  // namespace
+
+AuditReport AuditTrace(const std::vector<TraceEvent>& events,
+                       const AuditOptions& options) {
+  AuditReport report;
+  const auto fail = [&](const char* check, std::string detail) {
+    report.violations.push_back({check, std::move(detail)});
+  };
+
+  // ---- group into per-actor streams, sorted by sequence number ----------
+  using StreamKey = std::pair<unsigned, std::uint32_t>;
+  std::map<StreamKey, std::vector<TraceEvent>> streams;
+  for (const TraceEvent& e : events) {
+    streams[{static_cast<unsigned>(e.actor_kind), e.actor}].push_back(e);
+  }
+
+  // ---- A1: stream integrity ---------------------------------------------
+  std::set<StreamKey> truncated;
+  for (auto& [key, stream] : streams) {
+    std::sort(stream.begin(), stream.end(),
+              [](const TraceEvent& x, const TraceEvent& y) {
+                return x.seq < y.seq;
+              });
+    ++report.checks_run;
+    const auto kind = static_cast<ActorKind>(key.first);
+    if (stream.front().seq != 0) {
+      truncated.insert(key);
+      if (!options.allow_truncated) {
+        fail("A1", Fmt("%s/%u: stream starts at seq %llu (ring wrapped or "
+                       "head of trace removed)",
+                       std::string(ToString(kind)).c_str(), key.second,
+                       static_cast<unsigned long long>(stream.front().seq)));
+      }
+    }
+    for (std::size_t i = 1; i < stream.size(); ++i) {
+      if (stream[i].seq != stream[i - 1].seq + 1) {
+        truncated.insert(key);
+        if (!options.allow_truncated) {
+          fail("A1", Fmt("%s/%u: seq gap %llu -> %llu",
+                         std::string(ToString(kind)).c_str(), key.second,
+                         static_cast<unsigned long long>(stream[i - 1].seq),
+                         static_cast<unsigned long long>(stream[i].seq)));
+        }
+      }
+      if (stream[i].time < stream[i - 1].time) {
+        fail("A1", Fmt("%s/%u: time goes backwards at seq %llu",
+                       std::string(ToString(kind)).c_str(), key.second,
+                       static_cast<unsigned long long>(stream[i].seq)));
+      }
+    }
+  }
+
+  // ---- run configuration (harness events, with inference fallbacks) -----
+  SimDuration period_len = 0;
+  std::int64_t token_batch = 0;
+  SimTime measure_start = -1;
+  SimTime measure_end = -1;
+  std::map<std::uint32_t, ClientInfo> clients;
+  bool have_harness = false;
+  for (const auto& [key, stream] : streams) {
+    if (static_cast<ActorKind>(key.first) != ActorKind::kHarness) continue;
+    have_harness = true;
+    for (const TraceEvent& e : stream) {
+      switch (e.type) {
+        case EventType::kRunConfig:
+          period_len = e.a;
+          token_batch = e.b;
+          break;
+        case EventType::kClientSpec:
+          clients[e.actor].spec_reservation = e.a;
+          clients[e.actor].spec_demand = e.c;
+          break;
+        case EventType::kMeasureStart:
+          measure_start = e.time;
+          break;
+        case EventType::kMeasureEnd:
+          measure_end = e.time;
+          break;
+        case EventType::kClientCrash:
+          clients[e.actor].crash_windows.emplace_back(e.time, kTimeMax);
+          break;
+        case EventType::kClientRestart:
+          if (!clients[e.actor].crash_windows.empty() &&
+              clients[e.actor].crash_windows.back().second == kTimeMax) {
+            clients[e.actor].crash_windows.back().second = e.time;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // ---- the monitor walk: A2 (dispatch), A3 (monotone), A4 (conversion) --
+  const auto monitor_it = streams.find(
+      {static_cast<unsigned>(ActorKind::kMonitor), 0});
+  // period -> client -> (completed, residual) from monitor calibration.
+  std::map<std::uint32_t, std::map<std::uint32_t,
+                                   std::pair<std::int64_t, std::int64_t>>>
+      period_reports;
+  std::set<std::uint32_t> reporting_periods;
+  std::vector<TraceEvent> lease_expiries;
+  SimTime last_pool_observation = -1;
+  if (monitor_it != streams.end()) {
+    AuditPeriod* cur = nullptr;
+    std::int64_t last_pool = 0;
+    bool have_pool = false;
+    // Infer the period length from consecutive boundaries if the trace has
+    // no harness kRunConfig row.
+    SimTime prev_start = -1;
+    const auto observe = [&](const TraceEvent& e, std::int64_t value) {
+      if (!have_pool || cur == nullptr) return;
+      ++report.checks_run;
+      const std::int64_t drop = last_pool - value;
+      if (drop < 0) {
+        fail("A3", Fmt("period %u: pool rose %lld -> %lld at t=%lld without "
+                       "a monitor write (%s)",
+                       cur->period, static_cast<long long>(last_pool),
+                       static_cast<long long>(value),
+                       static_cast<long long>(e.time),
+                       std::string(ToString(e.type)).c_str()));
+      } else {
+        cur->granted += drop;
+      }
+      last_pool = value;
+      last_pool_observation = e.time;
+    };
+    for (const TraceEvent& e : monitor_it->second) {
+      switch (e.type) {
+        case EventType::kMonitorPeriodStart: {
+          report.periods.emplace_back();
+          cur = &report.periods.back();
+          cur->period = e.period;
+          cur->start_time = e.time;
+          cur->capacity = e.a;
+          cur->dispatched = e.b;
+          cur->initial_pool = e.c;
+          ++report.checks_run;
+          if (e.c != std::max<std::int64_t>(e.a - e.b, 0)) {
+            fail("A2", Fmt("period %u: initial_pool %lld != "
+                           "max(capacity %lld - dispatched %lld, 0)",
+                           e.period, static_cast<long long>(e.c),
+                           static_cast<long long>(e.a),
+                           static_cast<long long>(e.b)));
+          }
+          last_pool = e.c;
+          have_pool = true;
+          last_pool_observation = e.time;
+          if (period_len == 0 && prev_start >= 0) {
+            period_len = e.time - prev_start;
+          }
+          prev_start = e.time;
+          break;
+        }
+        case EventType::kPoolSample:
+          observe(e, e.a);
+          break;
+        case EventType::kTokenConvert: {
+          observe(e, e.a);
+          if (cur != nullptr) {
+            cur->minted += e.b - e.a;
+            last_pool = e.b;
+            if (period_len > 0) {
+              ++report.checks_run;
+              const SimDuration left = std::max<SimDuration>(
+                  period_len - (e.time - cur->start_time), 0);
+              const auto budget = static_cast<std::int64_t>(
+                  static_cast<__int128>(cur->capacity) * left / period_len);
+              if (e.b > std::max<std::int64_t>(budget, 0)) {
+                fail("A4", Fmt("period %u: conversion wrote pool=%lld above "
+                               "the time budget C*(T-t)/T = %lld at t=%lld",
+                               cur->period, static_cast<long long>(e.b),
+                               static_cast<long long>(budget),
+                               static_cast<long long>(e.time)));
+              }
+            }
+          }
+          break;
+        }
+        case EventType::kMonitorPeriodEnd:
+          observe(e, e.a);
+          if (cur != nullptr && cur->period == e.period) {
+            cur->end_pool = e.a;
+            cur->completed = e.b;
+            cur->closed = true;
+          }
+          break;
+        case EventType::kClientPeriodReport:
+          period_reports[e.period][static_cast<std::uint32_t>(e.a)] = {e.b,
+                                                                       e.c};
+          break;
+        case EventType::kReportSignal:
+        case EventType::kCapacityEstimate:
+          reporting_periods.insert(e.period);
+          break;
+        case EventType::kAdmit:
+        case EventType::kReadmit:
+          clients[static_cast<std::uint32_t>(e.a)].admits.emplace_back(e.time,
+                                                                       e.b);
+          break;
+        case EventType::kRelease:
+          clients[static_cast<std::uint32_t>(e.a)].departures.push_back(
+              e.time);
+          break;
+        case EventType::kLeaseExpire:
+          clients[static_cast<std::uint32_t>(e.a)].departures.push_back(
+              e.time);
+          lease_expiries.push_back(e);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // ---- engine walks: A6 (decay), A7 (report sanity) ----------------------
+  // client -> period -> tallies.
+  std::map<std::uint32_t, std::map<std::uint32_t, EnginePeriod>> engines;
+  bool engine_truncated = false;
+  for (const auto& [key, stream] : streams) {
+    if (static_cast<ActorKind>(key.first) != ActorKind::kEngine) continue;
+    if (truncated.contains(key)) {
+      engine_truncated = true;
+      continue;  // counts below would be wrong; A1 already flagged it
+    }
+    auto& periods = engines[key.second];
+    std::int64_t last_report_seq = -1;
+    std::int64_t last_completed = -1;
+    std::uint32_t completed_period = 0;
+    for (const TraceEvent& e : stream) {
+      EnginePeriod& ep = periods[e.period];
+      switch (e.type) {
+        case EventType::kEnginePeriodStart:
+          ep.reservation = e.a;
+          break;
+        case EventType::kTokenDecay:
+          ep.decay_surrendered += e.a;
+          break;
+        case EventType::kTokenFetch:
+          ++ep.faa_posted;
+          if (token_batch == 0) token_batch = e.a;
+          break;
+        case EventType::kTokenFetchDone:
+          ++ep.faa_done;
+          break;
+        case EventType::kTokenDiscard:
+          ++ep.faa_discard;
+          break;
+        case EventType::kReportWrite: {
+          ep.report_residuals.push_back(e.a);
+          ++report.checks_run;
+          if (e.c <= last_report_seq) {
+            fail("A7", Fmt("client %u: report seq %lld after %lld",
+                           key.second, static_cast<long long>(e.c),
+                           static_cast<long long>(last_report_seq)));
+          }
+          last_report_seq = e.c;
+          if (e.period == completed_period && e.b < last_completed) {
+            fail("A7", Fmt("client %u period %u: completed count fell "
+                           "%lld -> %lld",
+                           key.second, e.period,
+                           static_cast<long long>(last_completed),
+                           static_cast<long long>(e.b)));
+          }
+          completed_period = e.period;
+          last_completed = e.b;
+          break;
+        }
+        case EventType::kEngineStop:
+          // A restarted client runs a fresh engine incarnation whose
+          // report counters begin again at zero; A7's monotonicity is
+          // per incarnation, so reset it at the stop boundary.
+          last_report_seq = -1;
+          last_completed = -1;
+          break;
+        default:
+          break;
+      }
+    }
+    for (const auto& [period, ep] : periods) {
+      if (ep.reservation < 0) continue;  // period-start message lost
+      ++report.checks_run;
+      if (ep.decay_surrendered > ep.reservation) {
+        fail("A6", Fmt("client %u period %u: surrendered %lld tokens to "
+                       "decay, above the %lld reserved",
+                       key.second, period,
+                       static_cast<long long>(ep.decay_surrendered),
+                       static_cast<long long>(ep.reservation)));
+      }
+    }
+  }
+
+  // ---- fault census: strict vs bounded mode for A5 -----------------------
+  std::int64_t duplicated_ops = 0;
+  for (const auto& [key, stream] : streams) {
+    for (const TraceEvent& e : stream) {
+      switch (e.type) {
+        case EventType::kOpDropped:
+        case EventType::kOpDelayed:
+        case EventType::kNodeCrash:
+        case EventType::kNodeRestart:
+        case EventType::kNodePause:
+        case EventType::kNodeResume:
+        case EventType::kQpError:
+        case EventType::kClientCrash:
+          report.clean = false;
+          break;
+        case EventType::kOpDuplicated:
+          report.clean = false;
+          ++duplicated_ops;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // ---- A5: FAA conservation ---------------------------------------------
+  const bool monitor_truncated = truncated.contains(
+      {static_cast<unsigned>(ActorKind::kMonitor), 0});
+  if (token_batch > 0 && !monitor_truncated && !engine_truncated) {
+    if (report.clean) {
+      // Fault-free: every posted fetch completes in its own period, so the
+      // pool decrease the monitor observed must be exactly B per fetch.
+      for (AuditPeriod& p : report.periods) {
+        for (const auto& [client, periods] : engines) {
+          const auto it = periods.find(p.period);
+          if (it != periods.end()) p.faa_done += it->second.faa_done;
+        }
+        if (!p.closed) continue;
+        ++report.checks_run;
+        if (p.granted != token_batch * p.faa_done) {
+          fail("A5", Fmt("period %u: pool decreased by %lld but clients "
+                         "completed %lld fetches of %lld tokens (%lld)",
+                         p.period, static_cast<long long>(p.granted),
+                         static_cast<long long>(p.faa_done),
+                         static_cast<long long>(token_batch),
+                         static_cast<long long>(token_batch * p.faa_done)));
+        }
+      }
+    } else {
+      // Faulted: a fetch whose completion was dropped (or whose client
+      // died) may or may not have reached the pool word, and a duplicated
+      // op applies twice — so conservation holds as a band, over the run.
+      std::int64_t granted = 0;
+      for (const AuditPeriod& p : report.periods) granted += p.granted;
+      std::int64_t done_before_close = 0;
+      std::int64_t posted = 0;
+      for (const auto& [key, stream] : streams) {
+        if (static_cast<ActorKind>(key.first) != ActorKind::kEngine) continue;
+        for (const TraceEvent& e : stream) {
+          if (e.type == EventType::kTokenFetch) ++posted;
+          if ((e.type == EventType::kTokenFetchDone ||
+               e.type == EventType::kTokenDiscard) &&
+              e.time <= last_pool_observation) {
+            ++done_before_close;
+          }
+        }
+      }
+      ++report.checks_run;
+      const std::int64_t lower = token_batch * done_before_close;
+      const std::int64_t upper = token_batch * (posted + duplicated_ops);
+      if (granted < lower || granted > upper) {
+        fail("A5", Fmt("run: pool decreased by %lld, outside the "
+                       "conservation band [%lld, %lld] "
+                       "(B=%lld, done=%lld, posted=%lld, dups=%lld)",
+                       static_cast<long long>(granted),
+                       static_cast<long long>(lower),
+                       static_cast<long long>(upper),
+                       static_cast<long long>(token_batch),
+                       static_cast<long long>(done_before_close),
+                       static_cast<long long>(posted),
+                       static_cast<long long>(duplicated_ops)));
+      }
+    }
+  }
+
+  // ---- A8: lease reclamation --------------------------------------------
+  if (!engine_truncated) {
+    for (const TraceEvent& e : lease_expiries) {
+      const auto client = static_cast<std::uint32_t>(e.a);
+      ++report.checks_run;
+      const std::int64_t reservation =
+          clients.contains(client) ? clients[client].ReservationAt(e.time)
+                                   : -1;
+      bool consistent = e.b == reservation;
+      const auto ce = engines.find(client);
+      if (!consistent && ce != engines.end()) {
+        const auto pe = ce->second.find(e.period);
+        if (pe != ce->second.end()) {
+          const auto& residuals = pe->second.report_residuals;
+          consistent = std::find(residuals.begin(), residuals.end(), e.b) !=
+                       residuals.end();
+        }
+      }
+      if (!consistent) {
+        fail("A8", Fmt("period %u: lease expiry reclaimed %lld tokens from "
+                       "client %u, matching neither its reservation (%lld) "
+                       "nor any report it wrote this period",
+                       e.period, static_cast<long long>(e.b), client,
+                       static_cast<long long>(reservation)));
+      }
+    }
+  }
+
+  // ---- A9: reservation guarantee ----------------------------------------
+  for (AuditPeriod& p : report.periods) {
+    p.reporting = reporting_periods.contains(p.period);
+    if (!p.closed) continue;
+    const SimTime p_end =
+        period_len > 0 ? p.start_time + period_len : kTimeMax;
+    p.measured = (measure_start < 0 || p.start_time >= measure_start) &&
+                 (measure_end < 0 || (p_end != kTimeMax && p_end <= measure_end));
+    if (!have_harness) p.measured = p.closed;
+    if (!p.measured || !p.reporting) continue;
+    for (const auto& [client, info] : clients) {
+      if (info.spec_demand <= 0) continue;  // closed-loop or unknown demand
+      const std::int64_t reservation = info.ReservationAt(p.start_time);
+      if (reservation <= 0) continue;
+      // A client is only on the hook for periods it was alive and settled
+      // in: scripted crash windows (padded by two periods for the restart
+      // handshake and demand ramp) and lease departures are excluded.
+      bool excluded = info.DepartedBy(p.start_time);
+      for (const auto& [crash, restart] : info.crash_windows) {
+        const SimTime padded_end =
+            restart == kTimeMax || period_len == 0 ? kTimeMax
+                                                   : restart + 2 * period_len;
+        if (crash <= p_end && (padded_end == kTimeMax || padded_end >= p.start_time)) {
+          excluded = true;
+        }
+      }
+      if (excluded) continue;
+      const std::int64_t target = std::min(reservation, info.spec_demand);
+      const auto floor_target = static_cast<std::int64_t>(
+          options.guarantee_fraction * static_cast<double>(target));
+      std::int64_t completed = 0;
+      const auto pr = period_reports.find(p.period);
+      if (pr != period_reports.end()) {
+        const auto cr = pr->second.find(client);
+        if (cr != pr->second.end()) completed = cr->second.first;
+      }
+      ++report.checks_run;
+      ++report.guarantee_checks;
+      if (completed < floor_target) {
+        fail("A9", Fmt("period %u: client %u completed %lld tokens, below "
+                       "%.2f * min(reservation %lld, demand %lld) = %lld",
+                       p.period, client, static_cast<long long>(completed),
+                       options.guarantee_fraction,
+                       static_cast<long long>(reservation),
+                       static_cast<long long>(info.spec_demand),
+                       static_cast<long long>(floor_target)));
+      }
+    }
+  }
+
+  return report;
+}
+
+std::string AuditReport::Summary() const {
+  std::string out;
+  out += Fmt("audit: %zu periods, %d checks, %d guarantee checks, %s fabric\n",
+             periods.size(), checks_run, guarantee_checks,
+             clean ? "clean" : "faulted");
+  for (const AuditPeriod& p : periods) {
+    out += Fmt("  period %u: capacity=%lld dispatched=%lld initial=%lld "
+               "granted=%lld minted=%lld end=%lld completed=%lld "
+               "faa_done=%lld%s%s%s\n",
+               p.period, static_cast<long long>(p.capacity),
+               static_cast<long long>(p.dispatched),
+               static_cast<long long>(p.initial_pool),
+               static_cast<long long>(p.granted),
+               static_cast<long long>(p.minted),
+               static_cast<long long>(p.end_pool),
+               static_cast<long long>(p.completed),
+               static_cast<long long>(p.faa_done),
+               p.closed ? "" : " (open)", p.measured ? " [measured]" : "",
+               p.reporting ? "" : " [no-reporting]");
+  }
+  if (violations.empty()) {
+    out += "PASS: all conservation and guarantee identities hold\n";
+  } else {
+    out += Fmt("FAIL: %zu violation(s)\n", violations.size());
+    for (const AuditViolation& v : violations) {
+      out += Fmt("  [%s] %s\n", v.check.c_str(), v.detail.c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace haechi::obs

@@ -1,0 +1,95 @@
+// Trace-replay audit: re-derives the PeriodLedger conservation identities
+// and the reservation-guarantee invariant purely from an exported trace.
+//
+// The audit never looks at live simulator state — its only input is the
+// event stream (usually parsed back from a CSV export), so it is an
+// independent witness: a bug that corrupts both the token accounting and
+// the stats it is summarised into still has to forge a *consistent* event
+// stream to slip past it. Checks (DESIGN.md §9.3):
+//
+//   A1 stream integrity   per-actor seqs dense from 0, times non-decreasing
+//   A2 dispatch identity  initial_pool == max(capacity - dispatched, 0)
+//   A3 pool monotonicity  the pool word only moves down between monitor
+//                         writes (clients can only FAA-subtract)
+//   A4 conversion bound   every converted pool value respects the paper's
+//                         time budget C*(T-t)/T (replayed in integer math)
+//   A5 FAA conservation   pool decrease == B * (applied fetches); exact per
+//                         period on fault-free traces, bounded by
+//                         B*(done+discard) <= granted <= B*(posted+dups)
+//                         when transport faults can lose completions
+//   A6 decay bound        tokens a client surrenders to decay never exceed
+//                         the reservation it was granted
+//   A7 report sanity      report seqs strictly increase and completed
+//                         counts are monotone within a period, per engine
+//                         incarnation (a restart resets both)
+//   A8 reclamation        a lease expiry reclaims exactly the residual of
+//                         some report the client wrote this period (or the
+//                         full reservation if it never reported)
+//   A9 reservation        every admitted, demanding, alive client completes
+//      guarantee          at least `guarantee_fraction * min(R, demand)`
+//                         in every fully-measured period
+//
+// A failed check is a Violation; ok() == violations.empty().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace haechi::obs {
+
+struct AuditOptions {
+  /// Fraction of min(reservation, demand) a client must complete per
+  /// measured period for A9. The paper's guarantee is ~1.0 minus reporting
+  /// lag; chaos runs with lossy fabrics audit against a lower bar.
+  double guarantee_fraction = 0.95;
+  /// Accept traces whose rings wrapped (A1 gaps). Count-based checks
+  /// (A5..A9) are skipped for actors with truncated streams.
+  bool allow_truncated = false;
+};
+
+struct AuditViolation {
+  std::string check;   // "A3", "A5", ...
+  std::string detail;  // human-readable, with period/client/values
+};
+
+/// The ledger the audit re-derives for one QoS period, from events alone.
+struct AuditPeriod {
+  std::uint32_t period = 0;
+  SimTime start_time = 0;
+  std::int64_t capacity = 0;
+  std::int64_t dispatched = 0;    // sum of reservations pushed
+  std::int64_t initial_pool = 0;
+  std::int64_t granted = 0;       // pool decrease attributed to FAAs
+  std::int64_t minted = 0;        // net pool movement by conversions
+  std::int64_t end_pool = 0;
+  std::int64_t completed = 0;     // monitor's calibrated total
+  std::int64_t faa_done = 0;      // successful fetches tagged this period
+  bool closed = false;            // saw kMonitorPeriodEnd
+  bool reporting = false;         // S2 fired / Algorithm 1 ran
+  bool measured = false;          // fully inside the measurement window
+};
+
+struct AuditReport {
+  std::vector<AuditViolation> violations;
+  std::vector<AuditPeriod> periods;
+  /// True when the trace holds no fabric fault or client crash events, so
+  /// the strict per-period form of A5 applies.
+  bool clean = true;
+  int checks_run = 0;
+  int guarantee_checks = 0;  // (client, period) pairs A9 evaluated
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// Multi-line human-readable summary (per-period ledger + verdict).
+  [[nodiscard]] std::string Summary() const;
+};
+
+/// Runs every check against the event stream. Order of `events` does not
+/// matter; the audit re-sorts per actor by sequence number.
+[[nodiscard]] AuditReport AuditTrace(const std::vector<TraceEvent>& events,
+                                     const AuditOptions& options = {});
+
+}  // namespace haechi::obs

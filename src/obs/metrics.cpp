@@ -1,0 +1,79 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+
+namespace haechi::obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::int64_t& MetricsRegistry::Counter(const std::string& name) {
+  return counters_[name];
+}
+
+double& MetricsRegistry::Gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+stats::Histogram& MetricsRegistry::Histogram(const std::string& name) {
+  return histograms_.try_emplace(name).first->second;
+}
+
+std::int64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::GaugeValue(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+bool MetricsRegistry::Has(const std::string& name) const {
+  return counters_.contains(name) || gauges_.contains(name) ||
+         histograms_.contains(name);
+}
+
+void MetricsRegistry::SnapshotPeriod(std::uint32_t period) {
+  auto push = [&](const std::string& name, const char* kind, double value) {
+    SnapshotRow row;
+    row.period = period;
+    row.name = name;
+    row.kind = kind;
+    row.value = value;
+    const std::string key = std::string(kind) + ":" + name;
+    row.delta = value - last_snapshot_[key];
+    last_snapshot_[key] = value;
+    snapshots_.push_back(std::move(row));
+  };
+  for (const auto& [name, value] : counters_) {
+    push(name, "counter", static_cast<double>(value));
+  }
+  for (const auto& [name, value] : gauges_) push(name, "gauge", value);
+  for (const auto& [name, histogram] : histograms_) {
+    push(name, "histogram_count", static_cast<double>(histogram.Count()));
+    push(name, "histogram_p50",
+         static_cast<double>(histogram.ValueAtQuantile(0.5)));
+    push(name, "histogram_p99",
+         static_cast<double>(histogram.ValueAtQuantile(0.99)));
+    push(name, "histogram_max", static_cast<double>(histogram.Max()));
+  }
+}
+
+stats::CsvWriter MetricsRegistry::ToCsv() const {
+  stats::CsvWriter csv({"period", "name", "kind", "value", "delta"});
+  for (const SnapshotRow& row : snapshots_) {
+    csv.AddRow({std::to_string(row.period), row.name, row.kind,
+                FormatDouble(row.value), FormatDouble(row.delta)});
+  }
+  return csv;
+}
+
+}  // namespace haechi::obs

@@ -1,0 +1,190 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "sim/simulator.hpp"
+
+namespace haechi::obs {
+
+namespace {
+
+Recorder* g_active = nullptr;
+
+struct TypeName {
+  EventType type;
+  std::string_view name;
+};
+
+// Stable wire names: the CSV exporter writes them and the audit tool parses
+// them back, so renaming one is a trace-format break.
+constexpr TypeName kTypeNames[] = {
+    {EventType::kMonitorPeriodStart, "period_start"},
+    {EventType::kMonitorPeriodEnd, "period_end"},
+    {EventType::kPoolSample, "pool_sample"},
+    {EventType::kTokenConvert, "convert"},
+    {EventType::kCapacityEstimate, "capacity_estimate"},
+    {EventType::kClientPeriodReport, "client_period_report"},
+    {EventType::kReportSignal, "report_signal"},
+    {EventType::kReportResend, "report_resend"},
+    {EventType::kLeaseExpire, "lease_expire"},
+    {EventType::kAdmit, "admit"},
+    {EventType::kAdmitReject, "admit_reject"},
+    {EventType::kReadmit, "readmit"},
+    {EventType::kRelease, "release"},
+    {EventType::kEnginePeriodStart, "engine_period_start"},
+    {EventType::kTokenDecay, "decay"},
+    {EventType::kTokenFetch, "faa_post"},
+    {EventType::kTokenFetchDone, "faa_done"},
+    {EventType::kTokenFetchFail, "faa_fail"},
+    {EventType::kTokenDiscard, "faa_discard"},
+    {EventType::kPoolEmpty, "pool_empty"},
+    {EventType::kReportWrite, "report_write"},
+    {EventType::kEngineStop, "engine_stop"},
+    {EventType::kNodeCrash, "node_crash"},
+    {EventType::kNodeRestart, "node_restart"},
+    {EventType::kNodePause, "node_pause"},
+    {EventType::kNodeResume, "node_resume"},
+    {EventType::kQpError, "qp_error"},
+    {EventType::kOpDropped, "op_dropped"},
+    {EventType::kOpDelayed, "op_delayed"},
+    {EventType::kOpDuplicated, "op_duplicated"},
+    {EventType::kRdmaIssue, "rdma_issue"},
+    {EventType::kRdmaComplete, "rdma_complete"},
+    {EventType::kKvIssue, "kv_issue"},
+    {EventType::kKvComplete, "kv_complete"},
+    {EventType::kRunConfig, "run_config"},
+    {EventType::kClientSpec, "client_spec"},
+    {EventType::kMeasureStart, "measure_start"},
+    {EventType::kMeasureEnd, "measure_end"},
+    {EventType::kClientCrash, "client_crash"},
+    {EventType::kClientRestart, "client_restart"},
+};
+
+constexpr std::string_view kKindNames[kActorKinds] = {
+    "monitor", "engine", "fabric", "kv", "harness"};
+
+}  // namespace
+
+std::string_view ToString(EventType type) {
+  for (const TypeName& entry : kTypeNames) {
+    if (entry.type == type) return entry.name;
+  }
+  return "unknown";
+}
+
+std::string_view ToString(ActorKind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  return index < kActorKinds ? kKindNames[index] : "unknown";
+}
+
+bool EventTypeFromName(std::string_view name, EventType& out) {
+  for (const TypeName& entry : kTypeNames) {
+    if (entry.name == name) {
+      out = entry.type;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ActorKindFromName(std::string_view name, ActorKind& out) {
+  for (std::size_t i = 0; i < kActorKinds; ++i) {
+    if (kKindNames[i] == name) {
+      out = static_cast<ActorKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+Recorder::Recorder(sim::Simulator& sim) : Recorder(sim, Options{}) {}
+
+Recorder::Recorder(sim::Simulator& sim, Options options)
+    : sim_(sim), options_(options) {
+  HAECHI_EXPECTS(options_.ring_capacity > 0);
+}
+
+Recorder::Ring& Recorder::RingFor(ActorKind kind, std::uint32_t actor) {
+  auto& per_kind = rings_[static_cast<std::size_t>(kind)];
+  if (actor >= per_kind.size()) per_kind.resize(actor + 1);
+  return per_kind[actor];
+}
+
+void Recorder::Emit(ActorKind kind, std::uint32_t actor, EventType type,
+                    std::uint32_t period, std::int64_t a, std::int64_t b,
+                    std::int64_t c) {
+  Ring& ring = RingFor(kind, actor);
+  TraceEvent event;
+  event.time = sim_.Now();
+  event.seq = ring.appended;
+  event.type = type;
+  event.actor_kind = kind;
+  event.actor = actor;
+  event.period = period;
+  event.a = a;
+  event.b = b;
+  event.c = c;
+  if (ring.buf.size() < options_.ring_capacity) {
+    ring.buf.push_back(event);  // grow lazily up to capacity
+  } else {
+    ring.buf[ring.appended % options_.ring_capacity] = event;
+    ++total_dropped_;
+  }
+  ++ring.appended;
+  ++total_emitted_;
+}
+
+std::vector<TraceEvent> Recorder::ActorEvents(ActorKind kind,
+                                              std::uint32_t actor) const {
+  const auto& per_kind = rings_[static_cast<std::size_t>(kind)];
+  if (actor >= per_kind.size()) return {};
+  const Ring& ring = per_kind[actor];
+  std::vector<TraceEvent> out;
+  out.reserve(ring.buf.size());
+  if (ring.appended <= ring.buf.size()) {
+    out = ring.buf;
+  } else {
+    // The ring wrapped: the oldest retained event sits right after the
+    // write cursor.
+    const std::size_t cursor = ring.appended % ring.buf.size();
+    out.insert(out.end(), ring.buf.begin() + static_cast<std::ptrdiff_t>(cursor),
+               ring.buf.end());
+    out.insert(out.end(), ring.buf.begin(),
+               ring.buf.begin() + static_cast<std::ptrdiff_t>(cursor));
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Recorder::Merged() const {
+  std::vector<TraceEvent> out;
+  for (std::size_t kind = 0; kind < kActorKinds; ++kind) {
+    for (std::uint32_t actor = 0; actor < rings_[kind].size(); ++actor) {
+      const auto events =
+          ActorEvents(static_cast<ActorKind>(kind), actor);
+      out.insert(out.end(), events.begin(), events.end());
+    }
+  }
+  // Deterministic global order: per-actor streams are already seq-ordered,
+  // and the tiebreak on (kind, actor, seq) is total.
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              if (x.time != y.time) return x.time < y.time;
+              if (x.actor_kind != y.actor_kind) {
+                return x.actor_kind < y.actor_kind;
+              }
+              if (x.actor != y.actor) return x.actor < y.actor;
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+Recorder* ActiveRecorder() { return g_active; }
+
+ScopedRecorder::ScopedRecorder(Recorder* recorder) : previous_(g_active) {
+  g_active = recorder;
+}
+
+ScopedRecorder::~ScopedRecorder() { g_active = previous_; }
+
+}  // namespace haechi::obs

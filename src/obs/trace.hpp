@@ -1,0 +1,225 @@
+// The Haechi flight recorder: typed QoS trace events in per-actor ring
+// buffers.
+//
+// Every token-path decision the paper's QoS argument rests on — reservation
+// decay, batched FAA fetches, token conversion xi_global, Algorithm 1's
+// capacity updates, admission decisions, fault events — is emitted as one
+// fixed-size TraceEvent stamped with sim-time and actor identity. Events
+// land in a bounded ring per actor (the flight-recorder pattern: appends
+// are O(1), old events are overwritten, nothing on the hot path allocates
+// or locks — the simulator is single-threaded, so the rings need no
+// atomics; the layout is the standard single-writer ring). Per-actor
+// sequence numbers make overwrites detectable: exporters carry them, and
+// the audit tool refuses traces with gaps.
+//
+// Cost contract:
+//   * HAECHI_TRACE=OFF (CMake option): every HAECHI_TRACE_EVENT expands to
+//     `((void)0)` — the arguments are not evaluated, no branch remains.
+//     bench_overhead's compile-time guard proves argument elision.
+//   * HAECHI_TRACE=ON, no recorder installed: one pointer load + branch
+//     per site (the arguments are only evaluated behind the branch).
+//   * recorder installed: one bounds-masked store of 56 bytes.
+//
+// Per-I/O events (RDMA op issue/complete, KV ops) are additionally gated
+// behind Recorder::detail() so a full-rate experiment can trace the token
+// path without drowning in data-path events.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+#ifndef HAECHI_TRACE_ENABLED
+#define HAECHI_TRACE_ENABLED 1
+#endif
+
+namespace haechi::sim {
+class Simulator;
+}  // namespace haechi::sim
+
+namespace haechi::obs {
+
+/// Subsystem a trace event originates from. Doubles as the Perfetto "pid".
+enum class ActorKind : std::uint8_t {
+  kMonitor = 0,  // data-node QoS monitor (actor = 0)
+  kEngine = 1,   // client QoS engine (actor = client id)
+  kFabric = 2,   // simulated RDMA fabric (actor = node id)
+  kKv = 3,       // KV store client (actor = node id)
+  kHarness = 4,  // experiment harness (actor = client index or 0)
+};
+inline constexpr std::size_t kActorKinds = 5;
+
+/// The event taxonomy (DESIGN.md §9). Payload fields a/b/c are typed per
+/// event; the comments give the binding used by exporters and the audit.
+enum class EventType : std::uint16_t {
+  // --- monitor (data node) -------------------------------------------------
+  kMonitorPeriodStart = 0,  // a=capacity b=dispatched(sum R_i) c=initial_pool
+  kMonitorPeriodEnd,        // a=end_pool(raw, pre-reinit) b=total_completed
+  kPoolSample,              // a=raw pool word at a check tick
+  kTokenConvert,            // a=pool_before(raw) b=new_pool c=outstanding L
+  kCapacityEstimate,        // a=reported completions b=next estimate c=branch
+  kClientPeriodReport,      // a=client b=completed c=residual (ended period)
+  kReportSignal,            // S2 fired: pool decrease first observed
+  kReportResend,            // a=client (half-lease nudge)
+  kLeaseExpire,             // a=client b=reclaimed residual c=salvaged done
+  kAdmit,                   // a=client b=reservation c=limit
+  kAdmitReject,             // a=client b=reservation
+  kReadmit,                 // a=client b=reservation (restart handshake)
+  kRelease,                 // a=client
+  // --- engine (client) -----------------------------------------------------
+  kEnginePeriodStart = 32,  // a=reservation tokens b=limit
+  kTokenDecay,              // a=surrendered tokens b=new bound X
+  kTokenFetch,              // a=batch B (FAA posted)
+  kTokenFetchDone,          // a=pool value seen b=acquired
+  kTokenFetchFail,          // a=backoff ns (post or completion failure)
+  kTokenDiscard,            // a=pool value seen b=would-be acquired (stale)
+  kPoolEmpty,               // FAA returned nothing; retry armed (step T4)
+  kReportWrite,             // a=residual claims b=completed c=seq
+  kEngineStop,              // engine quiesced (crash/teardown)
+  // --- fabric (RDMA) -------------------------------------------------------
+  kNodeCrash = 64,          // node killed (actor = node)
+  kNodeRestart,             // a=new incarnation
+  kNodePause,
+  kNodeResume,
+  kQpError,                 // a=qp id (scripted QP failure)
+  kOpDropped,               // a=opcode b=wr_id (transport fault)
+  kOpDelayed,               // a=opcode b=wr_id c=extra delay ns
+  kOpDuplicated,            // a=opcode b=wr_id
+  kRdmaIssue,               // detail: a=opcode b=wr_id c=bytes
+  kRdmaComplete,            // detail: a=opcode b=wr_id c=wc status
+  // --- kvstore -------------------------------------------------------------
+  kKvIssue = 96,            // detail: a=opcode(0 get/1 put) b=key
+  kKvComplete,              // detail: a=opcode b=key c=status code
+  // --- harness -------------------------------------------------------------
+  kRunConfig = 112,         // a=period ns b=token batch c=measure periods
+  kClientSpec,              // a=reservation b=limit c=demand (actor=client)
+  kMeasureStart,
+  kMeasureEnd,
+  kClientCrash,             // scripted whole-client crash (actor=client)
+  kClientRestart,
+};
+
+/// Stable short name ("period_start", "faa_done", ...) used by the CSV and
+/// Perfetto exporters; parseable back via EventTypeFromName.
+[[nodiscard]] std::string_view ToString(EventType type);
+[[nodiscard]] std::string_view ToString(ActorKind kind);
+/// Returns false on an unknown name (corrupt trace).
+bool EventTypeFromName(std::string_view name, EventType& out);
+bool ActorKindFromName(std::string_view name, ActorKind& out);
+
+/// One fixed-size trace record. POD so runs export byte-identically.
+struct TraceEvent {
+  SimTime time = 0;          // sim-time stamp (ns)
+  std::uint64_t seq = 0;     // per-actor sequence, dense from 0
+  EventType type{};
+  ActorKind actor_kind{};
+  std::uint8_t reserved = 0;
+  std::uint32_t actor = 0;   // client id / node id / 0
+  std::uint32_t period = 0;  // QoS period the event belongs to (0 = none)
+  std::uint32_t reserved2 = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+};
+static_assert(sizeof(TraceEvent) == 56);
+
+/// Per-actor bounded flight-recorder rings, stamped from the simulator
+/// clock. Install as the process-active recorder with ScopedRecorder; the
+/// instrumentation macros write to whatever recorder is active (nullptr =
+/// tracing runtime-disabled).
+class Recorder {
+ public:
+  struct Options {
+    /// Events retained per actor; older events are overwritten (and the
+    /// overwrite is visible to consumers through the seq gap).
+    std::size_t ring_capacity = 1u << 16;
+    /// Also record per-I/O data-path events (kRdma*/kKv*).
+    bool detail = false;
+  };
+
+  explicit Recorder(sim::Simulator& sim);
+  Recorder(sim::Simulator& sim, Options options);
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Appends one event, stamping time from the simulator clock.
+  void Emit(ActorKind kind, std::uint32_t actor, EventType type,
+            std::uint32_t period, std::int64_t a = 0, std::int64_t b = 0,
+            std::int64_t c = 0);
+
+  [[nodiscard]] bool detail() const { return options_.detail; }
+
+  /// Events ever emitted (including ones already overwritten).
+  [[nodiscard]] std::uint64_t TotalEmitted() const { return total_emitted_; }
+  /// Events overwritten by ring wrap-around across all actors.
+  [[nodiscard]] std::uint64_t TotalDropped() const { return total_dropped_; }
+
+  /// All retained events merged into one deterministic stream, ordered by
+  /// (time, actor_kind, actor, seq).
+  [[nodiscard]] std::vector<TraceEvent> Merged() const;
+
+  /// Retained events of one actor, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> ActorEvents(ActorKind kind,
+                                                    std::uint32_t actor) const;
+
+ private:
+  struct Ring {
+    std::vector<TraceEvent> buf;  // grows to capacity, then wraps
+    std::uint64_t appended = 0;   // total ever appended == next seq
+  };
+
+  Ring& RingFor(ActorKind kind, std::uint32_t actor);
+
+  sim::Simulator& sim_;
+  Options options_;
+  // Actors are dense small integers per kind (clients 0..63, a handful of
+  // nodes), so a vector per kind keeps Emit at two indexed loads.
+  std::vector<Ring> rings_[kActorKinds];
+  std::uint64_t total_emitted_ = 0;
+  std::uint64_t total_dropped_ = 0;
+};
+
+/// The process-active recorder (nullptr when tracing is runtime-disabled).
+/// The simulator is single-threaded; experiments install/uninstall
+/// sequentially via ScopedRecorder.
+[[nodiscard]] Recorder* ActiveRecorder();
+
+/// RAII install of `recorder` as the active one; restores the previous
+/// recorder (usually nullptr) on destruction.
+class ScopedRecorder {
+ public:
+  explicit ScopedRecorder(Recorder* recorder);
+  ~ScopedRecorder();
+  ScopedRecorder(const ScopedRecorder&) = delete;
+  ScopedRecorder& operator=(const ScopedRecorder&) = delete;
+
+ private:
+  Recorder* previous_;
+};
+
+}  // namespace haechi::obs
+
+// Instrumentation macros. Arguments are evaluated only when a recorder is
+// active, and not at all when tracing is compiled out.
+#if HAECHI_TRACE_ENABLED
+#define HAECHI_TRACE_EVENT(kind, actor, type, period, ...)                  \
+  do {                                                                      \
+    if (::haechi::obs::Recorder* hte_r = ::haechi::obs::ActiveRecorder()) { \
+      hte_r->Emit((kind), (actor), (type), (period), ##__VA_ARGS__);        \
+    }                                                                       \
+  } while (0)
+// Data-path variant, additionally gated on the recorder's detail flag.
+#define HAECHI_TRACE_DETAIL(kind, actor, type, period, ...)                 \
+  do {                                                                      \
+    ::haechi::obs::Recorder* hte_r = ::haechi::obs::ActiveRecorder();       \
+    if (hte_r != nullptr && hte_r->detail()) {                              \
+      hte_r->Emit((kind), (actor), (type), (period), ##__VA_ARGS__);        \
+    }                                                                       \
+  } while (0)
+#else
+#define HAECHI_TRACE_EVENT(...) ((void)0)
+#define HAECHI_TRACE_DETAIL(...) ((void)0)
+#endif

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace haechi::rdma {
 
@@ -105,6 +106,11 @@ void Fabric::Initiate(std::shared_ptr<OpState> op) {
       AbandonOp(*op);
       return;
     }
+    HAECHI_TRACE_DETAIL(obs::ActorKind::kFabric, Raw(src.id()),
+                        obs::EventType::kRdmaIssue, 0,
+                        static_cast<std::int64_t>(op->opcode),
+                        static_cast<std::int64_t>(op->wr_id),
+                        static_cast<std::int64_t>(op->len));
     FaultInjector::Decision decision;
     if (injector_ != nullptr) {
       decision = injector_->Decide(src.id(), op->dst->node().id(), op->opcode,
@@ -115,6 +121,10 @@ void Fabric::Initiate(std::shared_ptr<OpState> op) {
       // transport gives up and reports a retry-exceeded completion. The
       // responder never sees the op.
       ++fault_stats_.ops_dropped;
+      HAECHI_TRACE_EVENT(obs::ActorKind::kFabric, Raw(src.id()),
+                         obs::EventType::kOpDropped, 0,
+                         static_cast<std::int64_t>(op->opcode),
+                         static_cast<std::int64_t>(op->wr_id));
       sim_.ScheduleAfter(params_.retry_timeout,
                          [this, op = std::move(op)]() mutable {
                            FinishCompletion(std::move(op),
@@ -123,7 +133,14 @@ void Fabric::Initiate(std::shared_ptr<OpState> op) {
       return;
     }
     const SimDuration latency = params_.link_latency + decision.extra_delay;
-    if (decision.extra_delay > 0) ++fault_stats_.ops_delayed;
+    if (decision.extra_delay > 0) {
+      ++fault_stats_.ops_delayed;
+      HAECHI_TRACE_EVENT(obs::ActorKind::kFabric, Raw(src.id()),
+                         obs::EventType::kOpDelayed, 0,
+                         static_cast<std::int64_t>(op->opcode),
+                         static_cast<std::int64_t>(op->wr_id),
+                         decision.extra_delay);
+    }
     if (src.paused_) {
       // Outbound side of the partition: the op cannot leave the node (nor
       // can a duplicate of it); it resumes its journey when the partition
@@ -136,6 +153,10 @@ void Fabric::Initiate(std::shared_ptr<OpState> op) {
       // The wire delivers the request twice; the copy trails the original
       // by a packet slot so per-QP arrival order stays deterministic.
       ++fault_stats_.ops_duplicated;
+      HAECHI_TRACE_EVENT(obs::ActorKind::kFabric, Raw(src.id()),
+                         obs::EventType::kOpDuplicated, 0,
+                         static_cast<std::int64_t>(op->opcode),
+                         static_cast<std::int64_t>(op->wr_id));
       sim_.ScheduleAfter(latency + params_.min_op_service, [this, op] {
         ArriveAtResponder(op, /*duplicate=*/true);
       });
@@ -335,6 +356,11 @@ void Fabric::FinishCompletion(std::shared_ptr<OpState> op, WcStatus status) {
   wc.byte_len = op->len;
   wc.atomic_result = op->atomic_result;
   wc.timestamp = sim_.Now();
+  HAECHI_TRACE_DETAIL(obs::ActorKind::kFabric, Raw(src_node.id()),
+                      obs::EventType::kRdmaComplete, 0,
+                      static_cast<std::int64_t>(wc.opcode),
+                      static_cast<std::int64_t>(wc.wr_id),
+                      static_cast<std::int64_t>(wc.status));
   HAECHI_ASSERT(src.in_flight_ > 0);
   --src.in_flight_;
   src.send_cq_.Push(wc);
@@ -356,6 +382,9 @@ void Fabric::InstallFaultPlan(const FaultPlan& plan) {
     sim_.ScheduleAt(failure.at, [this, id = failure.qp] {
       QueuePair* qp = FindQp(id);
       HAECHI_ASSERT(qp != nullptr);
+      HAECHI_TRACE_EVENT(obs::ActorKind::kFabric, Raw(qp->node().id()),
+                         obs::EventType::kQpError, 0,
+                         static_cast<std::int64_t>(id));
       qp->SetError();
     });
   }
@@ -409,6 +438,8 @@ void Fabric::CrashNode(NodeId node) {
   }
   HAECHI_LOG_DEBUG("fabric: node %u (%s) crashed", Raw(node),
                    n.name().c_str());
+  HAECHI_TRACE_EVENT(obs::ActorKind::kFabric, Raw(node),
+                     obs::EventType::kNodeCrash, 0);
   if (fault_hook_) fault_hook_(node, NodeFault::kCrash);
 }
 
@@ -419,6 +450,9 @@ void Fabric::RestartNode(NodeId node) {
   ++n.incarnation_;
   HAECHI_LOG_DEBUG("fabric: node %u (%s) restarted (incarnation %u)",
                    Raw(node), n.name().c_str(), n.incarnation_);
+  HAECHI_TRACE_EVENT(obs::ActorKind::kFabric, Raw(node),
+                     obs::EventType::kNodeRestart, 0,
+                     static_cast<std::int64_t>(n.incarnation_));
   if (fault_hook_) fault_hook_(node, NodeFault::kRestart);
 }
 
@@ -426,6 +460,8 @@ void Fabric::PauseNode(NodeId node) {
   Node& n = NodeRef(node);
   if (n.crashed_ || n.paused_) return;
   n.paused_ = true;
+  HAECHI_TRACE_EVENT(obs::ActorKind::kFabric, Raw(node),
+                     obs::EventType::kNodePause, 0);
   if (fault_hook_) fault_hook_(node, NodeFault::kPause);
 }
 
@@ -443,6 +479,8 @@ void Fabric::ResumeNode(NodeId node) {
       }
     }
   }
+  HAECHI_TRACE_EVENT(obs::ActorKind::kFabric, Raw(node),
+                     obs::EventType::kNodeResume, 0);
   if (fault_hook_) fault_hook_(node, NodeFault::kResume);
 }
 

@@ -1,0 +1,88 @@
+// haechi_audit — trace-replay verifier.
+//
+// Reads a CSV trace exported by the flight recorder (harness
+// ExperimentConfig::trace.out_path or `haechi_sim --trace-out=...`) and
+// re-derives the PeriodLedger conservation identities and the
+// reservation-guarantee invariant purely from the events (DESIGN.md §9.3).
+// Exit code 0 = every identity holds, 1 = violations found, 2 = usage or
+// unreadable/corrupt trace.
+//
+// Examples:
+//   haechi_sim --trace-out=/tmp/run.csv && haechi_audit --trace=/tmp/run.csv
+//   haechi_audit --trace=/tmp/chaos.csv --guarantee-fraction=0.9
+#include <cstdio>
+
+#include "common/flags.hpp"
+#include "obs/audit.hpp"
+#include "obs/export.hpp"
+
+using namespace haechi;
+
+namespace {
+
+constexpr const char* kUsage = R"(haechi_audit - verify a QoS event trace
+
+flags:
+  --trace=PATH               CSV trace to audit (required; also accepted as
+                             the sole positional argument)
+  --guarantee-fraction=F     completed >= F * min(R, demand) per measured
+                             period [0.95]
+  --allow-truncated          accept traces whose rings wrapped (skips
+                             count-based checks on truncated actors)
+  --quiet                    print only the verdict line
+)";
+
+int Run(int argc, const char* const* argv) {
+  auto parsed = Flags::Parse(
+      argc, argv,
+      {"trace", "guarantee-fraction", "allow-truncated", "quiet", "help"});
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.status().ToString().c_str(),
+                 kUsage);
+    return 2;
+  }
+  const Flags& flags = parsed.value();
+  if (flags.Has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  std::string path = flags.GetString("trace", "");
+  if (path.empty() && flags.positional().size() == 1) {
+    path = flags.positional().front();
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "missing --trace=PATH\n%s", kUsage);
+    return 2;
+  }
+
+  const auto text = obs::ReadFileToString(path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 2;
+  }
+  const auto events = obs::ParseCsvTrace(text.value());
+  if (!events.ok()) {
+    std::fprintf(stderr, "corrupt trace: %s\n",
+                 events.status().ToString().c_str());
+    return 2;
+  }
+
+  obs::AuditOptions options;
+  options.guarantee_fraction =
+      flags.GetDouble("guarantee-fraction", options.guarantee_fraction);
+  options.allow_truncated = flags.GetBool("allow-truncated", false);
+  const obs::AuditReport report = obs::AuditTrace(events.value(), options);
+
+  if (flags.GetBool("quiet", false)) {
+    std::printf("%s: %zu events, %d checks, %zu violations\n",
+                report.ok() ? "PASS" : "FAIL", events.value().size(),
+                report.checks_run, report.violations.size());
+  } else {
+    std::printf("%s", report.Summary().c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

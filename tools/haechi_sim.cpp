@@ -43,6 +43,10 @@ flags (all optional):
   --seed=N                   RNG seed                 [42]
   --background-pct=P         background load, % of capacity [0]
   --csv=PATH                 export per-period series
+  --trace-out=PATH           export the QoS event trace (.json = Perfetto,
+                             anything else = CSV for haechi_audit)
+  --trace-detail             also trace per-I/O RDMA/KV events
+  --metrics-out=PATH         export per-period metrics snapshots as CSV
 )";
 
 int Run(int argc, const char* const* argv) {
@@ -50,7 +54,8 @@ int Run(int argc, const char* const* argv) {
       argc, argv,
       {"mode", "clients", "distribution", "reserved-pct", "pattern",
        "write-fraction", "demand-factor", "limit-factor", "periods",
-       "warmup-seconds", "scale", "seed", "background-pct", "csv", "help"});
+       "warmup-seconds", "scale", "seed", "background-pct", "csv",
+       "trace-out", "trace-detail", "metrics-out", "help"});
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.status().ToString().c_str(),
                  kUsage);
@@ -155,6 +160,12 @@ int Run(int argc, const char* const* argv) {
         cap * background_pct / 100 / static_cast<std::int64_t>(clients);
   }
 
+  config.trace.out_path = flags.GetString("trace-out", "");
+  config.trace.metrics_out = flags.GetString("metrics-out", "");
+  config.trace.detail = flags.Has("trace-detail");
+  config.trace.enabled =
+      !config.trace.out_path.empty() || !config.trace.metrics_out.empty();
+
   const auto periods = config.measure_periods;
   const auto scale = config.net.capacity_scale;
   harness::ExperimentResult result =
@@ -195,6 +206,19 @@ int Run(int argc, const char* const* argv) {
       return 1;
     }
     std::printf("per-period series written to %s\n", csv_path.c_str());
+  }
+  const std::string trace_path = flags.GetString("trace-out", "");
+  if (!trace_path.empty()) {
+    // The audit consumes the CSV form; .json is for ui.perfetto.dev.
+    if (trace_path.size() > 5 &&
+        trace_path.compare(trace_path.size() - 5, 5, ".json") == 0) {
+      std::printf("trace written to %s (open in ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    } else {
+      std::printf(
+          "trace written to %s (audit with: haechi_audit --trace=%s)\n",
+          trace_path.c_str(), trace_path.c_str());
+    }
   }
   return 0;
 }

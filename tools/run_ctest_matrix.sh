@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Configure, build and run the full test suite under every CMake preset
-# (default, asan, tsan — see CMakePresets.json). Usage:
+# (default, asan, tsan, trace, notrace — see CMakePresets.json). The trace
+# preset pins the QoS flight recorder ON; notrace compiles it out, proving
+# the zero-cost contract (bench_overhead's static_assert) and the
+# trace-gated test skips. Usage:
 #
 #   tools/run_ctest_matrix.sh              # the whole matrix
 #   tools/run_ctest_matrix.sh asan         # one preset
@@ -13,7 +16,7 @@ cd "$(dirname "$0")/.."
 
 PRESETS=("$@")
 if [[ ${#PRESETS[@]} -eq 0 ]]; then
-  PRESETS=(default asan tsan)
+  PRESETS=(default asan tsan trace notrace)
 fi
 JOBS="${JOBS:-$(nproc)}"
 
