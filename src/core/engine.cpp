@@ -115,6 +115,7 @@ void ClientQosEngine::OnPeriodStart(const PeriodStartMsg& msg) {
   stats_.issued_this_period = 0;
   pool_retry_armed_ = false;
   faa_backoff_ = 0;  // a fresh period forgives past fetch failures
+  faa_exhausted_signalled_ = false;
   started_ = true;
   period_started_at_ = sim_.Now();
   // Reporting stops until the monitor asks again this period.
@@ -229,6 +230,15 @@ void ClientQosEngine::ArmFaaRetry() {
                      ? config_.faa_retry_backoff
                      : std::min<SimDuration>(faa_backoff_ * 2,
                                              config_.faa_retry_backoff_max);
+  if (faa_backoff_ >= config_.faa_retry_backoff_max &&
+      !faa_exhausted_signalled_) {
+    // The backoff ladder is pinned at its ceiling: every further fetch this
+    // period is a once-per-backoff_max probe. Signalled once per period so
+    // the watchdog sees saturation, not each probe.
+    faa_exhausted_signalled_ = true;
+    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, Raw(id_),
+                       obs::EventType::kFaaExhausted, period_, faa_backoff_);
+  }
   faa_retry_armed_ = true;
   const std::uint32_t at_period = period_;
   sim_.ScheduleAfter(faa_backoff_, [this, at_period] {

@@ -147,6 +147,9 @@ class ClientQosEngine {
   // config_.faa_retry_backoff), doubling per consecutive failure.
   SimDuration faa_backoff_ = 0;
   bool faa_retry_armed_ = false;
+  // kFaaExhausted already emitted this period (one saturation signal per
+  // period, not one per probe).
+  bool faa_exhausted_signalled_ = false;
 
   // Report sequence number; makes consecutive report words bitwise
   // distinct so the monitor's lease sees an idle client as alive.

@@ -255,7 +255,7 @@ void QosMonitor::StartPeriod() {
     prev.end_pool = raw;
     HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0,
                        obs::EventType::kMonitorPeriodEnd, stats_.periods, raw,
-                       stats_.last_period_completions);
+                       stats_.last_period_completions, prev.granted);
   }
 
   // Slots retired last period sat out a full boundary; any stale in-flight

@@ -1,5 +1,6 @@
 #include "harness/experiment.hpp"
 
+#include <cstdio>
 #include <string>
 
 #include "common/assert.hpp"
@@ -352,12 +353,49 @@ ExperimentResult Experiment::Run() {
   // The flight recorder spans cluster build (admission events) through the
   // final period boundary; it is installed process-wide so instrumentation
   // deep in core/rdma/kvstore reaches it without plumbing.
-  if (config_.trace.enabled || !config_.trace.out_path.empty()) {
+  bool want_recorder =
+      config_.trace.enabled || !config_.trace.out_path.empty();
+#if HAECHI_WATCHDOG_ENABLED
+  // Arming the watchdog forces a recorder: the watchdog is a tap on the
+  // event stream, and sees nothing without one.
+  const bool want_watchdog = config_.watchdog.enabled ||
+                             !config_.watchdog.alerts_out.empty() ||
+                             config_.watchdog.status_interval > 0;
+  want_recorder = want_recorder || want_watchdog;
+#endif
+  if (want_recorder) {
     obs::Recorder::Options trace_options;
     trace_options.ring_capacity = config_.trace.ring_capacity;
     trace_options.detail = config_.trace.detail;
     recorder_ = std::make_unique<obs::Recorder>(sim_, trace_options);
   }
+#if HAECHI_WATCHDOG_ENABLED
+  if (want_watchdog) {
+    obs::WatchdogOptions wd_options;
+    wd_options.guarantee_fraction = config_.watchdog.guarantee_fraction;
+    watchdog_ = std::make_unique<obs::SloWatchdog>(wd_options);
+    // The JSONL sink always exists when armed (empty path = buffer only),
+    // so tests can compare the byte-exact alert document without a file.
+    alerts_sink_ =
+        std::make_unique<obs::JsonlAlertSink>(config_.watchdog.alerts_out);
+    watchdog_->AddSink(alerts_sink_.get());
+    if (config_.watchdog.status_interval > 0) {
+      auto status_fn = config_.watchdog.status_fn;
+      if (!status_fn) {
+        status_fn = [](const obs::PeriodStatus& status) {
+          std::fprintf(stderr, "%s\n",
+                       obs::FormatStatusLine(status).c_str());
+        };
+      }
+      watchdog_->SetStatusFn(std::move(status_fn),
+                             config_.watchdog.status_interval);
+    }
+    // Installed before the first harness event below: the watchdog's view
+    // must start at kRunConfig or its period-length inference runs blind.
+    recorder_->SetTap(
+        [this](const obs::TraceEvent& event) { watchdog_->OnEvent(event); });
+  }
+#endif
   obs::ScopedRecorder trace_scope(recorder_.get());
   HAECHI_TRACE_EVENT(obs::ActorKind::kHarness, 0, obs::EventType::kRunConfig,
                      0, config_.qos.period, config_.qos.token_batch,
@@ -455,6 +493,22 @@ ExperimentResult Experiment::Run() {
                       exported.ToString().c_str());
     }
   }
+#if HAECHI_WATCHDOG_ENABLED
+  if (watchdog_ != nullptr) {
+    const Status flushed = watchdog_->Finish();
+    if (!flushed.ok()) {
+      HAECHI_LOG_WARN("experiment: alert sink flush failed: %s",
+                      flushed.ToString().c_str());
+    }
+    metrics_.Add("watchdog.alerts",
+                 static_cast<std::int64_t>(watchdog_->alerts().size()));
+    metrics_.Add("watchdog.critical",
+                 static_cast<std::int64_t>(
+                     watchdog_->CountAtLeast(obs::AlertSeverity::kCritical)));
+    metrics_.Add("watchdog.periods_evaluated",
+                 static_cast<std::int64_t>(watchdog_->periods_evaluated()));
+  }
+#endif
   if (!config_.trace.metrics_out.empty()) {
     const Status written =
         metrics_.ToCsv().WriteFile(config_.trace.metrics_out);

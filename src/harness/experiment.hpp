@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "kvstore/server.hpp"
 #include "net/model_params.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "rdma/fabric.hpp"
 #include "rdma/fault.hpp"
@@ -113,6 +115,22 @@ struct ExperimentConfig {
     std::string metrics_out;
   };
   TraceConfig trace;
+
+  /// Online SLO watchdog (src/obs/slo). Any of `enabled`, a nonempty
+  /// `alerts_out`, or a nonzero `status_interval` arms it; arming forces a
+  /// flight recorder (the watchdog taps its event stream). `alerts_out`
+  /// writes one JSON line per alert when the run ends; `status_interval=N`
+  /// invokes `status_fn` (default: a stderr status line) after every Nth
+  /// evaluated period. Inert when HAECHI_WATCHDOG=OFF — the wiring
+  /// compiles out and haechi_sim behaves as before.
+  struct WatchdogConfig {
+    bool enabled = false;
+    double guarantee_fraction = 0.95;
+    std::string alerts_out;
+    std::uint32_t status_interval = 0;
+    std::function<void(const obs::PeriodStatus&)> status_fn;
+  };
+  WatchdogConfig watchdog;
 };
 
 struct ExperimentResult {
@@ -166,6 +184,15 @@ class Experiment {
   [[nodiscard]] obs::Recorder* recorder() { return recorder_.get(); }
   /// Per-period metrics snapshots (populated for QoS modes during Run).
   [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  /// The online watchdog (null unless config.watchdog armed one — always
+  /// null when HAECHI_WATCHDOG=OFF).
+  [[nodiscard]] obs::SloWatchdog* watchdog() { return watchdog_.get(); }
+  /// The watchdog's buffered JSONL alert document ("" when not armed) —
+  /// the same bytes `alerts_out` persists.
+  [[nodiscard]] const std::string& alerts_jsonl() const {
+    static const std::string kEmpty;
+    return alerts_sink_ != nullptr ? alerts_sink_->buffer() : kEmpty;
+  }
 
  private:
   /// The live machinery of one client. Pointers move to new incarnations
@@ -206,6 +233,10 @@ class Experiment {
   std::vector<std::unique_ptr<workload::DemandGenerator>> background_gens_;
   std::unique_ptr<ExperimentResult> result_;
   std::unique_ptr<obs::Recorder> recorder_;
+  // Null unless config_.watchdog arms them (never armed when
+  // HAECHI_WATCHDOG=OFF).
+  std::unique_ptr<obs::SloWatchdog> watchdog_;
+  std::unique_ptr<obs::JsonlAlertSink> alerts_sink_;
   obs::MetricsRegistry metrics_;
   std::unique_ptr<sim::PeriodicTimer> measure_timer_;
   std::size_t measured_periods_ = 0;

@@ -1,0 +1,105 @@
+#include "obs/alerts.hpp"
+
+#include <cstdio>
+
+namespace haechi::obs {
+
+namespace {
+
+// Stable wire names: the JSONL schema is part of the tool surface
+// (DESIGN.md §10); renaming one breaks downstream alert consumers.
+constexpr std::string_view kKindNames[] = {
+    "reservation_shortfall", "limit_overshoot",      "pool_conservation",
+    "conversion_stall",      "capacity_oscillation", "faa_starvation",
+};
+
+constexpr std::string_view kSeverityNames[] = {"info", "warning", "critical"};
+
+/// Minimal JSON string escaping — cause strings are ASCII diagnostics, but
+/// a quote or backslash in one must not corrupt the line format.
+void AppendEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view ToString(AlertKind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  return index < std::size(kKindNames) ? kKindNames[index] : "unknown";
+}
+
+std::string_view ToString(AlertSeverity severity) {
+  const auto index = static_cast<std::size_t>(severity);
+  return index < std::size(kSeverityNames) ? kSeverityNames[index]
+                                           : "unknown";
+}
+
+std::string ToJsonl(const Alert& alert) {
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "{\"time_ns\":%lld,\"period\":%u,\"kind\":\"%s\","
+                "\"severity\":\"%s\",\"client\":%lld,\"expected\":%lld,"
+                "\"observed\":%lld,\"cause\":\"",
+                static_cast<long long>(alert.time), alert.period,
+                std::string(ToString(alert.kind)).c_str(),
+                std::string(ToString(alert.severity)).c_str(),
+                static_cast<long long>(alert.client),
+                static_cast<long long>(alert.expected),
+                static_cast<long long>(alert.observed));
+  std::string out = head;
+  AppendEscaped(out, alert.cause);
+  out += "\"}";
+  return out;
+}
+
+RingAlertSink::RingAlertSink(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void RingAlertSink::OnAlert(const Alert& alert) {
+  if (alerts_.size() == capacity_) {
+    alerts_.pop_front();
+    ++dropped_;
+  }
+  alerts_.push_back(alert);
+  ++total_;
+}
+
+JsonlAlertSink::JsonlAlertSink(std::string path) : path_(std::move(path)) {}
+
+void JsonlAlertSink::OnAlert(const Alert& alert) {
+  buffer_ += ToJsonl(alert);
+  buffer_ += '\n';
+  ++count_;
+}
+
+Status JsonlAlertSink::Flush() {
+  if (path_.empty()) return Status::Ok();
+  std::FILE* file = std::fopen(path_.c_str(), "wb");
+  if (file == nullptr) {
+    return ErrInvalidArgument("cannot open alerts file: " + path_);
+  }
+  const std::size_t written =
+      std::fwrite(buffer_.data(), 1, buffer_.size(), file);
+  const int closed = std::fclose(file);
+  if (written != buffer_.size() || closed != 0) {
+    return ErrInternal("short write to alerts file: " + path_);
+  }
+  return Status::Ok();
+}
+
+}  // namespace haechi::obs

@@ -1,0 +1,113 @@
+// Typed QoS conformance alerts and the sinks that carry them.
+//
+// An Alert is the watchdog's (src/obs/slo.hpp) verdict on one streaming
+// check: which rule fired, how severe it is, which period and client it
+// concerns, the expected-vs-observed token counts, and a suggested cause.
+// Alerts are plain data derived purely from the trace-event stream, so two
+// runs with the same seed produce byte-identical alert streams — the JSONL
+// sink's output is a determinism witness the same way the CSV trace export
+// is.
+//
+// Sinks are deliberately passive: OnAlert() must not mutate simulation
+// state (a sink that scheduled events would make observability perturb the
+// run it observes). The ring sink backs tests and the live status line; the
+// JSONL sink backs `haechi_sim --alerts-out=`.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace haechi::obs {
+
+/// Which streaming conformance rule fired (DESIGN.md §10).
+enum class AlertKind : std::uint8_t {
+  kReservationShortfall = 0,  // completed < f * min(R, demand), client alive
+  kLimitOvershoot,            // completed above the admitted limit
+  kPoolConservation,          // pool rose / dispatch identity / ledger drift
+  kConversionStall,           // xi_global pinned at 0 under idle reservations
+  kCapacityOscillation,       // Algorithm 1 estimate ping-ponging
+  kFaaStarvation,             // FAA retry backoff exhausted within a period
+};
+
+enum class AlertSeverity : std::uint8_t {
+  kInfo = 0,     // expected under the run's injected faults; annotation only
+  kWarning,      // degraded but not guarantee-breaking
+  kCritical,     // a QoS identity the paper promises is violated
+};
+
+[[nodiscard]] std::string_view ToString(AlertKind kind);
+[[nodiscard]] std::string_view ToString(AlertSeverity severity);
+
+/// One watchdog verdict. POD-ish and fully ordered by emission, so alert
+/// streams compare byte-for-byte across same-seed runs.
+struct Alert {
+  AlertKind kind{};
+  AlertSeverity severity{};
+  SimTime time = 0;          // sim time the rule fired (ns)
+  std::uint32_t period = 0;  // QoS period the verdict concerns
+  std::int64_t client = -1;  // client id, -1 for pool/monitor-wide alerts
+  std::int64_t expected = 0;  // rule-specific bound (tokens, estimate, ...)
+  std::int64_t observed = 0;  // what the stream actually showed
+  std::string cause;          // suggested cause, human-readable
+};
+
+/// One line of minified JSON, stable field order — the JSONL wire format.
+[[nodiscard]] std::string ToJsonl(const Alert& alert);
+
+/// Pluggable alert destination. Implementations must be side-effect-free
+/// with respect to the simulation (no scheduling, no engine pokes).
+class AlertSink {
+ public:
+  virtual ~AlertSink() = default;
+  virtual void OnAlert(const Alert& alert) = 0;
+  /// Called once after the run; file-backed sinks persist here.
+  virtual Status Flush() { return Status::Ok(); }
+};
+
+/// Bounded in-memory ring — the test harness's sink. Keeps the most recent
+/// `capacity` alerts (oldest dropped first) plus a total count.
+class RingAlertSink : public AlertSink {
+ public:
+  explicit RingAlertSink(std::size_t capacity = 1024);
+
+  void OnAlert(const Alert& alert) override;
+
+  [[nodiscard]] const std::deque<Alert>& alerts() const { return alerts_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Alert> alerts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Buffers every alert as one JSON line and writes the whole file on
+/// Flush() (`haechi_sim --alerts-out=`). Buffering keeps the hot path
+/// allocation-only; the single write keeps partial files from torn runs
+/// out of downstream tooling.
+class JsonlAlertSink : public AlertSink {
+ public:
+  explicit JsonlAlertSink(std::string path);
+
+  void OnAlert(const Alert& alert) override;
+  Status Flush() override;
+
+  /// The buffered JSONL document (what Flush writes) — lets tests assert
+  /// byte-identity without touching the filesystem.
+  [[nodiscard]] const std::string& buffer() const { return buffer_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+ private:
+  std::string path_;
+  std::string buffer_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace haechi::obs

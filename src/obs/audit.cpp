@@ -552,4 +552,22 @@ std::string AuditReport::Summary() const {
   return out;
 }
 
+int FirstFailedCheck(const AuditReport& report) {
+  int first = 0;
+  for (const AuditViolation& v : report.violations) {
+    if (v.check.size() < 2 || v.check[0] != 'A') continue;
+    int k = 0;
+    for (std::size_t i = 1; i < v.check.size(); ++i) {
+      const char c = v.check[i];
+      if (c < '0' || c > '9') {
+        k = 0;
+        break;
+      }
+      k = k * 10 + (c - '0');
+    }
+    if (k > 0 && (first == 0 || k < first)) first = k;
+  }
+  return first;
+}
+
 }  // namespace haechi::obs

@@ -92,4 +92,9 @@ struct AuditReport {
 [[nodiscard]] AuditReport AuditTrace(const std::vector<TraceEvent>& events,
                                      const AuditOptions& options = {});
 
+/// k of the first violation's check "Ak" (first = lowest k; ties broken by
+/// recording order), or 0 when the report is clean. haechi_audit maps this
+/// to its exit code 10+k so scripts can tell *which* identity broke.
+[[nodiscard]] int FirstFailedCheck(const AuditReport& report);
+
 }  // namespace haechi::obs

@@ -1,0 +1,421 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+
+namespace haechi::obs {
+
+namespace {
+
+constexpr SimTime kTimeMax = std::numeric_limits<SimTime>::max();
+
+std::string Fmt(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatStatusLine(const PeriodStatus& status) {
+  std::string line =
+      Fmt("period %4u | pool %lld/%lld | done %lld | att", status.period,
+          static_cast<long long>(status.end_pool),
+          static_cast<long long>(status.capacity),
+          static_cast<long long>(status.completed));
+  if (status.attainment.empty()) line += " -";
+  for (const auto& [client, pct] : status.attainment) {
+    line += Fmt(" C%u:%d%%", client, pct);
+  }
+  line += Fmt(" | alerts +%zu/%zu", status.period_alerts,
+              status.total_alerts);
+  return line;
+}
+
+std::int64_t SloWatchdog::ClientState::ReservationAt(SimTime t) const {
+  std::int64_t r = spec_reservation;
+  for (const auto& [at, res] : admits) {
+    if (at <= t) r = res;
+  }
+  return r;
+}
+
+bool SloWatchdog::ClientState::DepartedBy(SimTime t) const {
+  SimTime last_departure = -1;
+  for (const SimTime at : departures) {
+    if (at <= t) last_departure = std::max(last_departure, at);
+  }
+  if (last_departure < 0) return false;
+  for (const auto& [at, res] : admits) {
+    if (at >= last_departure && at <= t) return false;  // readmitted
+  }
+  return true;
+}
+
+SloWatchdog::SloWatchdog(WatchdogOptions options) : options_(options) {}
+
+void SloWatchdog::AddSink(AlertSink* sink) {
+  if (sink != nullptr) sinks_.push_back(sink);
+}
+
+void SloWatchdog::SetStatusFn(std::function<void(const PeriodStatus&)> fn,
+                              std::uint32_t interval) {
+  status_fn_ = std::move(fn);
+  status_interval_ = interval;
+}
+
+void SloWatchdog::Raise(Alert alert) {
+  alerts_.push_back(alert);
+  for (AlertSink* sink : sinks_) sink->OnAlert(alerts_.back());
+}
+
+std::size_t SloWatchdog::CountAtLeast(AlertSeverity severity) const {
+  return static_cast<std::size_t>(
+      std::count_if(alerts_.begin(), alerts_.end(), [&](const Alert& a) {
+        return a.severity >= severity;
+      }));
+}
+
+std::string SloWatchdog::FaultCause(const char* healthy_cause) const {
+  if (cur_.faulted) return Fmt("%s (faults injected this period)",
+                               healthy_cause);
+  if (run_faulted_) return Fmt("%s (faults injected earlier this run)",
+                               healthy_cause);
+  return healthy_cause;
+}
+
+void SloWatchdog::ObservePool(const TraceEvent& event, std::int64_t value) {
+  if (!have_pool_ || !period_open_) return;
+  const std::int64_t drop = last_pool_ - value;
+  if (drop < 0) {
+    Raise({AlertKind::kPoolConservation, AlertSeverity::kCritical,
+           event.time, cur_.period, -1, last_pool_, value,
+           Fmt("pool rose without a monitor write (%s)",
+               std::string(ToString(event.type)).c_str())});
+  } else {
+    cur_.derived_granted += drop;
+  }
+  last_pool_ = value;
+}
+
+void SloWatchdog::OnEvent(const TraceEvent& e) {
+  switch (e.type) {
+    // --- harness: run configuration and scripted chaos -------------------
+    case EventType::kRunConfig:
+      have_harness_ = true;
+      period_len_ = e.a;
+      token_batch_ = e.b;
+      break;
+    case EventType::kClientSpec: {
+      have_harness_ = true;
+      ClientState& client = clients_[e.actor];
+      client.spec_reservation = e.a;
+      client.spec_limit = e.b;
+      client.spec_demand = e.c;
+      break;
+    }
+    case EventType::kMeasureStart:
+      have_harness_ = true;
+      measure_start_ = e.time;
+      break;
+    case EventType::kMeasureEnd:
+      have_harness_ = true;
+      measure_end_ = e.time;
+      break;
+    case EventType::kClientCrash:
+      have_harness_ = true;
+      run_faulted_ = true;
+      cur_.faulted = true;
+      clients_[e.actor].crash_windows.emplace_back(e.time, kTimeMax);
+      break;
+    case EventType::kClientRestart: {
+      have_harness_ = true;
+      auto& windows = clients_[e.actor].crash_windows;
+      if (!windows.empty() && windows.back().second == kTimeMax) {
+        windows.back().second = e.time;
+      }
+      break;
+    }
+
+    // --- monitor: period boundaries and the token pool -------------------
+    case EventType::kMonitorPeriodStart: {
+      if (period_len_ == 0 && prev_period_start_ >= 0) {
+        period_len_ = e.time - prev_period_start_;
+      }
+      prev_period_start_ = e.time;
+      const bool was_faulted = cur_.faulted && period_open_;
+      cur_ = PeriodState{};
+      cur_.period = e.period;
+      cur_.start_time = e.time;
+      cur_.capacity = e.a;
+      cur_.dispatched = e.b;
+      cur_.initial_pool = e.c;
+      // Fault context persists across the boundary for annotation: a fault
+      // window rarely aligns with period edges.
+      cur_.faulted = was_faulted;
+      period_open_ = true;
+      if (e.c != std::max<std::int64_t>(e.a - e.b, 0)) {
+        Raise({AlertKind::kPoolConservation, AlertSeverity::kCritical,
+               e.time, e.period, -1, std::max<std::int64_t>(e.a - e.b, 0),
+               e.c,
+               "initial pool breaks the dispatch identity "
+               "max(capacity - dispatched, 0)"});
+      }
+      last_pool_ = e.c;
+      have_pool_ = true;
+      break;
+    }
+    case EventType::kPoolSample:
+      ObservePool(e, e.a);
+      break;
+    case EventType::kTokenConvert: {
+      ObservePool(e, e.a);
+      if (!period_open_) break;
+      ++cur_.conversions;
+      cur_.max_converted_pool = std::max(cur_.max_converted_pool, e.b);
+      last_pool_ = e.b;
+      if (period_len_ > 0) {
+        const SimDuration left = std::max<SimDuration>(
+            period_len_ - (e.time - cur_.start_time), 0);
+        const auto budget = static_cast<std::int64_t>(
+            static_cast<__int128>(cur_.capacity) * left / period_len_);
+        if (e.b > std::max<std::int64_t>(budget, 0)) {
+          Raise({AlertKind::kPoolConservation, AlertSeverity::kCritical,
+                 e.time, cur_.period, -1, std::max<std::int64_t>(budget, 0),
+                 e.b, "conversion wrote above the C*(T-t)/T time budget"});
+        }
+      }
+      break;
+    }
+    case EventType::kClientPeriodReport:
+      if (period_open_ && e.period == cur_.period) {
+        cur_.reports[static_cast<std::uint32_t>(e.a)] = {e.b, e.c};
+      }
+      break;
+    case EventType::kReportSignal:
+    case EventType::kCapacityEstimate:
+      if (period_open_ && e.period == cur_.period) cur_.reporting = true;
+      if (e.type == EventType::kCapacityEstimate) {
+        // W5: Algorithm 1 oscillation — consecutive significant
+        // sign-alternating estimate moves.
+        const std::int64_t estimate = e.b;
+        if (last_estimate_ >= 0) {
+          const std::int64_t delta = estimate - last_estimate_;
+          const int sign = delta > 0 ? 1 : (delta < 0 ? -1 : 0);
+          const bool significant =
+              static_cast<double>(delta > 0 ? delta : -delta) >=
+              options_.oscillation_amplitude *
+                  static_cast<double>(std::max<std::int64_t>(last_estimate_,
+                                                             1));
+          if (sign != 0 && significant && sign == -last_delta_sign_) {
+            ++flips_;
+          } else {
+            flips_ = sign != 0 && significant ? 1 : 0;
+          }
+          if (sign != 0) last_delta_sign_ = sign;
+          if (flips_ >= options_.oscillation_flips) {
+            Raise({AlertKind::kCapacityOscillation, AlertSeverity::kWarning,
+                   e.time, e.period, -1, last_estimate_, estimate,
+                   Fmt("capacity estimate alternated direction %d periods "
+                       "running (Algorithm 1 hunting)",
+                       flips_)});
+            flips_ = 0;
+          }
+        }
+        last_estimate_ = estimate;
+      }
+      break;
+    case EventType::kMonitorPeriodEnd: {
+      ObservePool(e, e.a);
+      if (!period_open_ || e.period != cur_.period) break;
+      cur_.end_pool = e.a;
+      cur_.completed = e.b;
+      // Live ledger cross-check: the monitor stamps its own granted total
+      // into c. A zero can also mean a pre-watchdog trace, so only a
+      // nonzero claim is held against the stream-derived figure.
+      if (e.c > 0 && e.c != cur_.derived_granted) {
+        Raise({AlertKind::kPoolConservation, AlertSeverity::kCritical,
+               e.time, cur_.period, -1, cur_.derived_granted, e.c,
+               "monitor ledger granted diverges from the grant total "
+               "derived from pool observations"});
+      }
+      EvaluatePeriod(e);
+      period_open_ = false;
+      break;
+    }
+
+    // --- monitor: client membership --------------------------------------
+    case EventType::kAdmit:
+    case EventType::kReadmit: {
+      ClientState& client = clients_[static_cast<std::uint32_t>(e.a)];
+      client.admits.emplace_back(e.time, e.b);
+      client.admitted_limit = e.c;
+      break;
+    }
+    case EventType::kRelease:
+    case EventType::kLeaseExpire:
+      clients_[static_cast<std::uint32_t>(e.a)].departures.push_back(e.time);
+      break;
+
+    // --- engine: token-path distress signals ------------------------------
+    case EventType::kTokenDecay:
+      if (period_open_ && e.period == cur_.period) {
+        cur_.decay_surrendered += e.a;
+      }
+      break;
+    case EventType::kPoolEmpty:
+      if (period_open_ && e.period == cur_.period) ++cur_.pool_empty_events;
+      break;
+    case EventType::kFaaExhausted:
+      if (period_open_ && e.period == cur_.period) {
+        cur_.faa_exhausted.insert(e.actor);
+      }
+      break;
+
+    // --- fabric faults annotate -------------------------------------------
+    case EventType::kOpDropped:
+    case EventType::kOpDelayed:
+    case EventType::kOpDuplicated:
+    case EventType::kQpError:
+    case EventType::kNodeCrash:
+    case EventType::kNodeRestart:
+    case EventType::kNodePause:
+    case EventType::kNodeResume:
+      run_faulted_ = true;
+      cur_.faulted = true;
+      break;
+
+    default:
+      break;
+  }
+}
+
+void SloWatchdog::EvaluatePeriod(const TraceEvent& end_event) {
+  const PeriodState& p = cur_;
+  ++periods_evaluated_;
+  const std::size_t alerts_before = alerts_.size();
+
+  // The period's extent, for the measurement-window and crash-window
+  // geometry — identical to the auditor's A9 so verdicts agree.
+  const SimTime p_end =
+      period_len_ > 0 ? p.start_time + period_len_ : kTimeMax;
+  bool measured =
+      (measure_start_ < 0 || p.start_time >= measure_start_) &&
+      (measure_end_ < 0 || (p_end != kTimeMax && p_end <= measure_end_));
+  if (!have_harness_) measured = true;
+
+  if (measured && p.reporting) {
+    for (const auto& [client, info] : clients_) {
+      if (info.spec_demand <= 0) continue;  // closed loop / unknown demand
+      const std::int64_t reservation = info.ReservationAt(p.start_time);
+      if (reservation <= 0) continue;
+      bool excluded = info.DepartedBy(p.start_time);
+      for (const auto& [crash, restart] : info.crash_windows) {
+        const SimTime padded_end =
+            restart == kTimeMax || period_len_ == 0
+                ? kTimeMax
+                : restart + 2 * period_len_;
+        if (crash <= p_end &&
+            (padded_end == kTimeMax || padded_end >= p.start_time)) {
+          excluded = true;
+        }
+      }
+      if (excluded) continue;
+
+      const std::int64_t target = std::min(reservation, info.spec_demand);
+      const auto floor_target = static_cast<std::int64_t>(
+          options_.guarantee_fraction * static_cast<double>(target));
+      std::int64_t completed = 0;
+      const auto report = p.reports.find(client);
+      if (report != p.reports.end()) completed = report->second.first;
+      ++guarantee_checks_;
+      if (completed < floor_target) {
+        Raise({AlertKind::kReservationShortfall, AlertSeverity::kCritical,
+               end_event.time, p.period, client, floor_target, completed,
+               FaultCause("client under-served while demanding and alive")});
+      }
+      const std::int64_t limit = info.LimitAt();
+      if (limit > 0 && completed > limit) {
+        Raise({AlertKind::kLimitOvershoot, AlertSeverity::kCritical,
+               end_event.time, p.period, client, limit, completed,
+               "completed above the admitted limit this period"});
+      }
+    }
+  }
+
+  // W4: every conversion pinned xi_global at zero while at least a full
+  // FAA batch of reservation tokens sat idle (surrendered to decay) and
+  // some engine found the pool empty — recycling should have minted.
+  const std::int64_t idle_floor = std::max<std::int64_t>(
+      options_.stall_min_idle_tokens > 0 ? options_.stall_min_idle_tokens
+                                         : token_batch_,
+      1);
+  if (p.reporting && p.conversions > 0 && p.max_converted_pool == 0 &&
+      p.decay_surrendered >= idle_floor && p.pool_empty_events > 0) {
+    Raise({AlertKind::kConversionStall,
+           cur_.faulted || run_faulted_ ? AlertSeverity::kInfo
+                                        : AlertSeverity::kWarning,
+           end_event.time, p.period, -1, p.decay_surrendered, 0,
+           FaultCause("token conversion stuck at zero with idle "
+                      "reservations and starved engines")});
+  }
+
+  // W6: FAA backoff saturation. The set is ordered, so alert order is
+  // deterministic.
+  for (const std::uint32_t client : p.faa_exhausted) {
+    Raise({AlertKind::kFaaStarvation,
+           cur_.faulted || run_faulted_ ? AlertSeverity::kInfo
+                                        : AlertSeverity::kWarning,
+           end_event.time, p.period, client,
+           static_cast<std::int64_t>(token_batch_), 0,
+           FaultCause("FAA retry backoff saturated at its maximum")});
+  }
+
+  if (status_fn_ && status_interval_ > 0 &&
+      periods_evaluated_ % status_interval_ == 0) {
+    PeriodStatus status;
+    status.period = p.period;
+    status.capacity = p.capacity;
+    status.end_pool = p.end_pool;
+    status.completed = p.completed;
+    for (const auto& [client, info] : clients_) {
+      if (info.spec_demand <= 0) continue;
+      const std::int64_t reservation = info.ReservationAt(p.start_time);
+      if (reservation <= 0 || info.DepartedBy(p.start_time)) continue;
+      const std::int64_t target =
+          std::max<std::int64_t>(std::min(reservation, info.spec_demand), 1);
+      std::int64_t completed = 0;
+      const auto report = p.reports.find(client);
+      if (report != p.reports.end()) completed = report->second.first;
+      status.attainment.emplace_back(
+          client, static_cast<int>(completed * 100 / target));
+    }
+    status.period_alerts = alerts_.size() - alerts_before;
+    status.total_alerts = alerts_.size();
+    status_fn_(status);
+  }
+}
+
+Status SloWatchdog::Finish() {
+  Status first = Status::Ok();
+  for (AlertSink* sink : sinks_) {
+    Status flushed = sink->Flush();
+    if (first.ok() && !flushed.ok()) first = std::move(flushed);
+  }
+  return first;
+}
+
+std::vector<Alert> ReplayTrace(const std::vector<TraceEvent>& events,
+                               const WatchdogOptions& options) {
+  SloWatchdog watchdog(options);
+  for (const TraceEvent& event : events) watchdog.OnEvent(event);
+  (void)watchdog.Finish();  // no file-backed sinks here
+  return watchdog.alerts();
+}
+
+}  // namespace haechi::obs

@@ -41,6 +41,7 @@ constexpr TypeName kTypeNames[] = {
     {EventType::kPoolEmpty, "pool_empty"},
     {EventType::kReportWrite, "report_write"},
     {EventType::kEngineStop, "engine_stop"},
+    {EventType::kFaaExhausted, "faa_exhausted"},
     {EventType::kNodeCrash, "node_crash"},
     {EventType::kNodeRestart, "node_restart"},
     {EventType::kNodePause, "node_pause"},
@@ -133,6 +134,7 @@ void Recorder::Emit(ActorKind kind, std::uint32_t actor, EventType type,
   }
   ++ring.appended;
   ++total_emitted_;
+  if (tap_) tap_(event);
 }
 
 std::vector<TraceEvent> Recorder::ActorEvents(ActorKind kind,

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string_view>
 #include <vector>
 
@@ -56,7 +57,7 @@ inline constexpr std::size_t kActorKinds = 5;
 enum class EventType : std::uint16_t {
   // --- monitor (data node) -------------------------------------------------
   kMonitorPeriodStart = 0,  // a=capacity b=dispatched(sum R_i) c=initial_pool
-  kMonitorPeriodEnd,        // a=end_pool(raw, pre-reinit) b=total_completed
+  kMonitorPeriodEnd,        // a=end_pool(raw) b=total_completed c=granted
   kPoolSample,              // a=raw pool word at a check tick
   kTokenConvert,            // a=pool_before(raw) b=new_pool c=outstanding L
   kCapacityEstimate,        // a=reported completions b=next estimate c=branch
@@ -78,6 +79,7 @@ enum class EventType : std::uint16_t {
   kPoolEmpty,               // FAA returned nothing; retry armed (step T4)
   kReportWrite,             // a=residual claims b=completed c=seq
   kEngineStop,              // engine quiesced (crash/teardown)
+  kFaaExhausted,            // FAA retry backoff hit its configured maximum
   // --- fabric (RDMA) -------------------------------------------------------
   kNodeCrash = 64,          // node killed (actor = node)
   kNodeRestart,             // a=new incarnation
@@ -152,6 +154,14 @@ class Recorder {
 
   [[nodiscard]] bool detail() const { return options_.detail; }
 
+  /// Installs a streaming consumer invoked with every event right after it
+  /// lands in its ring (the SLO watchdog's subscription point). The tap
+  /// must not emit trace events or mutate simulation state. At most one
+  /// tap; pass nullptr to remove. Costs one null check per Emit when unset.
+  void SetTap(std::function<void(const TraceEvent&)> tap) {
+    tap_ = std::move(tap);
+  }
+
   /// Events ever emitted (including ones already overwritten).
   [[nodiscard]] std::uint64_t TotalEmitted() const { return total_emitted_; }
   /// Events overwritten by ring wrap-around across all actors.
@@ -178,6 +188,7 @@ class Recorder {
   // Actors are dense small integers per kind (clients 0..63, a handful of
   // nodes), so a vector per kind keeps Emit at two indexed loads.
   std::vector<Ring> rings_[kActorKinds];
+  std::function<void(const TraceEvent&)> tap_;
   std::uint64_t total_emitted_ = 0;
   std::uint64_t total_dropped_ = 0;
 };

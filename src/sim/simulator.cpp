@@ -24,6 +24,10 @@ std::uint64_t Simulator::RunUntil(SimTime deadline) {
     now_ = event.time;
     event.fn();
     ++ran;
+    if (progress_every_ != 0 &&
+        (events_run_ + ran) % progress_every_ == 0) {
+      progress_fn_(now_, events_run_ + ran);
+    }
   }
   if (deadline != kSimTimeMax && now_ < deadline) now_ = deadline;
   events_run_ += ran;

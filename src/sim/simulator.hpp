@@ -6,6 +6,7 @@
 // assertions about token accounting and reservation guarantees.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <utility>
 
@@ -54,10 +55,23 @@ class Simulator {
   [[nodiscard]] std::size_t PendingEvents() const { return queue_->Size(); }
   [[nodiscard]] std::uint64_t EventsRun() const { return events_run_; }
 
+  /// Installs a coarse progress callback: `fn(Now(), EventsRun())` after
+  /// every `every_events` events inside RunUntil (haechi_sim's live status
+  /// heartbeat). `every_events == 0` (the default) removes it; the loop
+  /// then pays nothing but an integer test. The callback must not schedule
+  /// or cancel events.
+  void SetProgressHook(std::uint64_t every_events,
+                       std::function<void(SimTime, std::uint64_t)> fn) {
+    progress_every_ = fn ? every_events : 0;
+    progress_fn_ = std::move(fn);
+  }
+
  private:
   std::unique_ptr<EventQueue> queue_;
   SimTime now_ = 0;
   std::uint64_t events_run_ = 0;
+  std::uint64_t progress_every_ = 0;
+  std::function<void(SimTime, std::uint64_t)> progress_fn_;
 };
 
 /// A cancellable repeating timer: fires `fn(now)` every `interval` starting

@@ -297,6 +297,30 @@ TEST_F(AuditCorruption, AnInflatedPoolSampleFailsPoolMonotonicity) {
   EXPECT_TRUE(HasViolation(report, "A3")) << report.Summary();
 }
 
+TEST_F(AuditCorruption, FirstFailedCheckMapsTheLowestBrokenIdentity) {
+  // haechi_audit exits 10+k for the first failed Ak; 0 means clean.
+  const AuditReport clean = AuditText(*csv_);
+  EXPECT_EQ(obs::FirstFailedCheck(clean), 0);
+
+  auto dropped = SplitLines(*csv_);
+  const std::size_t gap = FindLine(dropped, ",pool_sample,");
+  ASSERT_LT(gap, dropped.size());
+  dropped.erase(dropped.begin() + static_cast<std::ptrdiff_t>(gap));
+  EXPECT_EQ(obs::FirstFailedCheck(AuditText(JoinLines(dropped))), 1);
+
+  auto forged = SplitLines(*csv_);
+  const std::size_t start = FindLine(forged, ",period_start,");
+  ASSERT_LT(start, forged.size());
+  forged[start] = WithField(forged[start], 8, "999999999");
+  EXPECT_EQ(obs::FirstFailedCheck(AuditText(JoinLines(forged))), 2);
+
+  auto inflated = SplitLines(*csv_);
+  const std::size_t sample = FindLine(inflated, ",pool_sample,");
+  ASSERT_LT(sample, inflated.size());
+  inflated[sample] = WithField(inflated[sample], 6, "888888888");
+  EXPECT_EQ(obs::FirstFailedCheck(AuditText(JoinLines(inflated))), 3);
+}
+
 TEST_F(AuditCorruption, AnUnknownEventNameIsRejectedByTheParser) {
   auto lines = SplitLines(*csv_);
   const std::size_t victim = FindLine(lines, ",pool_sample,");

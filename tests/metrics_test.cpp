@@ -1,0 +1,85 @@
+// MetricsRegistry snapshot edge cases: an empty histogram's quantile rows,
+// delta semantics across snapshots with no writes in between, and
+// last-write-wins gauge overwrites.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace haechi::obs {
+namespace {
+
+using Row = MetricsRegistry::SnapshotRow;
+
+const Row* FindRow(const std::vector<Row>& rows, std::uint32_t period,
+                   const std::string& name, const std::string& kind) {
+  const auto it = std::find_if(rows.begin(), rows.end(), [&](const Row& r) {
+    return r.period == period && r.name == name && r.kind == kind;
+  });
+  return it == rows.end() ? nullptr : &*it;
+}
+
+TEST(Metrics, EmptyHistogramSnapshotsAllZeroQuantiles) {
+  MetricsRegistry metrics;
+  metrics.Histogram("io.latency_ns");  // registered, never recorded
+  metrics.SnapshotPeriod(1);
+
+  for (const char* kind : {"histogram_count", "histogram_p50",
+                           "histogram_p99", "histogram_max"}) {
+    const Row* row = FindRow(metrics.snapshots(), 1, "io.latency_ns", kind);
+    ASSERT_NE(row, nullptr) << kind;
+    EXPECT_EQ(row->value, 0.0) << kind;
+    EXPECT_EQ(row->delta, 0.0) << kind;
+  }
+}
+
+TEST(Metrics, SnapshotWithoutWritesYieldsZeroDeltas) {
+  MetricsRegistry metrics;
+  metrics.Add("engine.faa_ops", 7);
+  metrics.Set("monitor.xi_global", 42.5);
+  metrics.Record("io.latency_ns", 1000);
+  metrics.SnapshotPeriod(1);
+  metrics.SnapshotPeriod(2);  // nothing written in between
+
+  const Row* first = FindRow(metrics.snapshots(), 1, "engine.faa_ops",
+                             "counter");
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->value, 7.0);
+  EXPECT_EQ(first->delta, 7.0);  // first snapshot measures from zero
+
+  for (const auto& [name, kind] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"engine.faa_ops", "counter"},
+           {"monitor.xi_global", "gauge"},
+           {"io.latency_ns", "histogram_count"},
+           {"io.latency_ns", "histogram_p50"}}) {
+    const Row* second = FindRow(metrics.snapshots(), 2, name, kind);
+    ASSERT_NE(second, nullptr) << kind << ":" << name;
+    const Row* before = FindRow(metrics.snapshots(), 1, name, kind);
+    ASSERT_NE(before, nullptr);
+    EXPECT_EQ(second->value, before->value) << kind << ":" << name;
+    EXPECT_EQ(second->delta, 0.0) << kind << ":" << name;
+  }
+}
+
+TEST(Metrics, GaugeOverwriteKeepsLastValueAndDeltaOfTheDifference) {
+  MetricsRegistry metrics;
+  metrics.Set("monitor.capacity_estimate", 1000.0);
+  metrics.SnapshotPeriod(1);
+  metrics.Set("monitor.capacity_estimate", 1500.0);
+  metrics.Set("monitor.capacity_estimate", 1200.0);  // last write wins
+  metrics.SnapshotPeriod(2);
+
+  EXPECT_EQ(metrics.GaugeValue("monitor.capacity_estimate"), 1200.0);
+  const Row* row = FindRow(metrics.snapshots(), 2,
+                           "monitor.capacity_estimate", "gauge");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->value, 1200.0);
+  EXPECT_EQ(row->delta, 200.0);  // vs the 1000 captured at period 1
+}
+
+}  // namespace
+}  // namespace haechi::obs

@@ -115,6 +115,11 @@ TEST(PeriodSeries, KiopsConversion) {
   EXPECT_DOUBLE_EQ(series.ClientKiops(0, MakeClientId(0), kSecond), 400.0);
 }
 
+TEST(PeriodSeriesDeathTest, AddBeforeBeginPeriodIsAPreconditionFailure) {
+  PeriodSeries series(2);
+  EXPECT_DEATH(series.Add(MakeClientId(0), 1), "Precondition");
+}
+
 TEST(Table, RendersAlignedColumns) {
   Table t({"name", "kiops"});
   t.AddRow({"client-1", "400.0"});

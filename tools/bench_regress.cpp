@@ -1,0 +1,297 @@
+// bench_regress — deterministic figure-suite regression gate.
+//
+// Re-runs scaled-down versions of the paper's headline QoS figures (fig09
+// sufficient demand, fig10 insufficient demand, fig16 congestion step)
+// in-process, writes the per-figure throughput numbers to BENCH_qos.json at
+// the repo root, and compares them against the previously-committed JSON
+// within a tolerance band. The simulator is deterministic, so at fixed
+// scale/seed/periods the numbers are machine-independent: any drift outside
+// the band is a real behaviour change, not noise.
+//
+// Optionally refreshes BENCH_overhead.json by spawning the bench_overhead
+// binary (--overhead-bin=PATH); that file's tracing-delta percentages are
+// wall-clock based and *not* compared, only regenerated.
+//
+// Exit codes: 0 = within tolerance (or no baseline yet), 1 = regression,
+// 2 = usage/IO error.
+//
+// Examples:
+//   build/tools/bench_regress                       # compare + rewrite
+//   build/tools/bench_regress --tolerance=0.02
+//   build/tools/bench_regress --selftest            # gate logic check
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "common/flags.hpp"
+#include "obs/export.hpp"
+
+using namespace haechi;
+
+namespace {
+
+constexpr const char* kUsage = R"(bench_regress - QoS figure regression gate
+
+flags (all optional):
+  --out=PATH           JSON to (re)write            [BENCH_qos.json]
+  --baseline=PATH      JSON to compare against      [same as --out]
+  --tolerance=F        allowed relative drift       [0.05]
+  --scale=F            capacity scale               [0.02]
+  --periods=N          measured periods per figure  [figure default]
+  --seed=N             RNG seed                     [42]
+  --overhead-bin=PATH  also run the bench_overhead sweep to refresh
+                       BENCH_overhead.json (skips its microbenchmarks)
+  --selftest           verify the gate itself: current numbers must pass
+                       against themselves and fail against a doctored
+                       baseline; runs no file writes
+
+exit codes: 0 = within tolerance, 1 = regression, 2 = usage/IO error
+)";
+
+struct FigureResult {
+  std::string name;
+  double total_kiops = 0.0;   // compared against the baseline
+  double detail = 0.0;        // informational (gain %, drop %, ...)
+  std::string detail_name;
+};
+
+bench::BenchArgs GateArgs(double scale, std::uint64_t seed,
+                          std::size_t periods) {
+  bench::BenchArgs args;
+  args.scale = scale;
+  args.seed = seed;
+  args.periods = periods;  // 0 = per-figure default
+  args.warmup = Seconds(1);
+  args.records = 4096;
+  return args;
+}
+
+harness::ExperimentResult RunFigure(harness::ExperimentConfig config) {
+  return harness::Experiment(std::move(config)).Run();
+}
+
+/// fig09: sufficient demand, zipf reservations, full Haechi.
+FigureResult RunFig09(const bench::BenchArgs& args) {
+  harness::ExperimentConfig config = bench::BaseConfig(args, 6);
+  config.mode = harness::Mode::kHaechi;
+  const std::int64_t cap = bench::CapacityTokens(config);
+  const std::int64_t reserved = cap * 9 / 10;
+  const std::int64_t pool = cap - reserved;
+  const auto reservations = bench::PaperZipf(reserved);
+  bench::AddClients(config, reservations,
+                    [pool](std::size_t, std::int64_t r) { return r + pool; },
+                    workload::RequestPattern::kOpenLoop);
+  const harness::ExperimentResult r = RunFigure(std::move(config));
+  // Worst per-client reservation attainment — the figure's "meets" column.
+  double min_attain = 1e9;
+  for (std::uint32_t c = 0; c < 10; ++c) {
+    const double attain =
+        static_cast<double>(r.series.ClientMinPerPeriod(MakeClientId(c))) /
+        static_cast<double>(reservations[c]);
+    min_attain = std::min(min_attain, attain);
+  }
+  return {"fig09_zipf_haechi", bench::NormKiops(r.total_kiops, args),
+          min_attain * 100.0, "min_attainment_pct"};
+}
+
+/// fig10: C1/C2 under-demand; conversion gain over Basic Haechi.
+FigureResult RunFig10(const bench::BenchArgs& args) {
+  double totals[2] = {0, 0};
+  for (const harness::Mode mode :
+       {harness::Mode::kHaechi, harness::Mode::kBasicHaechi}) {
+    harness::ExperimentConfig config = bench::BaseConfig(args, 6);
+    config.mode = mode;
+    const std::int64_t cap = bench::CapacityTokens(config);
+    const std::int64_t reserved = cap * 9 / 10;
+    const std::int64_t pool = cap - reserved;
+    bench::AddClients(config, bench::PaperZipf(reserved),
+                      [pool](std::size_t i, std::int64_t r) {
+                        return i < 2 ? r / 2 : r + pool;
+                      },
+                      workload::RequestPattern::kOpenLoop);
+    totals[mode == harness::Mode::kHaechi ? 0 : 1] =
+        bench::NormKiops(RunFigure(std::move(config)).total_kiops, args);
+  }
+  return {"fig10_zipf_haechi", totals[0],
+          (totals[0] / totals[1] - 1.0) * 100.0, "conversion_gain_pct"};
+}
+
+/// fig16: background congestion starts mid-run; Algorithm 1 adapts.
+FigureResult RunFig16(const bench::BenchArgs& args) {
+  harness::ExperimentConfig config = bench::BaseConfig(args, 10);
+  config.mode = harness::Mode::kHaechi;
+  const std::int64_t cap = bench::CapacityTokens(config);
+  const std::int64_t reserved = cap * 8 / 10;
+  const std::int64_t pool = cap - reserved;
+  bench::AddClients(config, workload::UniformShare(reserved, 10),
+                    [pool](std::size_t, std::int64_t r) { return r + pool; },
+                    workload::RequestPattern::kOpenLoop);
+  const std::size_t step_period = config.measure_periods / 2;
+  config.background_demand = cap * 15 / 100 / 10;
+  config.background_on =
+      config.warmup +
+      static_cast<SimTime>(step_period) * config.qos.period;
+  const std::size_t periods = config.measure_periods;
+  const harness::ExperimentResult r = RunFigure(std::move(config));
+  std::vector<std::int64_t> period_totals;
+  for (std::size_t p = 0; p < periods; ++p) {
+    period_totals.push_back(r.series.PeriodTotal(p));
+  }
+  const double before = bench::MeanOver(period_totals, 1, step_period);
+  const double after =
+      bench::MeanOver(period_totals, step_period + 2, period_totals.size());
+  return {"fig16_uniform_congestion", bench::NormKiops(r.total_kiops, args),
+          (1.0 - after / std::max(before, 1.0)) * 100.0, "step_drop_pct"};
+}
+
+std::string ToJson(const std::vector<FigureResult>& figures, double scale,
+                   double tolerance, std::uint64_t seed) {
+  std::string out = "{\n  \"bench\": \"qos_regress\",\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"scale\": %g,\n  \"seed\": %llu,\n"
+                "  \"tolerance\": %g,\n  \"figures\": [\n",
+                scale, static_cast<unsigned long long>(seed), tolerance);
+  out += buf;
+  for (std::size_t i = 0; i < figures.size(); ++i) {
+    const FigureResult& f = figures[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"total_kiops\": %.3f, "
+                  "\"%s\": %.3f}%s\n",
+                  f.name.c_str(), f.total_kiops, f.detail_name.c_str(),
+                  f.detail, i + 1 < figures.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+/// Pulls `"total_kiops": N` for `"name": "X"` out of a baseline JSON. A
+/// full parser would be overkill for a format this tool itself writes.
+bool BaselineKiops(const std::string& json, const std::string& name,
+                   double& out) {
+  const std::string key = "\"name\": \"" + name + "\"";
+  const std::size_t at = json.find(key);
+  if (at == std::string::npos) return false;
+  const std::string field = "\"total_kiops\": ";
+  const std::size_t value = json.find(field, at);
+  if (value == std::string::npos) return false;
+  out = std::strtod(json.c_str() + value + field.size(), nullptr);
+  return true;
+}
+
+/// Returns the number of figures drifting outside the band (0 = pass).
+int Compare(const std::vector<FigureResult>& figures,
+            const std::string& baseline, double tolerance) {
+  int regressions = 0;
+  for (const FigureResult& f : figures) {
+    double expected = 0;
+    if (!BaselineKiops(baseline, f.name, expected)) {
+      std::printf("%-26s %10.1f KIOPS  (new figure, no baseline)\n",
+                  f.name.c_str(), f.total_kiops);
+      continue;
+    }
+    const double drift = expected != 0.0
+                             ? (f.total_kiops - expected) / expected
+                             : (f.total_kiops != 0.0 ? 1.0 : 0.0);
+    const bool ok = std::fabs(drift) <= tolerance;
+    std::printf("%-26s %10.1f KIOPS  baseline %10.1f  drift %+6.2f%%  %s\n",
+                f.name.c_str(), f.total_kiops, expected, drift * 100.0,
+                ok ? "ok" : "REGRESSION");
+    regressions += !ok;
+  }
+  return regressions;
+}
+
+int SelfTest(const std::vector<FigureResult>& figures, double scale,
+             double tolerance, std::uint64_t seed) {
+  const std::string current = ToJson(figures, scale, tolerance, seed);
+  if (Compare(figures, current, tolerance) != 0) {
+    std::fprintf(stderr, "selftest: current numbers fail vs themselves\n");
+    return 1;
+  }
+  // Doctor every figure down 3x tolerance: each one must trip the gate.
+  std::vector<FigureResult> doctored = figures;
+  for (FigureResult& f : doctored) f.total_kiops *= 1.0 - 3.0 * tolerance;
+  const std::string bad = ToJson(doctored, scale, tolerance, seed);
+  if (Compare(figures, bad, tolerance) !=
+      static_cast<int>(figures.size())) {
+    std::fprintf(stderr, "selftest: doctored baseline not detected\n");
+    return 1;
+  }
+  std::printf("selftest: gate detects a %.0f%% regression; pass\n",
+              3.0 * tolerance * 100.0);
+  return 0;
+}
+
+int Run(int argc, const char* const* argv) {
+  auto parsed = Flags::Parse(argc, argv,
+                             {"out", "baseline", "tolerance", "scale",
+                              "periods", "seed", "overhead-bin", "selftest",
+                              "help"});
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.status().ToString().c_str(),
+                 kUsage);
+    return 2;
+  }
+  const Flags& flags = parsed.value();
+  if (flags.Has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  const std::string out_path = flags.GetString("out", "BENCH_qos.json");
+  const std::string baseline_path = flags.GetString("baseline", out_path);
+  const double tolerance = flags.GetDouble("tolerance", 0.05);
+  const double scale = flags.GetDouble("scale", 0.02);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const auto periods =
+      static_cast<std::size_t>(flags.GetInt("periods", 0));
+
+  const bench::BenchArgs args = GateArgs(scale, seed, periods);
+  const std::vector<FigureResult> figures = {RunFig09(args), RunFig10(args),
+                                             RunFig16(args)};
+
+  if (flags.GetBool("selftest", false)) {
+    return SelfTest(figures, scale, tolerance, seed);
+  }
+
+  int regressions = 0;
+  const auto baseline = obs::ReadFileToString(baseline_path);
+  if (baseline.ok()) {
+    regressions = Compare(figures, baseline.value(), tolerance);
+  } else {
+    std::printf("no baseline at %s; seeding it\n", baseline_path.c_str());
+  }
+
+  const std::string json = ToJson(figures, scale, tolerance, seed);
+  std::FILE* file = std::fopen(out_path.c_str(), "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  const std::string overhead_bin = flags.GetString("overhead-bin", "");
+  if (!overhead_bin.empty()) {
+    // Refresh the tracing-overhead sweep, skipping the microbenchmarks
+    // (their wall-clock numbers are not part of this gate).
+    const std::string cmd =
+        overhead_bin + " --benchmark_filter=DoesNotExistAnywhere";
+    if (std::system(cmd.c_str()) != 0) {
+      std::fprintf(stderr, "bench_overhead sweep failed: %s\n",
+                   cmd.c_str());
+      return 2;
+    }
+  }
+
+  return regressions == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -4,8 +4,10 @@
 // ExperimentConfig::trace.out_path or `haechi_sim --trace-out=...`) and
 // re-derives the PeriodLedger conservation identities and the
 // reservation-guarantee invariant purely from the events (DESIGN.md §9.3).
-// Exit code 0 = every identity holds, 1 = violations found, 2 = usage or
-// unreadable/corrupt trace.
+// Exit code 0 = every identity holds, 2 = usage or unreadable/corrupt
+// trace, 10+k = identity Ak is the lowest-numbered one violated (e.g. 13
+// for a pool-monotonicity break, 19 for a missed reservation guarantee);
+// 1 = violations whose check tag could not be parsed (never expected).
 //
 // Examples:
 //   haechi_sim --trace-out=/tmp/run.csv && haechi_audit --trace=/tmp/run.csv
@@ -30,6 +32,8 @@ flags:
   --allow-truncated          accept traces whose rings wrapped (skips
                              count-based checks on truncated actors)
   --quiet                    print only the verdict line
+
+exit codes: 0 = PASS, 2 = usage/corrupt trace, 10+k = check Ak failed
 )";
 
 int Run(int argc, const char* const* argv) {
@@ -80,7 +84,9 @@ int Run(int argc, const char* const* argv) {
   } else {
     std::printf("%s", report.Summary().c_str());
   }
-  return report.ok() ? 0 : 1;
+  if (report.ok()) return 0;
+  const int k = obs::FirstFailedCheck(report);
+  return k > 0 ? 10 + k : 1;
 }
 
 }  // namespace

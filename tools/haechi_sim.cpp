@@ -47,6 +47,11 @@ flags (all optional):
                              anything else = CSV for haechi_audit)
   --trace-detail             also trace per-I/O RDMA/KV events
   --metrics-out=PATH         export per-period metrics snapshots as CSV
+  --alerts-out=PATH          run the online SLO watchdog; write alerts as
+                             JSONL (one alert object per line)
+  --status-interval=N        print a live status line to stderr every N
+                             QoS periods (implies the watchdog)
+  --progress-events=N        stderr heartbeat every N simulator events
 )";
 
 int Run(int argc, const char* const* argv) {
@@ -55,7 +60,8 @@ int Run(int argc, const char* const* argv) {
       {"mode", "clients", "distribution", "reserved-pct", "pattern",
        "write-fraction", "demand-factor", "limit-factor", "periods",
        "warmup-seconds", "scale", "seed", "background-pct", "csv",
-       "trace-out", "trace-detail", "metrics-out", "help"});
+       "trace-out", "trace-detail", "metrics-out", "alerts-out",
+       "status-interval", "progress-events", "help"});
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.status().ToString().c_str(),
                  kUsage);
@@ -166,10 +172,33 @@ int Run(int argc, const char* const* argv) {
   config.trace.enabled =
       !config.trace.out_path.empty() || !config.trace.metrics_out.empty();
 
+  const std::string alerts_out = flags.GetString("alerts-out", "");
+  const auto status_interval =
+      static_cast<std::uint32_t>(flags.GetInt("status-interval", 0));
+#if HAECHI_WATCHDOG_ENABLED
+  config.watchdog.alerts_out = alerts_out;
+  config.watchdog.status_interval = status_interval;
+#else
+  if (!alerts_out.empty() || status_interval > 0) {
+    std::fprintf(stderr,
+                 "warning: built with HAECHI_WATCHDOG=OFF; "
+                 "--alerts-out/--status-interval are ignored\n");
+  }
+#endif
+
   const auto periods = config.measure_periods;
   const auto scale = config.net.capacity_scale;
-  harness::ExperimentResult result =
-      harness::Experiment(std::move(config)).Run();
+  harness::Experiment experiment(std::move(config));
+  const std::int64_t progress_events = flags.GetInt("progress-events", 0);
+  if (progress_events > 0) {
+    experiment.simulator().SetProgressHook(
+        static_cast<std::uint64_t>(progress_events),
+        [](SimTime now, std::uint64_t events) {
+          std::fprintf(stderr, "t=%.3fs events=%llu\n", ToSeconds(now),
+                       static_cast<unsigned long long>(events));
+        });
+  }
+  harness::ExperimentResult result = experiment.Run();
 
   std::printf("mode=%s distribution=%s pattern=%s clients=%zu "
               "capacity=%.0f KIOPS (full-scale equivalent)\n\n",
@@ -220,6 +249,18 @@ int Run(int argc, const char* const* argv) {
           trace_path.c_str(), trace_path.c_str());
     }
   }
+#if HAECHI_WATCHDOG_ENABLED
+  // Watchdog summary goes to stderr: stdout stays byte-identical with and
+  // without the watchdog, so plot scripts never see it.
+  if (obs::SloWatchdog* watchdog = experiment.watchdog()) {
+    std::fprintf(stderr,
+                 "watchdog: %zu alert(s) over %zu period(s), %zu critical%s%s\n",
+                 watchdog->alerts().size(), watchdog->periods_evaluated(),
+                 watchdog->CountAtLeast(obs::AlertSeverity::kCritical),
+                 alerts_out.empty() ? "" : ", written to ",
+                 alerts_out.c_str());
+  }
+#endif
   return 0;
 }
 

@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Configure, build and run the full test suite under every CMake preset
 # (default, asan, tsan, trace, notrace — see CMakePresets.json). The trace
-# preset pins the QoS flight recorder ON; notrace compiles it out, proving
-# the zero-cost contract (bench_overhead's static_assert) and the
-# trace-gated test skips. Usage:
+# preset pins the QoS flight recorder AND the online SLO watchdog ON;
+# notrace compiles both out, proving the zero-cost contracts
+# (bench_overhead's static_assert, the watchdog's compiled-out wiring) and
+# the trace-gated test skips. Usage:
 #
 #   tools/run_ctest_matrix.sh              # the whole matrix
 #   tools/run_ctest_matrix.sh asan         # one preset
 #   JOBS=8 tools/run_ctest_matrix.sh       # override parallelism
+#   BENCH=1 tools/run_ctest_matrix.sh      # also run the bench regression
+#                                          # gate (tools/bench_regress)
 #
-# Exits non-zero on the first failing preset.
+# Exits non-zero on the first failing preset (or a bench regression).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,5 +31,14 @@ for preset in "${PRESETS[@]}"; do
   echo "==== [$preset] ctest ===="
   ctest --preset "$preset" -j "$JOBS"
 done
+
+# Opt-in bench regression gate: re-runs the deterministic figure suite and
+# compares against the committed BENCH_qos.json within a tolerance band.
+if [[ "${BENCH:-0}" == "1" ]]; then
+  echo "==== bench regression gate ===="
+  cmake --build --preset default -j "$JOBS" --target bench_regress \
+    bench_overhead
+  ./build/tools/bench_regress --overhead-bin=./build/bench/bench_overhead
+fi
 
 echo "==== matrix passed: ${PRESETS[*]} ===="
