@@ -19,6 +19,7 @@
 #include "harness/experiment.hpp"
 #include "net/station.hpp"
 #include "obs/trace.hpp"
+#include "runtime/shared_region.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timing_wheel.hpp"
 #include "stats/histogram.hpp"
@@ -195,6 +196,62 @@ void BM_HistogramQuantile(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HistogramQuantile);
+
+// --- concurrent runtime primitives ------------------------------------------
+
+/// One global pool word shared by all benchmark threads, like the monitor's
+/// region in --runtime=threads. Re-primed by thread 0 each run so the word
+/// never goes deeply negative across Threads() sweeps.
+runtime::SharedRegion& BenchRegion() {
+  static runtime::SharedRegion region(1);
+  return region;
+}
+
+void BM_RuntimePoolFaaContended(benchmark::State& state) {
+  // Step T3 under contention: every client thread FAAs -B on the same
+  // cache line. This is the hot word of the whole threaded runtime.
+  runtime::SharedRegion& region = BenchRegion();
+  if (state.thread_index() == 0) {
+    region.ExchangePool(std::int64_t{1} << 60);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(region.FetchAddPool(-50));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RuntimePoolFaaContended)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_RuntimeSeqlockReportWrite(benchmark::State& state) {
+  // The client's 1 ms report path in threads mode: pack + seqlock'd
+  // 16-byte slot publication (the wall-clock twin of BM_ReportPacking).
+  runtime::SharedRegion region(1);
+  runtime::SeqlockSlot& slot = region.slot(0);
+  std::uint32_t period = 0;
+  for (auto _ : state) {
+    const std::uint64_t packed = core::PackReport(++period, 123456, 654321);
+    slot.Write(packed, static_cast<SimTime>(period));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RuntimeSeqlockReportWrite);
+
+void BM_RuntimeSeqlockRead(benchmark::State& state) {
+  // The monitor's per-check slot scan against a quiescent slot (the
+  // common case: reports are written every ~1 ms, read every ~1 ms).
+  runtime::SharedRegion region(1);
+  runtime::SeqlockSlot& slot = region.slot(0);
+  slot.Write(core::PackReport(1, 10, 20), 1);
+  for (auto _ : state) {
+    const runtime::SeqlockSlot::Snapshot snap = slot.Read();
+    benchmark::DoNotOptimize(snap.packed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RuntimeSeqlockRead);
 
 // --- flight recorder --------------------------------------------------------
 

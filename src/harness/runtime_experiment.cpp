@@ -1,0 +1,235 @@
+#include "harness/runtime_experiment.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <span>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "obs/export.hpp"
+#include "runtime/shared_region.hpp"
+
+namespace haechi::harness {
+
+namespace {
+using obs::ActorKind;
+using obs::EventType;
+
+// xorshift64*: a self-contained per-worker key stream (the threaded run is
+// wall-clock scheduled, so nothing downstream depends on the exact keys).
+std::uint64_t NextKey(std::uint64_t& state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545F4914F6CDD1DULL;
+}
+}  // namespace
+
+ThreadedExperiment::ThreadedExperiment(ExperimentConfig config)
+    : config_(std::move(config)) {
+  HAECHI_EXPECTS(!config_.clients.empty());
+  HAECHI_EXPECTS(config_.clients.size() <= runtime::SharedRegion::kMaxClients);
+  HAECHI_EXPECTS(config_.mode != Mode::kBare);
+  HAECHI_EXPECTS(config_.io_path == IoPath::kOneSided);
+  HAECHI_EXPECTS(config_.faults.Empty());
+  HAECHI_EXPECTS(config_.client_faults.empty());
+  HAECHI_EXPECTS(config_.background_demand == 0);
+  HAECHI_EXPECTS(!config_.watchdog.enabled &&
+                 config_.watchdog.alerts_out.empty() &&
+                 config_.watchdog.status_interval == 0);
+  HAECHI_EXPECTS(config_.qos.period > 0);
+  warmup_periods_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::max<SimDuration>(config_.warmup, 0) /
+                                  config_.qos.period));
+}
+
+ThreadedExperiment::~ThreadedExperiment() {
+  // Run() joins everything before returning; this only covers a Run() that
+  // never happened or threw through HAECHI_EXPECTS.
+  for (auto& engine : engines_) {
+    if (engine) engine->Stop();
+  }
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  if (monitor_) monitor_->Stop();
+}
+
+void ThreadedExperiment::WorkerLoop(std::size_t index) {
+  runtime::ThreadedEngine& engine = *engines_[index];
+  const ClientSpec& spec = config_.clients[index];
+  const std::size_t port = ports_[index];
+  std::vector<std::int64_t>& completed = completions_[index];
+  std::uint64_t key_state =
+      config_.seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL * (index + 1);
+  std::array<std::byte, runtime::SharedRegion::kRecordBytes> buf{};
+
+  std::uint32_t p = engine.AwaitPeriodAfter(0);
+  while (p != 0) {
+    // demand <= 0 means pure closed loop: read until the period rolls over.
+    std::int64_t remaining =
+        spec.demand > 0 ? spec.demand : std::numeric_limits<std::int64_t>::max();
+    while (remaining > 0) {
+      const runtime::ThreadedEngine::Grant grant = engine.AcquireToken(p);
+      if (grant == runtime::ThreadedEngine::Grant::kStopped) return;
+      if (grant == runtime::ThreadedEngine::Grant::kPeriodOver) break;
+      fabric_->PostRecordRead(port, NextKey(key_state) % config_.records,
+                              std::span<std::byte>(buf));
+      engine.OnIoCompleted();
+      if (p < completed.size()) ++completed[p];
+      --remaining;
+    }
+    p = engine.AwaitPeriodAfter(p);
+  }
+}
+
+ThreadedExperimentResult ThreadedExperiment::Run() {
+  const std::size_t n = config_.clients.size();
+  ThreadedExperimentResult result{stats::PeriodSeries(n)};
+  const SimTime run_start = clock_.Now();
+
+  if (config_.trace.enabled) {
+    obs::Recorder::Options options;
+    options.ring_capacity = config_.trace.ring_capacity;
+    options.detail = config_.trace.detail;
+    options.preallocate_actors = runtime::SharedRegion::kMaxClients;
+    recorder_ = std::make_unique<obs::Recorder>(
+        obs::Recorder::ClockFn([this] { return clock_.Now(); }), options);
+  }
+  const auto emit = [this](EventType type, std::uint32_t actor, std::int64_t a,
+                           std::int64_t b, std::int64_t c) {
+    if (recorder_ != nullptr) {
+      recorder_->EmitAt(clock_.Now(), ActorKind::kHarness, actor, type, 0, a,
+                        b, c);
+    }
+  };
+  emit(EventType::kRunConfig, 0, config_.qos.period, config_.qos.token_batch,
+       static_cast<std::int64_t>(config_.measure_periods));
+  for (std::size_t i = 0; i < n; ++i) {
+    const ClientSpec& spec = config_.clients[i];
+    emit(EventType::kClientSpec, static_cast<std::uint32_t>(i),
+         spec.reservation, spec.limit, spec.demand);
+  }
+
+  core::QosConfig qos = config_.qos;
+  qos.token_conversion = config_.mode == Mode::kHaechi;
+  // The threaded fabric has no analytic capacity model, so profiled values
+  // are required (the sim uses them too when provided, which is how the
+  // differential test pins both runtimes to one capacity).
+  HAECHI_EXPECTS(config_.profiled_global_iops > 0);
+  HAECHI_EXPECTS(config_.profiled_local_iops > 0);
+
+  fabric_ = std::make_unique<runtime::ThreadedFabric>(clock_, config_.records);
+  monitor_ = std::make_unique<runtime::ThreadedMonitor>(
+      clock_, recorder_.get(), qos, *fabric_, config_.profiled_global_iops,
+      config_.profiled_local_iops);
+
+  completions_.assign(
+      n, std::vector<std::int64_t>(
+             warmup_periods_ + config_.measure_periods + 8, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const ClientSpec& spec = config_.clients[i];
+    const ClientId id = MakeClientId(static_cast<std::uint32_t>(i));
+    auto wiring = monitor_->AdmitClient(id, spec.reservation, spec.limit);
+    HAECHI_EXPECTS(wiring.ok());
+    ports_.push_back(wiring.value().slot);
+    engines_.push_back(std::make_unique<runtime::ThreadedEngine>(
+        clock_, recorder_.get(), id, qos, *fabric_, wiring.value().slot,
+        wiring.value().slot));
+    const Status bound = monitor_->BindEngine(id, engines_.back().get());
+    HAECHI_EXPECTS(bound.ok());
+    result.reservations.push_back(spec.reservation);
+  }
+
+  // Completion latch: the monitor's period hook fires with the period that
+  // just ended (the boundary starting the next one). The measurement
+  // markers are stamped half a period away from that boundary — start at
+  // mid-warmup-period, end half a period past the last measured boundary —
+  // so the audit's window test ([start, start+T] inside the markers, with
+  // boundary stamps captured under the monitor lock) selects exactly the
+  // periods the harvested series rows cover, with no edge races.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  const std::uint32_t last_measured = static_cast<std::uint32_t>(
+      warmup_periods_ + config_.measure_periods);
+  monitor_->SetPeriodHook([&, this](std::uint32_t period,
+                                    std::int64_t completions,
+                                    std::int64_t estimate) {
+    result.capacity_trace.push_back({period, completions, estimate});
+    if (period == static_cast<std::uint32_t>(warmup_periods_) &&
+        recorder_ != nullptr) {
+      recorder_->EmitAt(clock_.Now() - config_.qos.period / 2,
+                        ActorKind::kHarness, 0, EventType::kMeasureStart, 0);
+    }
+    if (period == last_measured) {
+      if (recorder_ != nullptr) {
+        recorder_->EmitAt(clock_.Now() + config_.qos.period / 2,
+                          ActorKind::kHarness, 0, EventType::kMeasureEnd, 0);
+      }
+      std::lock_guard lk(done_mu);
+      done = true;
+      done_cv.notify_all();
+    }
+  });
+
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  monitor_->Start();
+
+  // Generous deadline: the run should take (warmup + measure + 1) periods;
+  // give it 4x plus a constant so a wedged run fails loudly instead of
+  // hanging the test binary forever.
+  const auto deadline =
+      std::chrono::nanoseconds((static_cast<SimDuration>(warmup_periods_) +
+                                static_cast<SimDuration>(
+                                    config_.measure_periods) +
+                                2) *
+                                   config_.qos.period * 4 +
+                               Seconds(10));
+  {
+    std::unique_lock lk(done_mu);
+    const bool finished = done_cv.wait_for(lk, deadline, [&] { return done; });
+    HAECHI_EXPECTS(finished);
+  }
+
+  monitor_->Stop();
+  for (auto& engine : engines_) engine->Stop();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+
+  // Harvest. Rows are QoS periods warmup+1 .. warmup+measure, in order.
+  for (std::size_t p = warmup_periods_ + 1;
+       p <= warmup_periods_ + config_.measure_periods; ++p) {
+    result.series.BeginPeriod();
+    for (std::size_t i = 0; i < n; ++i) {
+      result.series.Add(MakeClientId(static_cast<std::uint32_t>(i)),
+                        completions_[i][p]);
+    }
+  }
+  result.total_kiops = ToKiops(
+      result.series.Total(),
+      static_cast<SimDuration>(config_.measure_periods) * config_.qos.period);
+  result.monitor_stats = monitor_->StatsSnapshot();
+  result.ledger = monitor_->LedgerSnapshot();
+  for (auto& engine : engines_) {
+    result.engine_stats.push_back(engine->StatsSnapshot());
+  }
+  result.wall_time = clock_.Now() - run_start;
+
+  if (recorder_ != nullptr && !config_.trace.out_path.empty()) {
+    const Status status =
+        obs::ExportTraceFile(*recorder_, config_.trace.out_path);
+    if (!status.ok()) {
+      HAECHI_LOG_WARN("threaded experiment: trace export failed: %s",
+                      status.ToString().c_str());
+    }
+  }
+  return result;
+}
+
+}  // namespace haechi::harness

@@ -1,0 +1,91 @@
+// Concurrent-runtime experiment assembly: the threaded twin of Experiment.
+//
+// Maps the same ExperimentConfig onto src/runtime/ — a ThreadedFabric
+// (process-shared memory region), a ThreadedMonitor on wall-clock timers,
+// and one worker thread per client driving a closed-loop 4 KB record-read
+// workload through its ThreadedEngine. Used by `haechi_sim
+// --runtime=threads` and the runtime differential tests.
+//
+// Scope: the threaded backend runs the QoS protocol proper. Features that
+// belong to the simulated cluster — fault plans, scripted client crashes,
+// background traffic, the two-sided I/O path, bare mode, the SLO watchdog
+// tap — are rejected up front (HAECHI_EXPECTS) rather than half-supported.
+//
+// Determinism caveat: results are statistically, not bitwise, reproducible.
+// The same config and seed produce the same admitted reservations and the
+// same conservation identities (checked by the audit), but per-period
+// completion counts vary with scheduling. Compare distributions and
+// invariants across runtimes, not event streams.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "harness/experiment.hpp"
+#include "obs/trace.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/threaded_engine.hpp"
+#include "runtime/threaded_fabric.hpp"
+#include "runtime/threaded_monitor.hpp"
+#include "stats/period_series.hpp"
+
+namespace haechi::harness {
+
+struct ThreadedExperimentResult {
+  /// Completed I/Os per measured period per client (same shape as the sim
+  /// result's series; rows are QoS periods warmup+1 .. warmup+measure).
+  stats::PeriodSeries series;
+  std::vector<std::int64_t> reservations;
+  double total_kiops = 0.0;
+  /// (period, reported completions, next estimate) per monitor period.
+  std::vector<ExperimentResult::CapacityPoint> capacity_trace;
+  runtime::ThreadedMonitor::Stats monitor_stats;
+  std::vector<runtime::ThreadedEngine::Stats> engine_stats;
+  /// The monitor's per-period token conservation ledger.
+  std::vector<runtime::ThreadedMonitor::PeriodLedger> ledger;
+  /// Wall-clock duration of the run (ns, Clock epoch-relative).
+  SimDuration wall_time = 0;
+};
+
+class ThreadedExperiment {
+ public:
+  explicit ThreadedExperiment(ExperimentConfig config);
+  ~ThreadedExperiment();
+
+  ThreadedExperiment(const ThreadedExperiment&) = delete;
+  ThreadedExperiment& operator=(const ThreadedExperiment&) = delete;
+
+  /// Builds the threaded cluster, runs warm-up plus the measurement
+  /// window in real time, joins every thread, and returns the results.
+  ThreadedExperimentResult Run();
+
+  // --- introspection for tests (valid after Run(); all threads joined) ----
+  [[nodiscard]] runtime::ThreadedMonitor* monitor() { return monitor_.get(); }
+  [[nodiscard]] runtime::ThreadedEngine& engine(std::size_t i) {
+    return *engines_.at(i);
+  }
+  [[nodiscard]] runtime::ThreadedFabric& fabric() { return *fabric_; }
+  [[nodiscard]] obs::Recorder* recorder() { return recorder_.get(); }
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+
+ private:
+  void WorkerLoop(std::size_t index);
+
+  ExperimentConfig config_;
+  std::size_t warmup_periods_ = 0;
+  runtime::Clock clock_;
+  std::unique_ptr<obs::Recorder> recorder_;
+  std::unique_ptr<runtime::ThreadedFabric> fabric_;
+  std::unique_ptr<runtime::ThreadedMonitor> monitor_;
+  std::vector<std::unique_ptr<runtime::ThreadedEngine>> engines_;
+  std::vector<std::size_t> ports_;
+  /// completions_[client][period] — written only by that client's worker
+  /// thread, read by Run() after the join.
+  std::vector<std::vector<std::int64_t>> completions_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace haechi::harness

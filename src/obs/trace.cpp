@@ -1,6 +1,8 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <thread>
+#include <utility>
 
 #include "common/assert.hpp"
 #include "sim/simulator.hpp"
@@ -102,9 +104,19 @@ bool ActorKindFromName(std::string_view name, ActorKind& out) {
 Recorder::Recorder(sim::Simulator& sim) : Recorder(sim, Options{}) {}
 
 Recorder::Recorder(sim::Simulator& sim, Options options)
-    : sim_(sim), options_(options) {
+    : sim_(&sim), options_(options) {
   HAECHI_EXPECTS(options_.ring_capacity > 0);
+  for (auto& per_kind : rings_) per_kind.resize(options_.preallocate_actors);
 }
+
+Recorder::Recorder(ClockFn clock, Options options)
+    : clock_(std::move(clock)), options_(options) {
+  HAECHI_EXPECTS(options_.ring_capacity > 0);
+  HAECHI_EXPECTS(clock_ != nullptr);
+  for (auto& per_kind : rings_) per_kind.resize(options_.preallocate_actors);
+}
+
+Recorder::~Recorder() { SetTap(nullptr); }
 
 Recorder::Ring& Recorder::RingFor(ActorKind kind, std::uint32_t actor) {
   auto& per_kind = rings_[static_cast<std::size_t>(kind)];
@@ -115,9 +127,16 @@ Recorder::Ring& Recorder::RingFor(ActorKind kind, std::uint32_t actor) {
 void Recorder::Emit(ActorKind kind, std::uint32_t actor, EventType type,
                     std::uint32_t period, std::int64_t a, std::int64_t b,
                     std::int64_t c) {
+  EmitAt(sim_ != nullptr ? sim_->Now() : clock_(), kind, actor, type, period,
+         a, b, c);
+}
+
+void Recorder::EmitAt(SimTime time, ActorKind kind, std::uint32_t actor,
+                      EventType type, std::uint32_t period, std::int64_t a,
+                      std::int64_t b, std::int64_t c) {
   Ring& ring = RingFor(kind, actor);
   TraceEvent event;
-  event.time = sim_.Now();
+  event.time = time;
   event.seq = ring.appended;
   event.type = type;
   event.actor_kind = kind;
@@ -130,11 +149,38 @@ void Recorder::Emit(ActorKind kind, std::uint32_t actor, EventType type,
     ring.buf.push_back(event);  // grow lazily up to capacity
   } else {
     ring.buf[ring.appended % options_.ring_capacity] = event;
-    ++total_dropped_;
+    total_dropped_.fetch_add(1, std::memory_order_relaxed);
   }
   ++ring.appended;
-  ++total_emitted_;
-  if (tap_) tap_(event);
+  total_emitted_.fetch_add(1, std::memory_order_relaxed);
+  // Cheap common case: no tap installed, one relaxed load. The full
+  // epoch-counted entry only happens when a tap might be present.
+  if (tap_.load(std::memory_order_relaxed) != nullptr) RunTap(event);
+}
+
+void Recorder::RunTap(const TraceEvent& event) {
+  // Epoch entry: count in, re-load the pointer, count out. SetTap swaps the
+  // pointer first and then waits for entered == exited, so once it returns
+  // no emitter can still be running (or about to run) the old callable.
+  tap_entered_.fetch_add(1, std::memory_order_seq_cst);
+  TapFn* tap = tap_.load(std::memory_order_seq_cst);
+  if (tap != nullptr) (*tap)(event);
+  tap_exited_.fetch_add(1, std::memory_order_seq_cst);
+}
+
+void Recorder::SetTap(std::function<void(const TraceEvent&)> tap) {
+  TapFn* next = tap ? new TapFn(std::move(tap)) : nullptr;
+  TapFn* old = tap_.exchange(next, std::memory_order_seq_cst);
+  if (old != nullptr) {
+    // Quiesce: wait for a moment with no emitter inside the tap section.
+    // Any emitter entering after the exchange sees the new pointer, so once
+    // entered == exited the old callable is unreachable.
+    while (tap_entered_.load(std::memory_order_seq_cst) !=
+           tap_exited_.load(std::memory_order_seq_cst)) {
+      std::this_thread::yield();
+    }
+    delete old;
+  }
 }
 
 std::vector<TraceEvent> Recorder::ActorEvents(ActorKind kind,

@@ -7,10 +7,17 @@
 // fixed-size TraceEvent stamped with sim-time and actor identity. Events
 // land in a bounded ring per actor (the flight-recorder pattern: appends
 // are O(1), old events are overwritten, nothing on the hot path allocates
-// or locks — the simulator is single-threaded, so the rings need no
-// atomics; the layout is the standard single-writer ring). Per-actor
+// or locks; the layout is the standard single-writer ring). Per-actor
 // sequence numbers make overwrites detectable: exporters carry them, and
 // the audit tool refuses traces with gaps.
+//
+// Threading contract: each (kind, actor) ring has ONE writer at a time —
+// the simulator thread in sim mode, or whichever thread holds that actor's
+// lock in the threaded runtime (src/runtime/). Cross-actor emission is safe
+// when Options::preallocate_actors covers every actor (no lazy per-kind
+// vector growth) — the shared counters are atomic and the tap path is
+// epoch-protected. Merged()/ActorEvents() still require quiescence (call
+// after workers have been joined).
 //
 // Cost contract:
 //   * HAECHI_TRACE=OFF (CMake option): every HAECHI_TRACE_EVENT expands to
@@ -25,6 +32,7 @@
 // path without drowning in data-path events.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string_view>
@@ -139,33 +147,65 @@ class Recorder {
     std::size_t ring_capacity = 1u << 16;
     /// Also record per-I/O data-path events (kRdma*/kKv*).
     bool detail = false;
+    /// Rings created eagerly per actor kind. The simulator leaves this at 0
+    /// (rings grow lazily); the threaded runtime sets it to the actor-count
+    /// upper bound so Emit never resizes the per-kind vector while other
+    /// threads append to sibling rings.
+    std::size_t preallocate_actors = 0;
   };
+
+  /// A time source for stamping events (the threaded runtime passes its
+  /// wall Clock; the simulator constructors wire up sim.Now()).
+  using ClockFn = std::function<SimTime()>;
 
   explicit Recorder(sim::Simulator& sim);
   Recorder(sim::Simulator& sim, Options options);
+  Recorder(ClockFn clock, Options options);
 
   Recorder(const Recorder&) = delete;
   Recorder& operator=(const Recorder&) = delete;
+  ~Recorder();
 
-  /// Appends one event, stamping time from the simulator clock.
+  /// Appends one event, stamping time from the recorder's clock.
   void Emit(ActorKind kind, std::uint32_t actor, EventType type,
             std::uint32_t period, std::int64_t a = 0, std::int64_t b = 0,
             std::int64_t c = 0);
+
+  /// Appends one event with an explicit timestamp. Threaded emitters use
+  /// this so an event is stamped with the same `now` its payload was
+  /// computed from (the audit recomputes time-dependent bounds like A4's
+  /// conversion budget from event timestamps, so stamp-at-emit would make
+  /// a correct conversion look like a violation). Caller contract: each
+  /// (kind, actor) ring has one writer at a time, and that writer passes
+  /// non-decreasing timestamps.
+  void EmitAt(SimTime time, ActorKind kind, std::uint32_t actor,
+              EventType type, std::uint32_t period, std::int64_t a = 0,
+              std::int64_t b = 0, std::int64_t c = 0);
 
   [[nodiscard]] bool detail() const { return options_.detail; }
 
   /// Installs a streaming consumer invoked with every event right after it
   /// lands in its ring (the SLO watchdog's subscription point). The tap
   /// must not emit trace events or mutate simulation state. At most one
-  /// tap; pass nullptr to remove. Costs one null check per Emit when unset.
-  void SetTap(std::function<void(const TraceEvent&)> tap) {
-    tap_ = std::move(tap);
-  }
+  /// tap; pass nullptr to remove.
+  ///
+  /// Thread-safe: installation/removal is epoch-protected against
+  /// concurrent Emit calls. Emitters count themselves in/out of the tap
+  /// critical section; SetTap swaps the tap pointer atomically, then spins
+  /// until no emitter is inside before destroying the previous callable,
+  /// so a tap is never destroyed under a caller and SetTap(nullptr) only
+  /// returns once the old tap can no longer run. Costs one relaxed load
+  /// per Emit when unset.
+  void SetTap(std::function<void(const TraceEvent&)> tap);
 
   /// Events ever emitted (including ones already overwritten).
-  [[nodiscard]] std::uint64_t TotalEmitted() const { return total_emitted_; }
+  [[nodiscard]] std::uint64_t TotalEmitted() const {
+    return total_emitted_.load(std::memory_order_relaxed);
+  }
   /// Events overwritten by ring wrap-around across all actors.
-  [[nodiscard]] std::uint64_t TotalDropped() const { return total_dropped_; }
+  [[nodiscard]] std::uint64_t TotalDropped() const {
+    return total_dropped_.load(std::memory_order_relaxed);
+  }
 
   /// All retained events merged into one deterministic stream, ordered by
   /// (time, actor_kind, actor, seq).
@@ -181,16 +221,25 @@ class Recorder {
     std::uint64_t appended = 0;   // total ever appended == next seq
   };
 
-  Ring& RingFor(ActorKind kind, std::uint32_t actor);
+  using TapFn = std::function<void(const TraceEvent&)>;
 
-  sim::Simulator& sim_;
+  Ring& RingFor(ActorKind kind, std::uint32_t actor);
+  void RunTap(const TraceEvent& event);
+
+  sim::Simulator* sim_ = nullptr;  // stamps Emit when no clock_ is set
+  ClockFn clock_;                  // external clock (threaded runtime)
   Options options_;
   // Actors are dense small integers per kind (clients 0..63, a handful of
-  // nodes), so a vector per kind keeps Emit at two indexed loads.
+  // nodes), so a vector per kind keeps Emit at two indexed loads. Each ring
+  // has a single writer (the simulator thread, or the thread owning that
+  // actor under the actor's lock); only the tap and the counters are shared
+  // across emitters.
   std::vector<Ring> rings_[kActorKinds];
-  std::function<void(const TraceEvent&)> tap_;
-  std::uint64_t total_emitted_ = 0;
-  std::uint64_t total_dropped_ = 0;
+  std::atomic<TapFn*> tap_{nullptr};
+  std::atomic<std::uint64_t> tap_entered_{0};
+  std::atomic<std::uint64_t> tap_exited_{0};
+  std::atomic<std::uint64_t> total_emitted_{0};
+  std::atomic<std::uint64_t> total_dropped_{0};
 };
 
 /// The process-active recorder (nullptr when tracing is runtime-disabled).

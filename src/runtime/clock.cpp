@@ -1,0 +1,70 @@
+#include "runtime/clock.hpp"
+
+#include "common/assert.hpp"
+
+namespace haechi::runtime {
+
+PeriodicTimer::PeriodicTimer(Clock& clock, SimDuration interval,
+                             std::function<void()> fn)
+    : clock_(clock), interval_(interval), fn_(std::move(fn)) {
+  HAECHI_EXPECTS(interval_ > 0);
+  HAECHI_EXPECTS(fn_ != nullptr);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+PeriodicTimer::~PeriodicTimer() {
+  {
+    std::lock_guard lk(mu_);
+    exit_ = true;
+    armed_ = false;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void PeriodicTimer::Start() {
+  {
+    std::lock_guard lk(mu_);
+    if (armed_) return;
+    armed_ = true;
+    next_fire_ = clock_.Now() + interval_;
+  }
+  cv_.notify_all();
+}
+
+void PeriodicTimer::Stop() {
+  {
+    std::lock_guard lk(mu_);
+    armed_ = false;
+  }
+  cv_.notify_all();
+}
+
+bool PeriodicTimer::Running() const {
+  std::lock_guard lk(mu_);
+  return armed_;
+}
+
+void PeriodicTimer::Loop() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    if (exit_) return;
+    if (!armed_) {
+      cv_.wait(lk, [this] { return exit_ || armed_; });
+      continue;
+    }
+    const SimTime now = clock_.Now();
+    if (now < next_fire_) {
+      cv_.wait_for(lk, std::chrono::nanoseconds(next_fire_ - now));
+      continue;  // re-check: Stop()/Start() may have moved the goalposts
+    }
+    // Fixed cadence, but never a burst of catch-up fires after a stall:
+    // the next fire is one interval from *now*.
+    next_fire_ = now + interval_;
+    lk.unlock();
+    fn_();
+    lk.lock();
+  }
+}
+
+}  // namespace haechi::runtime

@@ -1,0 +1,85 @@
+// Wall-clock time sources for the concurrent runtime backend.
+//
+// The simulator's components tell time through sim::Simulator::Now() and
+// sim::PeriodicTimer; the threaded runtime mirrors that pair on the host
+// clock so the ported QoS protocol logic (src/runtime/threaded_*.cpp) reads
+// the same shape as the sim-driven originals in src/core. Times are still
+// SimTime (integer nanoseconds) — measured from the Clock's construction,
+// so a threaded run's trace starts near t=0 exactly like a sim trace.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/types.hpp"
+
+namespace haechi::runtime {
+
+/// Monotonic wall clock reporting nanoseconds since its construction (the
+/// run epoch). Thread-safe; Now() never goes backwards.
+class Clock {
+ public:
+  Clock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] SimTime Now() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  void SleepFor(SimDuration d) const {
+    if (d > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(d));
+  }
+
+  void SleepUntil(SimTime t) const { SleepFor(t - Now()); }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Wall-clock analogue of sim::PeriodicTimer: fires `fn` every `interval`
+/// on a dedicated thread.
+///
+/// Unlike the sim version, Start()/Stop() only arm/disarm the cadence —
+/// they never join the worker thread, so they are safe to call from any
+/// thread *including while holding locks the callback itself takes* (the
+/// engine stops its report timer from inside a period-start delivery that
+/// holds the engine mutex; a joining Stop would deadlock there). The
+/// consequence: a callback already launched when Stop() returns may still
+/// run once — callbacks must re-check their guard condition under their own
+/// lock, exactly like the sim timers' callbacks re-check `running_`.
+/// The thread is joined by the destructor only.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Clock& clock, SimDuration interval, std::function<void()> fn);
+  ~PeriodicTimer();
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Arms the timer: first fire one interval from now. Idempotent.
+  void Start();
+  /// Disarms the timer (see the class comment for the in-flight caveat).
+  void Stop();
+  [[nodiscard]] bool Running() const;
+
+ private:
+  void Loop();
+
+  Clock& clock_;
+  const SimDuration interval_;
+  std::function<void()> fn_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool armed_ = false;
+  bool exit_ = false;
+  SimTime next_fire_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace haechi::runtime

@@ -1,0 +1,59 @@
+#include "runtime/shared_region.hpp"
+
+#include <cstring>
+#include <thread>
+
+#include "common/assert.hpp"
+
+namespace haechi::runtime {
+
+void SeqlockSlot::Write(std::uint64_t packed, SimTime written_at) {
+  // Acquire the writer side: even -> odd. A concurrent writer holds the
+  // lock for two relaxed stores, so spinning is the right tool.
+  std::uint32_t seq = seq_.load(std::memory_order_relaxed);
+  for (;;) {
+    if ((seq & 1u) == 0 &&
+        seq_.compare_exchange_weak(seq, seq + 1, std::memory_order_acquire,
+                                   std::memory_order_relaxed)) {
+      break;
+    }
+    std::this_thread::yield();
+    seq = seq_.load(std::memory_order_relaxed);
+  }
+  packed_.store(packed, std::memory_order_relaxed);
+  written_at_.store(written_at, std::memory_order_relaxed);
+  seq_.store(seq + 2, std::memory_order_release);
+}
+
+SeqlockSlot::Snapshot SeqlockSlot::Read() const {
+  for (;;) {
+    const std::uint32_t before = seq_.load(std::memory_order_acquire);
+    if ((before & 1u) != 0) {
+      std::this_thread::yield();
+      continue;  // a writer is mid-store
+    }
+    Snapshot snap;
+    snap.packed = packed_.load(std::memory_order_relaxed);
+    snap.written_at = written_at_.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seq_.load(std::memory_order_relaxed) == before) return snap;
+  }
+}
+
+SharedRegion::SharedRegion(std::uint64_t records) : records_(records) {
+  HAECHI_EXPECTS(records > 0);
+  data_.resize(records * kRecordBytes);
+  // Deterministic record contents so a read's bytes are checkable.
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] = static_cast<std::byte>((i / kRecordBytes + i) & 0xff);
+  }
+}
+
+void SharedRegion::ReadRecord(std::uint64_t key,
+                              std::span<std::byte> dst) const {
+  HAECHI_EXPECTS(dst.size() >= kRecordBytes);
+  const std::uint64_t index = key % records_;
+  std::memcpy(dst.data(), data_.data() + index * kRecordBytes, kRecordBytes);
+}
+
+}  // namespace haechi::runtime

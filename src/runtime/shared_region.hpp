@@ -1,0 +1,112 @@
+// The process-shared QoS memory region backing the threaded runtime.
+//
+// This is the data node's registered control block and record store,
+// realised as genuinely shared memory instead of simulated MRs:
+//
+//   * one cache-line-aligned signed 64-bit global token pool word, FAA'd by
+//     client worker threads and CAS/exchanged by the monitor — the paper's
+//     single contended word, with the acquire/release discipline the RDMA
+//     atomics provide on a real NIC;
+//   * one seqlock'd report slot per client: the 8-byte packed report plus
+//     the writer's timestamp, overwritten by silent client WRITEs and
+//     primed/read by the monitor;
+//   * a flat record area client reads copy 4 KB records out of.
+//
+// Everything here is std::atomic with explicit ordering (the seqlock
+// payload uses relaxed atomics under the seq protocol), so the whole layout
+// is ThreadSanitizer-clean and would drop onto a shm/mmap mapping or an
+// RDMA-registered buffer unchanged.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace haechi::runtime {
+
+/// One report slot guarded by a sequence lock.
+///
+/// Two writers can collide on a slot — the owning client's report WRITE and
+/// the monitor's period-boundary prime — so the writer side *acquires* the
+/// seqlock by CAS-ing the sequence word from even to odd (a tiny writer
+/// lock; the loser spins for the tens-of-nanoseconds store). Readers retry
+/// until they see the same even sequence on both sides of the payload copy.
+class SeqlockSlot {
+ public:
+  struct Snapshot {
+    std::uint64_t packed = 0;  // core::PackReport wire format
+    SimTime written_at = 0;    // writer's clock at the write
+  };
+
+  void Write(std::uint64_t packed, SimTime written_at);
+  [[nodiscard]] Snapshot Read() const;
+
+ private:
+  std::atomic<std::uint32_t> seq_{0};
+  // Payload fields are relaxed atomics purely so the seqlock's benign
+  // read/write overlap is not a C++ data race; the seq protocol provides
+  // the actual ordering.
+  std::atomic<std::uint64_t> packed_{0};
+  std::atomic<SimTime> written_at_{0};
+};
+
+class SharedRegion {
+ public:
+  static constexpr std::size_t kMaxClients = 64;  // matches core::QosMonitor
+  static constexpr std::size_t kRecordBytes = 4096;
+
+  explicit SharedRegion(std::uint64_t records);
+
+  // --- global token pool word (word 0 of the control block) ---------------
+
+  /// Client-side remote FAA: returns the value *before* the add.
+  std::int64_t FetchAddPool(std::int64_t delta) {
+    return pool_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+
+  [[nodiscard]] std::int64_t LoadPool() const {
+    return pool_.load(std::memory_order_acquire);
+  }
+
+  /// Monitor-side period boundary: atomically installs the new period's
+  /// initial pool and returns the old period's final word — the exchange
+  /// *is* the boundary, so no concurrent FAA is ever silently overwritten.
+  std::int64_t ExchangePool(std::int64_t value) {
+    return pool_.exchange(value, std::memory_order_acq_rel);
+  }
+
+  /// Monitor-side token conversion: replaces `expected` with `desired`.
+  /// On failure `expected` is refreshed with the value FAAs moved the word
+  /// to, and the monitor recomputes — a conversion never tramples a grant.
+  bool CasPool(std::int64_t& expected, std::int64_t desired) {
+    return pool_.compare_exchange_strong(expected, desired,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  }
+
+  // --- report slots (words 1..kMaxClients) --------------------------------
+
+  [[nodiscard]] SeqlockSlot& slot(std::size_t i) { return slots_[i]; }
+  [[nodiscard]] const SeqlockSlot& slot(std::size_t i) const {
+    return slots_[i];
+  }
+
+  // --- record store -------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t records() const { return records_; }
+
+  /// One-sided 4 KB READ: copies record `key % records` into `dst`.
+  void ReadRecord(std::uint64_t key, std::span<std::byte> dst) const;
+
+ private:
+  alignas(64) std::atomic<std::int64_t> pool_{0};
+  alignas(64) SeqlockSlot slots_[kMaxClients];
+  std::uint64_t records_;
+  std::vector<std::byte> data_;
+};
+
+}  // namespace haechi::runtime

@@ -1,0 +1,239 @@
+#include "runtime/threaded_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace haechi::runtime {
+
+namespace {
+using obs::ActorKind;
+using obs::EventType;
+}  // namespace
+
+ThreadedEngine::ThreadedEngine(Clock& clock, obs::Recorder* recorder,
+                               ClientId id, const core::QosConfig& config,
+                               ThreadedFabric& fabric, std::size_t port,
+                               std::size_t slot)
+    : clock_(clock),
+      recorder_(recorder),
+      id_(id),
+      config_(config),
+      fabric_(fabric),
+      port_(port),
+      slot_(slot) {
+  token_timer_ = std::make_unique<PeriodicTimer>(
+      clock_, config_.token_tick, [this] { TokenTick(); });
+  report_timer_ = std::make_unique<PeriodicTimer>(
+      clock_, config_.report_interval, [this] { ReportTick(); });
+}
+
+ThreadedEngine::~ThreadedEngine() { Stop(); }
+
+void ThreadedEngine::EmitLocked(SimTime now, EventType type,
+                                std::uint32_t period, std::int64_t a,
+                                std::int64_t b, std::int64_t c) {
+  if (recorder_ != nullptr) {
+    recorder_->EmitAt(now, ActorKind::kEngine, Raw(id_), type, period, a, b,
+                      c);
+  }
+}
+
+void ThreadedEngine::DeliverPeriodStart(const core::PeriodStartMsg& msg) {
+  {
+    std::lock_guard lk(mu_);
+    if (stopped_) return;
+    const SimTime now = clock_.Now();
+    ++stats_.periods_started;
+    period_ = msg.period;
+    EmitLocked(now, EventType::kEnginePeriodStart, period_,
+               msg.reservation_tokens, msg.limit);
+    // Fresh reservation tokens *replace* leftovers (reservation and
+    // global) — tokens never carry across periods.
+    xi_reservation_ = msg.reservation_tokens;
+    decay_x_ = static_cast<double>(msg.reservation_tokens);
+    decay_per_tick_ = static_cast<double>(msg.reservation_tokens) *
+                      static_cast<double>(config_.token_tick) /
+                      static_cast<double>(config_.period);
+    local_global_ = 0;
+    limit_ = msg.limit;
+    stats_.completed_this_period = 0;
+    stats_.issued_this_period = 0;
+    pool_retry_until_ = 0;
+    started_ = true;
+    period_started_at_ = now;
+    // Reporting stops until the monitor asks again this period.
+    reporting_ = false;
+    report_timer_->Stop();
+    token_timer_->Start();
+  }
+  cv_.notify_all();
+}
+
+void ThreadedEngine::DeliverReportRequest() {
+  // Duplicate requests (half-lease retransmissions) are idempotent: an
+  // already-reporting engine keeps its cadence.
+  std::lock_guard lk(mu_);
+  if (stopped_ || !started_ || reporting_) return;
+  reporting_ = true;
+  WriteReportLocked(clock_.Now());  // first report goes out immediately
+  report_timer_->Start();
+}
+
+void ThreadedEngine::DeliverOverReserveHint() {
+  std::lock_guard lk(mu_);
+  ++stats_.over_reserve_hints;
+}
+
+void ThreadedEngine::Stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (stopped_) return;
+    if (started_) {
+      EmitLocked(clock_.Now(), EventType::kEngineStop, period_);
+    }
+    started_ = false;
+    stopped_ = true;
+    token_timer_->Stop();
+    report_timer_->Stop();
+  }
+  cv_.notify_all();
+}
+
+void ThreadedEngine::TokenTick() {
+  std::lock_guard lk(mu_);
+  if (!started_ || stopped_) return;
+  decay_x_ = std::max(0.0, decay_x_ - decay_per_tick_);
+  const auto bound = static_cast<std::int64_t>(std::floor(decay_x_));
+  // Insufficient demand: surrender reservation tokens above the backlog
+  // bound X (reclaimed by the monitor's token conversion once reported).
+  if (xi_reservation_ > bound) {
+    EmitLocked(clock_.Now(), EventType::kTokenDecay, period_,
+               xi_reservation_ - bound, bound);
+    xi_reservation_ = bound;
+  }
+}
+
+void ThreadedEngine::ReportTick() {
+  std::lock_guard lk(mu_);
+  if (!started_ || stopped_ || !reporting_) return;
+  WriteReportLocked(clock_.Now());
+}
+
+void ThreadedEngine::WriteReportLocked(SimTime now) {
+  // Residual = the client's outstanding *claim* on the rest of the period:
+  // unconsumed reservation tokens, locally-held global tokens, and issued
+  // but uncompleted I/Os (same claims accounting as the sim engine).
+  const std::int64_t claims =
+      xi_reservation_ + local_global_ + backend_outstanding_;
+  const std::uint64_t packed = core::PackReport(
+      period_, static_cast<std::uint64_t>(std::max<std::int64_t>(claims, 0)),
+      static_cast<std::uint64_t>(
+          std::max<std::int64_t>(stats_.completed_this_period, 0)),
+      report_seq_++);
+  ++stats_.report_writes;
+  EmitLocked(now, EventType::kReportWrite, period_,
+             static_cast<std::int64_t>(core::ReportResidual(packed)),
+             static_cast<std::int64_t>(core::ReportCompleted(packed)),
+             static_cast<std::int64_t>(stats_.report_writes));
+  // The seqlock write is a handful of stores; keeping it under the engine
+  // mutex keeps this thread's slot writes in report order.
+  fabric_.PostReportWrite(port_, slot_, packed);
+}
+
+ThreadedEngine::Grant ThreadedEngine::AcquireToken(std::uint32_t p) {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    if (stopped_) return Grant::kStopped;
+    if (!started_ || period_ != p) return Grant::kPeriodOver;
+    if (limit_ > 0 && stats_.issued_this_period >= limit_) {
+      ++stats_.limit_throttle_events;
+      cv_.wait(lk);  // throttled until the next period's delivery
+      continue;
+    }
+    if (backend_outstanding_ >=
+        static_cast<std::int64_t>(config_.max_backend_outstanding)) {
+      cv_.wait(lk);
+      continue;
+    }
+    if (xi_reservation_ > 0) {
+      --xi_reservation_;
+      ++stats_.tokens_from_reservation;
+      ++stats_.issued_this_period;
+      ++backend_outstanding_;
+      return Grant::kToken;
+    }
+    if (local_global_ > 0) {
+      --local_global_;
+      ++stats_.tokens_from_pool;
+      ++stats_.issued_this_period;
+      ++backend_outstanding_;
+      return Grant::kToken;
+    }
+    const SimTime now = clock_.Now();
+    // No fetch near the period end: a batch grabbed while the monitor
+    // rolls the period over would be discarded (faa_end_guard).
+    if (now - period_started_at_ >= config_.period - config_.faa_end_guard) {
+      cv_.wait_for(lk, std::chrono::nanoseconds(config_.faa_end_guard));
+      continue;
+    }
+    if (now < pool_retry_until_) {  // step T4 retry cadence
+      cv_.wait_for(lk, std::chrono::nanoseconds(pool_retry_until_ - now));
+      continue;
+    }
+    // Batched remote FAA, executed inline on this worker thread — the
+    // genuine multi-client contention on the shared pool word.
+    ++stats_.faa_ops;
+    EmitLocked(now, EventType::kTokenFetch, period_, config_.token_batch);
+    const std::uint32_t at_period = period_;
+    lk.unlock();
+    const std::int64_t before =
+        fabric_.PostFetchAdd(port_, -config_.token_batch);
+    lk.lock();
+    const SimTime done = clock_.Now();
+    if (stopped_) return Grant::kStopped;
+    if (period_ != at_period) {
+      // The pool was re-initialised for a new period while the fetch ran;
+      // its tokens belong to the dead period and are discarded.
+      EmitLocked(done, EventType::kTokenDiscard, at_period, before);
+      continue;
+    }
+    const std::int64_t acquired =
+        std::clamp<std::int64_t>(before, 0, config_.token_batch);
+    local_global_ += acquired;
+    EmitLocked(done, EventType::kTokenFetchDone, period_, before, acquired);
+    if (acquired == 0) {
+      EmitLocked(done, EventType::kPoolEmpty, period_, before);
+      pool_retry_until_ = done + config_.pool_retry_interval;
+    }
+  }
+}
+
+void ThreadedEngine::OnIoCompleted() {
+  {
+    std::lock_guard lk(mu_);
+    --backend_outstanding_;
+    ++stats_.completed_this_period;
+    ++stats_.completed_total;
+  }
+  cv_.notify_all();
+}
+
+std::uint32_t ThreadedEngine::AwaitPeriodAfter(std::uint32_t p) {
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [&] { return stopped_ || (started_ && period_ > p); });
+  return stopped_ ? 0 : period_;
+}
+
+ThreadedEngine::Stats ThreadedEngine::StatsSnapshot() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+std::uint32_t ThreadedEngine::CurrentPeriod() const {
+  std::lock_guard lk(mu_);
+  return period_;
+}
+
+}  // namespace haechi::runtime

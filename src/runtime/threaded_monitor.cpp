@@ -1,0 +1,509 @@
+#include "runtime/threaded_monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace haechi::runtime {
+
+namespace {
+
+using obs::ActorKind;
+using obs::EventType;
+
+std::int64_t IopsToTokens(double iops, SimDuration period) {
+  return static_cast<std::int64_t>(std::llround(iops * ToSeconds(period)));
+}
+
+}  // namespace
+
+ThreadedMonitor::ThreadedMonitor(Clock& clock, obs::Recorder* recorder,
+                                 const core::QosConfig& config,
+                                 ThreadedFabric& fabric,
+                                 double profiled_global_iops,
+                                 double profiled_local_iops)
+    : clock_(clock),
+      recorder_(recorder),
+      config_(config),
+      fabric_(fabric),
+      admission_(IopsToTokens(profiled_global_iops, config.period),
+                 IopsToTokens(profiled_local_iops, config.period)) {
+  const std::int64_t profiled_tokens =
+      IopsToTokens(profiled_global_iops, config.period);
+  core::CapacityEstimator::Params params;
+  params.profiled = profiled_tokens;
+  params.sigma =
+      config.sigma > 0
+          ? config.sigma
+          : static_cast<std::int64_t>(std::llround(
+                static_cast<double>(profiled_tokens) * config.sigma_fraction));
+  params.eta = config.eta > 0
+                   ? config.eta
+                   : static_cast<std::int64_t>(std::llround(
+                         static_cast<double>(profiled_tokens) *
+                         config.eta_fraction));
+  params.window = config.history_window;
+  estimator_ = std::make_unique<core::CapacityEstimator>(params);
+
+  period_timer_ = std::make_unique<PeriodicTimer>(clock_, config_.period,
+                                                  [this] { PeriodTick(); });
+  check_timer_ = std::make_unique<PeriodicTimer>(
+      clock_, config_.check_interval, [this] { CheckTickFn(); });
+}
+
+ThreadedMonitor::~ThreadedMonitor() { Stop(); }
+
+void ThreadedMonitor::EmitLocked(SimTime now, EventType type, std::int64_t a,
+                                 std::int64_t b, std::int64_t c) {
+  if (recorder_ != nullptr) {
+    recorder_->EmitAt(now, ActorKind::kMonitor, 0, type, stats_.periods, a, b,
+                      c);
+  }
+}
+
+Result<ThreadedWiring> ThreadedMonitor::AdmitClient(ClientId client,
+                                                    std::int64_t reservation,
+                                                    std::int64_t limit) {
+  std::lock_guard lk(mu_);
+  const SimTime now = clock_.Now();
+  bool readmission = false;
+  if (FindClientLocked(client) != nullptr) {
+    const Status released = ReleaseClientLocked(now, client);
+    HAECHI_ASSERT(released.ok());
+    ++stats_.readmissions;
+    readmission = true;
+  }
+  if (clients_.size() >= SharedRegion::kMaxClients) {
+    return ErrResourceExhausted("monitor is at its client capacity");
+  }
+  if (limit > 0 && limit < reservation) {
+    return ErrInvalidArgument("limit below reservation");
+  }
+  if (free_slots_.empty() && next_slot_ >= SharedRegion::kMaxClients) {
+    return ErrResourceExhausted("all report slots consumed");
+  }
+  if (auto s = admission_.Admit(client, reservation); !s.ok()) {
+    EmitLocked(now, EventType::kAdmitReject,
+               static_cast<std::int64_t>(Raw(client)), reservation);
+    return s;
+  }
+  EmitLocked(now, readmission ? EventType::kReadmit : EventType::kAdmit,
+             static_cast<std::int64_t>(Raw(client)), reservation, limit);
+
+  ClientEntry entry;
+  entry.id = client;
+  entry.reservation = reservation;
+  entry.limit = limit;
+  entry.slot = AllocateSlotLocked();
+  // Prime the (possibly recycled) slot with a stale-tagged conservative
+  // report, then baseline the lease on those bytes.
+  fabric_.PrimeSlot(
+      entry.slot,
+      core::PackReport(stats_.periods - 1,
+                       static_cast<std::uint64_t>(
+                           std::max<std::int64_t>(reservation, 0)),
+                       0));
+  entry.last_slot_raw = fabric_.ReadSlot(entry.slot).packed;
+  entry.lease_misses = 0;
+  clients_.push_back(entry);
+  return ThreadedWiring{entry.slot};
+}
+
+Status ThreadedMonitor::BindEngine(ClientId client, ThreadedEngine* engine) {
+  std::lock_guard lk(mu_);
+  ClientEntry* entry = FindClientLocked(client);
+  if (entry == nullptr) return ErrNotFound("client not admitted");
+  entry->engine = engine;
+  if (reporting_active_ && engine != nullptr) {
+    // The period's ReportRequest broadcast predates this client.
+    engine->DeliverReportRequest();
+  }
+  return Status::Ok();
+}
+
+Status ThreadedMonitor::ReleaseClient(ClientId client) {
+  std::lock_guard lk(mu_);
+  return ReleaseClientLocked(clock_.Now(), client);
+}
+
+Status ThreadedMonitor::ReleaseClientLocked(SimTime now, ClientId client) {
+  const auto it =
+      std::find_if(clients_.begin(), clients_.end(),
+                   [&](const ClientEntry& e) { return e.id == client; });
+  if (it == clients_.end()) return ErrNotFound("client not admitted");
+  // Quarantine the slot until the next period boundary: a report the
+  // departing client's report thread already launched must not land in a
+  // stranger's recycled slot.
+  retired_slots_.push_back(it->slot);
+  clients_.erase(it);
+  EmitLocked(now, EventType::kRelease, static_cast<std::int64_t>(Raw(client)));
+  return admission_.Release(client);
+}
+
+std::size_t ThreadedMonitor::AllocateSlotLocked() {
+  if (!free_slots_.empty()) {
+    const std::size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  return next_slot_++;
+}
+
+void ThreadedMonitor::Start() {
+  {
+    std::lock_guard lk(mu_);
+    HAECHI_EXPECTS(!running_);
+    running_ = true;
+    StartPeriodLocked(clock_.Now());
+  }
+  period_timer_->Start();
+  check_timer_->Start();
+}
+
+void ThreadedMonitor::Stop() {
+  {
+    std::lock_guard lk(mu_);
+    running_ = false;
+  }
+  period_timer_->Stop();
+  check_timer_->Stop();
+}
+
+void ThreadedMonitor::PeriodTick() {
+  std::lock_guard lk(mu_);
+  if (!running_) return;
+  StartPeriodLocked(clock_.Now());
+}
+
+void ThreadedMonitor::CheckTickFn() {
+  std::lock_guard lk(mu_);
+  if (!running_) return;
+  CheckTickLocked(clock_.Now());
+}
+
+void ThreadedMonitor::StartPeriodLocked(SimTime now) {
+  if (stats_.periods > 0) CalibrateLocked(now);
+  dead_completed_this_period_ = 0;
+
+  // Provision the next period *before* touching the pool word, so the
+  // boundary itself is one atomic exchange.
+  const std::int64_t next_capacity = estimator_->Estimate();
+  std::int64_t total_reserved = 0;
+  for (const auto& entry : clients_) total_reserved += entry.reservation;
+  const std::int64_t next_initial =
+      std::max<std::int64_t>(next_capacity - total_reserved, 0);
+
+  // The boundary: install the new pool and read the old period's final
+  // word in one step. Close the outgoing ledger with it.
+  const std::int64_t raw = fabric_.ExchangePool(next_initial);
+  if (!ledger_.empty()) {
+    PeriodLedger& prev = ledger_.back();
+    prev.granted += ledger_last_pool_ - raw;
+    prev.end_pool = raw;
+    EmitLocked(now, EventType::kMonitorPeriodEnd, raw,
+               stats_.last_period_completions, prev.granted);
+  }
+
+  // Slots retired last period sat out a full boundary; safe to recycle.
+  free_slots_.insert(free_slots_.end(), retired_slots_.begin(),
+                     retired_slots_.end());
+  retired_slots_.clear();
+
+  ++stats_.periods;
+  period_start_time_ = now;
+  reporting_active_ = false;
+  period_capacity_ = next_capacity;
+  initial_pool_ = next_initial;
+  last_written_pool_ = initial_pool_;
+  recent_grants_.clear();
+
+  PeriodLedger ledger;
+  ledger.period = stats_.periods;
+  ledger.capacity = period_capacity_;
+  ledger.dispatched = total_reserved;
+  ledger.initial_pool = initial_pool_;
+  ledger.end_pool = initial_pool_;
+  ledger_.push_back(ledger);
+  ledger_last_pool_ = initial_pool_;
+  EmitLocked(now, EventType::kMonitorPeriodStart, period_capacity_,
+             total_reserved, initial_pool_);
+  if (ledger_.size() > 4096) ledger_.erase(ledger_.begin());
+
+  // Step T1: prime report slots and push fresh reservation tokens; the
+  // delivery is also the period-start signal.
+  for (auto& entry : clients_) {
+    fabric_.PrimeSlot(
+        entry.slot,
+        core::PackReport(stats_.periods,
+                         static_cast<std::uint64_t>(
+                             std::max<std::int64_t>(entry.reservation, 0)),
+                         0));
+    entry.last_slot_raw = fabric_.ReadSlot(entry.slot).packed;
+    entry.lease_misses = 0;
+    core::PeriodStartMsg msg;
+    msg.period = stats_.periods;
+    msg.reservation_tokens = entry.reservation;
+    msg.limit = entry.limit;
+    if (entry.engine != nullptr) entry.engine->DeliverPeriodStart(msg);
+  }
+}
+
+void ThreadedMonitor::CheckTickLocked(SimTime now) {
+  if (stats_.periods == 0) return;
+  ++stats_.checks;
+
+  const std::int64_t raw = fabric_.LoadPool();
+  if (!ledger_.empty()) {
+    ledger_.back().granted += ledger_last_pool_ - raw;
+    ledger_last_pool_ = raw;
+    EmitLocked(now, EventType::kPoolSample, raw);
+  }
+
+  const std::int64_t observed_now = raw;
+  // Tokens granted since the last check: the word only moves down between
+  // monitor writes, and a draw against an empty pool grants nothing.
+  const std::int64_t grants = std::max<std::int64_t>(last_written_pool_, 0) -
+                              std::max<std::int64_t>(observed_now, 0);
+  recent_grants_.push_back(std::max<std::int64_t>(grants, 0));
+  const std::size_t lag_checks =
+      static_cast<std::size_t>(
+          config_.report_interval /
+          std::max<SimDuration>(config_.check_interval, 1)) +
+      2;
+  while (recent_grants_.size() > lag_checks) recent_grants_.pop_front();
+  last_written_pool_ = observed_now;
+
+  // Step S2: reservation-token overflow — someone is drawing on the pool.
+  if (!reporting_active_ && observed_now < initial_pool_) {
+    reporting_active_ = true;
+    ++stats_.report_signals;
+    EmitLocked(now, EventType::kReportSignal, observed_now, initial_pool_);
+    for (auto& entry : clients_) {
+      if (entry.engine != nullptr) entry.engine->DeliverReportRequest();
+    }
+  }
+
+  if (reporting_active_ && config_.report_lease_intervals > 0) {
+    CheckLeasesLocked(now);
+  }
+
+  // Step T2: token conversion.
+  if (reporting_active_ && config_.token_conversion) ConvertTokensLocked(now);
+}
+
+void ThreadedMonitor::CheckLeasesLocked(SimTime now) {
+  std::vector<ClientId> dead;
+  for (ClientEntry& entry : clients_) {
+    const std::uint64_t raw = fabric_.ReadSlot(entry.slot).packed;
+    if (raw != entry.last_slot_raw) {
+      entry.last_slot_raw = raw;
+      entry.lease_misses = 0;
+      continue;
+    }
+    ++entry.lease_misses;
+    if (entry.lease_misses ==
+        std::max<std::uint32_t>(config_.report_lease_intervals / 2, 1)) {
+      ++stats_.report_request_resends;
+      EmitLocked(now, EventType::kReportResend,
+                 static_cast<std::int64_t>(Raw(entry.id)));
+      if (entry.engine != nullptr) entry.engine->DeliverReportRequest();
+    }
+    if (entry.lease_misses >= config_.report_lease_intervals) {
+      dead.push_back(entry.id);
+    }
+  }
+  for (const ClientId id : dead) DeclareDeadLocked(now, id);
+}
+
+void ThreadedMonitor::DeclareDeadLocked(SimTime now, ClientId client) {
+  const auto it =
+      std::find_if(clients_.begin(), clients_.end(),
+                   [&](const ClientEntry& e) { return e.id == client; });
+  if (it == clients_.end()) return;
+  const std::uint64_t slot = fabric_.ReadSlot(it->slot).packed;
+  std::int64_t residual;
+  std::int64_t salvaged = 0;
+  if (core::ReportPeriod(slot) ==
+      (stats_.periods & core::kReportPeriodMask)) {
+    residual = static_cast<std::int64_t>(core::ReportResidual(slot));
+    salvaged = static_cast<std::int64_t>(core::ReportCompleted(slot));
+    dead_completed_this_period_ += salvaged;
+  } else {
+    residual = std::max<std::int64_t>(it->reservation, 0);
+  }
+  HAECHI_LOG_WARN(
+      "threaded monitor: client %u report lease expired after %u checks; "
+      "reclaiming %lld residual tokens",
+      Raw(client), it->lease_misses, static_cast<long long>(residual));
+  ++stats_.lease_expirations;
+  EmitLocked(now, EventType::kLeaseExpire,
+             static_cast<std::int64_t>(Raw(client)), residual, salvaged);
+  stats_.reclaimed_tokens += residual;
+  if (!ledger_.empty()) ledger_.back().reclaimed += residual;
+  retired_slots_.push_back(it->slot);
+  clients_.erase(it);
+  const Status released = admission_.Release(client);
+  HAECHI_ASSERT(released.ok());
+  if (config_.token_conversion && reporting_active_) ConvertTokensLocked(now);
+  if (client_dead_cb_) client_dead_cb_(client);
+}
+
+void ThreadedMonitor::ConvertTokensLocked(SimTime now) {
+  std::int64_t outstanding_reservation = 0;  // the paper's L
+  std::int64_t completed_so_far = dead_completed_this_period_;
+  for (const auto& entry : clients_) {
+    const std::uint64_t slot = fabric_.ReadSlot(entry.slot).packed;
+    if (core::ReportPeriod(slot) ==
+        (stats_.periods & core::kReportPeriodMask)) {
+      outstanding_reservation += core::ReportResidual(slot);
+      completed_so_far += core::ReportCompleted(slot);
+    } else {
+      outstanding_reservation += entry.reservation;
+    }
+  }
+  const SimDuration elapsed = now - period_start_time_;
+  const SimDuration left = std::max<SimDuration>(config_.period - elapsed, 0);
+  // Same remaining-capacity arithmetic as the sim monitor: min of the
+  // paper's time budget C*(T-t)/T and the conservation-preserving
+  // completion budget C - U(t). The trace event is stamped with the same
+  // `now` the budget uses, so the audit's A4 recomputation matches.
+  const auto time_budget = static_cast<std::int64_t>(
+      static_cast<__int128>(period_capacity_) * left / config_.period);
+  const std::int64_t completion_budget =
+      period_capacity_ - completed_so_far;
+  const std::int64_t remaining_capacity =
+      std::min(time_budget, completion_budget);
+  std::int64_t unreported_grants = 0;
+  for (const std::int64_t g : recent_grants_) unreported_grants += g;
+  const std::int64_t new_pool = std::max<std::int64_t>(
+      remaining_capacity - outstanding_reservation - unreported_grants, 0);
+
+  // Install with a CAS loop: every failure means client FAAs moved the
+  // word; retry from the freshly-witnessed value so the final successful
+  // CAS gives the exact pre-conversion word and no grant is ever lost to
+  // an overwrite.
+  std::int64_t expected = fabric_.LoadPool();
+  while (!fabric_.CasPool(expected, new_pool)) {
+  }
+  const std::int64_t raw_before = expected;
+  if (!ledger_.empty()) {
+    PeriodLedger& cur = ledger_.back();
+    cur.granted += ledger_last_pool_ - raw_before;
+    cur.minted += new_pool - raw_before;
+    ledger_last_pool_ = new_pool;
+    EmitLocked(now, EventType::kTokenConvert, raw_before, new_pool,
+               outstanding_reservation);
+  }
+  last_written_pool_ = new_pool;
+  ++stats_.conversions;
+}
+
+void ThreadedMonitor::CalibrateLocked(SimTime now) {
+  // Step T3: feed Algorithm 1 with the reported completion total.
+  std::int64_t total_completed = dead_completed_this_period_;
+  for (const auto& entry : clients_) {
+    const std::uint64_t slot = fabric_.ReadSlot(entry.slot).packed;
+    if (core::ReportPeriod(slot) ==
+        (stats_.periods & core::kReportPeriodMask)) {
+      total_completed += core::ReportCompleted(slot);
+      EmitLocked(now, EventType::kClientPeriodReport,
+                 static_cast<std::int64_t>(Raw(entry.id)),
+                 static_cast<std::int64_t>(core::ReportCompleted(slot)),
+                 static_cast<std::int64_t>(core::ReportResidual(slot)));
+      if (client_report_hook_) {
+        client_report_hook_(
+            stats_.periods, entry.id,
+            static_cast<std::int64_t>(core::ReportCompleted(slot)));
+      }
+    }
+  }
+  stats_.last_period_completions = total_completed;
+  if (reporting_active_) {
+    estimator_->OnPeriodEnd(total_completed);
+    EmitLocked(now, EventType::kCapacityEstimate, total_completed,
+               estimator_->Estimate(),
+               static_cast<std::int64_t>(estimator_->LastDecision()));
+
+    for (auto& entry : clients_) {
+      const std::uint64_t slot = fabric_.ReadSlot(entry.slot).packed;
+      if (core::ReportPeriod(slot) !=
+          (stats_.periods & core::kReportPeriodMask)) {
+        continue;
+      }
+      const auto completed =
+          static_cast<std::int64_t>(core::ReportCompleted(slot));
+      if (completed < entry.reservation) {
+        ++entry.underuse_streak;
+        if (entry.underuse_streak >= config_.underuse_alert_periods) {
+          ++stats_.over_reserve_hints;
+          if (over_reserve_cb_) over_reserve_cb_(entry.id);
+          if (entry.engine != nullptr) entry.engine->DeliverOverReserveHint();
+          entry.underuse_streak = 0;
+        }
+      } else {
+        entry.underuse_streak = 0;
+      }
+    }
+  }
+  if (period_hook_) {
+    period_hook_(stats_.periods, total_completed, estimator_->Estimate());
+  }
+}
+
+ThreadedMonitor::ClientEntry* ThreadedMonitor::FindClientLocked(
+    ClientId client) {
+  const auto it =
+      std::find_if(clients_.begin(), clients_.end(),
+                   [&](const ClientEntry& e) { return e.id == client; });
+  return it == clients_.end() ? nullptr : &*it;
+}
+
+ThreadedMonitor::Stats ThreadedMonitor::StatsSnapshot() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+std::vector<ThreadedMonitor::PeriodLedger> ThreadedMonitor::LedgerSnapshot()
+    const {
+  std::lock_guard lk(mu_);
+  return ledger_;
+}
+
+std::int64_t ThreadedMonitor::PeriodCapacity() const {
+  std::lock_guard lk(mu_);
+  return period_capacity_;
+}
+
+std::int64_t ThreadedMonitor::InitialPool() const {
+  std::lock_guard lk(mu_);
+  return initial_pool_;
+}
+
+bool ThreadedMonitor::ReportingActive() const {
+  std::lock_guard lk(mu_);
+  return reporting_active_;
+}
+
+void ThreadedMonitor::SetPeriodHook(PeriodHook fn) {
+  std::lock_guard lk(mu_);
+  period_hook_ = std::move(fn);
+}
+
+void ThreadedMonitor::SetClientReportHook(ClientReportHook fn) {
+  std::lock_guard lk(mu_);
+  client_report_hook_ = std::move(fn);
+}
+
+void ThreadedMonitor::SetOverReserveCallback(std::function<void(ClientId)> fn) {
+  std::lock_guard lk(mu_);
+  over_reserve_cb_ = std::move(fn);
+}
+
+void ThreadedMonitor::SetClientDeadCallback(std::function<void(ClientId)> fn) {
+  std::lock_guard lk(mu_);
+  client_dead_cb_ = std::move(fn);
+}
+
+}  // namespace haechi::runtime

@@ -1,0 +1,168 @@
+// The data-node QoS monitor on real threads (the concurrent-runtime port
+// of core::QosMonitor, paper §II-E).
+//
+// Protocol logic is a faithful port of src/core/monitor.cpp — same period
+// sequencing (calibrate, close the ledger, re-provision, prime slots,
+// dispatch reservations), same S1–S3 check loop, same token-conversion
+// arithmetic and grant-lag correction, same report lease — re-hosted on a
+// wall Clock with two runtime::PeriodicTimer threads (period boundary and
+// check tick) that serialise on the monitor mutex. The differences forced
+// by real concurrency:
+//
+//   * the period boundary re-initialises the pool with an atomic
+//     *exchange*, so the old period's final word is read and the new
+//     period's pool installed in one step — a client FAA can land before
+//     or after the boundary but never be silently overwritten;
+//   * token conversion installs the new pool with a CAS loop that
+//     re-witnesses the pre-conversion word on every failure, so grants
+//     racing the conversion stay exactly accounted in the ledger;
+//   * control messages are delivered to engines by direct call from the
+//     monitor thread (the two-sided SEND), never the other way around —
+//     engines only touch the shared region, so the lock order
+//     monitor-mutex -> engine-mutex is acyclic.
+//
+// The conservation identities of core::QosMonitor::PeriodLedger hold
+// *exactly* here too (raw-difference telescoping over atomic operations),
+// which is what tests/runtime_stress_test.cpp and the differential audit
+// lean on.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "core/admission.hpp"
+#include "core/capacity_estimator.hpp"
+#include "core/config.hpp"
+#include "core/monitor.hpp"
+#include "core/wire.hpp"
+#include "obs/trace.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/threaded_engine.hpp"
+#include "runtime/threaded_fabric.hpp"
+
+namespace haechi::runtime {
+
+/// What admission hands a threaded client: its report-slot index (also
+/// used as the fabric port for per-client op stats). The pool word needs
+/// no address — the shared region is the address space.
+struct ThreadedWiring {
+  std::size_t slot = 0;
+};
+
+class ThreadedMonitor {
+ public:
+  using Stats = core::QosMonitor::Stats;
+  using PeriodLedger = core::QosMonitor::PeriodLedger;
+  using PeriodHook =
+      std::function<void(std::uint32_t, std::int64_t, std::int64_t)>;
+  /// (period, client, completed) for every fresh per-period client report
+  /// seen at calibration — the threaded run's per-client series source.
+  using ClientReportHook =
+      std::function<void(std::uint32_t, ClientId, std::int64_t)>;
+
+  ThreadedMonitor(Clock& clock, obs::Recorder* recorder,
+                  const core::QosConfig& config, ThreadedFabric& fabric,
+                  double profiled_global_iops, double profiled_local_iops);
+  ~ThreadedMonitor();
+
+  ThreadedMonitor(const ThreadedMonitor&) = delete;
+  ThreadedMonitor& operator=(const ThreadedMonitor&) = delete;
+
+  /// Admits a client (both capacity constraints enforced) and allocates
+  /// its report slot. Bind the engine before Start() so control messages
+  /// can be delivered.
+  Result<ThreadedWiring> AdmitClient(ClientId client, std::int64_t reservation,
+                                     std::int64_t limit);
+  /// Binds the admitted client's engine for control-message delivery.
+  Status BindEngine(ClientId client, ThreadedEngine* engine);
+  /// Removes a client and releases its reservation.
+  Status ReleaseClient(ClientId client);
+
+  /// Starts period 1 immediately and runs until Stop().
+  void Start();
+  void Stop();
+
+  [[nodiscard]] Stats StatsSnapshot() const;
+  [[nodiscard]] std::vector<PeriodLedger> LedgerSnapshot() const;
+  [[nodiscard]] std::int64_t GlobalPoolValue() const {
+    return fabric_.LoadPool();
+  }
+  [[nodiscard]] std::int64_t PeriodCapacity() const;
+  [[nodiscard]] std::int64_t InitialPool() const;
+  [[nodiscard]] bool ReportingActive() const;
+  [[nodiscard]] const core::AdmissionController& admission() const {
+    return admission_;
+  }
+
+  void SetPeriodHook(PeriodHook fn);
+  void SetClientReportHook(ClientReportHook fn);
+  void SetOverReserveCallback(std::function<void(ClientId)> fn);
+  void SetClientDeadCallback(std::function<void(ClientId)> fn);
+
+ private:
+  struct ClientEntry {
+    ClientId id;
+    std::int64_t reservation = 0;
+    std::int64_t limit = 0;
+    ThreadedEngine* engine = nullptr;
+    std::size_t slot = 0;
+    std::uint32_t underuse_streak = 0;
+    // Report-lease state: packed slot bytes at the last check and the
+    // number of consecutive checks they stayed identical.
+    std::uint64_t last_slot_raw = 0;
+    std::uint32_t lease_misses = 0;
+  };
+
+  void PeriodTick();
+  void CheckTickFn();
+  void StartPeriodLocked(SimTime now);
+  void CheckTickLocked(SimTime now);
+  void CheckLeasesLocked(SimTime now);
+  void DeclareDeadLocked(SimTime now, ClientId client);
+  void ConvertTokensLocked(SimTime now);
+  void CalibrateLocked(SimTime now);
+  Status ReleaseClientLocked(SimTime now, ClientId client);
+  [[nodiscard]] std::size_t AllocateSlotLocked();
+  ClientEntry* FindClientLocked(ClientId client);
+  void EmitLocked(SimTime now, obs::EventType type, std::int64_t a = 0,
+                  std::int64_t b = 0, std::int64_t c = 0);
+
+  Clock& clock_;
+  obs::Recorder* recorder_;
+  core::QosConfig config_;
+  ThreadedFabric& fabric_;
+  core::AdmissionController admission_;
+  std::unique_ptr<core::CapacityEstimator> estimator_;
+
+  mutable std::mutex mu_;
+  std::vector<ClientEntry> clients_;
+  std::size_t next_slot_ = 0;
+  std::vector<std::size_t> retired_slots_;
+  std::vector<std::size_t> free_slots_;
+  Stats stats_;
+  bool running_ = false;
+  SimTime period_start_time_ = 0;
+  std::int64_t period_capacity_ = 0;
+  std::int64_t initial_pool_ = 0;
+  bool reporting_active_ = false;
+  std::int64_t last_written_pool_ = 0;
+  std::deque<std::int64_t> recent_grants_;
+  std::vector<PeriodLedger> ledger_;
+  std::int64_t ledger_last_pool_ = 0;
+  std::int64_t dead_completed_this_period_ = 0;
+  PeriodHook period_hook_;
+  ClientReportHook client_report_hook_;
+  std::function<void(ClientId)> over_reserve_cb_;
+  std::function<void(ClientId)> client_dead_cb_;
+
+  std::unique_ptr<PeriodicTimer> period_timer_;
+  std::unique_ptr<PeriodicTimer> check_timer_;
+};
+
+}  // namespace haechi::runtime

@@ -94,7 +94,15 @@ void HierarchicalTimingWheel::CascadeLevel(int level) {
     const std::uint64_t tick = TickOf(entry.time);
     HAECHI_ASSERT(tick >= cursor_);
     if (tick == cursor_) {
-      PushReady(std::move(entry));
+      // NOT straight to ready_: the level-0 slot for this tick may already
+      // hold wrap-placed entries (scheduled when the cursor was less than
+      // one block behind), and those must sort together with the cascaded
+      // ones in the slot drain — bypassing it would pop this entry before
+      // earlier-timed parked ones.
+      const std::uint64_t slot0 = tick & kSlotMask;
+      slots_[0][slot0].push_back(std::move(entry));
+      SetOccupied(0, slot0);
+      ++in_wheel_;
     } else {
       PlaceInWheel(std::move(entry));
     }
@@ -110,7 +118,14 @@ void HierarchicalTimingWheel::PullOverflow() {
     const std::uint64_t tick = overflow_.begin()->first;
     overflow_.erase(overflow_.begin());
     if (IsDone(entry.id)) continue;
-    if (tick <= cursor_) {
+    if (tick == cursor_) {
+      // Same merge discipline as CascadeLevel: due-now entries join the
+      // level-0 slot so they sort with anything already parked there.
+      const std::uint64_t slot0 = tick & kSlotMask;
+      slots_[0][slot0].push_back(std::move(entry));
+      SetOccupied(0, slot0);
+      ++in_wheel_;
+    } else if (tick < cursor_) {
       PushReady(std::move(entry));
     } else {
       PlaceInWheel(std::move(entry));

@@ -1,0 +1,169 @@
+// Differential test: the discrete-event simulator and the concurrent
+// threaded runtime execute the SAME ExperimentConfig, and both must
+// (a) produce traces that pass the full A1–A9 audit,
+// (b) satisfy the monitor's exact token-conservation ledger identity, and
+// (c) deliver per-client completed-I/O totals that agree within a stated
+//     tolerance band.
+//
+// The threaded backend is wall-clock scheduled, so agreement is
+// statistical, not bitwise: the band below (kRelTolerance of the sim
+// total, floored at two token batches per measured period) absorbs period
+// boundary skew and FAA batch granularity while still catching a runtime
+// whose token accounting leaks or starves a tenant.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/runtime_experiment.hpp"
+#include "obs/audit.hpp"
+#include "obs/trace.hpp"
+
+namespace haechi {
+namespace {
+
+// Both runtimes run this exact workload: four tenants with distinct
+// reservations, demands above reservation (so the global pool and token
+// conversion both matter), aggregate demand inside the profiled capacity.
+harness::ExperimentConfig DiffConfig(std::uint64_t seed) {
+  harness::ExperimentConfig config;
+  config.mode = harness::Mode::kHaechi;
+  config.qos.period = Millis(100);
+  config.qos.token_tick = Millis(2);
+  config.qos.report_interval = Millis(2);
+  config.qos.check_interval = Millis(2);
+  config.qos.token_batch = 50;
+  config.qos.pool_retry_interval = Millis(2);
+  config.qos.faa_end_guard = Millis(20);
+  // Explicit profiled capacities pin BOTH runtimes to the same token
+  // budget: 2000 global / 800 local tokens per 100 ms period.
+  config.profiled_global_iops = 20000;
+  config.profiled_local_iops = 8000;
+  config.records = 4096;
+  config.warmup = Millis(200);  // 2 warm-up periods
+  config.measure_periods = 5;
+  config.seed = seed;
+  config.trace.enabled = true;
+  config.trace.ring_capacity = 1u << 16;
+
+  const std::int64_t reservations[] = {500, 400, 200, 100};
+  const std::int64_t demands[] = {600, 500, 250, 150};
+  for (std::size_t i = 0; i < 4; ++i) {
+    harness::ClientSpec spec;
+    spec.reservation = reservations[i];
+    spec.demand = demands[i];
+    spec.pattern = workload::RequestPattern::kOpenLoop;
+    config.clients.push_back(spec);
+  }
+  return config;
+}
+
+constexpr double kRelTolerance = 0.25;
+
+std::int64_t ToleranceFor(std::int64_t sim_total,
+                          const harness::ExperimentConfig& config) {
+  const auto floor_band = static_cast<std::int64_t>(
+      2 * config.qos.token_batch * config.measure_periods);
+  return std::max<std::int64_t>(
+      floor_band, static_cast<std::int64_t>(
+                      kRelTolerance * static_cast<double>(sim_total)));
+}
+
+void ExpectAuditClean(const obs::Recorder& recorder, const char* runtime,
+                      std::uint64_t seed) {
+  const obs::AuditReport report = obs::AuditTrace(recorder.Merged());
+  for (const auto& v : report.violations) {
+    ADD_FAILURE() << runtime << " seed " << seed << ": " << v.check << ": "
+                  << v.detail;
+  }
+  EXPECT_TRUE(report.ok()) << runtime << " trace failed audit (seed " << seed
+                           << ")";
+  EXPECT_GT(report.guarantee_checks, 0u)
+      << runtime << " audit ran no A9 checks (seed " << seed << ")";
+}
+
+TEST(RuntimeDiffTest, SimAndThreadsAgreeAcrossSeeds) {
+  const std::uint64_t seeds[] = {1, 2, 3, 5, 8, 13, 21, 34};
+  for (const std::uint64_t seed : seeds) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const harness::ExperimentConfig config = DiffConfig(seed);
+
+    harness::Experiment sim_experiment(config);
+    const harness::ExperimentResult sim_result = sim_experiment.Run();
+    ASSERT_NE(sim_experiment.recorder(), nullptr);
+    ExpectAuditClean(*sim_experiment.recorder(), "sim", seed);
+
+    harness::ThreadedExperiment threaded_experiment(config);
+    const harness::ThreadedExperimentResult threaded_result =
+        threaded_experiment.Run();
+    ASSERT_NE(threaded_experiment.recorder(), nullptr);
+    ExpectAuditClean(*threaded_experiment.recorder(), "threads", seed);
+
+    // The monitor's conservation identity is exact in both runtimes:
+    // initial + minted - granted == end_pool for every closed period
+    // (raw-difference telescoping over the shared pool word).
+    for (const auto& ledger : threaded_result.ledger) {
+      if (ledger.period >=
+          threaded_result.monitor_stats.periods) {  // still open
+        continue;
+      }
+      EXPECT_EQ(ledger.initial_pool + ledger.minted - ledger.granted,
+                ledger.end_pool)
+          << "threads ledger period " << ledger.period;
+    }
+
+    ASSERT_EQ(sim_result.series.Clients(), threaded_result.series.Clients());
+    ASSERT_EQ(threaded_result.series.Periods(), config.measure_periods);
+    for (std::uint32_t c = 0; c < config.clients.size(); ++c) {
+      const auto id = MakeClientId(c);
+      const std::int64_t sim_total = sim_result.series.ClientTotal(id);
+      const std::int64_t threaded_total =
+          threaded_result.series.ClientTotal(id);
+      const std::int64_t band = ToleranceFor(sim_total, config);
+      EXPECT_LE(std::abs(sim_total - threaded_total), band)
+          << "client " << c << ": sim=" << sim_total
+          << " threads=" << threaded_total << " band=" << band;
+      // Both runtimes must at least deliver the reservation each measured
+      // period on average (the A9 audit already checks per-period).
+      EXPECT_GE(threaded_total,
+                config.clients[c].reservation *
+                    static_cast<std::int64_t>(config.measure_periods))
+          << "client " << c << " under-served in threads runtime";
+    }
+  }
+}
+
+// Basic Haechi (token conversion off) must also agree: unused reservation
+// tokens are wasted identically in both runtimes.
+TEST(RuntimeDiffTest, BasicModeAgrees) {
+  harness::ExperimentConfig config = DiffConfig(99);
+  config.mode = harness::Mode::kBasicHaechi;
+
+  harness::Experiment sim_experiment(config);
+  const harness::ExperimentResult sim_result = sim_experiment.Run();
+  ASSERT_NE(sim_experiment.recorder(), nullptr);
+  ExpectAuditClean(*sim_experiment.recorder(), "sim", 99);
+
+  harness::ThreadedExperiment threaded_experiment(config);
+  const harness::ThreadedExperimentResult threaded_result =
+      threaded_experiment.Run();
+  ASSERT_NE(threaded_experiment.recorder(), nullptr);
+  ExpectAuditClean(*threaded_experiment.recorder(), "threads", 99);
+
+  EXPECT_EQ(threaded_result.monitor_stats.conversions, 0u);
+  for (std::uint32_t c = 0; c < config.clients.size(); ++c) {
+    const auto id = MakeClientId(c);
+    const std::int64_t sim_total = sim_result.series.ClientTotal(id);
+    const std::int64_t threaded_total = threaded_result.series.ClientTotal(id);
+    EXPECT_LE(std::abs(sim_total - threaded_total),
+              ToleranceFor(sim_total, config))
+        << "client " << c << ": sim=" << sim_total
+        << " threads=" << threaded_total;
+  }
+}
+
+}  // namespace
+}  // namespace haechi

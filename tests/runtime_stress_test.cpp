@@ -1,0 +1,240 @@
+// Concurrency stress tests for the threaded runtime's shared primitives.
+// Designed to run under ThreadSanitizer (the tsan preset / the matrix
+// script's tsan-runtime entry) as well as the default build:
+//
+//   * N worker threads hammer the one global pool word with batched FAAs
+//     while a monitor thread runs conversion CAS loops and period-boundary
+//     exchanges — the raw-difference telescoping identity must hold
+//     EXACTLY (no token minted or lost, ever);
+//   * two writers (client report + monitor prime) collide on one seqlock'd
+//     report slot while readers spin — no torn snapshot may escape;
+//   * Recorder::SetTap install/removal races concurrent emitters — the
+//     PR 3 regression: the old tap must never run after SetTap returns,
+//     and must never be destroyed mid-call.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "runtime/shared_region.hpp"
+#include "runtime/threaded_fabric.hpp"
+
+namespace haechi {
+namespace {
+
+// The paper's step-T3 contention pattern: every worker FAAs -B and clamps
+// its grant to [0, B]; the monitor concurrently re-fills via conversion
+// CAS. Conservation is checked with raw differences, which telescope
+// exactly no matter how the hardware interleaves the atomics:
+//   initial + sum(new - witnessed) - B * total_faas == final.
+TEST(RuntimeStressTest, PoolConservationUnderContendedFaaAndConversion) {
+  constexpr int kWorkers = 8;
+  constexpr int kFaasPerWorker = 40000;
+  constexpr std::int64_t kBatch = 50;
+  constexpr std::int64_t kInitial = 10000;
+
+  runtime::SharedRegion region(1);
+  region.ExchangePool(kInitial);
+
+  std::atomic<bool> start{false};
+  std::atomic<bool> workers_done{false};
+  std::atomic<std::int64_t> total_acquired{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&] {
+      while (!start.load(std::memory_order_acquire)) {}
+      std::int64_t acquired = 0;
+      for (int i = 0; i < kFaasPerWorker; ++i) {
+        const std::int64_t before = region.FetchAddPool(-kBatch);
+        acquired += std::clamp<std::int64_t>(before, 0, kBatch);
+      }
+      total_acquired.fetch_add(acquired, std::memory_order_relaxed);
+    });
+  }
+
+  // The monitor: convert (CAS re-filling the word to a budget) at full
+  // speed until the workers drain, mirroring ConvertTokensLocked's loop.
+  std::int64_t net_minted = 0;
+  std::uint64_t conversions = 0;
+  std::thread monitor([&] {
+    while (!start.load(std::memory_order_acquire)) {}
+    while (!workers_done.load(std::memory_order_acquire)) {
+      const std::int64_t budget = 5000 + static_cast<std::int64_t>(
+                                             conversions % 7) *
+                                             1000;
+      std::int64_t expected = region.LoadPool();
+      while (!region.CasPool(expected, budget)) {}
+      net_minted += budget - expected;
+      ++conversions;
+    }
+  });
+
+  start.store(true, std::memory_order_release);
+  for (auto& worker : workers) worker.join();
+  workers_done.store(true, std::memory_order_release);
+  monitor.join();
+
+  const std::int64_t total_faas =
+      static_cast<std::int64_t>(kWorkers) * kFaasPerWorker;
+  const std::int64_t final_pool = region.LoadPool();
+  EXPECT_EQ(kInitial + net_minted - kBatch * total_faas, final_pool)
+      << "pool word leaked or minted tokens under contention "
+      << "(conversions=" << conversions << ")";
+  EXPECT_GT(conversions, 0u);
+  // Clamped grants can never exceed what was ever made available.
+  EXPECT_LE(total_acquired.load(), kInitial + net_minted +
+                                       kBatch * total_faas);
+}
+
+// The period boundary uses exchange, not load+store: tokens FAA'd between
+// the monitor's read and write must show up in the returned word. A plain
+// load/store pair here loses FAAs — this is what the exchange prevents.
+TEST(RuntimeStressTest, PeriodBoundaryExchangeLosesNoFaa) {
+  constexpr int kRounds = 2000;
+  constexpr std::int64_t kBatch = 10;
+  runtime::SharedRegion region(1);
+  region.ExchangePool(0);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> faas{0};
+  std::thread worker([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      region.FetchAddPool(-kBatch);
+      faas.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Each boundary installs `kRefill` and recovers the previous word; the
+  // recovered values plus the final word must account for every FAA.
+  constexpr std::int64_t kRefill = 100000;
+  std::int64_t recovered_sum = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    recovered_sum += region.ExchangePool(kRefill);
+  }
+  stop.store(true, std::memory_order_release);
+  worker.join();
+  const std::int64_t final_pool = region.LoadPool();
+  const std::int64_t total_faas = faas.load();
+  // Telescoping: sum of recovered words == installed refills minus all
+  // FAA'd tokens minus what's still in the word (give or take the initial
+  // zero): r_1 + ... + r_n + final == kRefill * kRounds - kBatch * faas.
+  EXPECT_EQ(recovered_sum + final_pool,
+            kRefill * static_cast<std::int64_t>(kRounds) -
+                kBatch * total_faas);
+}
+
+// Seqlock slot: the client's report WRITE and the monitor's prime collide
+// on one slot while readers spin. Writers maintain written_at == ~packed,
+// so any torn snapshot is detected immediately.
+TEST(RuntimeStressTest, SeqlockSlotNeverTearsUnderTwoWriters) {
+  constexpr int kWritesPerWriter = 200000;
+  runtime::SharedRegion region(1);
+  runtime::SeqlockSlot& slot = region.slot(0);
+  slot.Write(0, static_cast<SimTime>(~std::uint64_t{0}));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const runtime::SeqlockSlot::Snapshot snap = slot.Read();
+        if (static_cast<std::uint64_t>(snap.written_at) != ~snap.packed) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      // Distinct value streams per writer, all satisfying the invariant.
+      std::uint64_t value = 0x1000000ULL * (w + 1);
+      for (int i = 0; i < kWritesPerWriter; ++i) {
+        ++value;
+        slot.Write(value, static_cast<SimTime>(~value));
+      }
+    });
+  }
+  for (auto& writer : writers) writer.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_EQ(torn.load(), 0u) << "seqlock reader observed a torn snapshot";
+  const runtime::SeqlockSlot::Snapshot last = slot.Read();
+  EXPECT_EQ(static_cast<std::uint64_t>(last.written_at), ~last.packed);
+}
+
+// Regression for the PR 3 Recorder::SetTap data race: installing/removing
+// a tap while emitters stream events must not race the tap's destruction,
+// and after SetTap(nullptr) returns the old callable must never fire.
+TEST(RuntimeStressTest, RecorderTapInstallRemoveRacesEmitters) {
+  constexpr int kEmitters = 4;
+  constexpr int kEventsPerEmitter = 50000;
+  std::atomic<SimTime> fake_now{0};
+  obs::Recorder::Options options;
+  options.ring_capacity = 256;
+  options.preallocate_actors = kEmitters;
+  obs::Recorder recorder(
+      obs::Recorder::ClockFn(
+          [&] { return fake_now.fetch_add(1, std::memory_order_relaxed); }),
+      options);
+
+  std::atomic<bool> start{false};
+  std::vector<std::thread> emitters;
+  for (int e = 0; e < kEmitters; ++e) {
+    emitters.emplace_back([&, e] {
+      while (!start.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < kEventsPerEmitter; ++i) {
+        // One writer per (kind, actor) ring, per the recorder's contract.
+        recorder.EmitAt(static_cast<SimTime>(i), obs::ActorKind::kEngine,
+                        static_cast<std::uint32_t>(e),
+                        obs::EventType::kTokenFetch, 1, i);
+      }
+    });
+  }
+
+  // Tap churn: each generation owns a heap cell the callable writes
+  // through; a tap running after its removal (or freed while running)
+  // is a use-after-free TSan/ASan will catch.
+  std::thread churn([&] {
+    while (!start.load(std::memory_order_acquire)) {}
+    for (int g = 0; g < 500; ++g) {
+      auto hits = std::make_unique<std::atomic<std::uint64_t>>(0);
+      std::atomic<std::uint64_t>* cell = hits.get();
+      recorder.SetTap(
+          [cell](const obs::TraceEvent&) {
+            cell->fetch_add(1, std::memory_order_relaxed);
+          });
+      std::this_thread::yield();
+      recorder.SetTap(nullptr);
+      // SetTap(nullptr) has returned: the callable can no longer run, so
+      // destroying `hits` here must be safe.
+    }
+  });
+
+  start.store(true, std::memory_order_release);
+  for (auto& emitter : emitters) emitter.join();
+  churn.join();
+
+  EXPECT_EQ(recorder.TotalEmitted(),
+            static_cast<std::uint64_t>(kEmitters) * kEventsPerEmitter);
+  // Quiesced: a final tap sees exactly the events emitted after install.
+  std::atomic<std::uint64_t> tail_hits{0};
+  recorder.SetTap([&](const obs::TraceEvent&) { ++tail_hits; });
+  recorder.EmitAt(0, obs::ActorKind::kMonitor, 0,
+                  obs::EventType::kPoolSample, 1, 42);
+  recorder.SetTap(nullptr);
+  recorder.EmitAt(1, obs::ActorKind::kMonitor, 0,
+                  obs::EventType::kPoolSample, 1, 43);
+  EXPECT_EQ(tail_hits.load(), 1u);
+}
+
+}  // namespace
+}  // namespace haechi

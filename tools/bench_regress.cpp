@@ -8,6 +8,11 @@
 // scale/seed/periods the numbers are machine-independent: any drift outside
 // the band is a real behaviour change, not noise.
 //
+// Also gates the concurrent threaded runtime (--runtime=threads): one
+// token-governed ThreadedExperiment is compared against BENCH_runtime.json
+// within a wider band (--runtime-tolerance), since that backend is
+// wall-clock scheduled and agrees statistically, not bitwise.
+//
 // Optionally refreshes BENCH_overhead.json by spawning the bench_overhead
 // binary (--overhead-bin=PATH); that file's tracing-delta percentages are
 // wall-clock based and *not* compared, only regenerated.
@@ -27,6 +32,7 @@
 
 #include "bench/bench_common.hpp"
 #include "common/flags.hpp"
+#include "harness/runtime_experiment.hpp"
 #include "obs/export.hpp"
 
 using namespace haechi;
@@ -42,6 +48,9 @@ flags (all optional):
   --scale=F            capacity scale               [0.02]
   --periods=N          measured periods per figure  [figure default]
   --seed=N             RNG seed                     [42]
+  --runtime-out=PATH   threads-mode gate JSON; empty skips the threaded
+                       run entirely                 [BENCH_runtime.json]
+  --runtime-tolerance=F allowed threads-mode drift  [0.25]
   --overhead-bin=PATH  also run the bench_overhead sweep to refresh
                        BENCH_overhead.json (skips its microbenchmarks)
   --selftest           verify the gate itself: current numbers must pass
@@ -147,6 +156,43 @@ FigureResult RunFig16(const bench::BenchArgs& args) {
           (1.0 - after / std::max(before, 1.0)) * 100.0, "step_drop_pct"};
 }
 
+/// Threads-mode gate figure: the concurrent runtime executes a fixed
+/// 4-tenant Haechi workload against explicit profiled capacities, so its
+/// throughput is token-governed (2000 global tokens per 100 ms period),
+/// not machine-governed. The wide --runtime-tolerance band absorbs
+/// wall-clock scheduling noise; a token leak or a starved tenant lands
+/// far outside it.
+FigureResult RunRuntimeThreads(std::uint64_t seed) {
+  harness::ExperimentConfig config;
+  config.mode = harness::Mode::kHaechi;
+  config.qos.period = Millis(100);
+  config.qos.token_tick = Millis(2);
+  config.qos.report_interval = Millis(2);
+  config.qos.check_interval = Millis(2);
+  config.qos.token_batch = 50;
+  config.qos.pool_retry_interval = Millis(2);
+  config.qos.faa_end_guard = Millis(20);
+  config.profiled_global_iops = 20000;
+  config.profiled_local_iops = 8000;
+  config.records = 4096;
+  config.warmup = Millis(100);
+  config.measure_periods = 4;
+  config.seed = seed;
+  const std::int64_t reservations[] = {500, 400, 200, 100};
+  const std::int64_t demands[] = {600, 500, 250, 150};
+  for (std::size_t i = 0; i < 4; ++i) {
+    harness::ClientSpec spec;
+    spec.reservation = reservations[i];
+    spec.demand = demands[i];
+    spec.pattern = workload::RequestPattern::kOpenLoop;
+    config.clients.push_back(spec);
+  }
+  harness::ThreadedExperiment experiment(std::move(config));
+  const harness::ThreadedExperimentResult result = experiment.Run();
+  return {"runtime_threads_haechi", result.total_kiops,
+          ToSeconds(result.wall_time), "wall_seconds"};
+}
+
 std::string ToJson(const std::vector<FigureResult>& figures, double scale,
                    double tolerance, std::uint64_t seed) {
   std::string out = "{\n  \"bench\": \"qos_regress\",\n";
@@ -230,8 +276,9 @@ int SelfTest(const std::vector<FigureResult>& figures, double scale,
 int Run(int argc, const char* const* argv) {
   auto parsed = Flags::Parse(argc, argv,
                              {"out", "baseline", "tolerance", "scale",
-                              "periods", "seed", "overhead-bin", "selftest",
-                              "help"});
+                              "periods", "seed", "runtime-out",
+                              "runtime-tolerance", "overhead-bin",
+                              "selftest", "help"});
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.status().ToString().c_str(),
                  kUsage);
@@ -275,6 +322,34 @@ int Run(int argc, const char* const* argv) {
   std::fwrite(json.data(), 1, json.size(), file);
   std::fclose(file);
   std::printf("wrote %s\n", out_path.c_str());
+
+  // Threads-mode gate (--runtime=threads backend), in its own JSON with
+  // its own (wider) tolerance since the runtime is wall-clock scheduled.
+  const std::string runtime_out =
+      flags.GetString("runtime-out", "BENCH_runtime.json");
+  if (!runtime_out.empty()) {
+    const double runtime_tolerance =
+        flags.GetDouble("runtime-tolerance", 0.25);
+    const std::vector<FigureResult> runtime_figures = {
+        RunRuntimeThreads(seed)};
+    const auto runtime_baseline = obs::ReadFileToString(runtime_out);
+    if (runtime_baseline.ok()) {
+      regressions += Compare(runtime_figures, runtime_baseline.value(),
+                             runtime_tolerance);
+    } else {
+      std::printf("no baseline at %s; seeding it\n", runtime_out.c_str());
+    }
+    const std::string runtime_json =
+        ToJson(runtime_figures, 1.0, runtime_tolerance, seed);
+    std::FILE* runtime_file = std::fopen(runtime_out.c_str(), "wb");
+    if (runtime_file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", runtime_out.c_str());
+      return 2;
+    }
+    std::fwrite(runtime_json.data(), 1, runtime_json.size(), runtime_file);
+    std::fclose(runtime_file);
+    std::printf("wrote %s\n", runtime_out.c_str());
+  }
 
   const std::string overhead_bin = flags.GetString("overhead-bin", "");
   if (!overhead_bin.empty()) {

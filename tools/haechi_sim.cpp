@@ -18,6 +18,7 @@
 
 #include "common/flags.hpp"
 #include "harness/experiment.hpp"
+#include "harness/runtime_experiment.hpp"
 #include "stats/csv.hpp"
 #include "stats/table.hpp"
 #include "workload/distributions.hpp"
@@ -30,6 +31,10 @@ constexpr const char* kUsage = R"(haechi_sim - run one Haechi QoS experiment
 
 flags (all optional):
   --mode=haechi|basic|bare   QoS mechanism            [haechi]
+  --runtime=sim|threads      backend: discrete-event simulator, or real
+                             threads on shared memory (wall-clock; results
+                             are statistically, not bitwise, reproducible;
+                             haechi/basic modes only)                 [sim]
   --clients=N                number of clients        [10]
   --distribution=uniform|zipf|spike   reservations    [zipf]
   --reserved-pct=P           % of capacity reserved   [90]
@@ -54,10 +59,37 @@ flags (all optional):
   --progress-events=N        stderr heartbeat every N simulator events
 )";
 
+/// Prints the per-client summary table shared by both runtimes; returns
+/// the number of clients whose minimum per-period completions met their
+/// reservation.
+int PrintClientTable(const stats::PeriodSeries& series,
+                     const std::vector<std::int64_t>& reservations,
+                     std::size_t periods, double scale) {
+  stats::Table table({"client", "reservation", "mean/period", "min/period",
+                      "SLO"});
+  int met = 0;
+  for (std::uint32_t c = 0; c < reservations.size(); ++c) {
+    const auto id = MakeClientId(c);
+    const double mean = static_cast<double>(series.ClientTotal(id)) /
+                        static_cast<double>(periods);
+    const auto min = series.ClientMinPerPeriod(id);
+    const bool ok = min >= reservations[c] * 98 / 100;
+    met += ok;
+    auto norm = [&](double v) {
+      return stats::Table::Num(v / 1e3 / scale);
+    };
+    table.AddRow({"C" + std::to_string(c + 1),
+                  norm(static_cast<double>(reservations[c])), norm(mean),
+                  norm(static_cast<double>(min)), ok ? "met" : "MISSED"});
+  }
+  table.Print();
+  return met;
+}
+
 int Run(int argc, const char* const* argv) {
   auto parsed = Flags::Parse(
       argc, argv,
-      {"mode", "clients", "distribution", "reserved-pct", "pattern",
+      {"mode", "runtime", "clients", "distribution", "reserved-pct", "pattern",
        "write-fraction", "demand-factor", "limit-factor", "periods",
        "warmup-seconds", "scale", "seed", "background-pct", "csv",
        "trace-out", "trace-detail", "metrics-out", "alerts-out",
@@ -188,6 +220,66 @@ int Run(int argc, const char* const* argv) {
 
   const auto periods = config.measure_periods;
   const auto scale = config.net.capacity_scale;
+  const std::string csv_path_flag = flags.GetString("csv", "");
+  const std::string trace_path_flag = flags.GetString("trace-out", "");
+
+  const std::string runtime = flags.GetString("runtime", "sim");
+  if (runtime == "threads") {
+    if (config.mode == harness::Mode::kBare) {
+      std::fprintf(stderr,
+                   "--runtime=threads supports --mode=haechi|basic only\n");
+      return 2;
+    }
+    if (config.background_demand > 0) {
+      std::fprintf(stderr,
+                   "--runtime=threads does not support --background-pct\n");
+      return 2;
+    }
+    if (!alerts_out.empty() || status_interval > 0) {
+      std::fprintf(stderr,
+                   "warning: the SLO watchdog only runs on --runtime=sim; "
+                   "--alerts-out/--status-interval are ignored\n");
+    }
+    config.watchdog = {};
+    // The threaded fabric has no analytic model: feed it the sim model's
+    // calibrated capacities so both runtimes run the same token budget.
+    config.profiled_global_iops = config.net.GlobalCapacityIops();
+    config.profiled_local_iops = config.net.LocalCapacityIops();
+    harness::ThreadedExperiment experiment(std::move(config));
+    harness::ThreadedExperimentResult result = experiment.Run();
+
+    std::printf("mode=%s runtime=threads distribution=%s clients=%zu "
+                "capacity=%.0f KIOPS (full-scale equivalent)\n\n",
+                mode.c_str(), distribution.c_str(), clients,
+                static_cast<double>(cap) / 1e3 / scale);
+    const int met =
+        PrintClientTable(result.series, result.reservations, periods, scale);
+    std::printf("\ntotal %.0f KIOPS; reservations met %d/%zu; "
+                "wall %.2fs\n",
+                result.total_kiops / scale, met, result.reservations.size(),
+                ToSeconds(result.wall_time));
+    if (!csv_path_flag.empty()) {
+      const Status s =
+          stats::SeriesToCsv(result.series).WriteFile(csv_path_flag);
+      if (!s.ok()) {
+        std::fprintf(stderr, "csv export failed: %s\n",
+                     s.ToString().c_str());
+        return 1;
+      }
+      std::printf("per-period series written to %s\n", csv_path_flag.c_str());
+    }
+    if (!trace_path_flag.empty()) {
+      std::printf(
+          "trace written to %s (audit with: haechi_audit --trace=%s)\n",
+          trace_path_flag.c_str(), trace_path_flag.c_str());
+    }
+    return 0;
+  }
+  if (runtime != "sim") {
+    std::fprintf(stderr, "unknown --runtime=%s\n%s", runtime.c_str(), kUsage);
+    return 2;
+  }
+
   harness::Experiment experiment(std::move(config));
   const std::int64_t progress_events = flags.GetInt("progress-events", 0);
   if (progress_events > 0) {
@@ -204,30 +296,13 @@ int Run(int argc, const char* const* argv) {
               "capacity=%.0f KIOPS (full-scale equivalent)\n\n",
               mode.c_str(), distribution.c_str(), pattern.c_str(), clients,
               static_cast<double>(cap) / 1e3 / scale);
-  stats::Table table({"client", "reservation", "mean/period", "min/period",
-                      "SLO"});
-  int met = 0;
-  for (std::uint32_t c = 0; c < reservations.size(); ++c) {
-    const auto id = MakeClientId(c);
-    const double mean = static_cast<double>(result.series.ClientTotal(id)) /
-                        static_cast<double>(periods);
-    const auto min = result.series.ClientMinPerPeriod(id);
-    const bool ok = min >= result.reservations[c] * 98 / 100;
-    met += ok;
-    auto norm = [&](double v) {
-      return stats::Table::Num(v / 1e3 / scale);
-    };
-    table.AddRow({"C" + std::to_string(c + 1),
-                  norm(static_cast<double>(result.reservations[c])),
-                  norm(mean), norm(static_cast<double>(min)),
-                  ok ? "met" : "MISSED"});
-  }
-  table.Print();
+  const int met =
+      PrintClientTable(result.series, result.reservations, periods, scale);
   std::printf("\ntotal %.0f KIOPS; reservations met %d/%zu; events %llu\n",
               result.total_kiops / scale, met, reservations.size(),
               static_cast<unsigned long long>(result.events_run));
 
-  const std::string csv_path = flags.GetString("csv", "");
+  const std::string csv_path = csv_path_flag;
   if (!csv_path.empty()) {
     const Status s = stats::SeriesToCsv(result.series).WriteFile(csv_path);
     if (!s.ok()) {

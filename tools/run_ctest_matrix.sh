@@ -8,9 +8,16 @@
 #
 #   tools/run_ctest_matrix.sh              # the whole matrix
 #   tools/run_ctest_matrix.sh asan         # one preset
+#   tools/run_ctest_matrix.sh tsan-runtime # focused entry: the tsan preset
+#                                          # restricted to the concurrent
+#                                          # runtime tests (runtime_diff,
+#                                          # runtime_stress) — the quick
+#                                          # gate for src/runtime changes
 #   JOBS=8 tools/run_ctest_matrix.sh       # override parallelism
 #   BENCH=1 tools/run_ctest_matrix.sh      # also run the bench regression
-#                                          # gate (tools/bench_regress)
+#                                          # gates (tools/bench_regress:
+#                                          # BENCH_qos.json sim figures +
+#                                          # BENCH_runtime.json threads run)
 #
 # Exits non-zero on the first failing preset (or a bench regression).
 set -euo pipefail
@@ -24,12 +31,21 @@ fi
 JOBS="${JOBS:-$(nproc)}"
 
 for preset in "${PRESETS[@]}"; do
+  # tsan-runtime is a focused alias, not a CMake preset: build the tsan
+  # preset but run only the concurrent-runtime tests.
+  config_preset="$preset"
+  ctest_args=()
+  if [[ "$preset" == "tsan-runtime" ]]; then
+    config_preset=tsan
+    ctest_args=(-R 'runtime_(diff|stress)')
+  fi
   echo "==== [$preset] configure ===="
-  cmake --preset "$preset"
+  cmake --preset "$config_preset"
   echo "==== [$preset] build ===="
-  cmake --build --preset "$preset" -j "$JOBS"
+  cmake --build --preset "$config_preset" -j "$JOBS"
   echo "==== [$preset] ctest ===="
-  ctest --preset "$preset" -j "$JOBS"
+  ctest --preset "$config_preset" -j "$JOBS" --no-tests=error \
+    "${ctest_args[@]}"
 done
 
 # Opt-in bench regression gate: re-runs the deterministic figure suite and
