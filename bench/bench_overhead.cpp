@@ -7,10 +7,12 @@
 // flight recorder on vs off and writes the ratios to BENCH_overhead.json.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -199,28 +201,65 @@ BENCHMARK(BM_HistogramQuantile);
 
 // --- concurrent runtime primitives ------------------------------------------
 
-/// One global pool word shared by all benchmark threads, like the monitor's
-/// region in --runtime=threads. Re-primed by thread 0 each run so the word
-/// never goes deeply negative across Threads() sweeps.
-runtime::SharedRegion& BenchRegion() {
-  static runtime::SharedRegion region(1);
-  return region;
+/// One shared pool region per shard count, like the monitor's region in
+/// --runtime=threads. Re-primed by thread 0 each run so no word ever goes
+/// deeply negative across Threads() sweeps.
+runtime::SharedRegion& BenchRegion(std::size_t shards) {
+  static runtime::SharedRegion region1(1, 1);
+  static runtime::SharedRegion region4(1, 4);
+  static runtime::SharedRegion region8(1, 8);
+  switch (shards) {
+    case 4:
+      return region4;
+    case 8:
+      return region8;
+    default:
+      return region1;
+  }
 }
 
 void BM_RuntimePoolFaaContended(benchmark::State& state) {
   // Step T3 under contention: every client thread FAAs -B on the same
-  // cache line. This is the hot word of the whole threaded runtime.
-  runtime::SharedRegion& region = BenchRegion();
+  // cache line. This was the hot word of the whole threaded runtime
+  // before sharding; the single-word arm is the baseline the sharded
+  // benchmark below is measured against.
+  runtime::SharedRegion& region = BenchRegion(1);
   if (state.thread_index() == 0) {
-    region.ExchangePool(std::int64_t{1} << 60);
+    region.ExchangePool(0, std::int64_t{1} << 60);
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(region.FetchAddPool(-50));
+    benchmark::DoNotOptimize(region.FetchAddPool(0, -50));
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RuntimePoolFaaContended)
     ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_RuntimePoolFaaSharded(benchmark::State& state) {
+  // The sharded pool: each thread homes on shard (thread % K) exactly like
+  // engine slots do, so K >= threads means zero FAA contention and the
+  // sharded-vs-single-word ratio is the win the rebalancer pays for.
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  runtime::SharedRegion& region = BenchRegion(shards);
+  const std::size_t home =
+      static_cast<std::size_t>(state.thread_index()) % shards;
+  if (state.thread_index() == 0) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      region.ExchangePool(s, std::int64_t{1} << 60);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(region.FetchAddPool(home, -50));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RuntimePoolFaaSharded)
+    ->ArgNames({"shards"})
+    ->Args({4})
+    ->Args({8})
     ->Threads(4)
     ->Threads(8)
     ->UseRealTime();
@@ -252,6 +291,70 @@ void BM_RuntimeSeqlockRead(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RuntimeSeqlockRead);
+
+/// The pre-padding 16-byte report slot layout: four of these share one
+/// cache line, so neighbouring clients' report writes false-share. Kept
+/// here (not in shared_region.hpp) purely as the packed arm of the
+/// padded-vs-packed microbenchmark.
+struct PackedReportSlot {
+  std::atomic<std::uint32_t> seq{0};
+  std::atomic<std::uint64_t> packed{0};
+  std::atomic<SimTime> written_at{0};
+
+  void Write(std::uint64_t value, SimTime at) {
+    std::uint32_t s = seq.load(std::memory_order_relaxed);
+    while ((s & 1u) != 0 ||
+           !seq.compare_exchange_weak(s, s + 1, std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+      s = seq.load(std::memory_order_relaxed);
+    }
+    packed.store(value, std::memory_order_relaxed);
+    written_at.store(at, std::memory_order_relaxed);
+    seq.store(s + 2, std::memory_order_release);
+  }
+};
+static_assert(sizeof(PackedReportSlot) <= 24,
+              "the packed arm must keep multiple slots per cache line");
+
+void BM_RuntimeSeqlockNeighborWritesPacked(benchmark::State& state) {
+  // N clients publishing reports into *adjacent packed* slots: every write
+  // bounces the shared line between cores.
+  static PackedReportSlot slots[16];
+  PackedReportSlot& mine =
+      slots[static_cast<std::size_t>(state.thread_index()) % 16];
+  std::uint32_t period = 0;
+  for (auto _ : state) {
+    ++period;
+    mine.Write(core::PackReport(period, 123456, 654321),
+               static_cast<SimTime>(period));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RuntimeSeqlockNeighborWritesPacked)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_RuntimeSeqlockNeighborWritesPadded(benchmark::State& state) {
+  // The shipped layout: SeqlockSlot is padded to 64 bytes, so the same
+  // adjacent-writer pattern touches one private line per client.
+  static runtime::SharedRegion region(1);
+  runtime::SeqlockSlot& mine =
+      region.slot(static_cast<std::size_t>(state.thread_index()) % 16);
+  std::uint32_t period = 0;
+  for (auto _ : state) {
+    ++period;
+    mine.Write(core::PackReport(period, 123456, 654321),
+               static_cast<SimTime>(period));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RuntimeSeqlockNeighborWritesPadded)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
 
 // --- flight recorder --------------------------------------------------------
 
@@ -340,8 +443,64 @@ OverheadRun MeasureOverhead(std::int64_t token_batch, bool tracing) {
   return run;
 }
 
+// --- hand-rolled runtime micro measurements (into the JSON) -----------------
+// The google benchmarks above give the interactive view; these feed the
+// same two contrasts (sharded-vs-single-word FAA, padded-vs-packed seqlock
+// writes) into BENCH_overhead.json so the bench_regress --overhead-bin
+// refresh captures them without running the google-benchmark suite. Pure
+// wall-clock numbers: regenerated, never gate-compared.
+
+/// Runs `op(thread_index)` iters-per-thread times on `threads` threads and
+/// returns mean wall nanoseconds per op.
+template <typename Fn>
+double MeasureThreadedNsPerOp(int threads, std::int64_t iters_per_thread,
+                              Fn&& op) {
+  std::atomic<bool> start{false};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      while (!start.load(std::memory_order_acquire)) {}
+      for (std::int64_t i = 0; i < iters_per_thread; ++i) op(t);
+    });
+  }
+  const auto begin = std::chrono::steady_clock::now();
+  start.store(true, std::memory_order_release);
+  for (auto& thread : pool) thread.join();
+  const auto end = std::chrono::steady_clock::now();
+  const double ns =
+      std::chrono::duration<double, std::nano>(end - begin).count();
+  return ns / static_cast<double>(iters_per_thread * threads);
+}
+
+double MeasureFaaNsPerOp(std::size_t shards, int threads) {
+  runtime::SharedRegion region(1, shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    region.ExchangePool(s, std::int64_t{1} << 60);
+  }
+  return MeasureThreadedNsPerOp(threads, 1'000'000, [&](int t) {
+    region.FetchAddPool(static_cast<std::size_t>(t) % shards, -50);
+  });
+}
+
+double MeasureSeqlockWriteNsPerOp(bool padded, int threads) {
+  if (padded) {
+    static runtime::SharedRegion region(1);
+    return MeasureThreadedNsPerOp(threads, 1'000'000, [&](int t) {
+      region.slot(static_cast<std::size_t>(t) % 16)
+          .Write(core::PackReport(1, 10, 20), 1);
+    });
+  }
+  static PackedReportSlot packed[16];
+  return MeasureThreadedNsPerOp(threads, 1'000'000, [&](int t) {
+    packed[static_cast<std::size_t>(t) % 16].Write(
+        core::PackReport(1, 10, 20), 1);
+  });
+}
+
 /// Sweeps B in {1, 10, 100, 1000} with the recorder off then on and writes
-/// the machine-readable summary the overhead contract is checked against.
+/// the machine-readable summary the overhead contract is checked against —
+/// plus the sharded-FAA and seqlock-padding micro numbers.
 int WriteOverheadJson(const std::string& path) {
   std::vector<OverheadRun> runs;
   for (const std::int64_t batch : {1, 10, 100, 1000}) {
@@ -380,7 +539,35 @@ int WriteOverheadJson(const std::string& path) {
                  static_cast<long long>(runs[i].token_batch),
                  off > 0.0 ? (off - on) / off * 100.0 : 0.0);
   }
-  std::fprintf(out, "}\n}\n");
+  std::fprintf(out, "},\n");
+
+  // Sharded-vs-single-word pool FAA and padded-vs-packed seqlock report
+  // writes (wall ns/op; informational, not gate-compared).
+  std::fprintf(out, "  \"pool_faa_ns_per_op\": [\n");
+  const std::size_t shard_counts[] = {1, 4, 8};
+  const int thread_counts[] = {1, 4, 8};
+  bool first = true;
+  for (const std::size_t shards : shard_counts) {
+    for (const int threads : thread_counts) {
+      std::fprintf(out, "%s    {\"shards\": %zu, \"threads\": %d, "
+                        "\"ns_per_op\": %.1f}",
+                   first ? "" : ",\n", shards, threads,
+                   MeasureFaaNsPerOp(shards, threads));
+      first = false;
+    }
+  }
+  std::fprintf(out, "\n  ],\n  \"seqlock_write_ns_per_op\": [\n");
+  first = true;
+  for (const bool padded : {false, true}) {
+    for (const int threads : thread_counts) {
+      std::fprintf(out, "%s    {\"layout\": \"%s\", \"threads\": %d, "
+                        "\"ns_per_op\": %.1f}",
+                   first ? "" : ",\n", padded ? "padded" : "packed", threads,
+                   MeasureSeqlockWriteNsPerOp(padded, threads));
+      first = false;
+    }
+  }
+  std::fprintf(out, "\n  ]\n}\n");
   std::fclose(out);
   std::printf("tracing overhead sweep written to %s\n", path.c_str());
   return 0;

@@ -36,6 +36,21 @@ struct QosConfig {
   /// breaking Algorithm 1's full-consumption (U == Omega) signal.
   SimDuration faa_end_guard = Millis(2);
 
+  /// Number of shards the global token pool is split across (threaded
+  /// runtime only; the simulator models one remote word). Each client FAAs
+  /// its home shard (slot % pool_shards) and probes the others only when
+  /// the home shard runs dry; the monitor provisions, converts and samples
+  /// per shard and rebalances surplus between shards on its check tick.
+  /// All ledger identities hold on the shard *sum*. 1 = the paper's single
+  /// contended word.
+  std::int64_t pool_shards = 1;
+
+  /// Token-fetch chain length: one remote FAA draws
+  /// token_batch * fetch_batch tokens, amortising the atomic (and, on a
+  /// real NIC, the doorbell) over a chain of requests. 1 = the paper's
+  /// per-batch FAA. Threaded runtime only; the simulator ignores it.
+  std::int64_t fetch_batch = 1;
+
   /// Capacity-estimation increment eta (tokens/period). 0 = derive as
   /// eta_fraction of the profiled capacity.
   std::int64_t eta = 0;

@@ -55,6 +55,11 @@ class QosMonitor {
     std::int64_t reclaimed_tokens = 0;
     /// Half-lease ReportRequest retransmissions to silent clients.
     std::uint64_t report_request_resends = 0;
+    /// Sharded-pool rebalance passes that moved tokens, and the tokens
+    /// moved (threaded runtime only; always 0 with one shard / in the
+    /// simulator, which models a single remote word).
+    std::uint64_t rebalances = 0;
+    std::int64_t rebalanced_tokens = 0;
   };
 
   /// Per-period token ledger, one entry per started period. All fields are

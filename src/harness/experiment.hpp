@@ -73,6 +73,11 @@ struct ExperimentConfig {
   std::size_t measure_periods = 30;
   std::uint64_t seed = 42;
 
+  /// Threaded runtime only: worker threads multiplexing the client I/O
+  /// loops (clients are assigned round-robin). 0 = one worker per client.
+  /// The simulator ignores this.
+  std::size_t runtime_workers = 0;
+
   workload::KeyChooser::Kind key_kind =
       workload::KeyChooser::Kind::kUniformRandom;
   double key_theta = 0.99;

@@ -4,8 +4,10 @@
 #include <array>
 #include <chrono>
 #include <condition_variable>
+#include <limits>
 #include <mutex>
 #include <span>
+#include <thread>
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
@@ -35,15 +37,33 @@ ThreadedExperiment::ThreadedExperiment(ExperimentConfig config)
   HAECHI_EXPECTS(config_.mode != Mode::kBare);
   HAECHI_EXPECTS(config_.io_path == IoPath::kOneSided);
   HAECHI_EXPECTS(config_.faults.Empty());
-  HAECHI_EXPECTS(config_.client_faults.empty());
+  // Crash-only client faults are supported; restarts (re-admission under
+  // fresh QPs) remain a simulator feature.
+  for (const auto& fault : config_.client_faults) {
+    HAECHI_EXPECTS(fault.client < config_.clients.size());
+    HAECHI_EXPECTS(fault.restart_at == kSimTimeMax);
+  }
   HAECHI_EXPECTS(config_.background_demand == 0);
   HAECHI_EXPECTS(!config_.watchdog.enabled &&
                  config_.watchdog.alerts_out.empty() &&
                  config_.watchdog.status_interval == 0);
   HAECHI_EXPECTS(config_.qos.period > 0);
+  HAECHI_EXPECTS(config_.qos.pool_shards >= 1 &&
+                 config_.qos.pool_shards <=
+                     static_cast<std::int64_t>(
+                         runtime::SharedRegion::kMaxShards));
+  HAECHI_EXPECTS(config_.qos.fetch_batch >= 1);
   warmup_periods_ = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::max<SimDuration>(config_.warmup, 0) /
                                   config_.qos.period));
+  worker_count_ = config_.runtime_workers == 0
+                      ? config_.clients.size()
+                      : std::min(config_.runtime_workers,
+                                 config_.clients.size());
+  crash_at_.assign(config_.clients.size(), kSimTimeMax);
+  for (const auto& fault : config_.client_faults) {
+    crash_at_[fault.client] = std::min(crash_at_[fault.client], fault.crash_at);
+  }
 }
 
 ThreadedExperiment::~ThreadedExperiment() {
@@ -58,31 +78,112 @@ ThreadedExperiment::~ThreadedExperiment() {
   if (monitor_) monitor_->Stop();
 }
 
-void ThreadedExperiment::WorkerLoop(std::size_t index) {
-  runtime::ThreadedEngine& engine = *engines_[index];
-  const ClientSpec& spec = config_.clients[index];
-  const std::size_t port = ports_[index];
-  std::vector<std::int64_t>& completed = completions_[index];
-  std::uint64_t key_state =
-      config_.seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL * (index + 1);
+void ThreadedExperiment::WorkerLoop(std::size_t worker) {
+  using Grant = runtime::ThreadedEngine::Grant;
+  // One token-acquisition chain per TryAcquireBatch call: long enough to
+  // amortise the two engine-mutex acquisitions (acquire + completion) over
+  // a run of 4 KB reads, short enough that one client cannot monopolise
+  // its worker while siblings wait.
+  constexpr std::int64_t kChain = 64;
+
+  struct ClientState {
+    std::size_t index = 0;
+    std::uint32_t period = 0;     // period being worked; 0 = not started
+    std::int64_t remaining = 0;   // demand left in `period`
+    bool active = true;
+    std::uint64_t key_state = 0;
+  };
+  std::vector<ClientState> owned;
+  for (std::size_t i = worker; i < config_.clients.size();
+       i += worker_count_) {
+    ClientState st;
+    st.index = i;
+    st.key_state = config_.seed * 0x9E3779B97F4A7C15ULL +
+                   0xD1B54A32D192ED03ULL * (i + 1);
+    owned.push_back(st);
+  }
+  const auto demand_of = [&](std::size_t i) {
+    return config_.clients[i].demand > 0
+               ? config_.clients[i].demand
+               : std::numeric_limits<std::int64_t>::max();
+  };
   std::array<std::byte, runtime::SharedRegion::kRecordBytes> buf{};
 
-  std::uint32_t p = engine.AwaitPeriodAfter(0);
-  while (p != 0) {
-    // demand <= 0 means pure closed loop: read until the period rolls over.
-    std::int64_t remaining =
-        spec.demand > 0 ? spec.demand : std::numeric_limits<std::int64_t>::max();
-    while (remaining > 0) {
-      const runtime::ThreadedEngine::Grant grant = engine.AcquireToken(p);
-      if (grant == runtime::ThreadedEngine::Grant::kStopped) return;
-      if (grant == runtime::ThreadedEngine::Grant::kPeriodOver) break;
-      fabric_->PostRecordRead(port, NextKey(key_state) % config_.records,
-                              std::span<std::byte>(buf));
-      engine.OnIoCompleted();
-      if (p < completed.size()) ++completed[p];
-      --remaining;
+  std::size_t active_count = owned.size();
+  while (active_count > 0) {
+    bool progress = false;
+    for (ClientState& st : owned) {
+      if (!st.active) continue;
+      runtime::ThreadedEngine& engine = *engines_[st.index];
+      const auto deactivate = [&] {
+        st.active = false;
+        --active_count;
+      };
+      if (crash_at_[st.index] != kSimTimeMax &&
+          clock_.Now() >= crash_at_[st.index]) {
+        // Scripted crash: the engine dies silently mid-period (no final
+        // report); the monitor's lease reclaims its residual claim.
+        if (recorder_ != nullptr) {
+          recorder_->EmitAt(clock_.Now(), ActorKind::kHarness,
+                            static_cast<std::uint32_t>(st.index),
+                            EventType::kClientCrash, 0);
+        }
+        engine.Stop();
+        deactivate();
+        progress = true;
+        continue;
+      }
+      const auto advance_period = [&]() {
+        if (engine.Stopped()) {
+          deactivate();
+          return;
+        }
+        const std::uint32_t p = engine.CurrentPeriod();
+        if (p != 0 && p != st.period) {
+          st.period = p;
+          st.remaining = demand_of(st.index);
+          progress = true;
+        }
+      };
+      if (st.period == 0 || st.remaining <= 0) {
+        // Not started yet, or this period's demand is satisfied: check for
+        // the next period without parking (the pool serves other clients).
+        advance_period();
+        continue;
+      }
+      const runtime::ThreadedEngine::Batch batch = engine.TryAcquireBatch(
+          st.period, std::min<std::int64_t>(st.remaining, kChain));
+      switch (batch.status) {
+        case Grant::kStopped:
+          deactivate();
+          break;
+        case Grant::kPeriodOver:
+          advance_period();
+          break;
+        case Grant::kNotReady:
+          break;  // throttled / empty pool / end guard: service siblings
+        case Grant::kToken: {
+          for (std::int64_t k = 0; k < batch.count; ++k) {
+            fabric_->PostRecordRead(ports_[st.index],
+                                    NextKey(st.key_state) % config_.records,
+                                    std::span<std::byte>(buf));
+          }
+          engine.OnIoCompleted(batch.count);
+          std::vector<std::int64_t>& completed = completions_[st.index];
+          if (st.period < completed.size()) {
+            completed[st.period] += batch.count;
+          }
+          st.remaining -= batch.count;
+          progress = true;
+          break;
+        }
+      }
     }
-    p = engine.AwaitPeriodAfter(p);
+    if (!progress && active_count > 0) {
+      // Every owned client is parked (pre-start, throttled, or awaiting
+      // the next period): yield the CPU briefly instead of spinning.
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
   }
 }
 
@@ -122,7 +223,8 @@ ThreadedExperimentResult ThreadedExperiment::Run() {
   HAECHI_EXPECTS(config_.profiled_global_iops > 0);
   HAECHI_EXPECTS(config_.profiled_local_iops > 0);
 
-  fabric_ = std::make_unique<runtime::ThreadedFabric>(clock_, config_.records);
+  fabric_ = std::make_unique<runtime::ThreadedFabric>(
+      clock_, config_.records, static_cast<std::size_t>(qos.pool_shards));
   monitor_ = std::make_unique<runtime::ThreadedMonitor>(
       clock_, recorder_.get(), qos, *fabric_, config_.profiled_global_iops,
       config_.profiled_local_iops);
@@ -176,8 +278,8 @@ ThreadedExperimentResult ThreadedExperiment::Run() {
     }
   });
 
-  for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  for (std::size_t w = 0; w < worker_count_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
   }
   monitor_->Start();
 

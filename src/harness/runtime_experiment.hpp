@@ -1,15 +1,20 @@
 // Concurrent-runtime experiment assembly: the threaded twin of Experiment.
 //
 // Maps the same ExperimentConfig onto src/runtime/ — a ThreadedFabric
-// (process-shared memory region), a ThreadedMonitor on wall-clock timers,
-// and one worker thread per client driving a closed-loop 4 KB record-read
-// workload through its ThreadedEngine. Used by `haechi_sim
+// (process-shared memory region, pool sharded per qos.pool_shards), a
+// ThreadedMonitor on wall-clock timers, and a pool of N worker threads
+// (config.runtime_workers; 0 = one per client) multiplexing the clients'
+// 4 KB record-read loops through their ThreadedEngines via the
+// non-blocking TryAcquireBatch event loop. Used by `haechi_sim
 // --runtime=threads` and the runtime differential tests.
 //
-// Scope: the threaded backend runs the QoS protocol proper. Features that
-// belong to the simulated cluster — fault plans, scripted client crashes,
-// background traffic, the two-sided I/O path, bare mode, the SLO watchdog
-// tap — are rejected up front (HAECHI_EXPECTS) rather than half-supported.
+// Scope: the threaded backend runs the QoS protocol proper. Scripted
+// *crash-only* client faults are supported (the engine stops silently at
+// crash_at; the monitor's report lease reclaims the residual). Features
+// that belong to the simulated cluster — fabric fault plans, client
+// restarts, background traffic, the two-sided I/O path, bare mode, the
+// SLO watchdog tap — are rejected up front (HAECHI_EXPECTS) rather than
+// half-supported.
 //
 // Determinism caveat: results are statistically, not bitwise, reproducible.
 // The same config and seed produce the same admitted reservations and the
@@ -72,18 +77,24 @@ class ThreadedExperiment {
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
 
  private:
-  void WorkerLoop(std::size_t index);
+  void WorkerLoop(std::size_t worker);
 
   ExperimentConfig config_;
   std::size_t warmup_periods_ = 0;
+  /// Worker threads in the pool; clients are owned round-robin
+  /// (client i belongs to worker i % worker_count_), which keeps each
+  /// completions_ row single-writer.
+  std::size_t worker_count_ = 0;
   runtime::Clock clock_;
   std::unique_ptr<obs::Recorder> recorder_;
   std::unique_ptr<runtime::ThreadedFabric> fabric_;
   std::unique_ptr<runtime::ThreadedMonitor> monitor_;
   std::vector<std::unique_ptr<runtime::ThreadedEngine>> engines_;
   std::vector<std::size_t> ports_;
-  /// completions_[client][period] — written only by that client's worker
-  /// thread, read by Run() after the join.
+  /// Scripted crash time per client (kSimTimeMax = none).
+  std::vector<SimTime> crash_at_;
+  /// completions_[client][period] — written only by that client's owning
+  /// worker thread, read by Run() after the join.
   std::vector<std::vector<std::int64_t>> completions_;
   std::vector<std::thread> workers_;
 };

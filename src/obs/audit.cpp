@@ -60,6 +60,12 @@ struct EnginePeriod {
   std::int64_t faa_posted = 0;
   std::int64_t faa_done = 0;
   std::int64_t faa_discard = 0;
+  /// Tokens posted by done fetches that tagged their delta (c > 0 on
+  /// kTokenFetchDone — the threaded runtime's fetch-batched FAAs).
+  std::int64_t tokens_done = 0;
+  /// Done fetches with no per-event delta (sim traces): each drew the
+  /// kRunConfig token batch.
+  std::int64_t faa_done_untagged = 0;
   std::vector<std::int64_t> report_residuals;
 };
 
@@ -220,6 +226,13 @@ AuditReport AuditTrace(const std::vector<TraceEvent>& events,
         case EventType::kPoolSample:
           observe(e, e.a);
           break;
+        case EventType::kPoolRebalance:
+          // Sharded pool: the move is sum-neutral, so the tracked shard
+          // sum it reports behaves exactly like a sample — any drop is
+          // client grants the rebalance witnessed, and a rise would be a
+          // real A3 violation (a monitor-side mint outside conversion).
+          observe(e, e.a);
+          break;
         case EventType::kTokenConvert: {
           observe(e, e.a);
           if (cur != nullptr) {
@@ -307,6 +320,11 @@ AuditReport AuditTrace(const std::vector<TraceEvent>& events,
           break;
         case EventType::kTokenFetchDone:
           ++ep.faa_done;
+          if (e.c > 0) {
+            ep.tokens_done += e.c;
+          } else {
+            ++ep.faa_done_untagged;
+          }
           break;
         case EventType::kTokenDiscard:
           ++ep.faa_discard;
@@ -386,21 +404,27 @@ AuditReport AuditTrace(const std::vector<TraceEvent>& events,
   if (token_batch > 0 && !monitor_truncated && !engine_truncated) {
     if (report.clean) {
       // Fault-free: every posted fetch completes in its own period, so the
-      // pool decrease the monitor observed must be exactly B per fetch.
+      // pool decrease the monitor observed must equal the sum of the
+      // tokens those fetches posted — each fetch's own tagged delta
+      // (fetch-batched threaded runs) or B per untagged fetch (sim).
       for (AuditPeriod& p : report.periods) {
+        std::int64_t expected = 0;
         for (const auto& [client, periods] : engines) {
           const auto it = periods.find(p.period);
-          if (it != periods.end()) p.faa_done += it->second.faa_done;
+          if (it != periods.end()) {
+            p.faa_done += it->second.faa_done;
+            expected += it->second.tokens_done +
+                        token_batch * it->second.faa_done_untagged;
+          }
         }
         if (!p.closed) continue;
         ++report.checks_run;
-        if (p.granted != token_batch * p.faa_done) {
+        if (p.granted != expected) {
           fail("A5", Fmt("period %u: pool decreased by %lld but clients "
-                         "completed %lld fetches of %lld tokens (%lld)",
+                         "completed %lld fetches posting %lld tokens",
                          p.period, static_cast<long long>(p.granted),
                          static_cast<long long>(p.faa_done),
-                         static_cast<long long>(token_batch),
-                         static_cast<long long>(token_batch * p.faa_done)));
+                         static_cast<long long>(expected)));
         }
       }
     } else {
@@ -411,20 +435,25 @@ AuditReport AuditTrace(const std::vector<TraceEvent>& events,
       for (const AuditPeriod& p : report.periods) granted += p.granted;
       std::int64_t done_before_close = 0;
       std::int64_t posted = 0;
+      std::int64_t lower = 0;
+      std::int64_t upper = 0;
       for (const auto& [key, stream] : streams) {
         if (static_cast<ActorKind>(key.first) != ActorKind::kEngine) continue;
         for (const TraceEvent& e : stream) {
-          if (e.type == EventType::kTokenFetch) ++posted;
+          if (e.type == EventType::kTokenFetch) {
+            ++posted;
+            upper += e.a > 0 ? e.a : token_batch;
+          }
           if ((e.type == EventType::kTokenFetchDone ||
                e.type == EventType::kTokenDiscard) &&
               e.time <= last_pool_observation) {
             ++done_before_close;
+            lower += e.c > 0 ? e.c : token_batch;
           }
         }
       }
+      upper += token_batch * duplicated_ops;
       ++report.checks_run;
-      const std::int64_t lower = token_batch * done_before_close;
-      const std::int64_t upper = token_batch * (posted + duplicated_ops);
       if (granted < lower || granted > upper) {
         fail("A5", Fmt("run: pool decreased by %lld, outside the "
                        "conservation band [%lld, %lld] "

@@ -34,6 +34,7 @@ constexpr TypeName kTypeNames[] = {
     {EventType::kAdmitReject, "admit_reject"},
     {EventType::kReadmit, "readmit"},
     {EventType::kRelease, "release"},
+    {EventType::kPoolRebalance, "pool_rebalance"},
     {EventType::kEnginePeriodStart, "engine_period_start"},
     {EventType::kTokenDecay, "decay"},
     {EventType::kTokenFetch, "faa_post"},

@@ -77,14 +77,20 @@ enum class EventType : std::uint16_t {
   kAdmitReject,             // a=client b=reservation
   kReadmit,                 // a=client b=reservation (restart handshake)
   kRelease,                 // a=client
+  kPoolRebalance,           // a=tracked shard-sum after move b=tokens moved
+                            // c=(donor<<8)|receiver (sharded pool only)
   // --- engine (client) -----------------------------------------------------
   kEnginePeriodStart = 32,  // a=reservation tokens b=limit
   kTokenDecay,              // a=surrendered tokens b=new bound X
-  kTokenFetch,              // a=batch B (FAA posted)
-  kTokenFetchDone,          // a=pool value seen b=acquired
+  kTokenFetch,              // a=tokens posted per FAA (B, or B*fetch_batch)
+                            // b=shard (threaded runtime)
+  kTokenFetchDone,          // a=pool value seen b=acquired c=tokens posted
+                            // (c=0 on sim traces: fall back to kRunConfig.b)
   kTokenFetchFail,          // a=backoff ns (post or completion failure)
   kTokenDiscard,            // a=pool value seen b=would-be acquired (stale)
+                            // c=tokens posted (0: fall back to kRunConfig.b)
   kPoolEmpty,               // FAA returned nothing; retry armed (step T4)
+                            // b=shard (threaded runtime)
   kReportWrite,             // a=residual claims b=completed c=seq
   kEngineStop,              // engine quiesced (crash/teardown)
   kFaaExhausted,            // FAA retry backoff hit its configured maximum

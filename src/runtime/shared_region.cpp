@@ -40,8 +40,10 @@ SeqlockSlot::Snapshot SeqlockSlot::Read() const {
   }
 }
 
-SharedRegion::SharedRegion(std::uint64_t records) : records_(records) {
+SharedRegion::SharedRegion(std::uint64_t records, std::size_t shards)
+    : shards_(shards), records_(records) {
   HAECHI_EXPECTS(records > 0);
+  HAECHI_EXPECTS(shards > 0 && shards <= kMaxShards);
   data_.resize(records * kRecordBytes);
   // Deterministic record contents so a read's bytes are checkable.
   for (std::size_t i = 0; i < data_.size(); ++i) {

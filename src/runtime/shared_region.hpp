@@ -3,10 +3,12 @@
 // This is the data node's registered control block and record store,
 // realised as genuinely shared memory instead of simulated MRs:
 //
-//   * one cache-line-aligned signed 64-bit global token pool word, FAA'd by
-//     client worker threads and CAS/exchanged by the monitor — the paper's
-//     single contended word, with the acquire/release discipline the RDMA
-//     atomics provide on a real NIC;
+//   * the global token pool as 1..kMaxShards cache-line-aligned signed
+//     64-bit words, FAA'd by client worker threads and CAS/exchanged by the
+//     monitor. With one shard this is the paper's single contended word;
+//     with K shards each client homes on shard (slot % K) and the monitor
+//     keeps the QoS ledger exact on the shard *sum*, with the
+//     acquire/release discipline the RDMA atomics provide on a real NIC;
 //   * one seqlock'd report slot per client: the 8-byte packed report plus
 //     the writer's timestamp, overwritten by silent client WRITEs and
 //     primed/read by the monitor;
@@ -24,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/types.hpp"
 
 namespace haechi::runtime {
@@ -35,7 +38,7 @@ namespace haechi::runtime {
 /// seqlock by CAS-ing the sequence word from even to odd (a tiny writer
 /// lock; the loser spins for the tens-of-nanoseconds store). Readers retry
 /// until they see the same even sequence on both sides of the payload copy.
-class SeqlockSlot {
+class alignas(64) SeqlockSlot {
  public:
   struct Snapshot {
     std::uint64_t packed = 0;  // core::PackReport wire format
@@ -49,43 +52,67 @@ class SeqlockSlot {
   std::atomic<std::uint32_t> seq_{0};
   // Payload fields are relaxed atomics purely so the seqlock's benign
   // read/write overlap is not a C++ data race; the seq protocol provides
-  // the actual ordering.
+  // the actual ordering. The alignas(64) on the class pads each slot to
+  // its own cache line: adjacent clients' report WRITEs (every
+  // report_interval, per client) must not false-share — see
+  // bench_overhead's padded-vs-packed seqlock microbenchmark.
   std::atomic<std::uint64_t> packed_{0};
   std::atomic<SimTime> written_at_{0};
 };
 
+static_assert(sizeof(SeqlockSlot) == 64,
+              "report slots must be padded to one cache line each");
+
 class SharedRegion {
  public:
   static constexpr std::size_t kMaxClients = 64;  // matches core::QosMonitor
+  static constexpr std::size_t kMaxShards = 16;
   static constexpr std::size_t kRecordBytes = 4096;
 
-  explicit SharedRegion(std::uint64_t records);
+  explicit SharedRegion(std::uint64_t records, std::size_t shards = 1);
 
-  // --- global token pool word (word 0 of the control block) ---------------
+  // --- global token pool shards (words 0..shards-1 of the control block) --
 
-  /// Client-side remote FAA: returns the value *before* the add.
-  std::int64_t FetchAddPool(std::int64_t delta) {
-    return pool_.fetch_add(delta, std::memory_order_acq_rel);
+  [[nodiscard]] std::size_t shards() const { return shards_; }
+
+  /// Client-side remote FAA on one shard: returns the value *before* the
+  /// add.
+  std::int64_t FetchAddPool(std::size_t shard, std::int64_t delta) {
+    return pool_[CheckShard(shard)].word.fetch_add(delta,
+                                                   std::memory_order_acq_rel);
   }
 
-  [[nodiscard]] std::int64_t LoadPool() const {
-    return pool_.load(std::memory_order_acquire);
+  [[nodiscard]] std::int64_t LoadPool(std::size_t shard) const {
+    return pool_[CheckShard(shard)].word.load(std::memory_order_acquire);
+  }
+
+  /// Non-atomic-across-shards sum of all shard words (each load is
+  /// acquire). Good enough for diagnostics; the monitor's ledger uses
+  /// per-shard witnessed values, never this.
+  [[nodiscard]] std::int64_t LoadPoolSum() const {
+    std::int64_t sum = 0;
+    for (std::size_t s = 0; s < shards_; ++s) sum += LoadPool(s);
+    return sum;
   }
 
   /// Monitor-side period boundary: atomically installs the new period's
-  /// initial pool and returns the old period's final word — the exchange
-  /// *is* the boundary, so no concurrent FAA is ever silently overwritten.
-  std::int64_t ExchangePool(std::int64_t value) {
-    return pool_.exchange(value, std::memory_order_acq_rel);
+  /// initial share into one shard and returns that shard's final word —
+  /// the exchange *is* the boundary, so no concurrent FAA is ever silently
+  /// overwritten.
+  std::int64_t ExchangePool(std::size_t shard, std::int64_t value) {
+    return pool_[CheckShard(shard)].word.exchange(value,
+                                                  std::memory_order_acq_rel);
   }
 
-  /// Monitor-side token conversion: replaces `expected` with `desired`.
-  /// On failure `expected` is refreshed with the value FAAs moved the word
-  /// to, and the monitor recomputes — a conversion never tramples a grant.
-  bool CasPool(std::int64_t& expected, std::int64_t desired) {
-    return pool_.compare_exchange_strong(expected, desired,
-                                         std::memory_order_acq_rel,
-                                         std::memory_order_acquire);
+  /// Monitor-side token conversion / rebalance donor: replaces `expected`
+  /// with `desired` on one shard. On failure `expected` is refreshed with
+  /// the value FAAs moved the word to, and the monitor recomputes — a
+  /// conversion never tramples a grant.
+  bool CasPool(std::size_t shard, std::int64_t& expected,
+               std::int64_t desired) {
+    return pool_[CheckShard(shard)].word.compare_exchange_strong(
+        expected, desired, std::memory_order_acq_rel,
+        std::memory_order_acquire);
   }
 
   // --- report slots (words 1..kMaxClients) --------------------------------
@@ -103,7 +130,17 @@ class SharedRegion {
   void ReadRecord(std::uint64_t key, std::span<std::byte> dst) const;
 
  private:
-  alignas(64) std::atomic<std::int64_t> pool_{0};
+  struct alignas(64) PoolShard {
+    std::atomic<std::int64_t> word{0};
+  };
+
+  std::size_t CheckShard(std::size_t shard) const {
+    HAECHI_EXPECTS(shard < shards_);
+    return shard;
+  }
+
+  std::size_t shards_;
+  PoolShard pool_[kMaxShards];
   alignas(64) SeqlockSlot slots_[kMaxClients];
   std::uint64_t records_;
   std::vector<std::byte> data_;

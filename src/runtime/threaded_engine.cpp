@@ -22,7 +22,11 @@ ThreadedEngine::ThreadedEngine(Clock& clock, obs::Recorder* recorder,
       config_(config),
       fabric_(fabric),
       port_(port),
-      slot_(slot) {
+      slot_(slot),
+      shards_(fabric.shards()),
+      home_shard_(slot % fabric.shards()),
+      effective_batch_(config.token_batch *
+                       std::max<std::int64_t>(config.fetch_batch, 1)) {
   token_timer_ = std::make_unique<PeriodicTimer>(
       clock_, config_.token_tick, [this] { TokenTick(); });
   report_timer_ = std::make_unique<PeriodicTimer>(
@@ -142,6 +146,64 @@ void ThreadedEngine::WriteReportLocked(SimTime now) {
   fabric_.PostReportWrite(port_, slot_, packed);
 }
 
+std::int64_t ThreadedEngine::TakeLocalLocked(std::int64_t want) {
+  std::int64_t granted = 0;
+  if (want > 0 && xi_reservation_ > 0) {
+    const std::int64_t n = std::min(want, xi_reservation_);
+    xi_reservation_ -= n;
+    stats_.tokens_from_reservation += n;
+    granted += n;
+    want -= n;
+  }
+  if (want > 0 && local_global_ > 0) {
+    const std::int64_t n = std::min(want, local_global_);
+    local_global_ -= n;
+    stats_.tokens_from_pool += n;
+    granted += n;
+  }
+  if (granted > 0) {
+    stats_.issued_this_period += granted;
+    backend_outstanding_ += granted;
+  }
+  return granted;
+}
+
+void ThreadedEngine::FetchPoolRoundLocked(std::unique_lock<std::mutex>& lk) {
+  // One batched remote FAA per shard, home shard first — the chain draws
+  // effective_batch_ = token_batch * fetch_batch tokens per atomic, the
+  // doorbell-batching cost model on a real NIC. The lock drops around each
+  // FAA so the monitor's control deliveries never wait behind the fetch.
+  const std::int64_t delta = effective_batch_;
+  for (std::size_t probe = 0; probe < shards_; ++probe) {
+    if (stopped_ || !started_) return;
+    const std::size_t shard = (home_shard_ + probe) % shards_;
+    ++stats_.faa_ops;
+    EmitLocked(clock_.Now(), EventType::kTokenFetch, period_, delta,
+               static_cast<std::int64_t>(shard));
+    const std::uint32_t at_period = period_;
+    lk.unlock();
+    const std::int64_t before = fabric_.PostFetchAdd(port_, shard, -delta);
+    lk.lock();
+    const SimTime done = clock_.Now();
+    if (stopped_) return;
+    if (period_ != at_period) {
+      // The pool was re-initialised for a new period while the fetch ran;
+      // its tokens belong to the dead period and are discarded.
+      EmitLocked(done, EventType::kTokenDiscard, at_period, before, 0, delta);
+      return;
+    }
+    const std::int64_t acquired = std::clamp<std::int64_t>(before, 0, delta);
+    local_global_ += acquired;
+    EmitLocked(done, EventType::kTokenFetchDone, period_, before, acquired,
+               delta);
+    if (acquired > 0) return;
+    EmitLocked(done, EventType::kPoolEmpty, period_, before,
+               static_cast<std::int64_t>(shard));
+  }
+  // Every shard came up empty: step T4's retry cadence.
+  pool_retry_until_ = clock_.Now() + config_.pool_retry_interval;
+}
+
 ThreadedEngine::Grant ThreadedEngine::AcquireToken(std::uint32_t p) {
   std::unique_lock lk(mu_);
   for (;;) {
@@ -149,81 +211,95 @@ ThreadedEngine::Grant ThreadedEngine::AcquireToken(std::uint32_t p) {
     if (!started_ || period_ != p) return Grant::kPeriodOver;
     if (limit_ > 0 && stats_.issued_this_period >= limit_) {
       ++stats_.limit_throttle_events;
+      ++waiters_;
       cv_.wait(lk);  // throttled until the next period's delivery
+      --waiters_;
       continue;
     }
     if (backend_outstanding_ >=
         static_cast<std::int64_t>(config_.max_backend_outstanding)) {
+      ++waiters_;
       cv_.wait(lk);
+      --waiters_;
       continue;
     }
-    if (xi_reservation_ > 0) {
-      --xi_reservation_;
-      ++stats_.tokens_from_reservation;
-      ++stats_.issued_this_period;
-      ++backend_outstanding_;
-      return Grant::kToken;
-    }
-    if (local_global_ > 0) {
-      --local_global_;
-      ++stats_.tokens_from_pool;
-      ++stats_.issued_this_period;
-      ++backend_outstanding_;
-      return Grant::kToken;
-    }
+    if (TakeLocalLocked(1) > 0) return Grant::kToken;
     const SimTime now = clock_.Now();
     // No fetch near the period end: a batch grabbed while the monitor
     // rolls the period over would be discarded (faa_end_guard).
     if (now - period_started_at_ >= config_.period - config_.faa_end_guard) {
+      ++waiters_;
       cv_.wait_for(lk, std::chrono::nanoseconds(config_.faa_end_guard));
+      --waiters_;
       continue;
     }
     if (now < pool_retry_until_) {  // step T4 retry cadence
+      ++waiters_;
       cv_.wait_for(lk, std::chrono::nanoseconds(pool_retry_until_ - now));
+      --waiters_;
       continue;
     }
-    // Batched remote FAA, executed inline on this worker thread — the
-    // genuine multi-client contention on the shared pool word.
-    ++stats_.faa_ops;
-    EmitLocked(now, EventType::kTokenFetch, period_, config_.token_batch);
-    const std::uint32_t at_period = period_;
-    lk.unlock();
-    const std::int64_t before =
-        fabric_.PostFetchAdd(port_, -config_.token_batch);
-    lk.lock();
-    const SimTime done = clock_.Now();
-    if (stopped_) return Grant::kStopped;
-    if (period_ != at_period) {
-      // The pool was re-initialised for a new period while the fetch ran;
-      // its tokens belong to the dead period and are discarded.
-      EmitLocked(done, EventType::kTokenDiscard, at_period, before);
-      continue;
-    }
-    const std::int64_t acquired =
-        std::clamp<std::int64_t>(before, 0, config_.token_batch);
-    local_global_ += acquired;
-    EmitLocked(done, EventType::kTokenFetchDone, period_, before, acquired);
-    if (acquired == 0) {
-      EmitLocked(done, EventType::kPoolEmpty, period_, before);
-      pool_retry_until_ = done + config_.pool_retry_interval;
-    }
+    FetchPoolRoundLocked(lk);
   }
 }
 
-void ThreadedEngine::OnIoCompleted() {
+ThreadedEngine::Batch ThreadedEngine::TryAcquireBatch(
+    std::uint32_t p, std::int64_t max_tokens) {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    if (stopped_) return {Grant::kStopped, 0};
+    if (!started_ || period_ != p) return {Grant::kPeriodOver, 0};
+    std::int64_t want = std::max<std::int64_t>(max_tokens, 0);
+    if (limit_ > 0) {
+      const std::int64_t left = limit_ - stats_.issued_this_period;
+      if (left <= 0) {
+        ++stats_.limit_throttle_events;
+        return {Grant::kNotReady, 0};
+      }
+      want = std::min(want, left);
+    }
+    const std::int64_t backend_room =
+        static_cast<std::int64_t>(config_.max_backend_outstanding) -
+        backend_outstanding_;
+    if (backend_room <= 0) return {Grant::kNotReady, 0};
+    want = std::min(want, backend_room);
+    if (want <= 0) return {Grant::kNotReady, 0};
+    const std::int64_t granted = TakeLocalLocked(want);
+    if (granted > 0) return {Grant::kToken, granted};
+    const SimTime now = clock_.Now();
+    if (now - period_started_at_ >= config_.period - config_.faa_end_guard) {
+      return {Grant::kNotReady, 0};
+    }
+    if (now < pool_retry_until_) return {Grant::kNotReady, 0};
+    FetchPoolRoundLocked(lk);
+    // Loop: re-evaluate with whatever the round brought home (it may also
+    // have observed a stop or a period roll).
+  }
+}
+
+void ThreadedEngine::OnIoCompleted(std::int64_t n) {
+  bool notify;
   {
     std::lock_guard lk(mu_);
-    --backend_outstanding_;
-    ++stats_.completed_this_period;
-    ++stats_.completed_total;
+    backend_outstanding_ -= n;
+    stats_.completed_this_period += n;
+    stats_.completed_total += n;
+    notify = waiters_ > 0;
   }
-  cv_.notify_all();
+  if (notify) cv_.notify_all();
 }
 
 std::uint32_t ThreadedEngine::AwaitPeriodAfter(std::uint32_t p) {
   std::unique_lock lk(mu_);
+  ++waiters_;
   cv_.wait(lk, [&] { return stopped_ || (started_ && period_ > p); });
+  --waiters_;
   return stopped_ ? 0 : period_;
+}
+
+bool ThreadedEngine::Stopped() const {
+  std::lock_guard lk(mu_);
+  return stopped_;
 }
 
 ThreadedEngine::Stats ThreadedEngine::StatsSnapshot() const {

@@ -40,11 +40,22 @@ class ThreadedEngine {
   /// like with like.
   using Stats = core::ClientQosEngine::Stats;
 
-  /// What AcquireToken's blocking wait ended with.
+  /// What AcquireToken's blocking wait (or TryAcquireBatch's poll) ended
+  /// with.
   enum class Grant {
-    kToken,       // one token consumed; caller owns one issued I/O
-    kPeriodOver,  // the requested period ended (limit throttle included)
+    kToken,       // token(s) consumed; caller owns that many issued I/Os
+    kPeriodOver,  // the requested period ended
     kStopped,     // engine stopped; worker should exit
+    kNotReady,    // TryAcquireBatch only: nothing grantable right now
+                  // (limit throttle, backend full, end guard, empty pool)
+  };
+
+  /// TryAcquireBatch's result: on kToken, `count` tokens were granted and
+  /// the caller must perform exactly that many I/Os and report them via
+  /// OnIoCompleted(count).
+  struct Batch {
+    Grant status = Grant::kNotReady;
+    std::int64_t count = 0;
   };
 
   /// `port`/`slot` come from the monitor's admission (ThreadedWiring).
@@ -72,7 +83,18 @@ class ThreadedEngine {
   /// On kToken the caller must perform exactly one I/O and then call
   /// OnIoCompleted().
   Grant AcquireToken(std::uint32_t p);
-  void OnIoCompleted();
+
+  /// Non-blocking multi-token acquisition for the worker-pool event loop:
+  /// grants up to `max_tokens` from the reservation / locally-held global
+  /// stock, running at most one probe round of batched remote FAAs (home
+  /// shard first, then the rest) when the local stock is dry. One mutex
+  /// acquisition amortises over the whole chain. Never parks — kNotReady
+  /// tells the caller to service other clients and poll again.
+  Batch TryAcquireBatch(std::uint32_t p, std::int64_t max_tokens);
+
+  void OnIoCompleted(std::int64_t n = 1);
+
+  [[nodiscard]] bool Stopped() const;
 
   /// Blocks until the current period exceeds `p` (returns it) or the
   /// engine stops (returns 0).
@@ -86,6 +108,14 @@ class ThreadedEngine {
   void TokenTick();
   void ReportTick();
   void WriteReportLocked(SimTime now);
+  /// Takes up to `want` tokens from reservation-then-local-global stock;
+  /// returns the number granted and books them as issued/outstanding.
+  std::int64_t TakeLocalLocked(std::int64_t want);
+  /// One probe round of batched remote FAAs (home shard first, then the
+  /// other shards, one FAA each); drops `lk` around each FAA and returns
+  /// with it held. Tokens land in local_global_; an all-empty round arms
+  /// pool_retry_until_.
+  void FetchPoolRoundLocked(std::unique_lock<std::mutex>& lk);
   void EmitLocked(SimTime now, obs::EventType type, std::uint32_t period,
                   std::int64_t a = 0, std::int64_t b = 0, std::int64_t c = 0);
 
@@ -96,9 +126,16 @@ class ThreadedEngine {
   ThreadedFabric& fabric_;
   std::size_t port_;
   std::size_t slot_;
+  std::size_t shards_;
+  std::size_t home_shard_;
+  /// Tokens drawn per remote FAA: token_batch * fetch_batch.
+  std::int64_t effective_batch_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  /// Blocked AcquireToken/AwaitPeriodAfter callers; OnIoCompleted skips
+  /// the notify when nobody waits (the worker-pool hot path never does).
+  std::size_t waiters_ = 0;
 
   // Token state (paper's xi_reservation, X, local batch of global tokens).
   std::int64_t xi_reservation_ = 0;

@@ -35,8 +35,8 @@ class ThreadedFabric {
     std::uint64_t record_reads = 0;
   };
 
-  ThreadedFabric(Clock& clock, std::uint64_t records)
-      : clock_(clock), region_(records) {}
+  ThreadedFabric(Clock& clock, std::uint64_t records, std::size_t shards = 1)
+      : clock_(clock), region_(records, shards) {}
 
   ThreadedFabric(const ThreadedFabric&) = delete;
   ThreadedFabric& operator=(const ThreadedFabric&) = delete;
@@ -46,10 +46,11 @@ class ThreadedFabric {
 
   // --- client-side one-sided ops (port = client index, bounds the stats) --
 
-  /// Remote FAA on the global pool word; returns the pre-add value.
-  std::int64_t PostFetchAdd(std::size_t port, std::int64_t delta) {
+  /// Remote FAA on one pool shard; returns the pre-add value.
+  std::int64_t PostFetchAdd(std::size_t port, std::size_t shard,
+                            std::int64_t delta) {
     ports_[Check(port)].faa_ops.fetch_add(1, std::memory_order_relaxed);
-    return region_.FetchAddPool(delta);
+    return region_.FetchAddPool(shard, delta);
   }
 
   /// Silent one-sided report WRITE into the client's slot.
@@ -68,12 +69,24 @@ class ThreadedFabric {
 
   // --- monitor-side ops ---------------------------------------------------
 
-  [[nodiscard]] std::int64_t LoadPool() const { return region_.LoadPool(); }
-  std::int64_t ExchangePool(std::int64_t value) {
-    return region_.ExchangePool(value);
+  [[nodiscard]] std::size_t shards() const { return region_.shards(); }
+  [[nodiscard]] std::int64_t LoadPool(std::size_t shard) const {
+    return region_.LoadPool(shard);
   }
-  bool CasPool(std::int64_t& expected, std::int64_t desired) {
-    return region_.CasPool(expected, desired);
+  [[nodiscard]] std::int64_t LoadPoolSum() const {
+    return region_.LoadPoolSum();
+  }
+  std::int64_t ExchangePool(std::size_t shard, std::int64_t value) {
+    return region_.ExchangePool(shard, value);
+  }
+  bool CasPool(std::size_t shard, std::int64_t& expected,
+               std::int64_t desired) {
+    return region_.CasPool(shard, expected, desired);
+  }
+  /// Rebalance receiver side: the monitor tops a shard up without a
+  /// witness race (the return value witnesses the receiver's word).
+  std::int64_t AddPool(std::size_t shard, std::int64_t delta) {
+    return region_.FetchAddPool(shard, delta);
   }
   [[nodiscard]] SeqlockSlot::Snapshot ReadSlot(std::size_t slot) const {
     return region_.slot(slot).Read();

@@ -46,6 +46,7 @@ ThreadedMonitor::ThreadedMonitor(Clock& clock, obs::Recorder* recorder,
                          config.eta_fraction));
   params.window = config.history_window;
   estimator_ = std::make_unique<core::CapacityEstimator>(params);
+  shard_last_pool_.assign(fabric_.shards(), 0);
 
   period_timer_ = std::make_unique<PeriodicTimer>(clock_, config_.period,
                                                   [this] { PeriodTick(); });
@@ -195,14 +196,26 @@ void ThreadedMonitor::StartPeriodLocked(SimTime now) {
   const std::int64_t next_initial =
       std::max<std::int64_t>(next_capacity - total_reserved, 0);
 
-  // The boundary: install the new pool and read the old period's final
-  // word in one step. Close the outgoing ledger with it.
-  const std::int64_t raw = fabric_.ExchangePool(next_initial);
+  // The boundary: install each shard's share of the new pool and read the
+  // old period's final word per shard in one exchange each. The ledger
+  // closes on the shard-summed raw word; per-shard telescoping against
+  // shard_last_pool_ keeps `granted` exact even though the exchanges are
+  // not simultaneous (clients only ever decrease the words between them).
+  const std::size_t nshards = fabric_.shards();
+  std::int64_t raw_sum = 0;
+  std::int64_t boundary_granted = 0;
+  for (std::size_t s = 0; s < nshards; ++s) {
+    const std::int64_t raw =
+        fabric_.ExchangePool(s, ShardShare(next_initial, s));
+    raw_sum += raw;
+    boundary_granted += shard_last_pool_[s] - raw;
+    shard_last_pool_[s] = ShardShare(next_initial, s);
+  }
   if (!ledger_.empty()) {
     PeriodLedger& prev = ledger_.back();
-    prev.granted += ledger_last_pool_ - raw;
-    prev.end_pool = raw;
-    EmitLocked(now, EventType::kMonitorPeriodEnd, raw,
+    prev.granted += boundary_granted;
+    prev.end_pool = raw_sum;
+    EmitLocked(now, EventType::kMonitorPeriodEnd, raw_sum,
                stats_.last_period_completions, prev.granted);
   }
 
@@ -226,7 +239,6 @@ void ThreadedMonitor::StartPeriodLocked(SimTime now) {
   ledger.initial_pool = initial_pool_;
   ledger.end_pool = initial_pool_;
   ledger_.push_back(ledger);
-  ledger_last_pool_ = initial_pool_;
   EmitLocked(now, EventType::kMonitorPeriodStart, period_capacity_,
              total_reserved, initial_pool_);
   if (ledger_.size() > 4096) ledger_.erase(ledger_.begin());
@@ -254,14 +266,26 @@ void ThreadedMonitor::CheckTickLocked(SimTime now) {
   if (stats_.periods == 0) return;
   ++stats_.checks;
 
-  const std::int64_t raw = fabric_.LoadPool();
+  const std::size_t nshards = fabric_.shards();
+  std::int64_t raw_sum = 0;
+  std::int64_t sample_granted = 0;
+  for (std::size_t s = 0; s < nshards; ++s) {
+    const std::int64_t raw = fabric_.LoadPool(s);
+    raw_sum += raw;
+    sample_granted += shard_last_pool_[s] - raw;
+    shard_last_pool_[s] = raw;
+  }
   if (!ledger_.empty()) {
-    ledger_.back().granted += ledger_last_pool_ - raw;
-    ledger_last_pool_ = raw;
-    EmitLocked(now, EventType::kPoolSample, raw);
+    ledger_.back().granted += sample_granted;
+    EmitLocked(now, EventType::kPoolSample, raw_sum);
   }
 
-  const std::int64_t observed_now = raw;
+  // With the shard values freshly witnessed, even out lopsided shards so a
+  // client whose home shard ran dry is not starved while a neighbour
+  // hoards (AdapTBF-style periodic redistribution).
+  if (nshards > 1) RebalanceLocked(now);
+
+  const std::int64_t observed_now = raw_sum;
   // Tokens granted since the last check: the word only moves down between
   // monitor writes, and a draw against an empty pool grants nothing.
   const std::int64_t grants = std::max<std::int64_t>(last_written_pool_, 0) -
@@ -380,24 +404,89 @@ void ThreadedMonitor::ConvertTokensLocked(SimTime now) {
   const std::int64_t new_pool = std::max<std::int64_t>(
       remaining_capacity - outstanding_reservation - unreported_grants, 0);
 
-  // Install with a CAS loop: every failure means client FAAs moved the
-  // word; retry from the freshly-witnessed value so the final successful
-  // CAS gives the exact pre-conversion word and no grant is ever lost to
-  // an overwrite.
-  std::int64_t expected = fabric_.LoadPool();
-  while (!fabric_.CasPool(expected, new_pool)) {
+  // Install each shard's share with a CAS loop: every failure means client
+  // FAAs moved that word; retry from the freshly-witnessed value so the
+  // final successful CAS gives the exact pre-conversion word and no grant
+  // is ever lost to an overwrite. The ledger and trace event carry the
+  // shard-summed values.
+  const std::size_t nshards = fabric_.shards();
+  std::int64_t raw_before_sum = 0;
+  std::int64_t convert_granted = 0;
+  for (std::size_t s = 0; s < nshards; ++s) {
+    const std::int64_t share = ShardShare(new_pool, s);
+    std::int64_t expected = fabric_.LoadPool(s);
+    while (!fabric_.CasPool(s, expected, share)) {
+    }
+    raw_before_sum += expected;
+    convert_granted += shard_last_pool_[s] - expected;
+    shard_last_pool_[s] = share;
   }
-  const std::int64_t raw_before = expected;
   if (!ledger_.empty()) {
     PeriodLedger& cur = ledger_.back();
-    cur.granted += ledger_last_pool_ - raw_before;
-    cur.minted += new_pool - raw_before;
-    ledger_last_pool_ = new_pool;
-    EmitLocked(now, EventType::kTokenConvert, raw_before, new_pool,
+    cur.granted += convert_granted;
+    cur.minted += new_pool - raw_before_sum;
+    EmitLocked(now, EventType::kTokenConvert, raw_before_sum, new_pool,
                outstanding_reservation);
   }
   last_written_pool_ = new_pool;
   ++stats_.conversions;
+}
+
+std::int64_t ThreadedMonitor::ShardShare(std::int64_t total,
+                                         std::size_t shard) const {
+  const auto n = static_cast<std::int64_t>(fabric_.shards());
+  if (total <= 0) return 0;
+  return total / n + (static_cast<std::int64_t>(shard) < total % n ? 1 : 0);
+}
+
+void ThreadedMonitor::RebalanceLocked(SimTime now) {
+  // Move half the spread from the fullest shard to the emptiest one, one
+  // move per check tick, when the spread exceeds two effective fetch
+  // batches — cheap, incremental, and a no-op in steady state. The donor
+  // side is a CAS (witnessing the live word so concurrent grants stay
+  // ledger-exact, clamping the move to what is actually there); the
+  // receiver side is a FAA whose return value witnesses that word. The
+  // move itself is sum-neutral: only the witnessed client grants change
+  // `granted`, and `minted` is untouched.
+  if (ledger_.empty()) return;
+  const std::size_t nshards = fabric_.shards();
+  std::size_t donor = 0;
+  std::size_t receiver = 0;
+  for (std::size_t s = 1; s < nshards; ++s) {
+    if (shard_last_pool_[s] > shard_last_pool_[donor]) donor = s;
+    if (shard_last_pool_[s] < shard_last_pool_[receiver]) receiver = s;
+  }
+  const std::int64_t batch =
+      config_.token_batch * std::max<std::int64_t>(config_.fetch_batch, 1);
+  const std::int64_t spread =
+      shard_last_pool_[donor] - shard_last_pool_[receiver];
+  if (donor == receiver || spread <= 2 * batch) return;
+
+  PeriodLedger& cur = ledger_.back();
+  std::int64_t move = spread / 2;
+  std::int64_t expected = fabric_.LoadPool(donor);
+  for (;;) {
+    move = std::min(move, std::max<std::int64_t>(expected, 0));
+    if (move <= 0) {
+      // Clients drained the donor under us; fold the witnessed grants in
+      // and try again next tick.
+      cur.granted += shard_last_pool_[donor] - expected;
+      shard_last_pool_[donor] = expected;
+      return;
+    }
+    if (fabric_.CasPool(donor, expected, expected - move)) break;
+  }
+  cur.granted += shard_last_pool_[donor] - expected;
+  shard_last_pool_[donor] = expected - move;
+  const std::int64_t receiver_before = fabric_.AddPool(receiver, move);
+  cur.granted += shard_last_pool_[receiver] - receiver_before;
+  shard_last_pool_[receiver] = receiver_before + move;
+  ++stats_.rebalances;
+  stats_.rebalanced_tokens += move;
+  std::int64_t tracked_sum = 0;
+  for (const std::int64_t v : shard_last_pool_) tracked_sum += v;
+  EmitLocked(now, EventType::kPoolRebalance, tracked_sum, move,
+             static_cast<std::int64_t>((donor << 8) | receiver));
 }
 
 void ThreadedMonitor::CalibrateLocked(SimTime now) {

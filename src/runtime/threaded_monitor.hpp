@@ -90,8 +90,9 @@ class ThreadedMonitor {
 
   [[nodiscard]] Stats StatsSnapshot() const;
   [[nodiscard]] std::vector<PeriodLedger> LedgerSnapshot() const;
+  /// Sum over all pool shards (diagnostic; the ledger never uses it).
   [[nodiscard]] std::int64_t GlobalPoolValue() const {
-    return fabric_.LoadPool();
+    return fabric_.LoadPoolSum();
   }
   [[nodiscard]] std::int64_t PeriodCapacity() const;
   [[nodiscard]] std::int64_t InitialPool() const;
@@ -126,7 +127,11 @@ class ThreadedMonitor {
   void CheckLeasesLocked(SimTime now);
   void DeclareDeadLocked(SimTime now, ClientId client);
   void ConvertTokensLocked(SimTime now);
+  void RebalanceLocked(SimTime now);
   void CalibrateLocked(SimTime now);
+  /// Shard `shard`'s share of `total` under the monitor's even split.
+  [[nodiscard]] std::int64_t ShardShare(std::int64_t total,
+                                        std::size_t shard) const;
   Status ReleaseClientLocked(SimTime now, ClientId client);
   [[nodiscard]] std::size_t AllocateSlotLocked();
   ClientEntry* FindClientLocked(ClientId client);
@@ -154,7 +159,10 @@ class ThreadedMonitor {
   std::int64_t last_written_pool_ = 0;
   std::deque<std::int64_t> recent_grants_;
   std::vector<PeriodLedger> ledger_;
-  std::int64_t ledger_last_pool_ = 0;
+  /// Per-shard last value the monitor wrote or witnessed; raw-difference
+  /// telescoping against it keeps the ledger's `granted` exact on the
+  /// shard sum across samples, conversions, rebalances and boundaries.
+  std::vector<std::int64_t> shard_last_pool_;
   std::int64_t dead_completed_this_period_ = 0;
   PeriodHook period_hook_;
   ClientReportHook client_report_hook_;

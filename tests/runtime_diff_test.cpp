@@ -1,5 +1,6 @@
 // Differential test: the discrete-event simulator and the concurrent
-// threaded runtime execute the SAME ExperimentConfig, and both must
+// threaded runtime execute the SAME ExperimentConfig — with the threaded
+// backend swept across its pool-shard / fetch-batch grid — and both must
 // (a) produce traces that pass the full A1–A9 audit,
 // (b) satisfy the monitor's exact token-conservation ledger identity, and
 // (c) deliver per-client completed-I/O totals that agree within a stated
@@ -14,6 +15,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,24 @@
 
 namespace haechi {
 namespace {
+
+// One threaded-runtime knob combination under differential test. The
+// shards/fetch-batch knobs only change *how* the threaded backend moves
+// tokens (FAA contention and round-trip amortisation), never how many it
+// may grant — so every combination must agree with the same simulator run.
+struct KnobCombo {
+  std::int64_t pool_shards;
+  std::int64_t fetch_batch;
+  // fetch_batch scales the tokens drawn per FAA; combos with a large
+  // fetch_batch use a smaller token_batch so the effective batch
+  // (token_batch * fetch_batch) stays well inside the shared pool and no
+  // tenant can starve another by over-drawing.
+  std::int64_t token_batch;
+};
+
+constexpr KnobCombo kKnobCombos[] = {
+    {1, 1, 50}, {4, 1, 50}, {8, 1, 50}, {1, 8, 10}, {4, 8, 10}, {8, 8, 10},
+};
 
 // Both runtimes run this exact workload: four tenants with distinct
 // reservations, demands above reservation (so the global pool and token
@@ -65,8 +85,13 @@ constexpr double kRelTolerance = 0.25;
 
 std::int64_t ToleranceFor(std::int64_t sim_total,
                           const harness::ExperimentConfig& config) {
+  // The floor scales with the *effective* FAA batch: one batched fetch
+  // moves token_batch * fetch_batch tokens, so boundary skew can strand
+  // up to that many per period.
+  const std::int64_t effective_batch =
+      config.qos.token_batch * std::max<std::int64_t>(config.qos.fetch_batch, 1);
   const auto floor_band = static_cast<std::int64_t>(
-      2 * config.qos.token_batch * config.measure_periods);
+      2 * effective_batch * config.measure_periods);
   return std::max<std::int64_t>(
       floor_band, static_cast<std::int64_t>(
                       kRelTolerance * static_cast<double>(sim_total)));
@@ -85,11 +110,22 @@ void ExpectAuditClean(const obs::Recorder& recorder, const char* runtime,
       << runtime << " audit ran no A9 checks (seed " << seed << ")";
 }
 
-TEST(RuntimeDiffTest, SimAndThreadsAgreeAcrossSeeds) {
+TEST(RuntimeDiffTest, SimAndThreadsAgreeAcrossSeedsAndShardConfigs) {
   const std::uint64_t seeds[] = {1, 2, 3, 5, 8, 13, 21, 34};
+  std::size_t combo_index = 0;
   for (const std::uint64_t seed : seeds) {
-    SCOPED_TRACE("seed " + std::to_string(seed));
-    const harness::ExperimentConfig config = DiffConfig(seed);
+    // Cycle the shard/fetch-batch grid across the seed set: every combo
+    // runs at least once, the wall-clock cost stays one sim + one threads
+    // run per seed.
+    const KnobCombo combo =
+        kKnobCombos[combo_index++ % std::size(kKnobCombos)];
+    SCOPED_TRACE("seed " + std::to_string(seed) + " shards=" +
+                 std::to_string(combo.pool_shards) + " fetch_batch=" +
+                 std::to_string(combo.fetch_batch));
+    harness::ExperimentConfig config = DiffConfig(seed);
+    config.qos.pool_shards = combo.pool_shards;
+    config.qos.fetch_batch = combo.fetch_batch;
+    config.qos.token_batch = combo.token_batch;
 
     harness::Experiment sim_experiment(config);
     const harness::ExperimentResult sim_result = sim_experiment.Run();

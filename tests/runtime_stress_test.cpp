@@ -2,10 +2,11 @@
 // Designed to run under ThreadSanitizer (the tsan preset / the matrix
 // script's tsan-runtime entry) as well as the default build:
 //
-//   * N worker threads hammer the one global pool word with batched FAAs
-//     while a monitor thread runs conversion CAS loops and period-boundary
-//     exchanges — the raw-difference telescoping identity must hold
-//     EXACTLY (no token minted or lost, ever);
+//   * N worker threads hammer the global pool (one word, and sharded
+//     K-word) with batched FAAs while a monitor thread runs conversion CAS
+//     loops, rebalance donor-CAS/receiver-FAA pairs, and period-boundary
+//     exchange sweeps — the raw-difference telescoping identity must hold
+//     EXACTLY across the shard sum (no token minted or lost, ever);
 //   * two writers (client report + monitor prime) collide on one seqlock'd
 //     report slot while readers spin — no torn snapshot may escape;
 //   * Recorder::SetTap install/removal races concurrent emitters — the
@@ -13,6 +14,7 @@
 //     and must never be destroyed mid-call.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <thread>
@@ -37,7 +39,7 @@ TEST(RuntimeStressTest, PoolConservationUnderContendedFaaAndConversion) {
   constexpr std::int64_t kInitial = 10000;
 
   runtime::SharedRegion region(1);
-  region.ExchangePool(kInitial);
+  region.ExchangePool(0, kInitial);
 
   std::atomic<bool> start{false};
   std::atomic<bool> workers_done{false};
@@ -50,7 +52,7 @@ TEST(RuntimeStressTest, PoolConservationUnderContendedFaaAndConversion) {
       while (!start.load(std::memory_order_acquire)) {}
       std::int64_t acquired = 0;
       for (int i = 0; i < kFaasPerWorker; ++i) {
-        const std::int64_t before = region.FetchAddPool(-kBatch);
+        const std::int64_t before = region.FetchAddPool(0, -kBatch);
         acquired += std::clamp<std::int64_t>(before, 0, kBatch);
       }
       total_acquired.fetch_add(acquired, std::memory_order_relaxed);
@@ -67,8 +69,8 @@ TEST(RuntimeStressTest, PoolConservationUnderContendedFaaAndConversion) {
       const std::int64_t budget = 5000 + static_cast<std::int64_t>(
                                              conversions % 7) *
                                              1000;
-      std::int64_t expected = region.LoadPool();
-      while (!region.CasPool(expected, budget)) {}
+      std::int64_t expected = region.LoadPool(0);
+      while (!region.CasPool(0, expected, budget)) {}
       net_minted += budget - expected;
       ++conversions;
     }
@@ -81,7 +83,7 @@ TEST(RuntimeStressTest, PoolConservationUnderContendedFaaAndConversion) {
 
   const std::int64_t total_faas =
       static_cast<std::int64_t>(kWorkers) * kFaasPerWorker;
-  const std::int64_t final_pool = region.LoadPool();
+  const std::int64_t final_pool = region.LoadPool(0);
   EXPECT_EQ(kInitial + net_minted - kBatch * total_faas, final_pool)
       << "pool word leaked or minted tokens under contention "
       << "(conversions=" << conversions << ")";
@@ -98,13 +100,13 @@ TEST(RuntimeStressTest, PeriodBoundaryExchangeLosesNoFaa) {
   constexpr int kRounds = 2000;
   constexpr std::int64_t kBatch = 10;
   runtime::SharedRegion region(1);
-  region.ExchangePool(0);
+  region.ExchangePool(0, 0);
 
   std::atomic<bool> stop{false};
   std::atomic<std::int64_t> faas{0};
   std::thread worker([&] {
     while (!stop.load(std::memory_order_acquire)) {
-      region.FetchAddPool(-kBatch);
+      region.FetchAddPool(0, -kBatch);
       faas.fetch_add(1, std::memory_order_relaxed);
     }
   });
@@ -114,11 +116,11 @@ TEST(RuntimeStressTest, PeriodBoundaryExchangeLosesNoFaa) {
   constexpr std::int64_t kRefill = 100000;
   std::int64_t recovered_sum = 0;
   for (int r = 0; r < kRounds; ++r) {
-    recovered_sum += region.ExchangePool(kRefill);
+    recovered_sum += region.ExchangePool(0, kRefill);
   }
   stop.store(true, std::memory_order_release);
   worker.join();
-  const std::int64_t final_pool = region.LoadPool();
+  const std::int64_t final_pool = region.LoadPool(0);
   const std::int64_t total_faas = faas.load();
   // Telescoping: sum of recovered words == installed refills minus all
   // FAA'd tokens minus what's still in the word (give or take the initial
@@ -126,6 +128,160 @@ TEST(RuntimeStressTest, PeriodBoundaryExchangeLosesNoFaa) {
   EXPECT_EQ(recovered_sum + final_pool,
             kRefill * static_cast<std::int64_t>(kRounds) -
                 kBatch * total_faas);
+}
+
+// The sharded pool under the full monitor repertoire: workers FAA their
+// home shards while the monitor interleaves conversion CAS sweeps with
+// rebalance moves (donor CAS down, receiver FAA up). Rebalances are
+// sum-neutral and conversions mint exactly (new - witnessed) per shard, so
+// the telescoped shard-sum identity must hold EXACTLY:
+//   initial_sum + net_minted - B * total_faas == final_sum.
+TEST(RuntimeStressTest, ShardedPoolConservationUnderFaaAndRebalance) {
+  constexpr std::size_t kShards = 4;
+  constexpr int kWorkers = 8;
+  constexpr int kFaasPerWorker = 20000;
+  constexpr std::int64_t kBatch = 50;
+  constexpr std::int64_t kInitialPerShard = 5000;
+
+  runtime::SharedRegion region(1, kShards);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    region.ExchangePool(s, kInitialPerShard);
+  }
+
+  std::atomic<bool> start{false};
+  std::atomic<bool> workers_done{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      // Skewed tenant placement: all workers home on shards 0..1, so
+      // shards 2..3 keep a positive surplus and the rebalancer always has
+      // a donor — the imbalance the rebalance pass exists to fix.
+      const std::size_t home = static_cast<std::size_t>(w) % 2;
+      while (!start.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < kFaasPerWorker; ++i) {
+        region.FetchAddPool(home, -kBatch);
+      }
+    });
+  }
+
+  // The monitor: alternate rebalance moves (max shard -> min shard, CAS
+  // the donor down then FAA the receiver up — RebalanceLocked's shape)
+  // with conversion sweeps that CAS every shard to a fresh share.
+  std::int64_t net_minted = 0;
+  std::uint64_t rebalances = 0;
+  std::uint64_t conversions = 0;
+  std::thread monitor([&] {
+    while (!start.load(std::memory_order_acquire)) {}
+    std::uint64_t round = 0;
+    // A floor of rounds guarantees rebalances/conversions happen even if
+    // the scheduler starves this thread until the workers drain (the
+    // telescoped identity is interleaving-independent, so post-drain
+    // rounds exercise the same arithmetic).
+    constexpr std::uint64_t kMinRounds = 64;
+    while (!workers_done.load(std::memory_order_acquire) ||
+           round < kMinRounds) {
+      if (++round % 4 != 0) {
+        // Rebalance: move half the spread from the richest shard to the
+        // poorest. Sum-neutral by construction.
+        std::size_t donor = 0;
+        std::size_t receiver = 0;
+        for (std::size_t s = 1; s < kShards; ++s) {
+          if (region.LoadPool(s) > region.LoadPool(donor)) donor = s;
+          if (region.LoadPool(s) < region.LoadPool(receiver)) receiver = s;
+        }
+        if (donor == receiver) continue;
+        std::int64_t expected = region.LoadPool(donor);
+        const std::int64_t move =
+            std::clamp<std::int64_t>((expected) / 2, 0, 2000);
+        if (move <= 0) continue;
+        if (region.CasPool(donor, expected, expected - move)) {
+          region.FetchAddPool(receiver, move);
+          ++rebalances;
+        }
+      } else {
+        // Conversion: re-fill every shard to a rotating per-shard budget.
+        const std::int64_t budget =
+            3000 + static_cast<std::int64_t>(round % 5) * 500;
+        for (std::size_t s = 0; s < kShards; ++s) {
+          std::int64_t expected = region.LoadPool(s);
+          while (!region.CasPool(s, expected, budget)) {}
+          net_minted += budget - expected;
+        }
+        ++conversions;
+      }
+    }
+  });
+
+  start.store(true, std::memory_order_release);
+  for (auto& worker : workers) worker.join();
+  workers_done.store(true, std::memory_order_release);
+  monitor.join();
+
+  const std::int64_t total_faas =
+      static_cast<std::int64_t>(kWorkers) * kFaasPerWorker;
+  EXPECT_EQ(static_cast<std::int64_t>(kShards) * kInitialPerShard +
+                net_minted - kBatch * total_faas,
+            region.LoadPoolSum())
+      << "sharded pool leaked or minted tokens (rebalances=" << rebalances
+      << " conversions=" << conversions << ")";
+  EXPECT_GT(rebalances, 0u);
+  EXPECT_GT(conversions, 0u);
+}
+
+// Rebalance moves racing the period boundary: the monitor alternates
+// full-sweep exchanges (installing each shard's next-period share and
+// recovering the raw word) with rebalance donor-CAS/receiver-FAA pairs
+// while workers FAA every shard. Every token must be accounted for:
+//   sum(recovered) + final_sum == sum(installed) - B * faas
+// (rebalance moves cancel; the initial sum is zero).
+TEST(RuntimeStressTest, RebalanceAndPeriodBoundaryInterleavingConserves) {
+  constexpr std::size_t kShards = 4;
+  constexpr int kRounds = 1500;
+  constexpr std::int64_t kBatch = 10;
+  constexpr std::int64_t kRefillPerShard = 50000;
+  runtime::SharedRegion region(1, kShards);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> faas{0};
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < kShards; ++w) {
+    workers.emplace_back([&, w] {
+      while (!stop.load(std::memory_order_acquire)) {
+        region.FetchAddPool(w, -kBatch);
+        faas.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::int64_t recovered_sum = 0;
+  std::int64_t installed_sum = 0;
+  std::uint64_t rebalances = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    // Boundary sweep: exchange every shard to its next share.
+    for (std::size_t s = 0; s < kShards; ++s) {
+      recovered_sum += region.ExchangePool(s, kRefillPerShard);
+      installed_sum += kRefillPerShard;
+    }
+    // A rebalance squeezed between boundaries, mirroring a check tick
+    // that fires mid-period: donor CAS down, receiver FAA up.
+    const std::size_t donor = static_cast<std::size_t>(r) % kShards;
+    const std::size_t receiver = (donor + 1) % kShards;
+    std::int64_t expected = region.LoadPool(donor);
+    const std::int64_t move = std::clamp<std::int64_t>(expected, 0, 500);
+    if (move > 0 && region.CasPool(donor, expected, expected - move)) {
+      region.FetchAddPool(receiver, move);
+      ++rebalances;
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& worker : workers) worker.join();
+
+  EXPECT_EQ(recovered_sum + region.LoadPoolSum(),
+            installed_sum - kBatch * faas.load())
+      << "boundary/rebalance interleaving lost tokens (rebalances="
+      << rebalances << ")";
+  EXPECT_GT(rebalances, 0u);
 }
 
 // Seqlock slot: the client's report WRITE and the monitor's prime collide

@@ -35,6 +35,13 @@ flags (all optional):
                              threads on shared memory (wall-clock; results
                              are statistically, not bitwise, reproducible;
                              haechi/basic modes only)                 [sim]
+  --shards=K                 threads only: split the global token pool
+                             across K cache-line shards (monitor
+                             rebalances them on its check tick)         [1]
+  --fetch-batch=B            threads only: one remote FAA draws B token
+                             batches (doorbell-style chaining)          [1]
+  --workers=N                threads only: worker threads multiplexing
+                             the client I/O loops (0 = one per client)  [0]
   --clients=N                number of clients        [10]
   --distribution=uniform|zipf|spike   reservations    [zipf]
   --reserved-pct=P           % of capacity reserved   [90]
@@ -51,6 +58,8 @@ flags (all optional):
   --trace-out=PATH           export the QoS event trace (.json = Perfetto,
                              anything else = CSV for haechi_audit)
   --trace-detail             also trace per-I/O RDMA/KV events
+  --trace-ring=N             per-actor trace ring capacity, events
+                             [65536; 2097152 with --runtime=threads]
   --metrics-out=PATH         export per-period metrics snapshots as CSV
   --alerts-out=PATH          run the online SLO watchdog; write alerts as
                              JSONL (one alert object per line)
@@ -89,11 +98,13 @@ int PrintClientTable(const stats::PeriodSeries& series,
 int Run(int argc, const char* const* argv) {
   auto parsed = Flags::Parse(
       argc, argv,
-      {"mode", "runtime", "clients", "distribution", "reserved-pct", "pattern",
-       "write-fraction", "demand-factor", "limit-factor", "periods",
-       "warmup-seconds", "scale", "seed", "background-pct", "csv",
-       "trace-out", "trace-detail", "metrics-out", "alerts-out",
-       "status-interval", "progress-events", "help"});
+      {"mode", "runtime", "shards", "fetch-batch", "workers", "clients",
+       "distribution", "reserved-pct", "pattern", "write-fraction",
+       "demand-factor", "limit-factor", "periods", "warmup-seconds", "scale",
+       "seed", "background-pct", "csv", "trace-out", "trace-detail",
+       "trace-ring",
+       "metrics-out", "alerts-out", "status-interval", "progress-events",
+       "help"});
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.status().ToString().c_str(),
                  kUsage);
@@ -203,6 +214,19 @@ int Run(int argc, const char* const* argv) {
   config.trace.detail = flags.Has("trace-detail");
   config.trace.enabled =
       !config.trace.out_path.empty() || !config.trace.metrics_out.empty();
+  // Rings grow lazily, so a generous capacity only costs what a run
+  // actually emits. The threads runtime sustains two orders of magnitude
+  // more I/O than the old one-thread-per-client design, so its protocol
+  // event streams outgrow the sim default; size the ring so A1 (dense
+  // per-actor sequences) holds on a full CLI run.
+  const std::int64_t trace_ring = flags.GetInt(
+      "trace-ring",
+      flags.GetString("runtime", "sim") == "threads" ? (1 << 21) : (1 << 16));
+  if (trace_ring < 1) {
+    std::fprintf(stderr, "--trace-ring must be >= 1\n");
+    return 2;
+  }
+  config.trace.ring_capacity = static_cast<std::size_t>(trace_ring);
 
   const std::string alerts_out = flags.GetString("alerts-out", "");
   const auto status_interval =
@@ -224,7 +248,25 @@ int Run(int argc, const char* const* argv) {
   const std::string trace_path_flag = flags.GetString("trace-out", "");
 
   const std::string runtime = flags.GetString("runtime", "sim");
+  const std::int64_t shards = flags.GetInt("shards", 1);
+  const std::int64_t fetch_batch = flags.GetInt("fetch-batch", 1);
+  const std::int64_t workers = flags.GetInt("workers", 0);
+  if (runtime != "threads" &&
+      (shards != 1 || fetch_batch != 1 || workers != 0)) {
+    std::fprintf(stderr,
+                 "--shards/--fetch-batch/--workers require "
+                 "--runtime=threads\n");
+    return 2;
+  }
   if (runtime == "threads") {
+    if (shards < 1 || fetch_batch < 1 || workers < 0) {
+      std::fprintf(stderr,
+                   "--shards and --fetch-batch must be >= 1, --workers >= 0\n");
+      return 2;
+    }
+    config.qos.pool_shards = shards;
+    config.qos.fetch_batch = fetch_batch;
+    config.runtime_workers = static_cast<std::size_t>(workers);
     if (config.mode == harness::Mode::kBare) {
       std::fprintf(stderr,
                    "--runtime=threads supports --mode=haechi|basic only\n");
@@ -248,10 +290,13 @@ int Run(int argc, const char* const* argv) {
     harness::ThreadedExperiment experiment(std::move(config));
     harness::ThreadedExperimentResult result = experiment.Run();
 
-    std::printf("mode=%s runtime=threads distribution=%s clients=%zu "
+    std::printf("mode=%s runtime=threads shards=%lld fetch-batch=%lld "
+                "workers=%lld distribution=%s clients=%zu "
                 "capacity=%.0f KIOPS (full-scale equivalent)\n\n",
-                mode.c_str(), distribution.c_str(), clients,
-                static_cast<double>(cap) / 1e3 / scale);
+                mode.c_str(), static_cast<long long>(shards),
+                static_cast<long long>(fetch_batch),
+                static_cast<long long>(workers), distribution.c_str(),
+                clients, static_cast<double>(cap) / 1e3 / scale);
     const int met =
         PrintClientTable(result.series, result.reservations, periods, scale);
     std::printf("\ntotal %.0f KIOPS; reservations met %d/%zu; "

@@ -11,8 +11,15 @@
 #   tools/run_ctest_matrix.sh tsan-runtime # focused entry: the tsan preset
 #                                          # restricted to the concurrent
 #                                          # runtime tests (runtime_diff,
-#                                          # runtime_stress) — the quick
+#                                          # runtime_stress,
+#                                          # runtime_property) — the quick
 #                                          # gate for src/runtime changes
+#   tools/run_ctest_matrix.sh tsan-runtime-sharded
+#                                          # tighter still: only the
+#                                          # sharded-pool / batched-fetch /
+#                                          # rebalance tests under tsan —
+#                                          # the gate for pool-shard and
+#                                          # fetch-batch changes
 #   JOBS=8 tools/run_ctest_matrix.sh       # override parallelism
 #   BENCH=1 tools/run_ctest_matrix.sh      # also run the bench regression
 #                                          # gates (tools/bench_regress:
@@ -37,7 +44,10 @@ for preset in "${PRESETS[@]}"; do
   ctest_args=()
   if [[ "$preset" == "tsan-runtime" ]]; then
     config_preset=tsan
-    ctest_args=(-R 'runtime_(diff|stress)')
+    ctest_args=(-L runtime)
+  elif [[ "$preset" == "tsan-runtime-sharded" ]]; then
+    config_preset=tsan
+    ctest_args=(-R 'Shard|Rebalance|BatchedFetch')
   fi
   echo "==== [$preset] configure ===="
   cmake --preset "$config_preset"
