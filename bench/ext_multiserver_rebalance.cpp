@@ -1,11 +1,11 @@
 // Extension bench (paper §V future work): multi-data-node Haechi with the
-// ClusterCoordinator. Compares static equal splitting of a cluster-wide
+// cluster coordinator. Compares static equal splitting of a cluster-wide
 // reservation against usage-driven rebalancing when per-node demand is
 // skewed: static splitting strands reservation on cold nodes while the
 // hot-node share is too small; rebalancing follows the demand and restores
 // the cluster-wide guarantee.
 #include "bench/bench_common.hpp"
-#include "harness/multi_experiment.hpp"
+#include "harness/cluster_experiment.hpp"
 
 namespace haechi::bench {
 namespace {
@@ -18,7 +18,7 @@ struct Outcome {
 };
 
 Outcome Run(const BenchArgs& args, bool rebalancing, double hot_fraction) {
-  harness::MultiExperimentConfig config;
+  harness::ClusterExperimentConfig config;
   config.net.capacity_scale = args.scale == 1.0 ? 0.05 : args.scale;
   config.data_nodes = 2;
   config.warmup = Seconds(2);
@@ -37,7 +37,7 @@ Outcome Run(const BenchArgs& args, bool rebalancing, double hot_fraction) {
 
   // The client under test: one cluster-wide reservation, demand skewed
   // toward node 0 by `hot_fraction`.
-  harness::MultiClientSpec managed;
+  harness::ClusterClientSpec managed;
   managed.reservation = cap / 5;
   managed.demand_per_node = {
       static_cast<std::int64_t>(static_cast<double>(cap / 5) * hot_fraction),
@@ -45,23 +45,29 @@ Outcome Run(const BenchArgs& args, bool rebalancing, double hot_fraction) {
                                 (1.0 - hot_fraction))};
   config.clients = {managed};
 
-  // Six hungry tenants pinned three-per-node (their own rebalancing pulls
+  // Six hungry clients pinned three-per-node (their own rebalancing pulls
   // their reservations to their home node within a period or two): they
   // keep both nodes' global pools scarce, so the managed client's
   // guarantee depends on where its *reservation* sits — the quantity under
   // test.
   for (int node = 0; node < 2; ++node) {
     for (int t = 0; t < 3; ++t) {
-      harness::MultiClientSpec pinned;
+      harness::ClusterClientSpec pinned;
       pinned.reservation = local * 95 / 100;
       pinned.demand_per_node = {node == 0 ? cap : 0, node == 1 ? cap : 0};
       config.clients.push_back(pinned);
     }
   }
+  std::int64_t tenant_total = 0;
+  for (auto& client : config.clients) {
+    client.tenant = 0;
+    tenant_total += client.reservation;
+  }
+  config.tenants = {{tenant_total, 0}};
 
   const auto periods = config.measure_periods;
-  harness::MultiExperiment exp(std::move(config));
-  harness::MultiExperimentResult r = exp.Run();
+  harness::ClusterExperiment exp(std::move(config));
+  harness::ClusterExperimentResult r = exp.Run();
 
   Outcome out;
   const auto id = MakeClientId(0);

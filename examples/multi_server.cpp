@@ -1,20 +1,20 @@
 // Multi-data-node Haechi (the paper's §V future work): one cluster-wide
 // reservation, demand skewed across two data nodes and flipping mid-run.
-// Watch the ClusterCoordinator chase the demand with per-node reservation
+// Watch the cluster coordinator chase the demand with per-node reservation
 // splits while the cluster-wide guarantee holds throughout.
 //
 // Run:  ./multi_server [--scale=0.05]
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
-#include "harness/multi_experiment.hpp"
+#include "harness/cluster_experiment.hpp"
 
 using namespace haechi;
 using namespace haechi::bench;
 
 int main(int argc, char** argv) {
   BenchArgs args = ParseArgs(argc, argv);
-  harness::MultiExperimentConfig config;
+  harness::ClusterExperimentConfig config;
   config.net.capacity_scale = args.scale == 1.0 ? 0.05 : args.scale;
   args.scale = config.net.capacity_scale;
   config.data_nodes = 2;
@@ -27,14 +27,16 @@ int main(int argc, char** argv) {
 
   // One managed client with a cluster-wide reservation, 85% of its demand
   // on node 0...
-  harness::MultiClientSpec managed;
+  harness::ClusterClientSpec managed;
   managed.reservation = cap / 5;
   managed.demand_per_node = {cap / 5 * 85 / 100, cap / 5 * 15 / 100};
   // ...competing with an unmanaged hog on each node.
-  harness::MultiClientSpec hog;
+  harness::ClusterClientSpec hog;
   hog.reservation = 0;
   hog.demand_per_node = {cap, cap};
   config.clients = {managed, hog};
+  // Both live under one tenant sized to their combined reservation.
+  config.tenants = {{managed.reservation + hog.reservation, 0}};
 
   // Mid-run the managed client's demand flips to node 1.
   config.shift_at = config.warmup + Seconds(6);
@@ -43,7 +45,7 @@ int main(int argc, char** argv) {
       {cap, cap},
   };
 
-  harness::MultiExperiment exp(std::move(config));
+  harness::ClusterExperiment exp(std::move(config));
   auto& sim = exp.simulator();
   // Sample the split each period, just after the rebalancer runs.
   std::vector<std::vector<std::int64_t>> splits;
@@ -54,7 +56,7 @@ int main(int argc, char** argv) {
                          exp.coordinator().SplitOf(MakeClientId(0)).value());
                    });
   }
-  harness::MultiExperimentResult r = exp.Run();
+  harness::ClusterExperimentResult r = exp.Run();
 
   std::printf("managed client: cluster-wide reservation %.0f KIOPS; demand "
               "85/15 across two nodes, flipping to 15/85 at period 6\n\n",

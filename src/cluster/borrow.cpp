@@ -1,0 +1,134 @@
+#include "cluster/borrow.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace haechi::cluster {
+
+std::string_view ToString(BorrowPolicy policy) {
+  switch (policy) {
+    case BorrowPolicy::kOff:
+      return "off";
+    case BorrowPolicy::kStatic:
+      return "static";
+    case BorrowPolicy::kAdaptive:
+      return "adaptive";
+  }
+  return "unknown";
+}
+
+bool BorrowPolicyFromName(std::string_view name, BorrowPolicy& out) {
+  if (name == "off") {
+    out = BorrowPolicy::kOff;
+  } else if (name == "static") {
+    out = BorrowPolicy::kStatic;
+  } else if (name == "adaptive") {
+    out = BorrowPolicy::kAdaptive;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+BorrowLedger::BorrowLedger(std::size_t nodes, const BorrowConfig& config)
+    : nodes_(nodes), config_(config) {
+  HAECHI_EXPECTS(nodes > 0);
+  HAECHI_EXPECTS(config.quota >= 0);
+  HAECHI_EXPECTS(config.min_quota >= 0);
+  HAECHI_EXPECTS(config.max_quota >= config.min_quota);
+  outstanding_.assign(nodes_ * nodes_, 0);
+  quota_.assign(nodes_, config_.policy == BorrowPolicy::kOff
+                            ? 0
+                            : std::clamp(config_.quota, config_.min_quota,
+                                         config_.max_quota));
+  borrowed_this_period_.assign(nodes_, 0);
+}
+
+std::int64_t BorrowLedger::Quota(std::uint32_t node) const {
+  HAECHI_EXPECTS(node < nodes_);
+  return quota_[node];
+}
+
+std::int64_t BorrowLedger::Headroom(std::uint32_t borrower) const {
+  HAECHI_EXPECTS(borrower < nodes_);
+  if (config_.policy == BorrowPolicy::kOff) return 0;
+  return std::max<std::int64_t>(
+      quota_[borrower] - borrowed_this_period_[borrower], 0);
+}
+
+std::int64_t BorrowLedger::BorrowedThisPeriod(std::uint32_t node) const {
+  HAECHI_EXPECTS(node < nodes_);
+  return borrowed_this_period_[node];
+}
+
+void BorrowLedger::RecordGrant(std::uint32_t lender, std::uint32_t borrower,
+                               std::int64_t tokens) {
+  HAECHI_EXPECTS(lender < nodes_ && borrower < nodes_ && lender != borrower);
+  HAECHI_EXPECTS(tokens > 0);
+  outstanding_[PairIndex(lender, borrower)] += tokens;
+  borrowed_this_period_[borrower] += tokens;
+  total_granted_ += tokens;
+}
+
+void BorrowLedger::RecordRepay(std::uint32_t borrower, std::uint32_t lender,
+                               std::int64_t tokens) {
+  HAECHI_EXPECTS(lender < nodes_ && borrower < nodes_ && lender != borrower);
+  HAECHI_EXPECTS(tokens > 0);
+  std::int64_t& owed = outstanding_[PairIndex(lender, borrower)];
+  // C2 by construction: a repayment can never exceed the loan.
+  HAECHI_ASSERT(tokens <= owed);
+  owed -= tokens;
+  total_repaid_ += tokens;
+}
+
+std::int64_t BorrowLedger::Outstanding(std::uint32_t lender,
+                                       std::uint32_t borrower) const {
+  HAECHI_EXPECTS(lender < nodes_ && borrower < nodes_);
+  return outstanding_[PairIndex(lender, borrower)];
+}
+
+std::int64_t BorrowLedger::OwedBy(std::uint32_t borrower) const {
+  HAECHI_EXPECTS(borrower < nodes_);
+  std::int64_t total = 0;
+  for (std::uint32_t l = 0; l < nodes_; ++l) {
+    total += outstanding_[PairIndex(l, borrower)];
+  }
+  return total;
+}
+
+std::int64_t BorrowLedger::OwedTo(std::uint32_t lender) const {
+  HAECHI_EXPECTS(lender < nodes_);
+  std::int64_t total = 0;
+  for (std::uint32_t b = 0; b < nodes_; ++b) {
+    total += outstanding_[PairIndex(lender, b)];
+  }
+  return total;
+}
+
+std::int64_t BorrowLedger::TotalOutstanding() const {
+  std::int64_t total = 0;
+  for (const std::int64_t owed : outstanding_) total += owed;
+  return total;
+}
+
+void BorrowLedger::AdaptQuota(std::uint32_t node, std::int64_t borrowed,
+                              std::int64_t unused) {
+  HAECHI_EXPECTS(node < nodes_);
+  if (config_.policy != BorrowPolicy::kAdaptive) return;
+  if (borrowed <= 0) return;  // no consumption signal this period
+  if (unused <= borrowed / 8) {
+    // The borrowed tokens were (almost) fully consumed: real demand, so
+    // allow the node to import more next period.
+    quota_[node] = std::min(quota_[node] * 2, config_.max_quota);
+  } else if (unused > borrowed / 2) {
+    // Over half the import sat idle at the boundary: over-borrowing.
+    quota_[node] = std::max(quota_[node] / 2, config_.min_quota);
+  }
+}
+
+void BorrowLedger::ResetPeriod() {
+  std::fill(borrowed_this_period_.begin(), borrowed_this_period_.end(), 0);
+}
+
+}  // namespace haechi::cluster

@@ -1,0 +1,103 @@
+// Cross-server token borrowing: policy, quotas, and the conservation
+// ledger.
+//
+// When one data node's pool runs dry mid-period while a peer's sits idle,
+// the coordinator moves free tokens between the two monitors (LendTokens /
+// AbsorbTokens). The BorrowLedger is the cluster-wide double-entry record
+// of those moves: every grant creates an outstanding loan on the ordered
+// (lender, borrower) pair, every repayment retires part of it, and the
+// audit identity C2 holds by construction:
+//
+//   granted(l, b) == repaid(l, b) + outstanding(l, b),   outstanding >= 0
+//
+// Borrow quotas bound how much a node may import per period. The static
+// policy pins the quota; the adaptive policy follows AdapTBF (PAPERS.md):
+// multiplicative increase when the borrowed tokens were fully consumed
+// (the demand was real), multiplicative decrease when a chunk of them sat
+// unused at the boundary (the node over-borrowed), clamped to
+// [min_quota, max_quota]. Decentralised in spirit — each node's quota
+// adapts only on its own consumption signal.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace haechi::cluster {
+
+enum class BorrowPolicy : std::uint8_t {
+  kOff = 0,      // never move tokens between nodes
+  kStatic = 1,   // fixed per-period borrow quota per node
+  kAdaptive = 2, // AdapTBF-style multiplicative quota adaptation
+};
+
+[[nodiscard]] std::string_view ToString(BorrowPolicy policy);
+bool BorrowPolicyFromName(std::string_view name, BorrowPolicy& out);
+
+struct BorrowConfig {
+  BorrowPolicy policy = BorrowPolicy::kOff;
+  /// Per-period borrow cap per node (static policy), and the adaptive
+  /// policy's starting quota.
+  std::int64_t quota = 4000;
+  /// Adaptive clamp range.
+  std::int64_t min_quota = 500;
+  std::int64_t max_quota = 64000;
+};
+
+class BorrowLedger {
+ public:
+  BorrowLedger(std::size_t nodes, const BorrowConfig& config);
+
+  [[nodiscard]] std::size_t nodes() const { return nodes_; }
+  [[nodiscard]] const BorrowConfig& config() const { return config_; }
+
+  /// Current per-period borrow quota of `node`.
+  [[nodiscard]] std::int64_t Quota(std::uint32_t node) const;
+  /// Quota remaining for `borrower` this period (0 when the policy is off).
+  [[nodiscard]] std::int64_t Headroom(std::uint32_t borrower) const;
+  /// Tokens `node` imported so far this period.
+  [[nodiscard]] std::int64_t BorrowedThisPeriod(std::uint32_t node) const;
+
+  void RecordGrant(std::uint32_t lender, std::uint32_t borrower,
+                   std::int64_t tokens);
+  void RecordRepay(std::uint32_t borrower, std::uint32_t lender,
+                   std::int64_t tokens);
+
+  [[nodiscard]] std::int64_t Outstanding(std::uint32_t lender,
+                                         std::uint32_t borrower) const;
+  /// Loans `borrower` still owes across all lenders.
+  [[nodiscard]] std::int64_t OwedBy(std::uint32_t borrower) const;
+  /// Loans still owed to `lender` across all borrowers.
+  [[nodiscard]] std::int64_t OwedTo(std::uint32_t lender) const;
+  [[nodiscard]] std::int64_t TotalOutstanding() const;
+  [[nodiscard]] std::int64_t TotalGranted() const { return total_granted_; }
+  [[nodiscard]] std::int64_t TotalRepaid() const { return total_repaid_; }
+
+  /// Adaptive feedback for one node at a period boundary: `borrowed` is
+  /// what it imported during the closed period, `unused` how much of that
+  /// was still sitting in its pool at the boundary. No-op under the static
+  /// policy.
+  void AdaptQuota(std::uint32_t node, std::int64_t borrowed,
+                  std::int64_t unused);
+  /// Resets the per-period borrow counters (call once per boundary, after
+  /// AdaptQuota has consumed them).
+  void ResetPeriod();
+
+ private:
+  [[nodiscard]] std::size_t PairIndex(std::uint32_t lender,
+                                      std::uint32_t borrower) const {
+    return static_cast<std::size_t>(lender) * nodes_ + borrower;
+  }
+
+  std::size_t nodes_;
+  BorrowConfig config_;
+  std::vector<std::int64_t> outstanding_;  // nodes x nodes, lender-major
+  std::vector<std::int64_t> quota_;        // per node
+  std::vector<std::int64_t> borrowed_this_period_;
+  std::int64_t total_granted_ = 0;
+  std::int64_t total_repaid_ = 0;
+};
+
+}  // namespace haechi::cluster

@@ -1,0 +1,168 @@
+// The cluster coordinator: sharded multi-server Haechi (paper §V future
+// work, ROADMAP "scale out to a sharded multi-server cluster").
+//
+// D data nodes each run an ordinary QosMonitor; clients are striped across
+// all of them. The coordinator is the control plane gluing the shards into
+// one deployment:
+//
+//  * Hierarchical admission. Clients belong to tenants (TenantDirectory):
+//    a client's cluster-wide reservation R_i must fit its tenant's R_t,
+//    and only then is R_i split across the per-node admission controllers
+//    (uniformly at admission, usage-weighted afterwards). Any rejection
+//    rolls the whole admission back — a client is either on every node or
+//    on none.
+//
+//  * Intra-tenant rebalancing (the seed policy, kept verbatim). Shortly
+//    before each period boundary the coordinator re-splits each client's
+//    R_i toward an EWMA of its observed per-node usage, decreases before
+//    increases, re-parking rejected increases so sum_d R_i,d == R_i stays
+//    invariant. A node whose report slot went stale for the period keeps
+//    its last EWMA (and a cluster_stale_report event is emitted) instead
+//    of polluting the estimate with a zero.
+//
+//  * Cross-server token borrowing. Every borrow_tick the coordinator
+//    probes each node's pool; a node below the dry watermark borrows free
+//    tokens from the peer with the most surplus, bounded by its
+//    (AdapTBF-adaptive) per-period quota — see borrow.hpp. Loans are
+//    repaid explicitly just after the next period boundary out of the
+//    borrower's fresh pool (partial repayments carry the remainder
+//    forward), so every period settles to a clean cluster-wide ledger and
+//    the audit's C2 conservation identity is checkable from the trace.
+//
+// Control traffic only: the coordinator never touches the one-sided data
+// path. In a real deployment it is a control-plane service doing periodic
+// RPCs to the monitors; calling them directly here is faithful because
+// every interaction is per-period or per-tick, never per-I/O.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/borrow.hpp"
+#include "cluster/tenant.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "core/monitor.hpp"
+#include "sim/simulator.hpp"
+
+namespace haechi::cluster {
+
+class ClusterCoordinator {
+ public:
+  struct Config {
+    /// EWMA weight for fresh per-node usage observations.
+    double ewma = 0.5;
+    /// Fraction of R_i every node keeps as a floor (ramp headroom).
+    double min_share = 0.05;
+    /// Rebalancing cadence; normally the QoS period.
+    SimDuration interval = kSecond;
+    /// The rebalancer samples this long *before* each period boundary, so
+    /// it sees the period's final usage reports rather than the freshly
+    /// re-primed slots of the next period.
+    SimDuration lead = kMillisecond;
+    /// Dry-pool probe cadence for cross-server borrowing.
+    SimDuration borrow_tick = Millis(10);
+    /// Loans settle this long *after* each boundary — after every
+    /// monitor's StartPeriod has provisioned the fresh pools the
+    /// repayments are drawn from.
+    SimDuration repay_lag = Micros(100);
+    /// A node whose pool is below this many tokens counts as dry and
+    /// tries to borrow (typically the engines' FAA batch size, so a dry
+    /// pool is one that cannot serve a single fetch).
+    std::int64_t dry_watermark = 1000;
+    /// A lender never gives its pool away below this floor.
+    std::int64_t lender_floor = 2000;
+    /// Cap on sum_t R_t fed to the TenantDirectory; <= 0 disables.
+    std::int64_t tenant_capacity = 0;
+    BorrowConfig borrow;
+  };
+
+  struct Stats {
+    std::uint64_t rebalances = 0;
+    std::uint64_t tokens_moved = 0;   // total |delta| applied
+    std::uint64_t rejected_moves = 0; // increases refused by admission
+    /// Clients purged cluster-wide after a node's report lease expired.
+    std::uint64_t dead_clients = 0;
+    /// (client, node) samples skipped because the node's report for the
+    /// period was missing (stale slot) — the EWMA kept its last value.
+    std::uint64_t stale_reports = 0;
+    std::uint64_t borrow_requests = 0;
+    std::uint64_t borrow_grants = 0;
+    std::int64_t borrowed_tokens = 0;
+    std::int64_t repaid_tokens = 0;
+  };
+
+  /// The coordinator drives the given per-node monitors; they must outlive
+  /// it. Monitor d's trace actor is set to d so the per-actor streams the
+  /// audit walks stay disjoint.
+  ClusterCoordinator(sim::Simulator& sim, const Config& config,
+                     std::vector<core::QosMonitor*> monitors);
+
+  ClusterCoordinator(const ClusterCoordinator&) = delete;
+  ClusterCoordinator& operator=(const ClusterCoordinator&) = delete;
+
+  /// Registers a tenant with a cluster-wide reservation/limit envelope.
+  Status AddTenant(TenantId tenant, std::int64_t reservation,
+                   std::int64_t limit);
+
+  /// Admits `client` under `tenant` with a cluster-wide reservation,
+  /// initially split equally. `ctrl_qps[d]` is the monitor-side control QP
+  /// on node d. Returns one QosWiring per node for the client's per-node
+  /// engines. Atomic: tenant-level and all node-level admissions succeed,
+  /// or everything is rolled back.
+  Result<std::vector<core::QosWiring>> AdmitClient(
+      TenantId tenant, ClientId client, std::int64_t reservation,
+      std::int64_t limit, const std::vector<rdma::QueuePair*>& ctrl_qps);
+
+  /// Releases the client on every node and from its tenant.
+  Status ReleaseClient(ClientId client);
+
+  /// Starts the periodic rebalance/borrow/settle machinery; the monitors
+  /// are expected to start their periods at the same `at`.
+  void Start(SimTime at);
+  void Stop();
+
+  /// Forces one rebalancing pass (also called by the periodic timer).
+  void Rebalance();
+  /// Forces one dry-pool borrow probe (also called by the borrow timer).
+  void BorrowTick();
+  /// Boundary settlement: adaptive quota feedback + loan repayment (also
+  /// called by the settle timer, repay_lag after each boundary).
+  void SettleLoans();
+
+  /// Current per-node reservation split of a client.
+  [[nodiscard]] Result<std::vector<std::int64_t>> SplitOf(
+      ClientId client) const;
+
+  [[nodiscard]] std::size_t NodeCount() const { return monitors_.size(); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const BorrowLedger& borrow_ledger() const { return ledger_; }
+  [[nodiscard]] const TenantDirectory& tenants() const { return directory_; }
+
+ private:
+  struct ClientState {
+    ClientId id;
+    std::int64_t reservation;          // cluster-wide R_i
+    std::vector<std::int64_t> split;   // per-node R_i,d
+    std::vector<double> demand_ewma;   // per-node usage estimate
+    std::vector<std::uint32_t> stale_streak;  // consecutive stale periods
+  };
+
+  [[nodiscard]] const ClientState* Find(ClientId client) const;
+  void OnClientDead(ClientId client);
+  [[nodiscard]] std::uint32_t CurrentPeriod() const;
+
+  sim::Simulator& sim_;
+  Config config_;
+  std::vector<core::QosMonitor*> monitors_;
+  TenantDirectory directory_;
+  BorrowLedger ledger_;
+  std::vector<ClientState> clients_;
+  Stats stats_;
+  std::unique_ptr<sim::PeriodicTimer> rebalance_timer_;
+  std::unique_ptr<sim::PeriodicTimer> borrow_timer_;
+  std::unique_ptr<sim::PeriodicTimer> settle_timer_;
+};
+
+}  // namespace haechi::cluster

@@ -1,0 +1,152 @@
+#include "cluster/tenant.hpp"
+
+#include <algorithm>
+
+namespace haechi::cluster {
+
+TenantDirectory::TenantDirectory(std::int64_t cluster_reservable)
+    : cluster_reservable_(cluster_reservable) {}
+
+Status TenantDirectory::AddTenant(TenantId tenant, std::int64_t reservation,
+                                  std::int64_t limit) {
+  if (reservation < 0) return ErrInvalidArgument("negative reservation");
+  if (limit > 0 && limit < reservation) {
+    return ErrInvalidArgument("tenant limit below its reservation");
+  }
+  if (FindTenant(tenant) != nullptr) {
+    return ErrFailedPrecondition("tenant already registered");
+  }
+  if (cluster_reservable_ > 0 &&
+      TotalReserved() + reservation > cluster_reservable_) {
+    return ErrResourceExhausted(
+        "tenant reservations would exceed cluster capacity");
+  }
+  Tenant t;
+  t.id = tenant;
+  t.reservation = reservation;
+  t.limit = limit;
+  tenants_.push_back(t);
+  return Status::Ok();
+}
+
+Status TenantDirectory::RemoveTenant(TenantId tenant) {
+  const auto it =
+      std::find_if(tenants_.begin(), tenants_.end(),
+                   [&](const Tenant& t) { return t.id == tenant; });
+  if (it == tenants_.end()) return ErrNotFound("tenant not registered");
+  if (it->clients > 0) {
+    return ErrFailedPrecondition("tenant still has admitted clients");
+  }
+  tenants_.erase(it);
+  return Status::Ok();
+}
+
+Status TenantDirectory::AdmitClient(TenantId tenant, ClientId client,
+                                    std::int64_t reservation,
+                                    std::int64_t limit) {
+  if (reservation < 0) return ErrInvalidArgument("negative reservation");
+  if (limit > 0 && limit < reservation) {
+    return ErrInvalidArgument("limit below reservation");
+  }
+  Tenant* t = FindTenantMutable(tenant);
+  if (t == nullptr) return ErrNotFound("tenant not registered");
+  if (FindMember(client) != nullptr) {
+    return ErrFailedPrecondition("client already admitted to a tenant");
+  }
+  if (t->reserved + reservation > t->reservation) {
+    return ErrResourceExhausted(
+        "client reservations would exceed the tenant's reservation");
+  }
+  if (t->limit > 0) {
+    if (limit <= 0) {
+      return ErrInvalidArgument(
+          "a limited tenant requires a per-client limit");
+    }
+    if (t->limited + limit > t->limit) {
+      return ErrResourceExhausted(
+          "client limits would exceed the tenant's limit");
+    }
+  }
+  t->reserved += reservation;
+  t->limited += limit > 0 ? limit : 0;
+  ++t->clients;
+  clients_.push_back(Member{client, tenant, reservation, limit});
+  return Status::Ok();
+}
+
+Status TenantDirectory::ReleaseClient(ClientId client) {
+  const auto it =
+      std::find_if(clients_.begin(), clients_.end(),
+                   [&](const Member& m) { return m.id == client; });
+  if (it == clients_.end()) return ErrNotFound("client not admitted");
+  Tenant* t = FindTenantMutable(it->tenant);
+  if (t != nullptr) {
+    t->reserved -= it->reservation;
+    t->limited -= it->limit > 0 ? it->limit : 0;
+    --t->clients;
+  }
+  clients_.erase(it);
+  return Status::Ok();
+}
+
+Status TenantDirectory::UpdateClientReservation(ClientId client,
+                                                std::int64_t reservation) {
+  if (reservation < 0) return ErrInvalidArgument("negative reservation");
+  const auto it =
+      std::find_if(clients_.begin(), clients_.end(),
+                   [&](const Member& m) { return m.id == client; });
+  if (it == clients_.end()) return ErrNotFound("client not admitted");
+  if (it->limit > 0 && reservation > it->limit) {
+    return ErrInvalidArgument("reservation above the client's limit");
+  }
+  Tenant* t = FindTenantMutable(it->tenant);
+  if (t == nullptr) return ErrNotFound("tenant vanished under the client");
+  if (t->reserved - it->reservation + reservation > t->reservation) {
+    return ErrResourceExhausted(
+        "client reservations would exceed the tenant's reservation");
+  }
+  t->reserved += reservation - it->reservation;
+  it->reservation = reservation;
+  return Status::Ok();
+}
+
+Result<TenantId> TenantDirectory::TenantOf(ClientId client) const {
+  const Member* m = FindMember(client);
+  if (m == nullptr) return ErrNotFound("client not admitted");
+  return m->tenant;
+}
+
+Result<std::int64_t> TenantDirectory::ClientReservation(
+    ClientId client) const {
+  const Member* m = FindMember(client);
+  if (m == nullptr) return ErrNotFound("client not admitted");
+  return m->reservation;
+}
+
+const TenantDirectory::Tenant* TenantDirectory::FindTenant(
+    TenantId tenant) const {
+  const auto it =
+      std::find_if(tenants_.begin(), tenants_.end(),
+                   [&](const Tenant& t) { return t.id == tenant; });
+  return it == tenants_.end() ? nullptr : &*it;
+}
+
+TenantDirectory::Tenant* TenantDirectory::FindTenantMutable(TenantId tenant) {
+  return const_cast<Tenant*>(FindTenant(tenant));
+}
+
+const TenantDirectory::Member* TenantDirectory::FindMember(
+    ClientId client) const {
+  const auto it =
+      std::find_if(clients_.begin(), clients_.end(),
+                   [&](const Member& m) { return m.id == client; });
+  return it == clients_.end() ? nullptr : &*it;
+}
+
+std::int64_t TenantDirectory::TotalReserved() const {
+  std::int64_t total = 0;
+  for (const Tenant& t : tenants_) total += t.reservation;
+  return total;
+}
+
+}  // namespace haechi::cluster

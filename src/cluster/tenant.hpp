@@ -1,0 +1,85 @@
+// Two-level tenant hierarchy for cluster deployments.
+//
+// The single-node admission controller guards one flat client population
+// against the node's capacities (C_G, C_L). At cluster scale the paper's
+// "millions of users" decompose into tenant groups: each tenant t owns a
+// cluster-wide reservation R_t (and optional limit L_t), and its member
+// clients carve their cluster-wide reservations R_i out of R_t. The
+// directory enforces the nesting at both levels:
+//
+//   sum_t R_t  <= cluster reservable capacity      (tenant admission)
+//   sum_{i in t} R_i <= R_t                        (client admission)
+//   sum_{i in t} L_i <= L_t   when L_t is set      (limits nest too)
+//
+// Free <-> reserved conversion composes per level: the slack R_t -
+// sum_{i in t} R_i is never dispatched as reservation tokens, so it stays
+// in the per-node pools where ordinary token conversion recycles it — a
+// tenant that under-subscribes its reservation donates the difference to
+// the cluster's free tier without any extra machinery.
+//
+// The directory is pure bookkeeping (no monitors, no timers); the cluster
+// coordinator consults it before touching per-node admission, and rolls it
+// back if a node rejects the split.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace haechi::cluster {
+
+using TenantId = std::uint32_t;
+
+class TenantDirectory {
+ public:
+  struct Tenant {
+    TenantId id = 0;
+    std::int64_t reservation = 0;  // R_t
+    std::int64_t limit = 0;        // L_t; <= 0 means unlimited
+    std::int64_t reserved = 0;     // sum of member client reservations
+    std::int64_t limited = 0;      // sum of member client limits
+    std::size_t clients = 0;
+  };
+
+  /// `cluster_reservable` caps sum_t R_t; <= 0 disables the top-level
+  /// check (the per-node admission controllers still bound reality).
+  explicit TenantDirectory(std::int64_t cluster_reservable);
+
+  Status AddTenant(TenantId tenant, std::int64_t reservation,
+                   std::int64_t limit);
+  /// Only an empty tenant can be removed.
+  Status RemoveTenant(TenantId tenant);
+
+  Status AdmitClient(TenantId tenant, ClientId client,
+                     std::int64_t reservation, std::int64_t limit);
+  Status ReleaseClient(ClientId client);
+  /// Re-checks the tenant bound with the new value.
+  Status UpdateClientReservation(ClientId client, std::int64_t reservation);
+
+  [[nodiscard]] Result<TenantId> TenantOf(ClientId client) const;
+  [[nodiscard]] Result<std::int64_t> ClientReservation(ClientId client) const;
+  [[nodiscard]] const Tenant* FindTenant(TenantId tenant) const;
+  [[nodiscard]] const std::vector<Tenant>& tenants() const { return tenants_; }
+  /// sum_t R_t across all tenants.
+  [[nodiscard]] std::int64_t TotalReserved() const;
+  [[nodiscard]] std::size_t ClientCount() const { return clients_.size(); }
+
+ private:
+  struct Member {
+    ClientId id;
+    TenantId tenant;
+    std::int64_t reservation;
+    std::int64_t limit;
+  };
+
+  [[nodiscard]] Tenant* FindTenantMutable(TenantId tenant);
+  [[nodiscard]] const Member* FindMember(ClientId client) const;
+
+  std::int64_t cluster_reservable_;
+  std::vector<Tenant> tenants_;
+  std::vector<Member> clients_;
+};
+
+}  // namespace haechi::cluster

@@ -26,6 +26,7 @@ ClientQosEngine::ClientQosEngine(sim::Simulator& sim, ClientId id,
                                  const QosWiring& wiring)
     : sim_(sim),
       id_(id),
+      trace_actor_(Raw(id)),
       config_(config),
       node_(node),
       qos_qp_(qos_qp),
@@ -100,7 +101,7 @@ void ClientQosEngine::HandleCtrl(const rdma::WorkCompletion& wc) {
 void ClientQosEngine::OnPeriodStart(const PeriodStartMsg& msg) {
   ++stats_.periods_started;
   period_ = msg.period;
-  HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, Raw(id_),
+  HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, trace_actor_,
                      obs::EventType::kEnginePeriodStart, period_,
                      msg.reservation_tokens, msg.limit);
   // Fresh reservation tokens *replace* leftovers (reservation and global).
@@ -136,7 +137,7 @@ void ClientQosEngine::OnReportRequest() {
 
 void ClientQosEngine::Stop() {
   if (started_) {
-    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, Raw(id_),
+    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, trace_actor_,
                        obs::EventType::kEngineStop, period_);
   }
   started_ = false;
@@ -153,7 +154,7 @@ void ClientQosEngine::TokenTick() {
   // bound X. (They are reclaimed by the monitor's token conversion once
   // the client reports.)
   if (xi_reservation_ > bound) {
-    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, Raw(id_),
+    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, trace_actor_,
                        obs::EventType::kTokenDecay, period_,
                        xi_reservation_ - bound, bound);
     xi_reservation_ = bound;
@@ -185,7 +186,7 @@ void ClientQosEngine::WriteReport() {
   if (s.ok()) {
     ++stats_.report_writes;
     HAECHI_TRACE_EVENT(
-        obs::ActorKind::kEngine, Raw(id_), obs::EventType::kReportWrite,
+        obs::ActorKind::kEngine, trace_actor_, obs::EventType::kReportWrite,
         period_,
         static_cast<std::int64_t>(ReportResidual(packed)),
         static_cast<std::int64_t>(ReportCompleted(packed)),
@@ -207,7 +208,7 @@ void ClientQosEngine::PostTokenFetch() {
     ++stats_.faa_failures;
     HAECHI_LOG_WARN("engine %u: FAA post failed: %s", Raw(id_),
                     s.ToString().c_str());
-    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, Raw(id_),
+    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, trace_actor_,
                        obs::EventType::kTokenFetchFail, period_,
                        faa_backoff_);
     ArmFaaRetry();
@@ -216,7 +217,7 @@ void ClientQosEngine::PostTokenFetch() {
   faa_in_flight_ = true;
   faa_period_ = period_;
   ++stats_.faa_ops;
-  HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, Raw(id_),
+  HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, trace_actor_,
                      obs::EventType::kTokenFetch, period_,
                      config_.token_batch);
 }
@@ -236,7 +237,7 @@ void ClientQosEngine::ArmFaaRetry() {
     // period is a once-per-backoff_max probe. Signalled once per period so
     // the watchdog sees saturation, not each probe.
     faa_exhausted_signalled_ = true;
-    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, Raw(id_),
+    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, trace_actor_,
                        obs::EventType::kFaaExhausted, period_, faa_backoff_);
   }
   faa_retry_armed_ = true;
@@ -260,7 +261,7 @@ void ClientQosEngine::HandleQosCompletion(const rdma::WorkCompletion& wc) {
     ++stats_.faa_failures;
     HAECHI_LOG_WARN("engine %u: FAA failed: %s", Raw(id_),
                     std::string(rdma::ToString(wc.status)).c_str());
-    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, Raw(id_),
+    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, trace_actor_,
                        obs::EventType::kTokenFetchFail, period_,
                        faa_backoff_);
     ArmFaaRetry();
@@ -268,7 +269,7 @@ void ClientQosEngine::HandleQosCompletion(const rdma::WorkCompletion& wc) {
   }
   faa_backoff_ = 0;  // a successful fetch resets the backoff ladder
   if (faa_period_ != period_) {
-    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, Raw(id_),
+    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, trace_actor_,
                        obs::EventType::kTokenDiscard, faa_period_,
                        static_cast<std::int64_t>(wc.atomic_result));
     // The pool was re-initialised for a new period while this fetch was in
@@ -282,14 +283,14 @@ void ClientQosEngine::HandleQosCompletion(const rdma::WorkCompletion& wc) {
   const std::int64_t acquired =
       std::clamp<std::int64_t>(available, 0, config_.token_batch);
   local_global_ += acquired;
-  HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, Raw(id_),
+  HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, trace_actor_,
                      obs::EventType::kTokenFetchDone, period_, available,
                      acquired);
   if (acquired == 0 && !queue_.empty() && !pool_retry_armed_) {
     // Step T4: wait for token conversion or the next period, polling the
     // pool at the retry cadence.
     pool_retry_armed_ = true;
-    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, Raw(id_),
+    HAECHI_TRACE_EVENT(obs::ActorKind::kEngine, trace_actor_,
                        obs::EventType::kPoolEmpty, period_, available);
     const std::uint32_t at_period = period_;
     sim_.ScheduleAfter(config_.pool_retry_interval, [this, at_period] {

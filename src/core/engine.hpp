@@ -88,6 +88,13 @@ class ClientQosEngine {
   /// callbacks it registered still fire and must find it alive.
   void Stop();
 
+  /// Cluster deployments: the actor id this engine stamps on its trace
+  /// events. Defaults to the client id; a client striped across D nodes
+  /// runs D engines, and each needs a distinct actor or their rings would
+  /// interleave and break the per-actor seq streams the audit checks.
+  void SetTraceActor(std::uint32_t actor) { trace_actor_ = actor; }
+  [[nodiscard]] std::uint32_t trace_actor() const { return trace_actor_; }
+
   [[nodiscard]] ClientId id() const { return id_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::int64_t ReservationTokens() const { return xi_reservation_; }
@@ -121,6 +128,7 @@ class ClientQosEngine {
 
   sim::Simulator& sim_;
   ClientId id_;
+  std::uint32_t trace_actor_ = 0;
   QosConfig config_;
   rdma::Node& node_;
   rdma::QueuePair& qos_qp_;

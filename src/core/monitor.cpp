@@ -123,12 +123,12 @@ Result<QosWiring> QosMonitor::AdmitClient(ClientId client,
     return ErrResourceExhausted("all report slots consumed");
   }
   if (auto s = admission_.Admit(client, reservation); !s.ok()) {
-    HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0,
+    HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, trace_actor_,
                        obs::EventType::kAdmitReject, stats_.periods,
                        static_cast<std::int64_t>(Raw(client)), reservation);
     return s;
   }
-  HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0,
+  HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, trace_actor_,
                      readmission ? obs::EventType::kReadmit
                                  : obs::EventType::kAdmit,
                      stats_.periods, static_cast<std::int64_t>(Raw(client)),
@@ -149,6 +149,7 @@ Result<QosWiring> QosMonitor::AdmitClient(ClientId client,
                            std::max<std::int64_t>(reservation, 0)),
                        0));
   entry.last_slot_raw = ReadSlot(entry.slot);
+  entry.primed_slot_raw = entry.last_slot_raw;
   entry.lease_misses = 0;
   clients_.push_back(entry);
   ctrl_qp.send_cq().SetNotify([](const rdma::WorkCompletion&) {});
@@ -179,7 +180,7 @@ Status QosMonitor::ReleaseClient(ClientId client) {
   // recycled slot. Live slots are never compacted (address stability).
   retired_slots_.push_back(it->slot);
   clients_.erase(it);
-  HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0, obs::EventType::kRelease,
+  HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, trace_actor_, obs::EventType::kRelease,
                      stats_.periods, static_cast<std::int64_t>(Raw(client)));
   return admission_.Release(client);
 }
@@ -203,8 +204,67 @@ Status QosMonitor::UpdateReservation(ClientId client,
     return ErrInvalidArgument("reservation above the client's limit");
   }
   if (auto s = admission_.Update(client, reservation); !s.ok()) return s;
+  const std::int64_t previous = it->reservation;
   it->reservation = reservation;
+  HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, trace_actor_,
+                     obs::EventType::kReservationUpdate, stats_.periods,
+                     static_cast<std::int64_t>(Raw(client)), reservation,
+                     previous);
   return Status::Ok();
+}
+
+std::int64_t QosMonitor::LendTokens(std::int64_t want, std::uint32_t peer) {
+  if (want <= 0 || stats_.periods == 0) return 0;
+  const std::int64_t raw = ReadPoolWord();
+  const std::int64_t lent =
+      std::min(want, std::max<std::int64_t>(raw, 0));
+  if (lent <= 0) return 0;
+  const std::int64_t after = raw - lent;
+  if (!ledger_.empty()) {
+    // Movement since the last ledger sample is client grants; the lend
+    // itself is a separate ledger line, not a grant.
+    PeriodLedger& cur = ledger_.back();
+    cur.granted += ledger_last_pool_ - raw;
+    cur.lent += lent;
+    ledger_last_pool_ = after;
+  }
+  WritePoolWord(after);
+  last_written_pool_ = after;
+  loop_observed_pool_ = after;
+  borrow_credit_ -= lent;
+  stats_.lent_tokens += lent;
+  HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, trace_actor_,
+                     obs::EventType::kPoolBorrowOut, stats_.periods, raw,
+                     after, static_cast<std::int64_t>(peer));
+  return lent;
+}
+
+void QosMonitor::AbsorbTokens(std::int64_t tokens, std::uint32_t peer) {
+  if (tokens <= 0 || stats_.periods == 0) return;
+  const std::int64_t raw = ReadPoolWord();
+  const std::int64_t after = raw + tokens;
+  if (!ledger_.empty()) {
+    PeriodLedger& cur = ledger_.back();
+    cur.granted += ledger_last_pool_ - raw;
+    cur.absorbed += tokens;
+    ledger_last_pool_ = after;
+  }
+  WritePoolWord(after);
+  last_written_pool_ = after;
+  loop_observed_pool_ = after;
+  borrow_credit_ += tokens;
+  stats_.absorbed_tokens += tokens;
+  HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, trace_actor_,
+                     obs::EventType::kPoolBorrowIn, stats_.periods, raw,
+                     after, static_cast<std::int64_t>(peer));
+}
+
+bool QosMonitor::HasFreshReport(ClientId client) const {
+  const ClientEntry* entry = FindClient(client);
+  if (entry == nullptr) return false;
+  const std::uint64_t raw = ReadSlot(entry->slot);
+  return ReportPeriod(raw) == (stats_.periods & kReportPeriodMask) &&
+         raw != entry->primed_slot_raw;
 }
 
 Result<std::int64_t> QosMonitor::ReservationOf(ClientId client) const {
@@ -253,7 +313,7 @@ void QosMonitor::StartPeriod() {
     const std::int64_t raw = ReadPoolWord();
     prev.granted += ledger_last_pool_ - raw;
     prev.end_pool = raw;
-    HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0,
+    HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, trace_actor_,
                        obs::EventType::kMonitorPeriodEnd, stats_.periods, raw,
                        stats_.last_period_completions, prev.granted);
   }
@@ -267,6 +327,7 @@ void QosMonitor::StartPeriod() {
   ++stats_.periods;
   period_start_time_ = sim_.Now();
   reporting_active_ = false;
+  borrow_credit_ = 0;
 
   period_capacity_ = estimator_->Estimate();
   std::int64_t total_reserved = 0;
@@ -285,7 +346,7 @@ void QosMonitor::StartPeriod() {
   ledger.end_pool = initial_pool_;
   ledger_.push_back(ledger);
   ledger_last_pool_ = initial_pool_;
-  HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0,
+  HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, trace_actor_,
                      obs::EventType::kMonitorPeriodStart, stats_.periods,
                      period_capacity_, total_reserved, initial_pool_);
   // Bound memory on endless runs; tests look at recent periods only.
@@ -303,6 +364,7 @@ void QosMonitor::StartPeriod() {
     // The prime re-baselines the lease: every client gets a fresh k-check
     // allowance each period.
     entry.last_slot_raw = ReadSlot(entry.slot);
+    entry.primed_slot_raw = entry.last_slot_raw;
     entry.lease_misses = 0;
     PeriodStartMsg msg;
     msg.period = stats_.periods;
@@ -322,7 +384,7 @@ void QosMonitor::CheckTick() {
     const std::int64_t raw = ReadPoolWord();
     ledger_.back().granted += ledger_last_pool_ - raw;
     ledger_last_pool_ = raw;
-    HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0,
+    HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, trace_actor_,
                        obs::EventType::kPoolSample, stats_.periods, raw);
   }
 
@@ -361,7 +423,7 @@ void QosMonitor::CheckTick() {
   if (!reporting_active_ && observed_now < initial_pool_) {
     reporting_active_ = true;
     ++stats_.report_signals;
-    HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0,
+    HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, trace_actor_,
                        obs::EventType::kReportSignal, stats_.periods,
                        observed_now, initial_pool_);
     ReportRequestMsg msg;
@@ -393,7 +455,7 @@ void QosMonitor::CheckLeases() {
       // Half-lease nudge: the ReportRequest SEND itself may have been
       // lost; a live client answers this within one report interval.
       ++stats_.report_request_resends;
-      HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0,
+      HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, trace_actor_,
                          obs::EventType::kReportResend, stats_.periods,
                          static_cast<std::int64_t>(Raw(entry.id)));
       ReportRequestMsg msg;
@@ -429,7 +491,7 @@ void QosMonitor::DeclareDead(ClientId client) {
       "%lld residual tokens",
       Raw(client), it->lease_misses, static_cast<long long>(residual));
   ++stats_.lease_expirations;
-  HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0,
+  HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, trace_actor_,
                      obs::EventType::kLeaseExpire, stats_.periods,
                      static_cast<std::int64_t>(Raw(client)), residual,
                      salvaged);
@@ -484,8 +546,13 @@ void QosMonitor::ConvertTokens() {
   // without this correction the conversion would re-mint them every check.
   std::int64_t unreported_grants = 0;
   for (const std::int64_t g : recent_grants_) unreported_grants += g;
+  // borrow_credit_ (absorbed - lent this period) shifts the target so a
+  // conversion pass neither clobbers tokens a peer transferred in nor
+  // re-mints tokens this node lent out.
   const std::int64_t new_pool = std::max<std::int64_t>(
-      remaining_capacity - outstanding_reservation - unreported_grants, 0);
+      remaining_capacity - outstanding_reservation - unreported_grants +
+          borrow_credit_,
+      0);
   if (!ledger_.empty()) {
     // Attribute pool movement since the last ledger sample to grants, and
     // the overwrite itself to minting (negative when conversion shrinks
@@ -495,7 +562,7 @@ void QosMonitor::ConvertTokens() {
     cur.granted += ledger_last_pool_ - raw_before;
     cur.minted += new_pool - raw_before;
     ledger_last_pool_ = new_pool;
-    HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0,
+    HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, trace_actor_,
                        obs::EventType::kTokenConvert, stats_.periods,
                        raw_before, new_pool, outstanding_reservation);
   }
@@ -516,7 +583,8 @@ void QosMonitor::Calibrate() {
     if (ReportPeriod(slot) == (stats_.periods & kReportPeriodMask)) {
       total_completed += ReportCompleted(slot);
       HAECHI_TRACE_EVENT(
-          obs::ActorKind::kMonitor, 0, obs::EventType::kClientPeriodReport,
+          obs::ActorKind::kMonitor, trace_actor_,
+          obs::EventType::kClientPeriodReport,
           stats_.periods, static_cast<std::int64_t>(Raw(entry.id)),
           static_cast<std::int64_t>(ReportCompleted(slot)),
           static_cast<std::int64_t>(ReportResidual(slot)));
@@ -525,7 +593,7 @@ void QosMonitor::Calibrate() {
   stats_.last_period_completions = total_completed;
   if (reporting_active_) {
     estimator_->OnPeriodEnd(total_completed);
-    HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, 0,
+    HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, trace_actor_,
                        obs::EventType::kCapacityEstimate, stats_.periods,
                        total_completed, estimator_->Estimate(),
                        static_cast<std::int64_t>(estimator_->LastDecision()));

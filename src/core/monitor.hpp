@@ -60,12 +60,17 @@ class QosMonitor {
     /// simulator, which models a single remote word).
     std::uint64_t rebalances = 0;
     std::int64_t rebalanced_tokens = 0;
+    /// Cross-server borrowing (cluster deployments): tokens this monitor
+    /// lent out of its pool and absorbed into it.
+    std::int64_t lent_tokens = 0;
+    std::int64_t absorbed_tokens = 0;
   };
 
   /// Per-period token ledger, one entry per started period. All fields are
   /// exact (the monitor reads the pool word from its own memory), so tests
   /// can assert conservation identities:
-  ///   initial_pool + minted - granted == end_pool          (always)
+  ///   initial_pool + minted + absorbed - granted - lent == end_pool
+  ///                                                        (always)
   ///   dispatched + initial_pool == capacity                (when
   ///                                        dispatched <= capacity)
   struct PeriodLedger {
@@ -84,6 +89,10 @@ class QosMonitor {
     std::int64_t reclaimed = 0;
     /// Pool word at the period boundary (pre-re-initialisation).
     std::int64_t end_pool = 0;
+    /// Cross-server borrow movements (cluster deployments): tokens this
+    /// monitor lent to peers and absorbed from peers this period.
+    std::int64_t lent = 0;
+    std::int64_t absorbed = 0;
   };
 
   /// Capacities in IOPS, as profiled (Experiment Set 1). `node` is the
@@ -113,6 +122,33 @@ class QosMonitor {
 
   /// The reservation currently configured for a client.
   [[nodiscard]] Result<std::int64_t> ReservationOf(ClientId client) const;
+
+  /// Multi-monitor deployments: the actor id this monitor stamps on its
+  /// trace events (the data-node index). Must be set before Start(), or
+  /// several monitors would interleave one per-actor ring and corrupt the
+  /// per-actor seq streams the audit relies on.
+  void SetTraceActor(std::uint32_t actor) { trace_actor_ = actor; }
+  [[nodiscard]] std::uint32_t trace_actor() const { return trace_actor_; }
+
+  /// Cross-server borrowing (cluster coordinator only). LendTokens drains
+  /// up to `want` tokens from the pool word — never below zero — and
+  /// returns the amount actually removed; AbsorbTokens credits tokens
+  /// borrowed from peer node `peer`. Both are exact ledger movements
+  /// (`lent`/`absorbed`), and the running net credit feeds token
+  /// conversion so a conversion pass neither re-mints lent tokens nor
+  /// clobbers absorbed ones.
+  [[nodiscard]] std::int64_t LendTokens(std::int64_t want,
+                                        std::uint32_t peer);
+  void AbsorbTokens(std::int64_t tokens, std::uint32_t peer);
+
+  /// True when `client`'s report slot holds a report written this period
+  /// (as opposed to the boundary prime or a stale cross-boundary write).
+  /// The cluster coordinator uses this to skip rebalancing on nodes whose
+  /// report went missing for the period.
+  [[nodiscard]] bool HasFreshReport(ClientId client) const;
+
+  /// Index of the current QoS period (0 before Start()).
+  [[nodiscard]] std::uint32_t CurrentPeriod() const { return stats_.periods; }
 
   /// Starts period 1 at absolute time `at` and runs until Stop().
   void Start(SimTime at);
@@ -179,6 +215,9 @@ class QosMonitor {
     // guarantees a live client changes them every report_interval).
     std::uint64_t last_slot_raw = 0;
     std::uint32_t lease_misses = 0;
+    // Slot bytes as primed at the period boundary; a slot equal to its
+    // prime has not received a real report this period.
+    std::uint64_t primed_slot_raw = 0;
   };
 
   static constexpr std::size_t kMaxClients = 64;
@@ -218,6 +257,11 @@ class QosMonitor {
   std::vector<std::size_t> free_slots_;
   Stats stats_;
   bool running_ = false;
+  std::uint32_t trace_actor_ = 0;
+  // Net cross-server borrow movement this period (absorbed - lent); token
+  // conversion adds it to the pool target so borrowing survives the next
+  // conversion overwrite. Reset at every period boundary.
+  std::int64_t borrow_credit_ = 0;
   SimTime period_start_time_ = 0;
   std::int64_t period_capacity_ = 0;
   std::int64_t initial_pool_ = 0;

@@ -1,0 +1,368 @@
+#include "harness/cluster_experiment.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "obs/export.hpp"
+
+namespace haechi::harness {
+
+ClusterExperiment::ClusterExperiment(ClusterExperimentConfig config)
+    : config_(std::move(config)) {
+  HAECHI_EXPECTS(config_.data_nodes >= 1);
+  HAECHI_EXPECTS(!config_.tenants.empty());
+  HAECHI_EXPECTS(!config_.clients.empty());
+  HAECHI_EXPECTS(config_.measure_periods > 0);
+  for (const auto& spec : config_.clients) {
+    HAECHI_EXPECTS(spec.tenant < config_.tenants.size());
+    HAECHI_EXPECTS(spec.demand_per_node.size() == config_.data_nodes);
+  }
+  if (config_.shift_at >= 0) {
+    HAECHI_EXPECTS(config_.shifted_demand.size() == config_.clients.size());
+  }
+  for (const auto& crash : config_.client_crashes) {
+    HAECHI_EXPECTS(crash.client < config_.clients.size());
+  }
+}
+
+ClusterExperiment::~ClusterExperiment() = default;
+
+void ClusterExperiment::Build() {
+  fabric_ = std::make_unique<rdma::Fabric>(sim_, config_.net, config_.seed);
+  fabric_->set_copy_payloads(false);
+
+  // Data nodes: KV store + monitor each. The coordinator assigns monitor d
+  // the trace actor d, so emit the capacity events after it exists.
+  std::vector<core::QosMonitor*> monitor_ptrs;
+  for (std::size_t d = 0; d < config_.data_nodes; ++d) {
+    rdma::Node& node = fabric_->AddNode("data-" + std::to_string(d),
+                                        rdma::NodeRole::kData);
+    kvstore::KvServer::Config store;
+    store.record_count = config_.records;
+    servers_.push_back(std::make_unique<kvstore::KvServer>(node, store));
+    // Each shard profiles its 1/D share of the cluster's capacity: token
+    // minting (conversion) and admission are bounded per node, so a hot
+    // node genuinely runs out of tokens instead of self-minting the whole
+    // cluster's worth — that scarcity is what rebalancing and borrowing
+    // exist to fix. The per-client local bound C_L stays whole: one
+    // client's data path does not shrink because the cluster sharded.
+    monitors_.push_back(std::make_unique<core::QosMonitor>(
+        sim_, config_.qos, node,
+        config_.net.GlobalCapacityIops() /
+            static_cast<double>(config_.data_nodes),
+        config_.net.LocalCapacityIops()));
+    monitor_ptrs.push_back(monitors_.back().get());
+  }
+  cluster::ClusterCoordinator::Config cluster = config_.cluster;
+  cluster.interval = config_.qos.period;
+  coordinator_ = std::make_unique<cluster::ClusterCoordinator>(
+      sim_, cluster, monitor_ptrs);
+  for (std::size_t d = 0; d < config_.data_nodes; ++d) {
+    [[maybe_unused]] const auto& admission = monitors_[d]->admission();
+    HAECHI_TRACE_EVENT(obs::ActorKind::kHarness,
+                       static_cast<std::uint32_t>(d),
+                       obs::EventType::kNodeCapacity, 0,
+                       static_cast<std::uint64_t>(d),
+                       admission.AggregateCapacity(),
+                       admission.LocalCapacity());
+  }
+
+  for (std::size_t t = 0; t < config_.tenants.size(); ++t) {
+    const ClusterTenantSpec& tenant = config_.tenants[t];
+    const Status added =
+        coordinator_->AddTenant(static_cast<cluster::TenantId>(t),
+                                tenant.reservation, tenant.limit);
+    HAECHI_ASSERT(added.ok());
+    std::uint64_t members = 0;
+    for (const auto& spec : config_.clients) {
+      if (spec.tenant == t) ++members;
+    }
+    HAECHI_TRACE_EVENT(obs::ActorKind::kHarness,
+                       static_cast<std::uint32_t>(t),
+                       obs::EventType::kTenantSpec, 0, tenant.reservation,
+                       tenant.limit, members);
+  }
+
+  kv_clients_.resize(config_.clients.size());
+  engines_.resize(config_.clients.size());
+  generators_.resize(config_.clients.size());
+
+  for (std::size_t i = 0; i < config_.clients.size(); ++i) {
+    const ClusterClientSpec& spec = config_.clients[i];
+    const auto client_id = MakeClientId(static_cast<std::uint32_t>(i));
+    rdma::Node& client_node =
+        fabric_->AddNode("client-" + std::to_string(i + 1));
+    client_nodes_.push_back(&client_node);
+
+    // Control QPs first: admission returns the per-node wirings.
+    std::vector<rdma::QueuePair*> ctrl_srv_qps;
+    std::vector<rdma::QueuePair*> ctrl_qps;
+    for (std::size_t d = 0; d < config_.data_nodes; ++d) {
+      rdma::Node& data_node = fabric_->node(d);
+      auto& ctrl_cq = client_node.CreateCq();
+      auto& ctrl_recv_cq = client_node.CreateCq();
+      auto& ctrl_srv_cq = data_node.CreateCq();
+      auto& ctrl_qp = client_node.CreateQp(ctrl_cq, ctrl_recv_cq);
+      auto& ctrl_srv_qp = data_node.CreateQp(ctrl_srv_cq, ctrl_srv_cq);
+      fabric_->Connect(ctrl_qp, ctrl_srv_qp);
+      ctrl_qps.push_back(&ctrl_qp);
+      ctrl_srv_qps.push_back(&ctrl_srv_qp);
+    }
+    auto wirings = coordinator_->AdmitClient(
+        static_cast<cluster::TenantId>(spec.tenant), client_id,
+        spec.reservation, spec.limit, ctrl_srv_qps);
+    HAECHI_ASSERT(wirings.ok());
+
+    for (std::size_t d = 0; d < config_.data_nodes; ++d) {
+      rdma::Node& data_node = fabric_->node(d);
+
+      auto& data_cq = client_node.CreateCq();
+      auto& data_srv_cq = data_node.CreateCq();
+      auto& data_qp = client_node.CreateQp(data_cq, data_cq, 1u << 22);
+      auto& data_srv_qp = data_node.CreateQp(data_srv_cq, data_srv_cq);
+      fabric_->Connect(data_qp, data_srv_qp);
+      kv_clients_[i].push_back(std::make_unique<kvstore::KvClient>(
+          client_node, data_qp, servers_[d]->view(),
+          kvstore::KvClient::Config{}));
+
+      auto& qos_cq = client_node.CreateCq();
+      auto& qos_srv_cq = data_node.CreateCq();
+      auto& qos_qp = client_node.CreateQp(qos_cq, qos_cq);
+      auto& qos_srv_qp = data_node.CreateQp(qos_srv_cq, qos_srv_cq);
+      fabric_->Connect(qos_qp, qos_srv_qp);
+
+      auto engine = std::make_unique<core::ClientQosEngine>(
+          sim_, client_id, config_.qos, client_node, qos_qp, *ctrl_qps[d],
+          wirings.value()[d]);
+      // D engines share the client id; give each its own trace actor (and
+      // publish the binding) so the per-actor seq streams stay dense.
+      const auto engine_actor =
+          static_cast<std::uint32_t>(i * config_.data_nodes + d);
+      engine->SetTraceActor(engine_actor);
+      HAECHI_TRACE_EVENT(obs::ActorKind::kHarness, engine_actor,
+                         obs::EventType::kEngineBinding, 0,
+                         static_cast<std::uint64_t>(i),
+                         static_cast<std::uint64_t>(d),
+                         static_cast<std::uint64_t>(spec.tenant));
+      kvstore::KvClient* kv = kv_clients_[i][d].get();
+      engine->SetIoBackend(
+          [kv](std::uint64_t key, bool /*is_write*/,
+               core::ClientQosEngine::CompleteFn done) {
+            return kv->GetOneSided(
+                key, [done = std::move(done)](
+                         const kvstore::KvClient::Completion&) { done(); });
+          });
+
+      workload::DemandGenerator::Config gen;
+      gen.pattern = spec.pattern;
+      gen.period = config_.qos.period;
+      gen.demand_per_period = spec.demand_per_node[d];
+      Rng rng(config_.seed * 31 + i * 1009 + d * 7 + 3);
+      workload::KeyChooser chooser(
+          workload::KeyChooser::Kind::kUniformRandom, config_.records, 0.0,
+          rng);
+      core::ClientQosEngine* eng = engine.get();
+      generators_[i].push_back(std::make_unique<workload::DemandGenerator>(
+          sim_, gen, std::move(chooser),
+          [this, eng, client_id, d](
+              std::uint64_t key, bool /*is_write*/,
+              workload::DemandGenerator::CompleteFn cb) {
+            auto counted = [this, client_id, d, cb](bool measured) {
+              if (measured && measuring_) {
+                result_->node_series[d].Add(client_id, 1);
+              }
+              cb();
+            };
+            const Status s =
+                eng->Submit(key, [counted]() mutable { counted(true); });
+            if (!s.ok()) counted(false);  // shed on engine backpressure
+          }));
+      engines_[i].push_back(std::move(engine));
+    }
+  }
+}
+
+void ClusterExperiment::CrashClient(std::size_t index) {
+  HAECHI_LOG_INFO("cluster experiment: crashing client %zu at t=%lld ns",
+                  index, static_cast<long long>(sim_.Now()));
+  HAECHI_TRACE_EVENT(obs::ActorKind::kHarness,
+                     static_cast<std::uint32_t>(index),
+                     obs::EventType::kClientCrash, 0);
+  fabric_->CrashNode(client_nodes_.at(index)->id());
+  // Quiesce the software above the errored QPs. No monitor is told: each
+  // node's report lease must discover the silence on its own, and the
+  // first to fire triggers the coordinator's cluster-wide purge.
+  for (auto& engine : engines_.at(index)) engine->Stop();
+  for (auto& generator : generators_.at(index)) generator->Stop();
+}
+
+ClusterExperimentResult ClusterExperiment::Run() {
+  result_ = std::make_unique<ClusterExperimentResult>();
+  for (std::size_t d = 0; d < config_.data_nodes; ++d) {
+    result_->node_series.emplace_back(config_.clients.size());
+  }
+
+  bool want_recorder =
+      config_.trace.enabled || !config_.trace.out_path.empty();
+#if HAECHI_WATCHDOG_ENABLED
+  const bool want_watchdog = config_.watchdog.enabled ||
+                             !config_.watchdog.alerts_out.empty() ||
+                             config_.watchdog.status_interval > 0;
+  want_recorder = want_recorder || want_watchdog;
+#endif
+  if (want_recorder) {
+    obs::Recorder::Options trace_options;
+    trace_options.ring_capacity = config_.trace.ring_capacity;
+    trace_options.detail = config_.trace.detail;
+    recorder_ = std::make_unique<obs::Recorder>(sim_, trace_options);
+  }
+#if HAECHI_WATCHDOG_ENABLED
+  if (want_watchdog) {
+    obs::WatchdogOptions wd_options;
+    wd_options.guarantee_fraction = config_.watchdog.guarantee_fraction;
+    watchdog_ = std::make_unique<obs::SloWatchdog>(wd_options);
+    alerts_sink_ =
+        std::make_unique<obs::JsonlAlertSink>(config_.watchdog.alerts_out);
+    watchdog_->AddSink(alerts_sink_.get());
+    if (config_.watchdog.status_interval > 0) {
+      auto status_fn = config_.watchdog.status_fn;
+      if (!status_fn) {
+        status_fn = [](const obs::PeriodStatus& status) {
+          std::fprintf(stderr, "%s\n",
+                       obs::FormatStatusLine(status).c_str());
+        };
+      }
+      watchdog_->SetStatusFn(std::move(status_fn),
+                             config_.watchdog.status_interval);
+    }
+    recorder_->SetTap(
+        [this](const obs::TraceEvent& event) { watchdog_->OnEvent(event); });
+  }
+#endif
+  obs::ScopedRecorder trace_scope(recorder_.get());
+  HAECHI_TRACE_EVENT(obs::ActorKind::kHarness, 0, obs::EventType::kRunConfig,
+                     0, config_.qos.period, config_.qos.token_batch,
+                     static_cast<std::int64_t>(config_.measure_periods));
+  // The cluster-shape header must precede every monitor/cluster event: the
+  // audit and watchdog switch into cluster mode when they see it.
+  HAECHI_TRACE_EVENT(obs::ActorKind::kHarness, 0,
+                     obs::EventType::kClusterConfig, 0,
+                     static_cast<std::uint64_t>(config_.data_nodes),
+                     static_cast<std::uint64_t>(config_.tenants.size()),
+                     static_cast<std::uint64_t>(config_.cluster.borrow.policy));
+  for (std::size_t i = 0; i < config_.clients.size(); ++i) {
+    [[maybe_unused]] const ClusterClientSpec& spec = config_.clients[i];
+    [[maybe_unused]] std::int64_t demand = 0;
+    for (const auto per_node : spec.demand_per_node) demand += per_node;
+    HAECHI_TRACE_EVENT(obs::ActorKind::kHarness,
+                       static_cast<std::uint32_t>(i),
+                       obs::EventType::kClientSpec, 0, spec.reservation,
+                       spec.limit, demand);
+  }
+
+  Build();
+
+  for (auto& monitor : monitors_) monitor->Start(0);
+  coordinator_->Start(0);
+  for (auto& per_client : generators_) {
+    for (auto& generator : per_client) generator->Start(0);
+  }
+  if (config_.shift_at >= 0) {
+    sim_.ScheduleAt(config_.shift_at, [this] {
+      for (std::size_t i = 0; i < generators_.size(); ++i) {
+        for (std::size_t d = 0; d < generators_[i].size(); ++d) {
+          generators_[i][d]->set_demand(config_.shifted_demand[i][d]);
+        }
+      }
+    });
+  }
+  for (const auto& crash : config_.client_crashes) {
+    sim_.ScheduleAt(crash.crash_at,
+                    [this, crash] { CrashClient(crash.client); });
+  }
+
+  sim_.ScheduleAt(config_.warmup, [this] {
+    measuring_ = true;
+    HAECHI_TRACE_EVENT(obs::ActorKind::kHarness, 0,
+                       obs::EventType::kMeasureStart, 0);
+    for (auto& series : result_->node_series) series.BeginPeriod();
+    measured_periods_ = 1;
+    measure_timer_ = std::make_unique<sim::PeriodicTimer>(
+        sim_, config_.qos.period, [this] {
+          if (measured_periods_ >= config_.measure_periods) {
+            measuring_ = false;
+            measure_timer_->Stop();
+            return;
+          }
+          for (auto& series : result_->node_series) series.BeginPeriod();
+          ++measured_periods_;
+        });
+    measure_timer_->Start();
+  });
+
+  const SimTime end =
+      config_.warmup +
+      static_cast<SimTime>(config_.measure_periods) * config_.qos.period;
+  sim_.RunUntil(end);
+  HAECHI_TRACE_EVENT(obs::ActorKind::kHarness, 0,
+                     obs::EventType::kMeasureEnd, 0);
+
+  std::int64_t total = 0;
+  for (const auto& series : result_->node_series) total += series.Total();
+  result_->total_kiops = ToKiops(
+      total,
+      static_cast<SimDuration>(config_.measure_periods) * config_.qos.period);
+  for (std::size_t i = 0; i < config_.clients.size(); ++i) {
+    auto split = coordinator_->SplitOf(
+        MakeClientId(static_cast<std::uint32_t>(i)));
+    // A crashed client was purged from the coordinator; record no split.
+    result_->final_split.push_back(
+        split.ok() ? split.value() : std::vector<std::int64_t>{});
+  }
+  result_->cluster_stats = coordinator_->stats();
+  const auto& ledger = coordinator_->borrow_ledger();
+  result_->borrow_granted = ledger.TotalGranted();
+  result_->borrow_repaid = ledger.TotalRepaid();
+  result_->borrow_outstanding = ledger.TotalOutstanding();
+  for (const auto& monitor : monitors_) {
+    result_->monitor_stats.push_back(monitor->stats());
+  }
+  for (const auto& per_client : engines_) {
+    auto& row = result_->engine_stats.emplace_back();
+    for (const auto& engine : per_client) row.push_back(engine->stats());
+  }
+
+  if (recorder_ != nullptr && !config_.trace.out_path.empty()) {
+    const Status exported =
+        obs::ExportTraceFile(*recorder_, config_.trace.out_path);
+    if (exported.ok()) {
+      HAECHI_LOG_INFO("cluster experiment: exported %llu trace events to %s",
+                      static_cast<unsigned long long>(
+                          recorder_->TotalEmitted()),
+                      config_.trace.out_path.c_str());
+    } else {
+      HAECHI_LOG_WARN("cluster experiment: trace export failed: %s",
+                      exported.ToString().c_str());
+    }
+  }
+#if HAECHI_WATCHDOG_ENABLED
+  if (watchdog_ != nullptr) {
+    const Status flushed = watchdog_->Finish();
+    if (!flushed.ok()) {
+      HAECHI_LOG_WARN("cluster experiment: alert sink flush failed: %s",
+                      flushed.ToString().c_str());
+    }
+  }
+#endif
+
+  coordinator_->Stop();
+  for (auto& monitor : monitors_) monitor->Stop();
+  for (auto& per_client : generators_) {
+    for (auto& generator : per_client) generator->Stop();
+  }
+  return std::move(*result_);
+}
+
+}  // namespace haechi::harness

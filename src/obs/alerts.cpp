@@ -11,6 +11,7 @@ namespace {
 constexpr std::string_view kKindNames[] = {
     "reservation_shortfall", "limit_overshoot",      "pool_conservation",
     "conversion_stall",      "capacity_oscillation", "faa_starvation",
+    "borrow_storm",
 };
 
 constexpr std::string_view kSeverityNames[] = {"info", "warning", "critical"};

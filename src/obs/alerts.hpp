@@ -32,6 +32,7 @@ enum class AlertKind : std::uint8_t {
   kConversionStall,           // xi_global pinned at 0 under idle reservations
   kCapacityOscillation,       // Algorithm 1 estimate ping-ponging
   kFaaStarvation,             // FAA retry backoff exhausted within a period
+  kBorrowStorm,               // cross-server borrow requests flooding a period
 };
 
 enum class AlertSeverity : std::uint8_t {

@@ -53,7 +53,22 @@ struct ClientInfo {
   }
 };
 
-/// Per-(client, period) tallies from the engine's event stream.
+/// Cluster striping map entry, from a harness kEngineBinding row.
+struct EngineBinding {
+  std::uint32_t client = 0;
+  std::uint32_t node = 0;
+  std::uint32_t tenant = 0;
+};
+
+/// A monitor kLeaseExpire captured with the walk-local context A8 needs:
+/// which node fired it and what that node's split for the client was.
+struct LeaseExpiry {
+  TraceEvent event;
+  std::uint32_t node = 0;
+  std::int64_t node_reservation = -1;  // -1: client unknown to the node
+};
+
+/// Per-(engine, period) tallies from the engine's event stream.
 struct EnginePeriod {
   std::int64_t reservation = -1;  // pushed at kEnginePeriodStart
   std::int64_t decay_surrendered = 0;
@@ -128,6 +143,11 @@ AuditReport AuditTrace(const std::vector<TraceEvent>& events,
   SimTime measure_end = -1;
   std::map<std::uint32_t, ClientInfo> clients;
   bool have_harness = false;
+  // Cluster deployment map (empty on single-node traces).
+  std::map<std::uint32_t, EngineBinding> bindings;      // engine actor -> ...
+  std::map<std::uint32_t, std::int64_t> tenant_res;     // tenant -> R_t
+  // node -> (aggregate, local) admission capacities.
+  std::map<std::uint32_t, std::pair<std::int64_t, std::int64_t>> node_caps;
   for (const auto& [key, stream] : streams) {
     if (static_cast<ActorKind>(key.first) != ActorKind::kHarness) continue;
     have_harness = true;
@@ -136,6 +156,22 @@ AuditReport AuditTrace(const std::vector<TraceEvent>& events,
         case EventType::kRunConfig:
           period_len = e.a;
           token_batch = e.b;
+          break;
+        case EventType::kClusterConfig:
+          report.cluster = true;
+          report.data_nodes =
+              static_cast<std::uint32_t>(std::max<std::int64_t>(e.a, 1));
+          break;
+        case EventType::kEngineBinding:
+          bindings[e.actor] = {static_cast<std::uint32_t>(e.a),
+                               static_cast<std::uint32_t>(e.b),
+                               static_cast<std::uint32_t>(e.c)};
+          break;
+        case EventType::kTenantSpec:
+          tenant_res[e.actor] = e.a;
+          break;
+        case EventType::kNodeCapacity:
+          node_caps[static_cast<std::uint32_t>(e.a)] = {e.b, e.c};
           break;
         case EventType::kClientSpec:
           clients[e.actor].spec_reservation = e.a;
@@ -162,31 +198,44 @@ AuditReport AuditTrace(const std::vector<TraceEvent>& events,
     }
   }
 
-  // ---- the monitor walk: A2 (dispatch), A3 (monotone), A4 (conversion) --
-  const auto monitor_it = streams.find(
-      {static_cast<unsigned>(ActorKind::kMonitor), 0});
-  // period -> client -> (completed, residual) from monitor calibration.
+  // ---- the monitor walks: A2 (dispatch), A3 (monotone), A4 (conversion) --
+  // One walk per monitor actor: single-node traces carry exactly one
+  // stream at actor 0, cluster traces one per data node.
+  // period -> client -> (completed, residual) from monitor calibration;
+  // cluster traces sum each client's per-node reports into its
+  // cluster-wide completion (one report per node per period).
   std::map<std::uint32_t, std::map<std::uint32_t,
                                    std::pair<std::int64_t, std::int64_t>>>
       period_reports;
   std::set<std::uint32_t> reporting_periods;
-  std::vector<TraceEvent> lease_expiries;
+  std::vector<LeaseExpiry> lease_expiries;
+  // node -> (tokens lent out, tokens absorbed) per the pool-word borrow
+  // events; C2 reconciles these against the coordinator's ledger events.
+  std::map<std::uint32_t, std::pair<std::int64_t, std::int64_t>> node_flow;
   SimTime last_pool_observation = -1;
-  if (monitor_it != streams.end()) {
+  for (const auto& [mkey, mstream] : streams) {
+    if (static_cast<ActorKind>(mkey.first) != ActorKind::kMonitor) continue;
+    const std::uint32_t node = mkey.second;
     AuditPeriod* cur = nullptr;
     std::int64_t last_pool = 0;
     bool have_pool = false;
     // Infer the period length from consecutive boundaries if the trace has
     // no harness kRunConfig row.
     SimTime prev_start = -1;
+    // Net cross-server borrow movement this period (absorbed - lent): the
+    // monitor adds it to its conversion target so loans survive the
+    // overwrite, and A4's budget must extend by the same credit.
+    std::int64_t borrow_credit = 0;
+    // client -> this node's live reservation split, for A8 context.
+    std::map<std::uint32_t, std::int64_t> live_res;
     const auto observe = [&](const TraceEvent& e, std::int64_t value) {
       if (!have_pool || cur == nullptr) return;
       ++report.checks_run;
       const std::int64_t drop = last_pool - value;
       if (drop < 0) {
-        fail("A3", Fmt("period %u: pool rose %lld -> %lld at t=%lld without "
-                       "a monitor write (%s)",
-                       cur->period, static_cast<long long>(last_pool),
+        fail("A3", Fmt("node %u period %u: pool rose %lld -> %lld at t=%lld "
+                       "without a monitor write (%s)",
+                       node, cur->period, static_cast<long long>(last_pool),
                        static_cast<long long>(value),
                        static_cast<long long>(e.time),
                        std::string(ToString(e.type)).c_str()));
@@ -194,29 +243,31 @@ AuditReport AuditTrace(const std::vector<TraceEvent>& events,
         cur->granted += drop;
       }
       last_pool = value;
-      last_pool_observation = e.time;
+      last_pool_observation = std::max(last_pool_observation, e.time);
     };
-    for (const TraceEvent& e : monitor_it->second) {
+    for (const TraceEvent& e : mstream) {
       switch (e.type) {
         case EventType::kMonitorPeriodStart: {
           report.periods.emplace_back();
           cur = &report.periods.back();
+          cur->node = node;
           cur->period = e.period;
           cur->start_time = e.time;
           cur->capacity = e.a;
           cur->dispatched = e.b;
           cur->initial_pool = e.c;
+          borrow_credit = 0;
           ++report.checks_run;
           if (e.c != std::max<std::int64_t>(e.a - e.b, 0)) {
-            fail("A2", Fmt("period %u: initial_pool %lld != "
+            fail("A2", Fmt("node %u period %u: initial_pool %lld != "
                            "max(capacity %lld - dispatched %lld, 0)",
-                           e.period, static_cast<long long>(e.c),
+                           node, e.period, static_cast<long long>(e.c),
                            static_cast<long long>(e.a),
                            static_cast<long long>(e.b)));
           }
           last_pool = e.c;
           have_pool = true;
-          last_pool_observation = e.time;
+          last_pool_observation = std::max(last_pool_observation, e.time);
           if (period_len == 0 && prev_start >= 0) {
             period_len = e.time - prev_start;
           }
@@ -233,6 +284,22 @@ AuditReport AuditTrace(const std::vector<TraceEvent>& events,
           // real A3 violation (a monitor-side mint outside conversion).
           observe(e, e.a);
           break;
+        case EventType::kPoolBorrowOut:
+        case EventType::kPoolBorrowIn: {
+          // a = raw pool before the coordinator-driven move, b = after.
+          // The move itself is ledgered as lent/absorbed, not granted, so
+          // it must not count as a grant (Out) or trip A3 (In).
+          observe(e, e.a);
+          borrow_credit += e.b - e.a;
+          auto& flow = node_flow[node];
+          if (e.type == EventType::kPoolBorrowOut) {
+            flow.first += e.a - e.b;
+          } else {
+            flow.second += e.b - e.a;
+          }
+          last_pool = e.b;
+          break;
+        }
         case EventType::kTokenConvert: {
           observe(e, e.a);
           if (cur != nullptr) {
@@ -244,11 +311,21 @@ AuditReport AuditTrace(const std::vector<TraceEvent>& events,
                   period_len - (e.time - cur->start_time), 0);
               const auto budget = static_cast<std::int64_t>(
                   static_cast<__int128>(cur->capacity) * left / period_len);
-              if (e.b > std::max<std::int64_t>(budget, 0)) {
-                fail("A4", Fmt("period %u: conversion wrote pool=%lld above "
-                               "the time budget C*(T-t)/T = %lld at t=%lld",
-                               cur->period, static_cast<long long>(e.b),
-                               static_cast<long long>(budget),
+              // Absorbed loans ride on top of the paper's time budget: the
+              // conversion preserves them, so the bound extends by the
+              // period's positive net borrow credit.
+              const std::int64_t allowed =
+                  std::max<std::int64_t>(budget, 0) +
+                  std::max<std::int64_t>(borrow_credit, 0);
+              if (e.b > allowed) {
+                fail("A4", Fmt("node %u period %u: conversion wrote "
+                               "pool=%lld above the time budget C*(T-t)/T "
+                               "= %lld (+%lld borrow credit) at t=%lld",
+                               node, cur->period, static_cast<long long>(e.b),
+                               static_cast<long long>(
+                                   std::max<std::int64_t>(budget, 0)),
+                               static_cast<long long>(
+                                   std::max<std::int64_t>(borrow_credit, 0)),
                                static_cast<long long>(e.time)));
               }
             }
@@ -263,10 +340,13 @@ AuditReport AuditTrace(const std::vector<TraceEvent>& events,
             cur->closed = true;
           }
           break;
-        case EventType::kClientPeriodReport:
-          period_reports[e.period][static_cast<std::uint32_t>(e.a)] = {e.b,
-                                                                       e.c};
+        case EventType::kClientPeriodReport: {
+          auto& slot = period_reports[e.period][static_cast<std::uint32_t>(
+              e.a)];
+          slot.first += e.b;
+          slot.second += e.c;
           break;
+        }
         case EventType::kReportSignal:
         case EventType::kCapacityEstimate:
           reporting_periods.insert(e.period);
@@ -275,16 +355,25 @@ AuditReport AuditTrace(const std::vector<TraceEvent>& events,
         case EventType::kReadmit:
           clients[static_cast<std::uint32_t>(e.a)].admits.emplace_back(e.time,
                                                                        e.b);
+          live_res[static_cast<std::uint32_t>(e.a)] = e.b;
+          break;
+        case EventType::kReservationUpdate:
+          live_res[static_cast<std::uint32_t>(e.a)] = e.b;
           break;
         case EventType::kRelease:
           clients[static_cast<std::uint32_t>(e.a)].departures.push_back(
               e.time);
+          live_res.erase(static_cast<std::uint32_t>(e.a));
           break;
-        case EventType::kLeaseExpire:
-          clients[static_cast<std::uint32_t>(e.a)].departures.push_back(
-              e.time);
-          lease_expiries.push_back(e);
+        case EventType::kLeaseExpire: {
+          const auto client = static_cast<std::uint32_t>(e.a);
+          clients[client].departures.push_back(e.time);
+          const auto lr = live_res.find(client);
+          lease_expiries.push_back(
+              {e, node, lr != live_res.end() ? lr->second : -1});
+          live_res.erase(client);
           break;
+        }
         default:
           break;
       }
@@ -399,17 +488,29 @@ AuditReport AuditTrace(const std::vector<TraceEvent>& events,
   }
 
   // ---- A5: FAA conservation ---------------------------------------------
-  const bool monitor_truncated = truncated.contains(
-      {static_cast<unsigned>(ActorKind::kMonitor), 0});
+  bool monitor_truncated = false;
+  for (const StreamKey& key : truncated) {
+    if (static_cast<ActorKind>(key.first) == ActorKind::kMonitor) {
+      monitor_truncated = true;
+    }
+  }
+  // Which node an engine drains: its harness binding on cluster traces,
+  // node 0 (the only monitor) otherwise.
+  const auto engine_node = [&](std::uint32_t actor) {
+    const auto b = bindings.find(actor);
+    return b != bindings.end() ? b->second.node : 0u;
+  };
   if (token_batch > 0 && !monitor_truncated && !engine_truncated) {
     if (report.clean) {
       // Fault-free: every posted fetch completes in its own period, so the
-      // pool decrease the monitor observed must equal the sum of the
-      // tokens those fetches posted — each fetch's own tagged delta
-      // (fetch-batched threaded runs) or B per untagged fetch (sim).
+      // pool decrease each monitor observed must equal the sum of the
+      // tokens the fetches against *that node* posted — each fetch's own
+      // tagged delta (fetch-batched threaded runs) or B per untagged
+      // fetch (sim).
       for (AuditPeriod& p : report.periods) {
         std::int64_t expected = 0;
-        for (const auto& [client, periods] : engines) {
+        for (const auto& [actor, periods] : engines) {
+          if (engine_node(actor) != p.node) continue;
           const auto it = periods.find(p.period);
           if (it != periods.end()) {
             p.faa_done += it->second.faa_done;
@@ -420,9 +521,10 @@ AuditReport AuditTrace(const std::vector<TraceEvent>& events,
         if (!p.closed) continue;
         ++report.checks_run;
         if (p.granted != expected) {
-          fail("A5", Fmt("period %u: pool decreased by %lld but clients "
-                         "completed %lld fetches posting %lld tokens",
-                         p.period, static_cast<long long>(p.granted),
+          fail("A5", Fmt("node %u period %u: pool decreased by %lld but "
+                         "clients completed %lld fetches posting %lld "
+                         "tokens",
+                         p.node, p.period, static_cast<long long>(p.granted),
                          static_cast<long long>(p.faa_done),
                          static_cast<long long>(expected)));
         }
@@ -471,33 +573,50 @@ AuditReport AuditTrace(const std::vector<TraceEvent>& events,
 
   // ---- A8: lease reclamation --------------------------------------------
   if (!engine_truncated) {
-    for (const TraceEvent& e : lease_expiries) {
+    for (const LeaseExpiry& le : lease_expiries) {
+      const TraceEvent& e = le.event;
       const auto client = static_cast<std::uint32_t>(e.a);
       ++report.checks_run;
+      // The node's live split for the client (tracks reservation updates,
+      // so it is exact on cluster traces); fall back to the admit history
+      // for traces predating the split bookkeeping.
       const std::int64_t reservation =
-          clients.contains(client) ? clients[client].ReservationAt(e.time)
-                                   : -1;
+          le.node_reservation >= 0
+              ? le.node_reservation
+              : (clients.contains(client)
+                     ? clients[client].ReservationAt(e.time)
+                     : -1);
       bool consistent = e.b == reservation;
-      const auto ce = engines.find(client);
-      if (!consistent && ce != engines.end()) {
-        const auto pe = ce->second.find(e.period);
-        if (pe != ce->second.end()) {
-          const auto& residuals = pe->second.report_residuals;
-          consistent = std::find(residuals.begin(), residuals.end(), e.b) !=
-                       residuals.end();
-        }
+      for (const auto& [actor, periods] : engines) {
+        if (consistent) break;
+        // Only reports written by the engine serving (client, node) can
+        // justify the reclaimed residual.
+        const auto b = bindings.find(actor);
+        const std::uint32_t eng_client =
+            b != bindings.end() ? b->second.client : actor;
+        if (eng_client != client || engine_node(actor) != le.node) continue;
+        const auto pe = periods.find(e.period);
+        if (pe == periods.end()) continue;
+        const auto& residuals = pe->second.report_residuals;
+        consistent = std::find(residuals.begin(), residuals.end(), e.b) !=
+                     residuals.end();
       }
       if (!consistent) {
-        fail("A8", Fmt("period %u: lease expiry reclaimed %lld tokens from "
-                       "client %u, matching neither its reservation (%lld) "
-                       "nor any report it wrote this period",
-                       e.period, static_cast<long long>(e.b), client,
-                       static_cast<long long>(reservation)));
+        fail("A8", Fmt("node %u period %u: lease expiry reclaimed %lld "
+                       "tokens from client %u, matching neither its "
+                       "reservation (%lld) nor any report it wrote this "
+                       "period",
+                       le.node, e.period, static_cast<long long>(e.b),
+                       client, static_cast<long long>(reservation)));
       }
     }
   }
 
   // ---- A9: reservation guarantee ----------------------------------------
+  // Cluster traces: one ledger entry per (node, period), but the guarantee
+  // is cluster-wide — judge each period number once, against the client's
+  // *spec* reservation (per-node admits carry only its split).
+  std::set<std::uint32_t> a9_judged;
   for (AuditPeriod& p : report.periods) {
     p.reporting = reporting_periods.contains(p.period);
     if (!p.closed) continue;
@@ -507,9 +626,12 @@ AuditReport AuditTrace(const std::vector<TraceEvent>& events,
                  (measure_end < 0 || (p_end != kTimeMax && p_end <= measure_end));
     if (!have_harness) p.measured = p.closed;
     if (!p.measured || !p.reporting) continue;
+    if (report.cluster && !a9_judged.insert(p.period).second) continue;
     for (const auto& [client, info] : clients) {
       if (info.spec_demand <= 0) continue;  // closed-loop or unknown demand
-      const std::int64_t reservation = info.ReservationAt(p.start_time);
+      const std::int64_t reservation = report.cluster
+                                           ? info.spec_reservation
+                                           : info.ReservationAt(p.start_time);
       if (reservation <= 0) continue;
       // A client is only on the hook for periods it was alive and settled
       // in: scripted crash windows (padded by two periods for the restart
@@ -547,6 +669,194 @@ AuditReport AuditTrace(const std::vector<TraceEvent>& events,
     }
   }
 
+  // ---- C1..C3: cluster identities ---------------------------------------
+  bool cluster_truncated = monitor_truncated;
+  for (const StreamKey& key : truncated) {
+    if (static_cast<ActorKind>(key.first) == ActorKind::kCluster) {
+      cluster_truncated = true;
+    }
+  }
+  if (report.cluster && !cluster_truncated) {
+    // C1 (tenant nesting, static): member spec reservations fit the
+    // tenant's envelope R_t. Membership comes from the engine bindings.
+    std::map<std::uint32_t, std::uint32_t> tenant_of;  // client -> tenant
+    for (const auto& [actor, b] : bindings) tenant_of[b.client] = b.tenant;
+    std::map<std::uint32_t, std::int64_t> tenant_sum;
+    for (const auto& [client, tenant] : tenant_of) {
+      const auto ci = clients.find(client);
+      if (ci != clients.end() && ci->second.spec_reservation > 0) {
+        tenant_sum[tenant] += ci->second.spec_reservation;
+      }
+    }
+    for (const auto& [tenant, sum] : tenant_sum) {
+      const auto tr = tenant_res.find(tenant);
+      if (tr == tenant_res.end()) continue;
+      ++report.checks_run;
+      if (sum > tr->second) {
+        fail("C1", Fmt("tenant %u: member reservations sum to %lld, above "
+                       "the tenant envelope R_t = %lld",
+                       tenant, static_cast<long long>(sum),
+                       static_cast<long long>(tr->second)));
+      }
+    }
+
+    // Merged time-ordered replay for the split / borrow / commitment
+    // identities. Ties break on (kind, actor, seq) so each monitor's
+    // updates land before the coordinator event stamped at the same time.
+    std::vector<const TraceEvent*> merged;
+    merged.reserve(events.size());
+    for (const auto& [key, stream] : streams) {
+      for (const TraceEvent& e : stream) merged.push_back(&e);
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const TraceEvent* x, const TraceEvent* y) {
+                if (x->time != y->time) return x->time < y->time;
+                if (x->actor_kind != y->actor_kind) {
+                  return x->actor_kind < y->actor_kind;
+                }
+                if (x->actor != y->actor) return x->actor < y->actor;
+                return x->seq < y->seq;
+              });
+
+    // node -> client -> live reservation split R_i,d.
+    std::map<std::uint32_t, std::map<std::uint32_t, std::int64_t>> split;
+    // (lender, borrower) -> (granted, repaid) per the coordinator ledger.
+    std::map<std::pair<std::uint32_t, std::uint32_t>,
+             std::pair<std::int64_t, std::int64_t>>
+        pair_flow;
+    const auto check_node_commit = [&](std::uint32_t node,
+                                       std::uint32_t client, SimTime at) {
+      const auto caps = node_caps.find(node);
+      if (caps == node_caps.end()) return;
+      std::int64_t reserved = 0;
+      for (const auto& [cli, res] : split[node]) reserved += res;
+      ++report.checks_run;
+      if (reserved > caps->second.first) {
+        fail("C3", Fmt("node %u: reservations sum to %lld, above the "
+                       "aggregate capacity %lld, after client %u moved at "
+                       "t=%lld",
+                       node, static_cast<long long>(reserved),
+                       static_cast<long long>(caps->second.first), client,
+                       static_cast<long long>(at)));
+      }
+      const std::int64_t mine = split[node][client];
+      if (mine > caps->second.second) {
+        fail("C3", Fmt("node %u: client %u's split %lld is above the local "
+                       "capacity %lld at t=%lld",
+                       node, client, static_cast<long long>(mine),
+                       static_cast<long long>(caps->second.second),
+                       static_cast<long long>(at)));
+      }
+    };
+    for (const TraceEvent* pe : merged) {
+      const TraceEvent& e = *pe;
+      if (e.actor_kind == ActorKind::kMonitor) {
+        const auto client = static_cast<std::uint32_t>(e.a);
+        switch (e.type) {
+          case EventType::kAdmit:
+          case EventType::kReadmit:
+          case EventType::kReservationUpdate:
+            split[e.actor][client] = e.b;
+            check_node_commit(e.actor, client, e.time);
+            break;
+          case EventType::kRelease:
+          case EventType::kLeaseExpire:
+            split[e.actor].erase(client);
+            break;
+          default:
+            break;
+        }
+        continue;
+      }
+      if (e.actor_kind != ActorKind::kCluster) continue;
+      switch (e.type) {
+        case EventType::kClusterRebalance: {
+          // After the coordinator finished moving a client's splits, they
+          // must still sum to its cluster-wide reservation.
+          const auto client = static_cast<std::uint32_t>(e.a);
+          const auto ci = clients.find(client);
+          if (ci == clients.end() || ci->second.spec_reservation < 0) break;
+          std::int64_t sum = 0;
+          for (const auto& [node, res] : split) {
+            const auto it = res.find(client);
+            if (it != res.end()) sum += it->second;
+          }
+          ++report.checks_run;
+          if (sum != ci->second.spec_reservation) {
+            fail("C1", Fmt("period %u: client %u's per-node splits sum to "
+                           "%lld after a rebalance, not its cluster-wide "
+                           "reservation %lld",
+                           e.period, client, static_cast<long long>(sum),
+                           static_cast<long long>(
+                               ci->second.spec_reservation)));
+          }
+          break;
+        }
+        case EventType::kBorrowGrant:
+          // a = lender, b = tokens, c = borrower.
+          pair_flow[{static_cast<std::uint32_t>(e.a),
+                     static_cast<std::uint32_t>(e.c)}]
+              .first += e.b;
+          break;
+        case EventType::kBorrowRepay: {
+          // a = borrower, b = tokens, c = lender.
+          auto& flow = pair_flow[{static_cast<std::uint32_t>(e.c),
+                                  static_cast<std::uint32_t>(e.a)}];
+          flow.second += e.b;
+          ++report.checks_run;
+          if (flow.second > flow.first) {
+            fail("C2", Fmt("period %u: node %u repaid node %u %lld tokens "
+                           "in total, above the %lld it ever borrowed",
+                           e.period, static_cast<std::uint32_t>(e.a),
+                           static_cast<std::uint32_t>(e.c),
+                           static_cast<long long>(flow.second),
+                           static_cast<long long>(flow.first)));
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+
+    // C2 (flow matching): each node's pool-word borrow traffic must equal
+    // what the coordinator ledger says moved through it.
+    std::map<std::uint32_t, std::pair<std::int64_t, std::int64_t>> coord;
+    for (const auto& [pair, flow] : pair_flow) {
+      coord[pair.first].first += flow.first;    // lender sent the grant
+      coord[pair.second].second += flow.first;  // borrower received it
+      coord[pair.second].first += flow.second;  // borrower sent repayment
+      coord[pair.first].second += flow.second;  // lender received it
+    }
+    for (std::uint32_t d = 0; d < report.data_nodes; ++d) {
+      const auto monitor_flow = node_flow.find(d);
+      const std::int64_t out =
+          monitor_flow != node_flow.end() ? monitor_flow->second.first : 0;
+      const std::int64_t in =
+          monitor_flow != node_flow.end() ? monitor_flow->second.second : 0;
+      const auto ledger_flow = coord.find(d);
+      const std::int64_t ledger_out =
+          ledger_flow != coord.end() ? ledger_flow->second.first : 0;
+      const std::int64_t ledger_in =
+          ledger_flow != coord.end() ? ledger_flow->second.second : 0;
+      report.checks_run += 2;
+      if (out != ledger_out) {
+        fail("C2", Fmt("node %u: pool word lent %lld tokens but the "
+                       "coordinator ledger accounts for %lld "
+                       "(grants as lender + repayments as borrower)",
+                       d, static_cast<long long>(out),
+                       static_cast<long long>(ledger_out)));
+      }
+      if (in != ledger_in) {
+        fail("C2", Fmt("node %u: pool word absorbed %lld tokens but the "
+                       "coordinator ledger accounts for %lld "
+                       "(grants as borrower + repayments as lender)",
+                       d, static_cast<long long>(in),
+                       static_cast<long long>(ledger_in)));
+      }
+    }
+  }
+
   return report;
 }
 
@@ -556,6 +866,7 @@ std::string AuditReport::Summary() const {
              periods.size(), checks_run, guarantee_checks,
              clean ? "clean" : "faulted");
   for (const AuditPeriod& p : periods) {
+    if (cluster) out += Fmt("  node %u", p.node);
     out += Fmt("  period %u: capacity=%lld dispatched=%lld initial=%lld "
                "granted=%lld minted=%lld end=%lld completed=%lld "
                "faa_done=%lld%s%s%s\n",
@@ -584,7 +895,9 @@ std::string AuditReport::Summary() const {
 int FirstFailedCheck(const AuditReport& report) {
   int first = 0;
   for (const AuditViolation& v : report.violations) {
-    if (v.check.size() < 2 || v.check[0] != 'A') continue;
+    if (v.check.size() < 2 || (v.check[0] != 'A' && v.check[0] != 'C')) {
+      continue;
+    }
     int k = 0;
     for (std::size_t i = 1; i < v.check.size(); ++i) {
       const char c = v.check[i];
@@ -594,7 +907,9 @@ int FirstFailedCheck(const AuditReport& report) {
       }
       k = k * 10 + (c - '0');
     }
-    if (k > 0 && (first == 0 || k < first)) first = k;
+    if (k == 0) continue;
+    if (v.check[0] == 'C') k += 10;  // haechi_audit exits 20+k for Ck
+    if (first == 0 || k < first) first = k;
   }
   return first;
 }

@@ -29,6 +29,23 @@
 //      guarantee          at least `guarantee_fraction * min(R, demand)`
 //                         in every fully-measured period
 //
+// Cluster traces (a harness kClusterConfig row is present) carry one
+// monitor stream per data node; A2..A8 replay per node, A9 sums each
+// client's per-node calibration reports into its cluster-wide completion,
+// and three cluster-only identities join the list (DESIGN.md §12):
+//
+//   C1 split conservation  after every coordinator rebalance the client's
+//                          per-node reservation splits sum exactly to its
+//                          cluster-wide R_i, and each tenant's member
+//                          reservations stay within its envelope R_t
+//   C2 borrow conservation for every (lender, borrower) pair repaid never
+//                          exceeds granted, and each node's pool-word
+//                          borrow flows (kPoolBorrowOut/In) match the
+//                          coordinator ledger's grants + repayments
+//   C3 node commitment     every reservation mutation leaves each node
+//                          within its admission envelope: sum_i R_i,d <=
+//                          aggregate_d and R_i,d <= local_d
+//
 // A failed check is a Violation; ok() == violations.empty().
 #pragma once
 
@@ -57,7 +74,9 @@ struct AuditViolation {
 };
 
 /// The ledger the audit re-derives for one QoS period, from events alone.
+/// Cluster traces produce one entry per (node, period).
 struct AuditPeriod {
+  std::uint32_t node = 0;  // monitor actor (data node); 0 on single-node
   std::uint32_t period = 0;
   SimTime start_time = 0;
   std::int64_t capacity = 0;
@@ -79,6 +98,10 @@ struct AuditReport {
   /// True when the trace holds no fabric fault or client crash events, so
   /// the strict per-period form of A5 applies.
   bool clean = true;
+  /// True when the trace carries a harness kClusterConfig row; C1..C3 ran
+  /// and the per-period ledger is per (node, period).
+  bool cluster = false;
+  std::uint32_t data_nodes = 1;
   int checks_run = 0;
   int guarantee_checks = 0;  // (client, period) pairs A9 evaluated
 
@@ -92,9 +115,10 @@ struct AuditReport {
 [[nodiscard]] AuditReport AuditTrace(const std::vector<TraceEvent>& events,
                                      const AuditOptions& options = {});
 
-/// k of the first violation's check "Ak" (first = lowest k; ties broken by
-/// recording order), or 0 when the report is clean. haechi_audit maps this
-/// to its exit code 10+k so scripts can tell *which* identity broke.
+/// k of the first violation's check "Ak" — or 10+k for a cluster check
+/// "Ck" — taking the lowest across violations, or 0 when the report is
+/// clean. haechi_audit maps this to its exit code 10+result, so scripts
+/// see 10+k for identity Ak and 20+k for cluster identity Ck.
 [[nodiscard]] int FirstFailedCheck(const AuditReport& report);
 
 }  // namespace haechi::obs

@@ -104,6 +104,16 @@ void SloWatchdog::ObservePool(const TraceEvent& event, std::int64_t value) {
 }
 
 void SloWatchdog::OnEvent(const TraceEvent& e) {
+  // Cluster traces carry one monitor stream per data node; the watchdog's
+  // single pool state machine follows node 0 and leaves cross-node
+  // invariants to the offline auditor's C checks.
+  if (cluster_mode_ && e.actor_kind == ActorKind::kMonitor && e.actor != 0) {
+    return;
+  }
+  if (cluster_mode_ && e.actor_kind == ActorKind::kEngine) {
+    const auto bound = engine_nodes_.find(e.actor);
+    if (bound != engine_nodes_.end() && bound->second != 0) return;
+  }
   switch (e.type) {
     // --- harness: run configuration and scripted chaos -------------------
     case EventType::kRunConfig:
@@ -141,6 +151,14 @@ void SloWatchdog::OnEvent(const TraceEvent& e) {
       }
       break;
     }
+    case EventType::kClusterConfig:
+      have_harness_ = true;
+      cluster_mode_ = true;
+      break;
+    case EventType::kEngineBinding:
+      have_harness_ = true;
+      engine_nodes_[e.actor] = static_cast<std::uint32_t>(e.b);
+      break;
 
     // --- monitor: period boundaries and the token pool -------------------
     case EventType::kMonitorPeriodStart: {
@@ -173,6 +191,18 @@ void SloWatchdog::OnEvent(const TraceEvent& e) {
     case EventType::kPoolSample:
       ObservePool(e, e.a);
       break;
+    case EventType::kPoolBorrowOut:
+    case EventType::kPoolBorrowIn:
+      // Coordinator-driven pool moves: any drop since the last write is
+      // client grants; the move itself (a -> b) is ledgered as a loan, so
+      // it must not count as a grant or trip conservation.
+      ObservePool(e, e.a);
+      last_pool_ = e.b;
+      if (period_open_) cur_.borrow_credit += e.b - e.a;
+      break;
+    case EventType::kBorrowRequest:
+      if (period_open_) ++cur_.borrow_requests;
+      break;
     case EventType::kTokenConvert: {
       ObservePool(e, e.a);
       if (!period_open_) break;
@@ -184,10 +214,14 @@ void SloWatchdog::OnEvent(const TraceEvent& e) {
             period_len_ - (e.time - cur_.start_time), 0);
         const auto budget = static_cast<std::int64_t>(
             static_cast<__int128>(cur_.capacity) * left / period_len_);
-        if (e.b > std::max<std::int64_t>(budget, 0)) {
+        const std::int64_t allowed =
+            std::max<std::int64_t>(budget, 0) +
+            std::max<std::int64_t>(cur_.borrow_credit, 0);
+        if (e.b > allowed) {
           Raise({AlertKind::kPoolConservation, AlertSeverity::kCritical,
-                 e.time, cur_.period, -1, std::max<std::int64_t>(budget, 0),
-                 e.b, "conversion wrote above the C*(T-t)/T time budget"});
+                 e.time, cur_.period, -1, allowed, e.b,
+                 "conversion wrote above the C*(T-t)/T time budget "
+                 "(plus any absorbed borrow credit)"});
         }
       }
       break;
@@ -309,7 +343,10 @@ void SloWatchdog::EvaluatePeriod(const TraceEvent& end_event) {
       (measure_end_ < 0 || (p_end != kTimeMax && p_end <= measure_end_));
   if (!have_harness_) measured = true;
 
-  if (measured && p.reporting) {
+  // W1/W2 need cluster-wide completions per client; on cluster traces the
+  // watchdog only sees node 0's calibration reports, so the reservation
+  // and limit verdicts are left to the offline auditor (A9).
+  if (measured && p.reporting && !cluster_mode_) {
     for (const auto& [client, info] : clients_) {
       if (info.spec_demand <= 0) continue;  // closed loop / unknown demand
       const std::int64_t reservation = info.ReservationAt(p.start_time);
@@ -363,6 +400,19 @@ void SloWatchdog::EvaluatePeriod(const TraceEvent& end_event) {
            end_event.time, p.period, -1, p.decay_surrendered, 0,
            FaultCause("token conversion stuck at zero with idle "
                       "reservations and starved engines")});
+  }
+
+  // W7: borrow storm — the coordinator spent the period begging peers for
+  // tokens, meaning a node is chronically dry (its reservations should
+  // move instead, or the cluster is over-committed).
+  if (cluster_mode_ && options_.borrow_storm_requests > 0 &&
+      p.borrow_requests >= options_.borrow_storm_requests) {
+    Raise({AlertKind::kBorrowStorm,
+           cur_.faulted || run_faulted_ ? AlertSeverity::kInfo
+                                        : AlertSeverity::kWarning,
+           end_event.time, p.period, -1, options_.borrow_storm_requests,
+           p.borrow_requests,
+           FaultCause("cross-server borrow requests flooded the period")});
   }
 
   // W6: FAA backoff saturation. The set is ordered, so alert order is

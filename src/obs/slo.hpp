@@ -31,6 +31,18 @@
 //                              with relative amplitude above the threshold.
 //   W6 FAA starvation          an engine's FAA retry backoff saturated at
 //                              faa_retry_backoff_max within one period.
+//   W7 borrow storm            the cluster coordinator issued at least
+//                              `borrow_storm_requests` cross-server borrow
+//                              requests within one period — a node is
+//                              chronically dry and thrashing against its
+//                              peers instead of rebalancing reservations.
+//
+// Cluster traces (harness kClusterConfig) demote the watchdog to node 0's
+// pool plus the cluster control plane: monitor streams from other nodes
+// are ignored (one pool state machine), engine distress signals only count
+// for engines bound to node 0, and W1/W2 are left to the offline auditor —
+// per-node calibration reports cannot be judged against cluster-wide specs
+// without the auditor's cross-node summation.
 //
 // Injected faults annotate instead of false-alarming: fabric fault and
 // client-crash events downgrade W4/W6 to info severity with a cause naming
@@ -80,6 +92,11 @@ struct WatchdogOptions {
   double oscillation_amplitude = 0.05;
   /// W4 floor on decay-surrendered tokens; 0 = one token batch.
   std::int64_t stall_min_idle_tokens = 0;
+  /// W7 trigger: cross-server borrow requests in one period. The default
+  /// tolerates a burst while the adaptive quota ramps (a request per
+  /// borrow tick for a chunk of the period) but flags a node that stays
+  /// dry through a whole period's worth of ticks.
+  std::int64_t borrow_storm_requests = 12;
 };
 
 /// One period's summary for the live status line (`--status-interval=N`).
@@ -166,6 +183,10 @@ class SloWatchdog {
     std::map<std::uint32_t, std::pair<std::int64_t, std::int64_t>> reports;
     std::int64_t decay_surrendered = 0;  // sum over engines, this period
     std::int64_t pool_empty_events = 0;
+    std::int64_t borrow_requests = 0;  // W7: coordinator requests observed
+    // Net borrow movement this period (absorbed - lent): conversion
+    // preserves loans, so the W3 time budget extends by the positive part.
+    std::int64_t borrow_credit = 0;
     int conversions = 0;
     std::int64_t max_converted_pool = 0;
     std::set<std::uint32_t> faa_exhausted;  // clients whose backoff pinned
@@ -194,6 +215,9 @@ class SloWatchdog {
   SimTime measure_end_ = -1;  // -1 until kMeasureEnd arrives
   bool have_harness_ = false;
   bool run_faulted_ = false;
+  // Cluster traces: watch node 0's pool only and skip W1/W2 (see header).
+  bool cluster_mode_ = false;
+  std::map<std::uint32_t, std::uint32_t> engine_nodes_;  // engine -> node
   std::map<std::uint32_t, ClientState> clients_;
 
   PeriodState cur_;

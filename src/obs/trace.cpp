@@ -35,6 +35,9 @@ constexpr TypeName kTypeNames[] = {
     {EventType::kReadmit, "readmit"},
     {EventType::kRelease, "release"},
     {EventType::kPoolRebalance, "pool_rebalance"},
+    {EventType::kReservationUpdate, "reservation_update"},
+    {EventType::kPoolBorrowOut, "borrow_out"},
+    {EventType::kPoolBorrowIn, "borrow_in"},
     {EventType::kEnginePeriodStart, "engine_period_start"},
     {EventType::kTokenDecay, "decay"},
     {EventType::kTokenFetch, "faa_post"},
@@ -57,16 +60,25 @@ constexpr TypeName kTypeNames[] = {
     {EventType::kRdmaComplete, "rdma_complete"},
     {EventType::kKvIssue, "kv_issue"},
     {EventType::kKvComplete, "kv_complete"},
+    {EventType::kBorrowRequest, "borrow_request"},
+    {EventType::kBorrowGrant, "borrow_grant"},
+    {EventType::kBorrowRepay, "borrow_repay"},
+    {EventType::kClusterStaleReport, "cluster_stale_report"},
+    {EventType::kClusterRebalance, "cluster_rebalance"},
     {EventType::kRunConfig, "run_config"},
     {EventType::kClientSpec, "client_spec"},
     {EventType::kMeasureStart, "measure_start"},
     {EventType::kMeasureEnd, "measure_end"},
     {EventType::kClientCrash, "client_crash"},
     {EventType::kClientRestart, "client_restart"},
+    {EventType::kClusterConfig, "cluster_config"},
+    {EventType::kEngineBinding, "engine_binding"},
+    {EventType::kNodeCapacity, "node_capacity"},
+    {EventType::kTenantSpec, "tenant_spec"},
 };
 
 constexpr std::string_view kKindNames[kActorKinds] = {
-    "monitor", "engine", "fabric", "kv", "harness"};
+    "monitor", "engine", "fabric", "kv", "harness", "cluster"};
 
 }  // namespace
 

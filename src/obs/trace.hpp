@@ -57,8 +57,9 @@ enum class ActorKind : std::uint8_t {
   kFabric = 2,   // simulated RDMA fabric (actor = node id)
   kKv = 3,       // KV store client (actor = node id)
   kHarness = 4,  // experiment harness (actor = client index or 0)
+  kCluster = 5,  // cluster coordinator (actor = 0)
 };
-inline constexpr std::size_t kActorKinds = 5;
+inline constexpr std::size_t kActorKinds = 6;
 
 /// The event taxonomy (DESIGN.md §9). Payload fields a/b/c are typed per
 /// event; the comments give the binding used by exporters and the audit.
@@ -79,6 +80,9 @@ enum class EventType : std::uint16_t {
   kRelease,                 // a=client
   kPoolRebalance,           // a=tracked shard-sum after move b=tokens moved
                             // c=(donor<<8)|receiver (sharded pool only)
+  kReservationUpdate,       // a=client b=new reservation c=old reservation
+  kPoolBorrowOut,           // a=pool_before(raw) b=pool_after c=peer node
+  kPoolBorrowIn,            // a=pool_before(raw) b=pool_after c=peer node
   // --- engine (client) -----------------------------------------------------
   kEnginePeriodStart = 32,  // a=reservation tokens b=limit
   kTokenDecay,              // a=surrendered tokens b=new bound X
@@ -108,6 +112,12 @@ enum class EventType : std::uint16_t {
   // --- kvstore -------------------------------------------------------------
   kKvIssue = 96,            // detail: a=opcode(0 get/1 put) b=key
   kKvComplete,              // detail: a=opcode b=key c=status code
+  // --- cluster coordinator -------------------------------------------------
+  kBorrowRequest = 104,     // a=borrower node b=tokens wanted c=quota
+  kBorrowGrant,             // a=lender node b=tokens moved c=borrower node
+  kBorrowRepay,             // a=borrower node b=tokens repaid c=lender node
+  kClusterStaleReport,      // a=node b=client c=periods stale
+  kClusterRebalance,        // a=client b=tokens moved c=rejected moves
   // --- harness -------------------------------------------------------------
   kRunConfig = 112,         // a=period ns b=token batch c=measure periods
   kClientSpec,              // a=reservation b=limit c=demand (actor=client)
@@ -115,6 +125,11 @@ enum class EventType : std::uint16_t {
   kMeasureEnd,
   kClientCrash,             // scripted whole-client crash (actor=client)
   kClientRestart,
+  kClusterConfig,           // a=data nodes D b=tenants T c=borrow policy
+  kEngineBinding,           // actor=engine trace actor; a=client b=node
+                            // c=tenant (cluster striping map)
+  kNodeCapacity,            // a=node b=aggregate capacity c=local capacity
+  kTenantSpec,              // actor=tenant; a=reservation b=limit c=clients
 };
 
 /// Stable short name ("period_start", "faa_done", ...) used by the CSV and

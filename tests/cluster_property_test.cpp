@@ -1,0 +1,281 @@
+// Property tests for the cluster subsystem: invariants that must hold for
+// every admission history, seed, and fault script rather than for one
+// hand-picked scenario.
+//
+//   P1  split conservation      sum_d R_i,d == R_i for every live client,
+//                               through arbitrary admit/release churn and
+//                               rebalancing passes; tenant bookkeeping
+//                               tracks the same totals.
+//   P2  borrow conservation     granted == repaid + outstanding across
+//                               seeds, and the monitors' pool-word ledgers
+//                               agree with the coordinator's (audit C2,
+//                               checked in-process).
+//   P3  crash reclamation       a crashed client's reservation shards are
+//                               reclaimed on every node via the report
+//                               lease, its tenant slot is freed, and the
+//                               borrow ledger still settles.
+//   P4  determinism             same seed => identical per-node series,
+//                               splits, stats and alert stream (the
+//                               sim-vs-sim check for --cluster runs).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "cluster/coordinator.hpp"
+#include "common/rng.hpp"
+#include "harness/cluster_experiment.hpp"
+#include "net/model_params.hpp"
+#include "rdma/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace haechi {
+namespace {
+
+using harness::ClusterClientSpec;
+using harness::ClusterExperiment;
+using harness::ClusterExperimentConfig;
+using harness::ClusterExperimentResult;
+
+ClusterExperimentConfig BaseConfig() {
+  ClusterExperimentConfig config;
+  config.net.capacity_scale = 0.02;
+  config.warmup = Seconds(2);
+  config.measure_periods = 6;
+  config.records = 256;
+  config.qos.token_batch = 50;
+  return config;
+}
+
+void SingleTenant(ClusterExperimentConfig& config) {
+  std::int64_t total = 0;
+  for (auto& client : config.clients) {
+    client.tenant = 0;
+    total += client.reservation;
+  }
+  config.tenants = {{total, 0}};
+}
+
+std::int64_t Capacity(const ClusterExperimentConfig& config) {
+  return static_cast<std::int64_t>(config.net.GlobalCapacityIops());
+}
+
+// ---------------------------------------------------------------------------
+// P1: sum_d R_i,d == R_i survives arbitrary admission churn.
+
+TEST(ClusterProperty, SplitSumInvariantUnderChurn) {
+  constexpr std::size_t kNodes = 3;
+  constexpr std::uint32_t kSlots = 8;
+
+  sim::Simulator sim;
+  net::ModelParams params;
+  params.capacity_scale = 0.02;
+  rdma::Fabric fabric(sim, params, /*seed=*/1);
+  std::vector<std::unique_ptr<core::QosMonitor>> monitors;
+  std::vector<core::QosMonitor*> monitor_ptrs;
+  std::vector<rdma::QueuePair*> ctrl_qps;
+  rdma::Node& client_node = fabric.AddNode("client");
+  for (std::size_t d = 0; d < kNodes; ++d) {
+    rdma::Node& data = fabric.AddNode("data", rdma::NodeRole::kData);
+    core::QosConfig qos;
+    monitors.push_back(std::make_unique<core::QosMonitor>(
+        sim, qos, data, params.GlobalCapacityIops() / kNodes,
+        params.LocalCapacityIops()));
+    monitor_ptrs.push_back(monitors.back().get());
+    auto& ccq = client_node.CreateCq();
+    auto& dcq = data.CreateCq();
+    auto& cqp = client_node.CreateQp(ccq, ccq);
+    auto& dqp = data.CreateQp(dcq, dcq);
+    fabric.Connect(cqp, dqp);
+    ctrl_qps.push_back(&dqp);
+  }
+  cluster::ClusterCoordinator coordinator(sim, {}, monitor_ptrs);
+  const std::int64_t cap = static_cast<std::int64_t>(
+      params.GlobalCapacityIops());
+  ASSERT_TRUE(coordinator.AddTenant(0, cap, 0).ok());
+
+  // Churn: 120 random admit/release ops over an 8-client slot space, with
+  // a rebalancing pass sprinkled in. After every op, every live client's
+  // split sums exactly to its cluster-wide reservation and the tenant
+  // directory carries the same totals. (At most ceil(120/2) = 60 admits
+  // fit the monitors' 64 report slots, which only recycle at period
+  // boundaries and this churn never runs the clock.)
+  Rng rng(0x5eed);
+  std::vector<std::int64_t> live(kSlots, -1);  // -1 = not admitted
+  for (int op = 0; op < 120; ++op) {
+    const auto slot = static_cast<std::uint32_t>(rng.NextBelow(kSlots));
+    const ClientId id = MakeClientId(slot);
+    if (live[slot] < 0) {
+      const std::int64_t r = rng.NextInRange(1, cap / 20);
+      auto admitted = coordinator.AdmitClient(0, id, r, 0, ctrl_qps);
+      ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+      live[slot] = r;
+    } else {
+      ASSERT_TRUE(coordinator.ReleaseClient(id).ok());
+      live[slot] = -1;
+    }
+    if (op % 7 == 0) coordinator.Rebalance();
+
+    std::int64_t total = 0;
+    for (std::uint32_t s = 0; s < kSlots; ++s) {
+      if (live[s] < 0) {
+        EXPECT_EQ(coordinator.SplitOf(MakeClientId(s)).status().code(),
+                  StatusCode::kNotFound);
+        continue;
+      }
+      const auto split = coordinator.SplitOf(MakeClientId(s));
+      ASSERT_TRUE(split.ok());
+      std::int64_t sum = 0;
+      for (const auto share : split.value()) {
+        EXPECT_GE(share, 0);
+        sum += share;
+      }
+      EXPECT_EQ(sum, live[s]) << "client " << s << " after op " << op;
+      total += live[s];
+    }
+    ASSERT_NE(coordinator.tenants().FindTenant(0), nullptr);
+    EXPECT_EQ(coordinator.tenants().FindTenant(0)->reserved, total);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// P2: the borrow ledger conserves tokens for every seed, and the monitors'
+// own pool-word accounting agrees with it.
+
+TEST(ClusterProperty, BorrowConservationAcrossSeeds) {
+  for (const std::uint64_t seed : {3u, 17u, 29u, 83u}) {
+    ClusterExperimentConfig config = BaseConfig();
+    config.data_nodes = 2;
+    config.seed = seed;
+    const std::int64_t cap = Capacity(config);
+    ClusterClientSpec hungry;  // all demand on node 0; node 1 idles
+    hungry.reservation = cap / 10;
+    hungry.demand_per_node = {cap, 0};
+    config.clients = {hungry};
+    SingleTenant(config);
+    config.cluster.borrow.policy = cluster::BorrowPolicy::kAdaptive;
+
+    ClusterExperiment exp(std::move(config));
+    ClusterExperimentResult r = exp.Run();
+    EXPECT_GT(r.borrow_granted, 0) << "seed " << seed;
+    EXPECT_GE(r.borrow_repaid, 0) << "seed " << seed;
+    EXPECT_GE(r.borrow_outstanding, 0) << "seed " << seed;
+    // C2 in-process: every granted token is repaid or still on the books.
+    EXPECT_EQ(r.borrow_granted, r.borrow_repaid + r.borrow_outstanding)
+        << "seed " << seed;
+    // The monitors saw exactly the same movements: every grant and every
+    // repayment is one LendTokens on one node and one AbsorbTokens on the
+    // other.
+    const std::int64_t lent =
+        r.monitor_stats[0].lent_tokens + r.monitor_stats[1].lent_tokens;
+    const std::int64_t absorbed = r.monitor_stats[0].absorbed_tokens +
+                                  r.monitor_stats[1].absorbed_tokens;
+    EXPECT_EQ(lent, r.borrow_granted + r.borrow_repaid) << "seed " << seed;
+    EXPECT_EQ(absorbed, lent) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// P3: a crashed client's loans and reservation shards are reclaimed
+// through the report-lease path on every node.
+
+TEST(ClusterProperty, CrashedClientReclaimedClusterWide) {
+  ClusterExperimentConfig config = BaseConfig();
+  config.data_nodes = 2;
+  config.measure_periods = 6;
+  config.qos.report_lease_intervals = 8;
+  const std::int64_t cap = Capacity(config);
+  ClusterClientSpec victim;
+  victim.reservation = cap / 8;
+  victim.demand_per_node = {cap / 8, cap / 16};
+  ClusterClientSpec survivor;
+  survivor.reservation = cap / 8;
+  survivor.demand_per_node = {cap / 16, cap / 8};
+  config.clients = {victim, survivor};
+  SingleTenant(config);
+  config.cluster.borrow.policy = cluster::BorrowPolicy::kAdaptive;
+  config.client_crashes = {{/*client=*/0, config.warmup + Seconds(1)}};
+
+  ClusterExperiment exp(std::move(config));
+  ClusterExperimentResult r = exp.Run();
+
+  // The lease fired on some node and the coordinator purged the victim
+  // from every node and from its tenant.
+  EXPECT_EQ(r.cluster_stats.dead_clients, 1u);
+  EXPECT_TRUE(r.final_split[0].empty());
+  EXPECT_EQ(exp.coordinator().SplitOf(MakeClientId(0)).status().code(),
+            StatusCode::kNotFound);
+  for (std::size_t d = 0; d < 2; ++d) {
+    EXPECT_FALSE(exp.monitor(d).admission().IsAdmitted(MakeClientId(0)))
+        << "node " << d;
+    EXPECT_TRUE(exp.monitor(d).admission().IsAdmitted(MakeClientId(1)))
+        << "node " << d;
+  }
+  const auto* tenant = exp.coordinator().tenants().FindTenant(0);
+  ASSERT_NE(tenant, nullptr);
+  EXPECT_EQ(tenant->reserved, survivor.reservation);
+  EXPECT_EQ(tenant->clients, 1u);
+
+  // The survivor's split still conserves, and node-level loans settle
+  // regardless of which clients died.
+  ASSERT_EQ(r.final_split[1].size(), 2u);
+  EXPECT_EQ(r.final_split[1][0] + r.final_split[1][1],
+            survivor.reservation);
+  EXPECT_EQ(r.borrow_granted, r.borrow_repaid + r.borrow_outstanding);
+}
+
+// ---------------------------------------------------------------------------
+// P4: cluster runs are deterministic — the sim-vs-sim check for --cluster.
+
+ClusterExperimentConfig DeterminismConfig() {
+  ClusterExperimentConfig config = BaseConfig();
+  config.data_nodes = 2;
+  config.seed = 99;
+  config.qos.report_lease_intervals = 8;
+  config.watchdog.enabled = true;
+  const std::int64_t cap = Capacity(config);
+  ClusterClientSpec skewed;
+  skewed.reservation = cap / 8;
+  skewed.demand_per_node = {cap / 8 * 9 / 10, cap / 8 * 1 / 10};
+  ClusterClientSpec hog;
+  hog.reservation = 0;
+  hog.demand_per_node = {cap / 2, cap / 4};
+  config.clients = {skewed, hog};
+  SingleTenant(config);
+  config.cluster.borrow.policy = cluster::BorrowPolicy::kAdaptive;
+  return config;
+}
+
+TEST(ClusterProperty, SimVsSimDeterminism) {
+  ClusterExperiment a(DeterminismConfig());
+  ClusterExperiment b(DeterminismConfig());
+  const ClusterExperimentResult ra = a.Run();
+  const ClusterExperimentResult rb = b.Run();
+
+  ASSERT_EQ(ra.node_series.size(), rb.node_series.size());
+  for (std::size_t d = 0; d < ra.node_series.size(); ++d) {
+    ASSERT_EQ(ra.node_series[d].Periods(), rb.node_series[d].Periods());
+    for (std::size_t p = 0; p < ra.node_series[d].Periods(); ++p) {
+      for (std::uint32_t c = 0; c < 2; ++c) {
+        EXPECT_EQ(ra.node_series[d].At(p, MakeClientId(c)),
+                  rb.node_series[d].At(p, MakeClientId(c)))
+            << "node " << d << " period " << p << " client " << c;
+      }
+    }
+  }
+  EXPECT_EQ(ra.final_split, rb.final_split);
+  EXPECT_EQ(ra.borrow_granted, rb.borrow_granted);
+  EXPECT_EQ(ra.borrow_repaid, rb.borrow_repaid);
+  EXPECT_EQ(ra.borrow_outstanding, rb.borrow_outstanding);
+  EXPECT_EQ(ra.cluster_stats.rebalances, rb.cluster_stats.rebalances);
+  EXPECT_EQ(ra.cluster_stats.tokens_moved, rb.cluster_stats.tokens_moved);
+  EXPECT_EQ(ra.cluster_stats.borrow_requests,
+            rb.cluster_stats.borrow_requests);
+  EXPECT_EQ(ra.cluster_stats.stale_reports, rb.cluster_stats.stale_reports);
+  EXPECT_DOUBLE_EQ(ra.total_kiops, rb.total_kiops);
+  // Same seed => byte-identical watchdog alert stream.
+  EXPECT_EQ(a.alerts_jsonl(), b.alerts_jsonl());
+}
+
+}  // namespace
+}  // namespace haechi

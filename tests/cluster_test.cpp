@@ -1,22 +1,23 @@
-// Tests for the multi-data-node extension (the paper's §V future work):
-// the ClusterCoordinator's reservation splitting, usage-driven
-// rebalancing, invariants, and the end-to-end multi-node harness.
+// Tests for the cluster subsystem (the paper's §V future work): the
+// ClusterCoordinator's reservation splitting, usage-driven rebalancing,
+// tenant hierarchy, invariants, and the end-to-end multi-node harness.
 #include <gtest/gtest.h>
 
 #include <numeric>
 
-#include "harness/multi_experiment.hpp"
+#include "cluster/coordinator.hpp"
+#include "harness/cluster_experiment.hpp"
 
 namespace haechi {
 namespace {
 
-using harness::MultiClientSpec;
-using harness::MultiExperiment;
-using harness::MultiExperimentConfig;
-using harness::MultiExperimentResult;
+using harness::ClusterClientSpec;
+using harness::ClusterExperiment;
+using harness::ClusterExperimentConfig;
+using harness::ClusterExperimentResult;
 
-MultiExperimentConfig BaseConfig() {
-  MultiExperimentConfig config;
+ClusterExperimentConfig BaseConfig() {
+  ClusterExperimentConfig config;
   config.net.capacity_scale = 0.02;
   config.warmup = Seconds(2);
   config.measure_periods = 6;
@@ -25,22 +26,34 @@ MultiExperimentConfig BaseConfig() {
   return config;
 }
 
-std::int64_t Capacity(const MultiExperimentConfig& config) {
+/// Puts every client under one tenant sized to exactly fit their
+/// reservations (the single-tenant harness shape).
+void SingleTenant(ClusterExperimentConfig& config) {
+  std::int64_t total = 0;
+  for (auto& client : config.clients) {
+    client.tenant = 0;
+    total += client.reservation;
+  }
+  config.tenants = {{total, 0}};
+}
+
+std::int64_t Capacity(const ClusterExperimentConfig& config) {
   return static_cast<std::int64_t>(config.net.GlobalCapacityIops());
 }
 
 TEST(Cluster, InitialSplitIsEqualAndSumsToReservation) {
-  MultiExperimentConfig config = BaseConfig();
+  ClusterExperimentConfig config = BaseConfig();
   config.data_nodes = 3;
   config.measure_periods = 1;
   const std::int64_t cap = Capacity(config);
-  MultiClientSpec spec;
+  ClusterClientSpec spec;
   spec.reservation = cap / 5 * 3;  // cap/5 per node after the even split
   spec.demand_per_node = {cap / 5, cap / 5, cap / 5};
   config.clients = {spec};
+  SingleTenant(config);
 
-  MultiExperiment exp(std::move(config));
-  MultiExperimentResult r = exp.Run();
+  ClusterExperiment exp(std::move(config));
+  ClusterExperimentResult r = exp.Run();
   ASSERT_EQ(r.final_split.size(), 1u);
   const auto& split = r.final_split[0];
   EXPECT_EQ(std::accumulate(split.begin(), split.end(), std::int64_t{0}),
@@ -48,17 +61,18 @@ TEST(Cluster, InitialSplitIsEqualAndSumsToReservation) {
 }
 
 TEST(Cluster, SplitFollowsSkewedDemand) {
-  MultiExperimentConfig config = BaseConfig();
+  ClusterExperimentConfig config = BaseConfig();
   config.data_nodes = 2;
   const std::int64_t cap = Capacity(config);
   // 80% of this client's traffic goes to node 0.
-  MultiClientSpec skewed;
+  ClusterClientSpec skewed;
   skewed.reservation = cap / 5;
   skewed.demand_per_node = {cap / 5 * 8 / 10, cap / 5 * 2 / 10};
   config.clients = {skewed};
+  SingleTenant(config);
 
-  MultiExperiment exp(std::move(config));
-  MultiExperimentResult r = exp.Run();
+  ClusterExperiment exp(std::move(config));
+  ClusterExperimentResult r = exp.Run();
   const auto& split = r.final_split[0];
   EXPECT_EQ(split[0] + split[1], cap / 5);
   // The split converges toward the 80/20 demand shape (min_share floor
@@ -70,20 +84,21 @@ TEST(Cluster, SplitFollowsSkewedDemand) {
 }
 
 TEST(Cluster, ReservationMetAcrossNodesDespiteSkew) {
-  MultiExperimentConfig config = BaseConfig();
+  ClusterExperimentConfig config = BaseConfig();
   config.data_nodes = 2;
   const std::int64_t cap = Capacity(config);
   // The skewed client competes with node-local heavy clients on node 0.
-  MultiClientSpec skewed;
+  ClusterClientSpec skewed;
   skewed.reservation = cap / 5;
   skewed.demand_per_node = {cap / 5 * 8 / 10, cap / 5 * 2 / 10};
-  MultiClientSpec hog;  // floods node 0 with best-effort traffic
+  ClusterClientSpec hog;  // floods node 0 with best-effort traffic
   hog.reservation = 0;
   hog.demand_per_node = {cap, 0};
   config.clients = {skewed, hog};
+  SingleTenant(config);
 
-  MultiExperiment exp(std::move(config));
-  MultiExperimentResult r = exp.Run();
+  ClusterExperiment exp(std::move(config));
+  ClusterExperimentResult r = exp.Run();
   // After the split converges (skip the first 2 measured periods), the
   // skewed client's cluster-wide completions meet its reservation.
   const auto id = MakeClientId(0);
@@ -96,20 +111,21 @@ TEST(Cluster, ReservationMetAcrossNodesDespiteSkew) {
 }
 
 TEST(Cluster, SplitTracksDemandShift) {
-  MultiExperimentConfig config = BaseConfig();
+  ClusterExperimentConfig config = BaseConfig();
   config.data_nodes = 2;
   config.measure_periods = 10;
   const std::int64_t cap = Capacity(config);
-  MultiClientSpec spec;
+  ClusterClientSpec spec;
   spec.reservation = cap / 5;
   spec.demand_per_node = {cap / 5 * 9 / 10, cap / 5 * 1 / 10};
   config.clients = {spec};
+  SingleTenant(config);
   // Mid-run the demand flips to the other node.
   config.shift_at = config.warmup + Seconds(4);
   config.shifted_demand = {{cap / 5 * 1 / 10, cap / 5 * 9 / 10}};
 
-  MultiExperiment exp(std::move(config));
-  MultiExperimentResult r = exp.Run();
+  ClusterExperiment exp(std::move(config));
+  ClusterExperimentResult r = exp.Run();
   const auto& split = r.final_split[0];
   // By the end the split has followed the flip.
   EXPECT_GT(split[1], split[0]);
@@ -117,16 +133,17 @@ TEST(Cluster, SplitTracksDemandShift) {
 }
 
 TEST(Cluster, AdmitRejectsWhenAnyNodeLacksCapacity) {
-  MultiExperimentConfig config = BaseConfig();
+  ClusterExperimentConfig config = BaseConfig();
   config.data_nodes = 2;
   config.measure_periods = 1;
   const std::int64_t cap = Capacity(config);
-  MultiClientSpec too_big;
+  ClusterClientSpec too_big;
   // Per-node share cap/2 exceeds the per-node local capacity (~cap/4).
   too_big.reservation = cap;
   too_big.demand_per_node = {cap / 2, cap / 2};
   config.clients = {too_big};
-  EXPECT_DEATH(MultiExperiment(std::move(config)).Run(), "");
+  SingleTenant(config);
+  EXPECT_DEATH(ClusterExperiment(std::move(config)).Run(), "");
 }
 
 TEST(Cluster, CoordinatorApiValidation) {
@@ -138,10 +155,17 @@ TEST(Cluster, CoordinatorApiValidation) {
   core::QosConfig qos;
   core::QosMonitor monitor(sim, qos, data, params.GlobalCapacityIops(),
                            params.LocalCapacityIops());
-  core::ClusterCoordinator coordinator(sim, {}, {&monitor});
+  cluster::ClusterCoordinator coordinator(sim, {}, {&monitor});
+
+  // A client cannot be admitted before its tenant exists.
+  auto orphan = coordinator.AdmitClient(0, MakeClientId(0), 100, 0, {});
+  EXPECT_EQ(orphan.status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(coordinator.AddTenant(0, 500, 0).ok());
+  EXPECT_EQ(coordinator.AddTenant(0, 500, 0).code(),
+            StatusCode::kFailedPrecondition);
 
   // Wrong control-QP arity.
-  auto bad = coordinator.AdmitClient(MakeClientId(0), 100, 0, {});
+  auto bad = coordinator.AdmitClient(0, MakeClientId(0), 100, 0, {});
   EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
 
   // Unknown client queries.
@@ -157,13 +181,142 @@ TEST(Cluster, CoordinatorApiValidation) {
   auto& qp_a = client_node.CreateQp(cq_a, cq_a);
   auto& qp_b = data.CreateQp(cq_b, cq_b);
   fabric.Connect(qp_a, qp_b);
-  auto ok = coordinator.AdmitClient(MakeClientId(0), 100, 0, {&qp_b});
+  auto ok = coordinator.AdmitClient(0, MakeClientId(0), 100, 0, {&qp_b});
   ASSERT_TRUE(ok.ok());
   EXPECT_EQ(ok.value().size(), 1u);
-  auto dup = coordinator.AdmitClient(MakeClientId(0), 100, 0, {&qp_b});
+  auto dup = coordinator.AdmitClient(0, MakeClientId(0), 100, 0, {&qp_b});
   EXPECT_EQ(dup.status().code(), StatusCode::kFailedPrecondition);
+
+  // The tenant envelope binds: a second client pushing sum R_i past R_t is
+  // rejected before any node-level admission, and release frees the room.
+  auto over = coordinator.AdmitClient(0, MakeClientId(1), 450, 0, {&qp_b});
+  EXPECT_EQ(over.status().code(), StatusCode::kResourceExhausted);
   EXPECT_TRUE(coordinator.ReleaseClient(MakeClientId(0)).ok());
   EXPECT_FALSE(monitor.admission().IsAdmitted(MakeClientId(0)));
+  EXPECT_TRUE(
+      coordinator.AdmitClient(0, MakeClientId(1), 450, 0, {&qp_b}).ok());
+}
+
+TEST(Cluster, TenantDirectoryNesting) {
+  cluster::TenantDirectory directory(1000);
+  ASSERT_TRUE(directory.AddTenant(1, 600, 0).ok());
+  // Top level: sum_t R_t <= cluster reservable.
+  EXPECT_EQ(directory.AddTenant(2, 500, 0).code(),
+            StatusCode::kResourceExhausted);
+  ASSERT_TRUE(directory.AddTenant(2, 400, 800).ok());
+
+  // Client level: sum_{i in t} R_i <= R_t.
+  ASSERT_TRUE(directory.AdmitClient(1, MakeClientId(0), 400, 0).ok());
+  EXPECT_EQ(directory.AdmitClient(1, MakeClientId(1), 300, 0).code(),
+            StatusCode::kResourceExhausted);
+  ASSERT_TRUE(directory.AdmitClient(1, MakeClientId(1), 200, 0).ok());
+
+  // A limited tenant requires per-client limits, and they nest too.
+  EXPECT_EQ(directory.AdmitClient(2, MakeClientId(2), 100, 0).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(directory.AdmitClient(2, MakeClientId(2), 100, 500).ok());
+  EXPECT_EQ(directory.AdmitClient(2, MakeClientId(3), 100, 400).code(),
+            StatusCode::kResourceExhausted);
+
+  // Reservation updates re-check the envelope.
+  EXPECT_EQ(directory.UpdateClientReservation(MakeClientId(1), 250).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_TRUE(directory.UpdateClientReservation(MakeClientId(1), 150).ok());
+  EXPECT_EQ(directory.FindTenant(1)->reserved, 550);
+
+  // Only an empty tenant can be removed; release drains it.
+  EXPECT_EQ(directory.RemoveTenant(1).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(directory.ReleaseClient(MakeClientId(0)).ok());
+  EXPECT_TRUE(directory.ReleaseClient(MakeClientId(1)).ok());
+  EXPECT_TRUE(directory.RemoveTenant(1).ok());
+}
+
+TEST(Cluster, BorrowLedgerConservation) {
+  cluster::BorrowConfig borrow;
+  borrow.policy = cluster::BorrowPolicy::kStatic;
+  borrow.quota = 1000;
+  cluster::BorrowLedger ledger(3, borrow);
+
+  ledger.RecordGrant(0, 1, 400);
+  ledger.RecordGrant(2, 1, 300);
+  ledger.RecordGrant(0, 2, 100);
+  EXPECT_EQ(ledger.BorrowedThisPeriod(1), 700);
+  EXPECT_EQ(ledger.Headroom(1), 300);
+  EXPECT_EQ(ledger.OwedBy(1), 700);
+  EXPECT_EQ(ledger.OwedTo(0), 500);
+
+  ledger.RecordRepay(1, 0, 400);
+  ledger.RecordRepay(1, 2, 250);
+  // granted == repaid + outstanding, pairwise and in total.
+  EXPECT_EQ(ledger.Outstanding(2, 1), 50);
+  EXPECT_EQ(ledger.TotalGranted(),
+            ledger.TotalRepaid() + ledger.TotalOutstanding());
+  EXPECT_EQ(ledger.TotalOutstanding(), 150);
+
+  // Repaying more than owed is a ledger corruption, not a clamp.
+  EXPECT_DEATH(ledger.RecordRepay(1, 2, 51), "");
+}
+
+TEST(Cluster, AdaptiveQuotaFollowsConsumption) {
+  cluster::BorrowConfig borrow;
+  borrow.policy = cluster::BorrowPolicy::kAdaptive;
+  borrow.quota = 1000;
+  borrow.min_quota = 250;
+  borrow.max_quota = 4000;
+  cluster::BorrowLedger ledger(2, borrow);
+
+  // Fully consumed -> multiplicative increase, clamped at max.
+  ledger.AdaptQuota(0, 1000, 0);
+  EXPECT_EQ(ledger.Quota(0), 2000);
+  ledger.AdaptQuota(0, 2000, 0);
+  EXPECT_EQ(ledger.Quota(0), 4000);
+  ledger.AdaptQuota(0, 4000, 0);
+  EXPECT_EQ(ledger.Quota(0), 4000);
+
+  // Mostly idle -> multiplicative decrease, clamped at min.
+  ledger.AdaptQuota(0, 1000, 800);
+  EXPECT_EQ(ledger.Quota(0), 2000);
+  ledger.AdaptQuota(0, 1000, 800);
+  EXPECT_EQ(ledger.Quota(0), 1000);
+  ledger.AdaptQuota(0, 100, 90);
+  ledger.AdaptQuota(0, 100, 90);
+  EXPECT_EQ(ledger.Quota(0), 250);
+
+  // In-between consumption leaves the quota alone; no borrowing = no signal.
+  ledger.AdaptQuota(1, 1000, 300);
+  EXPECT_EQ(ledger.Quota(1), 1000);
+  ledger.AdaptQuota(1, 0, 0);
+  EXPECT_EQ(ledger.Quota(1), 1000);
+}
+
+TEST(Cluster, BorrowingBridgesSkewedPools) {
+  // Node 0 runs dry (hog demand, all pool drained); node 1 idles. With
+  // adaptive borrowing the coordinator imports node 1's idle pool tokens
+  // and the ledger settles every loan at the boundaries.
+  ClusterExperimentConfig config = BaseConfig();
+  config.data_nodes = 2;
+  config.measure_periods = 6;
+  const std::int64_t cap = Capacity(config);
+  ClusterClientSpec hungry;  // small reservation, hot-node demand only
+  hungry.reservation = cap / 10;
+  hungry.demand_per_node = {cap, 0};
+  config.clients = {hungry};
+  SingleTenant(config);
+  config.cluster.borrow.policy = cluster::BorrowPolicy::kAdaptive;
+
+  ClusterExperiment exp(std::move(config));
+  ClusterExperimentResult r = exp.Run();
+  EXPECT_GT(r.cluster_stats.borrow_requests, 0u);
+  EXPECT_GT(r.cluster_stats.borrow_grants, 0u);
+  EXPECT_GT(r.borrow_granted, 0);
+  // Conservation: everything granted is repaid or still on the books.
+  EXPECT_EQ(r.borrow_granted,
+            r.borrow_repaid + r.borrow_outstanding);
+  EXPECT_GT(r.borrow_repaid, 0);
+  // The monitors' ledgers saw the same movements.
+  EXPECT_EQ(r.monitor_stats[0].lent_tokens + r.monitor_stats[1].lent_tokens,
+            r.borrow_granted + r.borrow_repaid);
 }
 
 TEST(Cluster, MonitorUpdateReservationSemantics) {

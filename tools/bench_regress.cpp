@@ -13,6 +13,13 @@
 // within a wider band (--runtime-tolerance), since that backend is
 // wall-clock scheduled and agrees statistically, not bitwise.
 //
+// Also gates the cluster subsystem: the ext_cluster_borrow scenario
+// (stranded reservations under skewed per-node demand) runs with borrowing
+// off and adaptive, compares both against BENCH_cluster.json, and fails
+// outright if the adaptive policy does not *strictly* improve aggregate
+// reserved attainment over borrowing off — the shape the bench exists to
+// demonstrate, pinned as a gate.
+//
 // Optionally refreshes BENCH_overhead.json by spawning the bench_overhead
 // binary (--overhead-bin=PATH); that file's tracing-delta percentages are
 // wall-clock based and *not* compared, only regenerated.
@@ -31,7 +38,9 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "cluster/borrow.hpp"
 #include "common/flags.hpp"
+#include "harness/cluster_experiment.hpp"
 #include "harness/runtime_experiment.hpp"
 #include "obs/export.hpp"
 
@@ -51,6 +60,9 @@ flags (all optional):
   --runtime-out=PATH   threads-mode gate JSON; empty skips the threaded
                        run entirely                 [BENCH_runtime.json]
   --runtime-tolerance=F allowed threads-mode drift  [0.25]
+  --cluster-out=PATH   cluster borrow gate JSON; empty skips the cluster
+                       runs entirely                [BENCH_cluster.json]
+  --cluster-tolerance=F allowed cluster drift       [0.05]
   --overhead-bin=PATH  also run the bench_overhead sweep to refresh
                        BENCH_overhead.json (skips its microbenchmarks)
   --selftest           verify the gate itself: current numbers must pass
@@ -198,6 +210,87 @@ FigureResult RunRuntimeThreads(std::uint64_t seed) {
           ToSeconds(result.wall_time), "wall_seconds"};
 }
 
+/// Cluster gate figure: the ext_cluster_borrow scenario scaled down. Two
+/// data nodes; four strictly-provisioned residents (limit == reservation)
+/// squeeze the hot node's admission first, then two managed clients send
+/// nearly all of their above-reservation demand there — part of each
+/// managed reservation strands on the idle node, reachable only through
+/// borrowing. total_kiops is the managed clients' aggregate
+/// *reserved-attained* throughput (served credited only up to the
+/// reservation), the quantity borrowing exists to recover.
+FigureResult RunClusterBorrow(const bench::BenchArgs& args,
+                              cluster::BorrowPolicy policy) {
+  harness::ClusterExperimentConfig config;
+  config.net.capacity_scale = args.scale;
+  config.data_nodes = 2;
+  config.warmup = args.warmup;
+  config.measure_periods = args.periods > 0 ? args.periods : 6;
+  config.qos.token_batch = std::max<std::int64_t>(
+      10, static_cast<std::int64_t>(1000 * args.scale));
+  config.seed = args.seed;
+  const auto cap =
+      static_cast<std::int64_t>(config.net.GlobalCapacityIops());
+
+  constexpr std::size_t kResidents = 4;
+  constexpr std::size_t kManaged = 2;
+  const std::int64_t reservation = cap / 8;
+  // Residents first: the rebalancer visits clients in admission order, so
+  // their node-0 shares claim the admission headroom before the managed
+  // increases are considered.
+  for (std::size_t i = 0; i < kResidents; ++i) {
+    harness::ClusterClientSpec resident;
+    resident.tenant = 1;
+    resident.reservation = cap / 10;
+    resident.limit = resident.reservation;
+    resident.demand_per_node = {cap, 0};
+    config.clients.push_back(resident);
+  }
+  for (std::size_t i = 0; i < kManaged; ++i) {
+    harness::ClusterClientSpec managed;
+    managed.tenant = 0;
+    managed.reservation = reservation;
+    const auto demand = reservation * 16 / 10;
+    managed.demand_per_node = {demand * 95 / 100, demand * 5 / 100};
+    config.clients.push_back(managed);
+  }
+  std::int64_t managed_total = 0, resident_total = 0;
+  for (const auto& client : config.clients) {
+    (client.tenant == 0 ? managed_total : resident_total) +=
+        client.reservation;
+  }
+  config.tenants = {{managed_total, 0}, {resident_total, 0}};
+
+  config.cluster.borrow.policy = policy;
+  config.cluster.dry_watermark = config.qos.token_batch * 5;
+  config.cluster.lender_floor = config.qos.token_batch * 10;
+  config.cluster.borrow.quota = std::max<std::int64_t>(cap / 20, 1);
+  config.cluster.borrow.min_quota = config.qos.token_batch;
+  config.cluster.borrow.max_quota = std::max<std::int64_t>(cap / 4, 1);
+
+  const auto periods = config.measure_periods;
+  harness::ClusterExperiment experiment(std::move(config));
+  const harness::ClusterExperimentResult r = experiment.Run();
+
+  std::int64_t attained = 0;
+  for (std::size_t p = 2; p < periods; ++p) {
+    for (std::size_t i = 0; i < kManaged; ++i) {
+      const auto id =
+          MakeClientId(static_cast<std::uint32_t>(kResidents + i));
+      const std::int64_t served =
+          r.node_series[0].At(p, id) + r.node_series[1].At(p, id);
+      attained += std::min(served, reservation);
+    }
+  }
+  const double kiops = bench::NormKiops(
+      ToKiops(attained, static_cast<SimDuration>(periods - 2) * kSecond),
+      args);
+  const std::string name =
+      std::string("cluster_borrow_") +
+      std::string(cluster::ToString(policy));
+  return {name, kiops, static_cast<double>(r.borrow_granted),
+          "borrowed_tokens"};
+}
+
 std::string ToJson(const std::vector<FigureResult>& figures, double scale,
                    double tolerance, std::uint64_t seed) {
   std::string out = "{\n  \"bench\": \"qos_regress\",\n";
@@ -282,7 +375,8 @@ int Run(int argc, const char* const* argv) {
   auto parsed = Flags::Parse(argc, argv,
                              {"out", "baseline", "tolerance", "scale",
                               "periods", "seed", "runtime-out",
-                              "runtime-tolerance", "overhead-bin",
+                              "runtime-tolerance", "cluster-out",
+                              "cluster-tolerance", "overhead-bin",
                               "selftest", "help"});
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.status().ToString().c_str(),
@@ -354,6 +448,49 @@ int Run(int argc, const char* const* argv) {
     std::fwrite(runtime_json.data(), 1, runtime_json.size(), runtime_file);
     std::fclose(runtime_file);
     std::printf("wrote %s\n", runtime_out.c_str());
+  }
+
+  // Cluster borrow gate: drift bands for both policies, plus the strict
+  // shape requirement that adaptive borrowing beats borrowing off.
+  const std::string cluster_out =
+      flags.GetString("cluster-out", "BENCH_cluster.json");
+  if (!cluster_out.empty()) {
+    const double cluster_tolerance =
+        flags.GetDouble("cluster-tolerance", 0.05);
+    const FigureResult off =
+        RunClusterBorrow(args, cluster::BorrowPolicy::kOff);
+    const FigureResult adaptive =
+        RunClusterBorrow(args, cluster::BorrowPolicy::kAdaptive);
+    const std::vector<FigureResult> cluster_figures = {off, adaptive};
+    const auto cluster_baseline = obs::ReadFileToString(cluster_out);
+    if (cluster_baseline.ok()) {
+      regressions += Compare(cluster_figures, cluster_baseline.value(),
+                             cluster_tolerance);
+    } else {
+      std::printf("no baseline at %s; seeding it\n", cluster_out.c_str());
+    }
+    if (adaptive.total_kiops > off.total_kiops) {
+      std::printf("%-26s %10.1f > %.1f KIOPS  ok (adaptive strictly "
+                  "improves attainment)\n",
+                  "cluster_borrow_shape", adaptive.total_kiops,
+                  off.total_kiops);
+    } else {
+      std::printf("%-26s %10.1f <= %.1f KIOPS  REGRESSION (adaptive must "
+                  "strictly improve attainment)\n",
+                  "cluster_borrow_shape", adaptive.total_kiops,
+                  off.total_kiops);
+      ++regressions;
+    }
+    const std::string cluster_json =
+        ToJson(cluster_figures, scale, cluster_tolerance, seed);
+    std::FILE* cluster_file = std::fopen(cluster_out.c_str(), "wb");
+    if (cluster_file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", cluster_out.c_str());
+      return 2;
+    }
+    std::fwrite(cluster_json.data(), 1, cluster_json.size(), cluster_file);
+    std::fclose(cluster_file);
+    std::printf("wrote %s\n", cluster_out.c_str());
   }
 
   const std::string overhead_bin = flags.GetString("overhead-bin", "");

@@ -4,9 +4,12 @@
 // ExperimentConfig::trace.out_path or `haechi_sim --trace-out=...`) and
 // re-derives the PeriodLedger conservation identities and the
 // reservation-guarantee invariant purely from the events (DESIGN.md §9.3).
+// Cluster traces (haechi_sim --cluster) additionally replay the split,
+// borrow and node-commitment identities C1..C3 (DESIGN.md §12).
 // Exit code 0 = every identity holds, 2 = usage or unreadable/corrupt
 // trace, 10+k = identity Ak is the lowest-numbered one violated (e.g. 13
-// for a pool-monotonicity break, 19 for a missed reservation guarantee);
+// for a pool-monotonicity break, 19 for a missed reservation guarantee),
+// 20+k = cluster identity Ck is (e.g. 22 for a borrow-ledger mismatch);
 // 1 = violations whose check tag could not be parsed (never expected).
 //
 // Examples:
@@ -33,7 +36,8 @@ flags:
                              count-based checks on truncated actors)
   --quiet                    print only the verdict line
 
-exit codes: 0 = PASS, 2 = usage/corrupt trace, 10+k = check Ak failed
+exit codes: 0 = PASS, 2 = usage/corrupt trace, 10+k = check Ak failed,
+            20+k = cluster check Ck failed
 )";
 
 int Run(int argc, const char* const* argv) {

@@ -14,9 +14,16 @@
 //
 //   # export plot data
 //   haechi_sim --csv=/tmp/run.csv --periods=30 --scale=1
+//
+//   # 4-node cluster, 2 tenants, adaptive cross-server borrowing
+//   haechi_sim --cluster=4 --tenants=2 --borrow=adaptive
+#include <algorithm>
 #include <cstdio>
+#include <limits>
 
+#include "cluster/borrow.hpp"
 #include "common/flags.hpp"
+#include "harness/cluster_experiment.hpp"
 #include "harness/experiment.hpp"
 #include "harness/runtime_experiment.hpp"
 #include "stats/csv.hpp"
@@ -42,6 +49,13 @@ flags (all optional):
                              batches (doorbell-style chaining)          [1]
   --workers=N                threads only: worker threads multiplexing
                              the client I/O loops (0 = one per client)  [0]
+  --cluster=D                sharded deployment across D data nodes with
+                             the cluster coordinator (sim runtime,
+                             haechi mode only; 0 = single node)          [0]
+  --tenants=T                cluster only: stripe clients over T tenant
+                             envelopes                                   [1]
+  --borrow=off|static|adaptive   cluster only: cross-server token
+                             borrowing policy                          [off]
   --clients=N                number of clients        [10]
   --distribution=uniform|zipf|spike   reservations    [zipf]
   --reserved-pct=P           % of capacity reserved   [90]
@@ -98,7 +112,8 @@ int PrintClientTable(const stats::PeriodSeries& series,
 int Run(int argc, const char* const* argv) {
   auto parsed = Flags::Parse(
       argc, argv,
-      {"mode", "runtime", "shards", "fetch-batch", "workers", "clients",
+      {"mode", "runtime", "shards", "fetch-batch", "workers", "cluster",
+       "tenants", "borrow", "clients",
        "distribution", "reserved-pct", "pattern", "write-fraction",
        "demand-factor", "limit-factor", "periods", "warmup-seconds", "scale",
        "seed", "background-pct", "csv", "trace-out", "trace-detail",
@@ -246,6 +261,199 @@ int Run(int argc, const char* const* argv) {
   const auto scale = config.net.capacity_scale;
   const std::string csv_path_flag = flags.GetString("csv", "");
   const std::string trace_path_flag = flags.GetString("trace-out", "");
+
+  // --- cluster mode: D data nodes behind the cluster coordinator ---------
+  const auto cluster_nodes = static_cast<std::size_t>(
+      std::max<std::int64_t>(flags.GetInt("cluster", 0), 0));
+  const auto tenant_count = static_cast<std::size_t>(
+      std::max<std::int64_t>(flags.GetInt("tenants", 1), 1));
+  const std::string borrow = flags.GetString("borrow", "off");
+  if (cluster_nodes == 0 && (flags.Has("tenants") || flags.Has("borrow"))) {
+    std::fprintf(stderr, "--tenants/--borrow require --cluster=D\n");
+    return 2;
+  }
+  if (cluster_nodes > 0) {
+    if (flags.GetString("runtime", "sim") != "sim" ||
+        config.mode != harness::Mode::kHaechi) {
+      std::fprintf(stderr,
+                   "--cluster runs on --runtime=sim --mode=haechi only\n");
+      return 2;
+    }
+    if (background_pct > 0 || !csv_path_flag.empty()) {
+      std::fprintf(stderr,
+                   "--cluster does not support --background-pct or --csv\n");
+      return 2;
+    }
+    cluster::BorrowPolicy policy = cluster::BorrowPolicy::kOff;
+    if (borrow == "static") {
+      policy = cluster::BorrowPolicy::kStatic;
+    } else if (borrow == "adaptive") {
+      policy = cluster::BorrowPolicy::kAdaptive;
+    } else if (borrow != "off") {
+      std::fprintf(stderr, "unknown --borrow=%s\n%s", borrow.c_str(),
+                   kUsage);
+      return 2;
+    }
+
+    harness::ClusterExperimentConfig cc;
+    cc.data_nodes = cluster_nodes;
+    cc.net = config.net;
+    cc.qos = config.qos;
+    cc.warmup = config.warmup;
+    cc.measure_periods = config.measure_periods;
+    cc.seed = config.seed;
+    cc.trace = config.trace;
+    cc.watchdog = config.watchdog;
+    cc.cluster.borrow.policy = policy;
+    // Borrow knobs scale with the scenario, not the wall clock.
+    cc.cluster.dry_watermark = config.qos.token_batch * 5;
+    cc.cluster.lender_floor = config.qos.token_batch * 10;
+    cc.cluster.borrow.quota = std::max<std::int64_t>(cap / 20, 1);
+    cc.cluster.borrow.min_quota = config.qos.token_batch;
+    cc.cluster.borrow.max_quota = std::max<std::int64_t>(cap / 4, 1);
+
+    // Stripe clients round-robin over the tenants, and lean each client's
+    // demand on a home node (i mod D) so the coordinator's splits — and
+    // with --borrow, the cross-server loans — have skew to chase.
+    std::vector<std::int64_t> tenant_sums(tenant_count, 0);
+    for (std::size_t i = 0; i < reservations.size(); ++i) {
+      harness::ClusterClientSpec spec;
+      spec.tenant = i % tenant_count;
+      spec.reservation = std::min<std::int64_t>(
+          reservations[i],
+          local * static_cast<std::int64_t>(cluster_nodes));
+      spec.pattern = request_pattern;
+      const auto demand = static_cast<std::int64_t>(
+          static_cast<double>(spec.reservation +
+                              pool / static_cast<std::int64_t>(clients)) *
+          demand_factor);
+      spec.demand_per_node.assign(cluster_nodes, 0);
+      const std::size_t home = i % cluster_nodes;
+      if (cluster_nodes == 1) {
+        spec.demand_per_node[0] = demand;
+      } else {
+        spec.demand_per_node[home] = demand * 85 / 100;
+        const std::int64_t rest =
+            (demand - demand * 85 / 100) /
+            static_cast<std::int64_t>(cluster_nodes - 1);
+        for (std::size_t d = 0; d < cluster_nodes; ++d) {
+          if (d != home) spec.demand_per_node[d] = rest;
+        }
+      }
+      cc.clients.push_back(std::move(spec));
+    }
+
+    // Reservations were drawn against the cluster-wide aggregate, but
+    // placement is per node: each shard admits at most its 1/D capacity
+    // share, and a client consumes a node's split only up to its demand
+    // there. Scale the whole distribution down (shape preserved) until
+    // the demand-weighted reserved load on the hottest node fits inside
+    // its share, leaving headroom for pool traffic.
+    {
+      const double node_cap =
+          static_cast<double>(cap) / static_cast<double>(cluster_nodes);
+      std::vector<double> node_load(cluster_nodes, 0.0);
+      for (const auto& spec : cc.clients) {
+        std::int64_t total_demand = 0;
+        for (const std::int64_t d : spec.demand_per_node) {
+          total_demand += d;
+        }
+        if (total_demand == 0) continue;
+        for (std::size_t d = 0; d < cluster_nodes; ++d) {
+          node_load[d] += static_cast<double>(spec.reservation) *
+                          static_cast<double>(spec.demand_per_node[d]) /
+                          static_cast<double>(total_demand);
+        }
+      }
+      const double hottest =
+          *std::max_element(node_load.begin(), node_load.end());
+      const double overload = hottest / (0.85 * node_cap);
+      if (overload > 1.0) {
+        for (auto& spec : cc.clients) {
+          spec.reservation = static_cast<std::int64_t>(
+              static_cast<double>(spec.reservation) / overload);
+        }
+      }
+    }
+    for (const auto& spec : cc.clients) {
+      tenant_sums[spec.tenant] += spec.reservation;
+    }
+    for (const std::int64_t sum : tenant_sums) {
+      cc.tenants.push_back({sum, 0});
+    }
+
+    harness::ClusterExperiment experiment(std::move(cc));
+    harness::ClusterExperimentResult result = experiment.Run();
+    const auto& run_cfg = experiment.config();
+
+    std::printf("mode=haechi cluster=%zu tenants=%zu borrow=%s clients=%zu "
+                "capacity=%.0f KIOPS/node (1/%zu share of the %.0f-KIOPS "
+                "aggregate, full-scale equivalent)\n\n",
+                cluster_nodes, tenant_count, borrow.c_str(), clients,
+                static_cast<double>(cap) /
+                    static_cast<double>(cluster_nodes) / 1e3 / scale,
+                cluster_nodes, static_cast<double>(cap) / 1e3 / scale);
+    stats::Table table({"client", "tenant", "reservation", "mean/period",
+                        "min/period", "SLO"});
+    int met = 0;
+    for (std::uint32_t c = 0; c < run_cfg.clients.size(); ++c) {
+      const auto id = MakeClientId(c);
+      std::int64_t total = 0;
+      std::int64_t min = std::numeric_limits<std::int64_t>::max();
+      for (std::size_t p = 0; p < periods; ++p) {
+        std::int64_t served = 0;
+        for (std::size_t d = 0; d < cluster_nodes; ++d) {
+          served += result.node_series[d].At(p, id);
+        }
+        total += served;
+        min = std::min(min, served);
+      }
+      const std::int64_t r = run_cfg.clients[c].reservation;
+      const bool ok = min >= r * 98 / 100;
+      met += ok;
+      auto norm = [&](double v) { return stats::Table::Num(v / 1e3 / scale); };
+      table.AddRow({"C" + std::to_string(c + 1),
+                    "T" + std::to_string(run_cfg.clients[c].tenant),
+                    norm(static_cast<double>(r)),
+                    norm(static_cast<double>(total) /
+                         static_cast<double>(periods)),
+                    norm(static_cast<double>(min)), ok ? "met" : "MISSED"});
+    }
+    table.Print();
+    std::printf("\ntotal %.0f KIOPS; reservations met %d/%zu\n",
+                result.total_kiops / scale, met, run_cfg.clients.size());
+    std::printf("coordinator: %llu rebalances moved %llu tokens (%llu "
+                "rejected); borrow %s: granted %lld, repaid %lld, "
+                "outstanding %lld (%llu stale reports)\n",
+                static_cast<unsigned long long>(
+                    result.cluster_stats.rebalances),
+                static_cast<unsigned long long>(
+                    result.cluster_stats.tokens_moved),
+                static_cast<unsigned long long>(
+                    result.cluster_stats.rejected_moves),
+                borrow.c_str(),
+                static_cast<long long>(result.borrow_granted),
+                static_cast<long long>(result.borrow_repaid),
+                static_cast<long long>(result.borrow_outstanding),
+                static_cast<unsigned long long>(
+                    result.cluster_stats.stale_reports));
+    if (!trace_path_flag.empty()) {
+      std::printf(
+          "trace written to %s (audit with: haechi_audit --trace=%s)\n",
+          trace_path_flag.c_str(), trace_path_flag.c_str());
+    }
+#if HAECHI_WATCHDOG_ENABLED
+    if (obs::SloWatchdog* watchdog = experiment.watchdog()) {
+      std::fprintf(
+          stderr,
+          "watchdog: %zu alert(s) over %zu period(s), %zu critical%s%s\n",
+          watchdog->alerts().size(), watchdog->periods_evaluated(),
+          watchdog->CountAtLeast(obs::AlertSeverity::kCritical),
+          alerts_out.empty() ? "" : ", written to ", alerts_out.c_str());
+    }
+#endif
+    return 0;
+  }
 
   const std::string runtime = flags.GetString("runtime", "sim");
   const std::int64_t shards = flags.GetInt("shards", 1);

@@ -20,11 +20,19 @@
 #                                          # rebalance tests under tsan —
 #                                          # the gate for pool-shard and
 #                                          # fetch-batch changes
+#   tools/run_ctest_matrix.sh asan-cluster tsan-cluster
+#                                          # focused entries: the asan/tsan
+#                                          # presets restricted to the
+#                                          # cluster suites (cluster_test,
+#                                          # cluster_property_test) — the
+#                                          # quick gate for src/cluster
+#                                          # changes
 #   JOBS=8 tools/run_ctest_matrix.sh       # override parallelism
 #   BENCH=1 tools/run_ctest_matrix.sh      # also run the bench regression
 #                                          # gates (tools/bench_regress:
 #                                          # BENCH_qos.json sim figures +
-#                                          # BENCH_runtime.json threads run)
+#                                          # BENCH_runtime.json threads run +
+#                                          # BENCH_cluster.json borrow gate)
 #
 # Exits non-zero on the first failing preset (or a bench regression).
 set -euo pipefail
@@ -48,6 +56,12 @@ for preset in "${PRESETS[@]}"; do
   elif [[ "$preset" == "tsan-runtime-sharded" ]]; then
     config_preset=tsan
     ctest_args=(-R 'Shard|Rebalance|BatchedFetch')
+  elif [[ "$preset" == "asan-cluster" ]]; then
+    config_preset=asan
+    ctest_args=(-L cluster)
+  elif [[ "$preset" == "tsan-cluster" ]]; then
+    config_preset=tsan
+    ctest_args=(-L cluster)
   fi
   echo "==== [$preset] configure ===="
   cmake --preset "$config_preset"
