@@ -20,6 +20,7 @@
 #include "core/wire.hpp"
 #include "harness/experiment.hpp"
 #include "net/station.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "runtime/shared_region.hpp"
 #include "sim/simulator.hpp"
@@ -48,6 +49,13 @@ constexpr bool TraceArgumentsElided() {
 static_assert(TraceArgumentsElided(),
               "HAECHI_TRACE=OFF must compile trace sites down to ((void)0)");
 #endif
+
+// The span pipeline must follow the same contract: with tracing compiled
+// out, AssembleSpans is an empty inline stub and span.cpp/profile.cpp
+// contribute no code, and kSpanAssemblyCompiled is the flag callers (the
+// audit CLI, the harness) branch on to say so.
+static_assert(obs::kSpanAssemblyCompiled == (HAECHI_TRACE_ENABLED != 0),
+              "kSpanAssemblyCompiled must track HAECHI_TRACE");
 
 // --- event queues -----------------------------------------------------------
 
@@ -386,6 +394,60 @@ void BM_TraceEmitActive(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TraceEmitActive);
+
+/// A synthetic detail stream with the shape the assembler sees in practice:
+/// per I/O one queued/fetch/fetch-done/issue/complete quintet, round-robin
+/// across engines, strictly FIFO per engine (the engine queue's contract).
+std::vector<obs::TraceEvent> MakeSpanEventStream(
+    std::uint32_t engines, std::uint64_t ios_per_engine) {
+  std::vector<obs::TraceEvent> events;
+  events.reserve(static_cast<std::size_t>(engines) * ios_per_engine * 5);
+  std::uint64_t seq = 0;
+  SimTime t = 0;
+  for (std::uint64_t i = 0; i < ios_per_engine; ++i) {
+    for (std::uint32_t engine = 0; engine < engines; ++engine) {
+      const auto push = [&](obs::EventType type, std::int64_t a,
+                            std::int64_t b) {
+        obs::TraceEvent event;
+        event.time = t;
+        event.seq = seq++;
+        event.type = type;
+        event.actor_kind = obs::ActorKind::kEngine;
+        event.actor = engine;
+        event.period = static_cast<std::uint32_t>(i / 1024);
+        event.a = a;
+        event.b = b;
+        event.c = 0;
+        events.push_back(event);
+        t += 50;
+      };
+      const auto io_id = static_cast<std::int64_t>(i);
+      push(obs::EventType::kIoQueued, io_id, 1);
+      push(obs::EventType::kTokenFetch, 1, 0);
+      push(obs::EventType::kTokenFetchDone, 1, 0);
+      push(obs::EventType::kIoIssue, io_id, 0);
+      push(obs::EventType::kIoComplete, io_id, 0);
+    }
+  }
+  return events;
+}
+
+void BM_SpanAssemble(benchmark::State& state) {
+  // Span assembly over a pre-merged stream: the post-run cost the harness
+  // pays once per detail-traced experiment (O(1) per event by design).
+  const std::vector<obs::TraceEvent> events =
+      MakeSpanEventStream(4, static_cast<std::uint64_t>(state.range(0)));
+  std::uint64_t spans = 0;
+  for (auto _ : state) {
+    obs::SpanAssemblyStats stats;
+    std::vector<obs::IoSpan> out = obs::AssembleSpans(events, &stats);
+    spans = stats.spans;
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(spans));
+}
+BENCHMARK(BM_SpanAssemble)->Arg(1024)->Arg(65536);
 #endif
 
 // --- end-to-end tracing overhead sweep (BENCH_overhead.json) ----------------
@@ -393,7 +455,8 @@ BENCHMARK(BM_TraceEmitActive);
 /// A saturated 4-client Haechi run; wall-clock time dominated by the token
 /// path when B is small (B=1 posts one FAA round trip per token).
 harness::ExperimentConfig OverheadConfig(std::int64_t token_batch,
-                                         bool tracing) {
+                                         bool tracing,
+                                         bool detail = false) {
   harness::ExperimentConfig config;
   config.mode = harness::Mode::kHaechi;
   config.net.capacity_scale = 0.02;
@@ -411,6 +474,12 @@ harness::ExperimentConfig OverheadConfig(std::int64_t token_batch,
     config.clients.push_back(spec);
   }
   config.trace.enabled = tracing;
+  // The detail arm measures the full span pipeline: per-I/O events plus
+  // the post-run assembly inside Experiment::Run. Rings sized so the
+  // detail stream does not wrap (a wrapped ring would shrink the
+  // assembly input and flatter the number).
+  config.trace.detail = detail;
+  if (detail) config.trace.ring_capacity = 1u << 20;
   return config;
 }
 
@@ -421,10 +490,13 @@ struct OverheadRun {
   std::uint64_t events_run = 0;
   std::int64_t completed = 0;
   double ops_per_sec = 0.0;  // simulated completions per wall second
+  std::uint64_t spans = 0;   // assembled I/O spans (detail arm only)
 };
 
-OverheadRun MeasureOverhead(std::int64_t token_batch, bool tracing) {
-  harness::Experiment experiment(OverheadConfig(token_batch, tracing));
+OverheadRun MeasureOverhead(std::int64_t token_batch, bool tracing,
+                            bool detail = false) {
+  harness::Experiment experiment(
+      OverheadConfig(token_batch, tracing, detail));
   const auto start = std::chrono::steady_clock::now();
   harness::ExperimentResult result = experiment.Run();
   const auto stop = std::chrono::steady_clock::now();
@@ -440,7 +512,25 @@ OverheadRun MeasureOverhead(std::int64_t token_batch, bool tracing) {
   }
   run.ops_per_sec =
       static_cast<double>(run.completed) / (run.wall_ms / 1e3);
+  run.spans = static_cast<std::uint64_t>(result.spans.size());
   return run;
+}
+
+/// One assembly pass over a 1M-event synthetic stream (800k spans): the
+/// marginal ns/span cost of the profiler, independent of emission.
+double MeasureSpanAssemblyNsPerSpan() {
+#if HAECHI_TRACE_ENABLED
+  const std::vector<obs::TraceEvent> events = MakeSpanEventStream(4, 50'000);
+  obs::SpanAssemblyStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<obs::IoSpan> spans = obs::AssembleSpans(events, &stats);
+  const auto stop = std::chrono::steady_clock::now();
+  if (stats.spans == 0) return 0.0;
+  return std::chrono::duration<double, std::nano>(stop - start).count() /
+         static_cast<double>(stats.spans);
+#else
+  return 0.0;
+#endif
 }
 
 // --- hand-rolled runtime micro measurements (into the JSON) -----------------
@@ -498,6 +588,12 @@ double MeasureSeqlockWriteNsPerOp(bool padded, int threads) {
   });
 }
 
+/// Ceiling on the B=1 detail-tracing + span-assembly slowdown, in percent
+/// of recorder-off throughput. Wall-clock based, so the band is generous
+/// (~2x the measured delta on the reference machine); bench_regress fails
+/// the refresh when a change pushes the span pipeline past it.
+constexpr double kSpanDeltaGatePercent = 75.0;
+
 /// Sweeps B in {1, 10, 100, 1000} with the recorder off then on and writes
 /// the machine-readable summary the overhead contract is checked against —
 /// plus the sharded-FAA and seqlock-padding micro numbers.
@@ -540,6 +636,31 @@ int WriteOverheadJson(const std::string& path) {
                  off > 0.0 ? (off - on) / off * 100.0 : 0.0);
   }
   std::fprintf(out, "},\n");
+
+  // Span pipeline at B=1 (the worst case: one FAA per token, so the run is
+  // already token-path bound): per-I/O detail events plus the post-run
+  // span assembly inside Experiment::Run, against the B=1 recorder-off
+  // arm. bench_regress gates span_delta_percent against the committed
+  // span_delta_gate_percent (rewritten verbatim on refresh, so the bound
+  // survives regeneration). Under HAECHI_TRACE=OFF detail is inert and
+  // the delta collapses to noise; the gate only applies when
+  // trace_compiled is true.
+  const OverheadRun span_run = MeasureOverhead(1, true, true);
+  const double off_b1 = runs.front().ops_per_sec;
+  const double span_delta =
+      off_b1 > 0.0 ? (off_b1 - span_run.ops_per_sec) / off_b1 * 100.0 : 0.0;
+  std::fprintf(out,
+               "  \"span_detail_run\": {\"token_batch\": 1, "
+               "\"wall_ms\": %.3f, \"completed\": %lld, "
+               "\"ops_per_sec\": %.1f, \"spans\": %llu},\n",
+               span_run.wall_ms, static_cast<long long>(span_run.completed),
+               span_run.ops_per_sec,
+               static_cast<unsigned long long>(span_run.spans));
+  std::fprintf(out, "  \"span_delta_percent\": %.2f,\n", span_delta);
+  std::fprintf(out, "  \"span_delta_gate_percent\": %.1f,\n",
+               kSpanDeltaGatePercent);
+  std::fprintf(out, "  \"span_assembly_ns_per_span\": %.1f,\n",
+               MeasureSpanAssemblyNsPerSpan());
 
   // Sharded-vs-single-word pool FAA and padded-vs-packed seqlock report
   // writes (wall ns/op; informational, not gate-compared).

@@ -68,7 +68,12 @@ Status ClientQosEngine::Submit(std::uint64_t key, CompleteFn done,
     ++stats_.rejected_submits;
     return ErrResourceExhausted("engine queue full");
   }
-  queue_.push_back(Pending{key, is_write, std::move(done)});
+  const std::uint64_t io_id = next_io_id_++;
+  queue_.push_back(Pending{key, is_write, io_id, std::move(done)});
+  HAECHI_TRACE_DETAIL(obs::ActorKind::kEngine, trace_actor_,
+                      obs::EventType::kIoQueued, period_,
+                      static_cast<std::int64_t>(io_id),
+                      static_cast<std::int64_t>(queue_.size()));
   TryIssue();
   return Status::Ok();
 }
@@ -315,13 +320,13 @@ void ClientQosEngine::TryIssue() {
     if (xi_reservation_ > 0) {
       --xi_reservation_;
       ++stats_.tokens_from_reservation;
-      IssueOne();
+      IssueOne(/*token_source=*/0);
       continue;
     }
     if (local_global_ > 0) {
       --local_global_;
       ++stats_.tokens_from_pool;
-      IssueOne();
+      IssueOne(/*token_source=*/1);
       continue;
     }
     // No fetch near the period end: a batch still in flight at the
@@ -333,17 +338,25 @@ void ClientQosEngine::TryIssue() {
   }
 }
 
-void ClientQosEngine::IssueOne() {
+void ClientQosEngine::IssueOne(std::int64_t token_source) {
   Pending request = std::move(queue_.front());
   queue_.pop_front();
   ++stats_.issued_this_period;
   ++backend_outstanding_;
+  HAECHI_TRACE_DETAIL(obs::ActorKind::kEngine, trace_actor_,
+                      obs::EventType::kIoIssue, period_,
+                      static_cast<std::int64_t>(request.io_id), token_source,
+                      static_cast<std::int64_t>(queue_.size()));
   const Status s = backend_(
       request.key, request.is_write,
-      [this, done = std::move(request.done)] {
+      [this, io_id = request.io_id, done = std::move(request.done)] {
         --backend_outstanding_;
         ++stats_.completed_this_period;
         ++stats_.completed_total;
+        HAECHI_TRACE_DETAIL(obs::ActorKind::kEngine, trace_actor_,
+                            obs::EventType::kIoComplete, period_,
+                            static_cast<std::int64_t>(io_id),
+                            static_cast<std::int64_t>(backend_outstanding_));
         done();
         // A completion frees backend capacity; anything parked for that
         // reason gets another chance.

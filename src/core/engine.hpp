@@ -110,6 +110,9 @@ class ClientQosEngine {
   struct Pending {
     std::uint64_t key;
     bool is_write;
+    /// Causal id threading one application I/O through the detail trace
+    /// (kIoQueued -> kIoIssue -> kIoComplete); dense per engine from 0.
+    std::uint64_t io_id;
     CompleteFn done;
   };
 
@@ -120,7 +123,9 @@ class ClientQosEngine {
   void TokenTick();
   void WriteReport();
   void TryIssue();
-  void IssueOne();
+  /// Pops the queue head and hands it to the backend. `token_source` is the
+  /// wire encoding for kIoIssue.b: 0 = reservation token, 1 = pool token.
+  void IssueOne(std::int64_t token_source);
   void PostTokenFetch();
   void ArmFaaRetry();
 
@@ -164,6 +169,7 @@ class ClientQosEngine {
   std::uint8_t report_seq_ = 0;
 
   std::deque<Pending> queue_;
+  std::uint64_t next_io_id_ = 0;
   Stats stats_;
 
   // Control-plane receive buffers.

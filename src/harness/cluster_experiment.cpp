@@ -59,6 +59,46 @@ void ClusterExperiment::Build() {
   cluster.interval = config_.qos.period;
   coordinator_ = std::make_unique<cluster::ClusterCoordinator>(
       sim_, cluster, monitor_ptrs);
+
+  // Per-node metrics rollup, one registry snapshot per cluster period. The
+  // monitors run period boundaries in node order (they were started
+  // 0..D-1 at the same alignment), so snapshotting from the last node's
+  // hook captures every node's counters for that period plus the
+  // coordinator's borrow/rebalance flow.
+  for (std::size_t d = 0; d < config_.data_nodes; ++d) {
+    core::QosMonitor* monitor = monitors_[d].get();
+    const std::string prefix = "node." + std::to_string(d) + ".";
+    monitor->SetPeriodHook([this, d, monitor, prefix](
+                               std::uint32_t period, std::int64_t completions,
+                               std::int64_t estimate) {
+      metrics_.Add(prefix + "completions", completions);
+      metrics_.Set(prefix + "capacity_estimate",
+                   static_cast<double>(estimate));
+      metrics_.Set(prefix + "initial_pool",
+                   static_cast<double>(monitor->InitialPool()));
+      metrics_.Set(prefix + "reclaimed_tokens",
+                   static_cast<double>(monitor->stats().reclaimed_tokens));
+      if (d + 1 == config_.data_nodes) {
+        const auto& cstats = coordinator_->stats();
+        const auto& ledger = coordinator_->borrow_ledger();
+        metrics_.Set("cluster.borrow_granted",
+                     static_cast<double>(ledger.TotalGranted()));
+        metrics_.Set("cluster.borrow_repaid",
+                     static_cast<double>(ledger.TotalRepaid()));
+        metrics_.Set("cluster.borrow_outstanding",
+                     static_cast<double>(ledger.TotalOutstanding()));
+        metrics_.Set("cluster.borrow_requests",
+                     static_cast<double>(cstats.borrow_requests));
+        metrics_.Set("cluster.stale_reports",
+                     static_cast<double>(cstats.stale_reports));
+        metrics_.Set("cluster.rebalances",
+                     static_cast<double>(cstats.rebalances));
+        metrics_.Set("cluster.tokens_moved",
+                     static_cast<double>(cstats.tokens_moved));
+        metrics_.SnapshotPeriod(period);
+      }
+    });
+  }
   for (std::size_t d = 0; d < config_.data_nodes; ++d) {
     [[maybe_unused]] const auto& admission = monitors_[d]->admission();
     HAECHI_TRACE_EVENT(obs::ActorKind::kHarness,
@@ -241,6 +281,22 @@ ClusterExperimentResult ClusterExperiment::Run() {
         [this](const obs::TraceEvent& event) { watchdog_->OnEvent(event); });
   }
 #endif
+  if (recorder_ != nullptr) {
+    // Same truncation contract as the single-node harness: the first ring
+    // overwrite raises one watchdog alert (or a log line) and the dropped
+    // total is harvested into trace.dropped_events below.
+    recorder_->SetDropNotify([this] {
+#if HAECHI_WATCHDOG_ENABLED
+      if (watchdog_ != nullptr) {
+        watchdog_->NotifyTruncation(sim_.Now());
+        return;
+      }
+#endif
+      HAECHI_LOG_WARN(
+          "cluster experiment: trace ring wrapped; any export of this run "
+          "is truncated");
+    });
+  }
   obs::ScopedRecorder trace_scope(recorder_.get());
   HAECHI_TRACE_EVENT(obs::ActorKind::kHarness, 0, obs::EventType::kRunConfig,
                      0, config_.qos.period, config_.qos.token_batch,
@@ -334,6 +390,41 @@ ClusterExperimentResult ClusterExperiment::Run() {
     for (const auto& engine : per_client) row.push_back(engine->stats());
   }
 
+  // End-of-run registry rollups: how well each node's share of the final
+  // reservation split was actually used, the cluster borrow flow, and the
+  // recorder's loss accounting.
+  metrics_.Set("run.total_kiops", result_->total_kiops);
+  for (std::size_t d = 0; d < config_.data_nodes; ++d) {
+    std::int64_t split_sum = 0;
+    for (const auto& split : result_->final_split) {
+      if (d < split.size()) split_sum += split[d];
+    }
+    const std::int64_t completed = result_->node_series[d].Total();
+    const std::string prefix = "node." + std::to_string(d) + ".";
+    metrics_.Set(prefix + "split_reservation",
+                 static_cast<double>(split_sum));
+    metrics_.Add(prefix + "completed_total", completed);
+    const double reserved_total =
+        static_cast<double>(split_sum) *
+        static_cast<double>(config_.measure_periods);
+    metrics_.Set(prefix + "split_utilization",
+                 reserved_total > 0.0
+                     ? static_cast<double>(completed) / reserved_total
+                     : 0.0);
+  }
+  metrics_.Add("cluster.borrowed_tokens_total", result_->borrow_granted);
+  metrics_.Add("cluster.repaid_tokens_total", result_->borrow_repaid);
+  metrics_.Add("cluster.stale_reports_total",
+               static_cast<std::int64_t>(result_->cluster_stats.stale_reports));
+  metrics_.Add("cluster.dead_clients",
+               static_cast<std::int64_t>(result_->cluster_stats.dead_clients));
+  if (recorder_ != nullptr) {
+    metrics_.Add("trace.emitted_events",
+                 static_cast<std::int64_t>(recorder_->TotalEmitted()));
+    metrics_.Add("trace.dropped_events",
+                 static_cast<std::int64_t>(recorder_->TotalDropped()));
+  }
+
   if (recorder_ != nullptr && !config_.trace.out_path.empty()) {
     const Status exported =
         obs::ExportTraceFile(*recorder_, config_.trace.out_path);
@@ -354,8 +445,37 @@ ClusterExperimentResult ClusterExperiment::Run() {
       HAECHI_LOG_WARN("cluster experiment: alert sink flush failed: %s",
                       flushed.ToString().c_str());
     }
+    metrics_.Add("watchdog.alerts",
+                 static_cast<std::int64_t>(watchdog_->alerts().size()));
+    metrics_.Add("watchdog.critical",
+                 static_cast<std::int64_t>(
+                     watchdog_->CountAtLeast(obs::AlertSeverity::kCritical)));
   }
 #endif
+  if (!config_.trace.metrics_out.empty()) {
+    const Status written =
+        metrics_.ToCsv().WriteFile(config_.trace.metrics_out);
+    if (!written.ok()) {
+      HAECHI_LOG_WARN("cluster experiment: metrics export failed: %s",
+                      written.ToString().c_str());
+    }
+  }
+  if (!config_.trace.prom_out.empty()) {
+    const std::string exposition = metrics_.ToPrometheus();
+    std::FILE* file = std::fopen(config_.trace.prom_out.c_str(), "wb");
+    if (file == nullptr) {
+      HAECHI_LOG_WARN("cluster experiment: cannot open prom file: %s",
+                      config_.trace.prom_out.c_str());
+    } else {
+      const std::size_t written =
+          std::fwrite(exposition.data(), 1, exposition.size(), file);
+      const int closed = std::fclose(file);
+      if (written != exposition.size() || closed != 0) {
+        HAECHI_LOG_WARN("cluster experiment: short write to prom file: %s",
+                        config_.trace.prom_out.c_str());
+      }
+    }
+  }
 
   coordinator_->Stop();
   for (auto& monitor : monitors_) monitor->Stop();

@@ -22,6 +22,7 @@
 #include "kvstore/client.hpp"
 #include "kvstore/server.hpp"
 #include "net/model_params.hpp"
+#include "obs/metrics.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "rdma/fabric.hpp"
@@ -122,6 +123,11 @@ class ClusterExperiment {
     return config_;
   }
   [[nodiscard]] obs::Recorder* recorder() { return recorder_.get(); }
+  /// Cluster-wide metrics view: per-node completions/capacity/pool plus the
+  /// coordinator's borrow and rebalance flow, snapshotted once per QoS
+  /// period (after the last node's period boundary) — what `--metrics-out`
+  /// and `--prom-out` persist in cluster mode.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] obs::SloWatchdog* watchdog() { return watchdog_.get(); }
   [[nodiscard]] const std::string& alerts_jsonl() const {
     static const std::string kEmpty;
@@ -148,6 +154,7 @@ class ClusterExperiment {
   std::unique_ptr<obs::Recorder> recorder_;
   std::unique_ptr<obs::SloWatchdog> watchdog_;
   std::unique_ptr<obs::JsonlAlertSink> alerts_sink_;
+  obs::MetricsRegistry metrics_;
   std::unique_ptr<sim::PeriodicTimer> measure_timer_;
   std::size_t measured_periods_ = 0;
   bool measuring_ = false;

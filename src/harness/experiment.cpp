@@ -1,6 +1,7 @@
 #include "harness/experiment.hpp"
 
 #include <cstdio>
+#include <map>
 #include <string>
 
 #include "common/assert.hpp"
@@ -348,6 +349,8 @@ ExperimentResult Experiment::Run() {
       {},
       {},
       0,
+      {},
+      {},
       {}});
 
   // The flight recorder spans cluster build (admission events) through the
@@ -396,6 +399,22 @@ ExperimentResult Experiment::Run() {
         [this](const obs::TraceEvent& event) { watchdog_->OnEvent(event); });
   }
 #endif
+  if (recorder_ != nullptr) {
+    // Ring truncation is never silent: the first overwrite raises a one-shot
+    // watchdog alert (when armed) or at least a log line; the cumulative
+    // trace.dropped_events counter is harvested below either way.
+    recorder_->SetDropNotify([this] {
+#if HAECHI_WATCHDOG_ENABLED
+      if (watchdog_ != nullptr) {
+        watchdog_->NotifyTruncation(sim_.Now());
+        return;
+      }
+#endif
+      HAECHI_LOG_WARN(
+          "experiment: trace ring wrapped; any export of this run is "
+          "truncated");
+    });
+  }
   obs::ScopedRecorder trace_scope(recorder_.get());
   HAECHI_TRACE_EVENT(obs::ActorKind::kHarness, 0, obs::EventType::kRunConfig,
                      0, config_.qos.period, config_.qos.token_batch,
@@ -479,6 +498,52 @@ ExperimentResult Experiment::Run() {
     metrics_.Add("engine.completed_total",
                  static_cast<std::int64_t>(engine_stats.completed_total));
   }
+  if (recorder_ != nullptr) {
+    metrics_.Add("trace.emitted_events",
+                 static_cast<std::int64_t>(recorder_->TotalEmitted()));
+    metrics_.Add("trace.dropped_events",
+                 static_cast<std::int64_t>(recorder_->TotalDropped()));
+  }
+
+  // Cross-layer span profile: with detail tracing on, reassemble every I/O's
+  // admit→fetch→wait→queue→service stages from the merged stream and replay
+  // the per-period stage distributions into the registry (reset per period,
+  // so each snapshot row is that period's distribution, not a cumulative
+  // blur). Compiles to nothing under HAECHI_TRACE=OFF: the AssembleSpans
+  // stub returns an empty vector.
+  if (recorder_ != nullptr && recorder_->detail()) {
+    obs::SpanAssemblyStats span_stats;
+    result_->spans = obs::AssembleSpans(recorder_->Merged(), &span_stats);
+    result_->span_stats = span_stats;
+    metrics_.Add("span.count", static_cast<std::int64_t>(span_stats.spans));
+    metrics_.Add("span.dropped_unissued",
+                 static_cast<std::int64_t>(span_stats.dropped_unissued));
+    metrics_.Add("span.dropped_uncompleted",
+                 static_cast<std::int64_t>(span_stats.dropped_uncompleted));
+    metrics_.Add("span.orphan_events",
+                 static_cast<std::int64_t>(span_stats.orphan_events));
+    if (!result_->spans.empty()) {
+      static constexpr const char* kStageMetric[obs::kSpanStages] = {
+          "span.stage.admit", "span.stage.token_fetch",
+          "span.stage.convert_wait", "span.stage.queue",
+          "span.stage.nic_service"};
+      std::map<std::uint32_t, std::vector<const obs::IoSpan*>> by_period;
+      for (const obs::IoSpan& span : result_->spans) {
+        by_period[span.period].push_back(&span);
+      }
+      for (const auto& [period, spans] : by_period) {
+        for (const char* name : kStageMetric) metrics_.Histogram(name).Reset();
+        metrics_.Histogram("span.stage.total").Reset();
+        for (const obs::IoSpan* span : spans) {
+          for (std::size_t s = 0; s < obs::kSpanStages; ++s) {
+            metrics_.Record(kStageMetric[s], span->stage_ns[s]);
+          }
+          metrics_.Record("span.stage.total", span->Total());
+        }
+        metrics_.SnapshotHistograms(period, "span.stage.");
+      }
+    }
+  }
 
   if (recorder_ != nullptr && !config_.trace.out_path.empty()) {
     const Status exported =
@@ -515,6 +580,22 @@ ExperimentResult Experiment::Run() {
     if (!written.ok()) {
       HAECHI_LOG_WARN("experiment: metrics export failed: %s",
                       written.ToString().c_str());
+    }
+  }
+  if (!config_.trace.prom_out.empty()) {
+    const std::string exposition = metrics_.ToPrometheus();
+    std::FILE* file = std::fopen(config_.trace.prom_out.c_str(), "wb");
+    if (file == nullptr) {
+      HAECHI_LOG_WARN("experiment: cannot open prom file: %s",
+                      config_.trace.prom_out.c_str());
+    } else {
+      const std::size_t written =
+          std::fwrite(exposition.data(), 1, exposition.size(), file);
+      const int closed = std::fclose(file);
+      if (written != exposition.size() || closed != 0) {
+        HAECHI_LOG_WARN("experiment: short write to prom file: %s",
+                        config_.trace.prom_out.c_str());
+      }
     }
   }
 

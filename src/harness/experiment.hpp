@@ -22,6 +22,7 @@
 #include "net/model_params.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slo.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "rdma/fabric.hpp"
 #include "rdma/fault.hpp"
@@ -109,15 +110,18 @@ struct ExperimentConfig {
   /// the whole run (cluster build through teardown); `out_path` also
   /// exports the merged stream when the run ends (".json" => Perfetto
   /// trace-event JSON, anything else => CSV — the audit tool's input).
-  /// `metrics_out` writes the per-period metrics snapshots as CSV. When
-  /// tracing is compiled out (HAECHI_TRACE=OFF) a recorder is still
-  /// installed but records only the harness's own bookkeeping events.
+  /// `metrics_out` writes the per-period metrics snapshots as CSV;
+  /// `prom_out` writes the same snapshots as Prometheus text exposition
+  /// (one sample per row, the period as a label). When tracing is compiled
+  /// out (HAECHI_TRACE=OFF) a recorder is still installed but records only
+  /// the harness's own bookkeeping events.
   struct TraceConfig {
     bool enabled = false;
     bool detail = false;  // also record per-I/O kRdma*/kKv* events
     std::size_t ring_capacity = 1u << 16;
     std::string out_path;
     std::string metrics_out;
+    std::string prom_out;
   };
   TraceConfig trace;
 
@@ -161,6 +165,11 @@ struct ExperimentResult {
   std::uint64_t events_run = 0;
   /// Fabric fault-injection counters (zero when no plan was installed).
   rdma::Fabric::FaultStats fault_stats;
+  /// Per-I/O spans assembled from the detail trace (empty unless
+  /// trace.detail was on and tracing is compiled in), sorted by
+  /// (engine, io_id) — the profiler's input.
+  std::vector<obs::IoSpan> spans;
+  obs::SpanAssemblyStats span_stats;
 };
 
 class Experiment {

@@ -4,9 +4,11 @@
 #include <array>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <limits>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
 
 #include "common/assert.hpp"
@@ -80,6 +82,7 @@ ThreadedExperiment::~ThreadedExperiment() {
 
 void ThreadedExperiment::WorkerLoop(std::size_t worker) {
   using Grant = runtime::ThreadedEngine::Grant;
+  ThreadedExperimentResult::WorkerStats& wstats = worker_stats_[worker];
   // One token-acquisition chain per TryAcquireBatch call: long enough to
   // amortise the two engine-mutex acquisitions (acquire + completion) over
   // a run of 4 KB reads, short enough that one client cannot monopolise
@@ -163,6 +166,8 @@ void ThreadedExperiment::WorkerLoop(std::size_t worker) {
         case Grant::kNotReady:
           break;  // throttled / empty pool / end guard: service siblings
         case Grant::kToken: {
+          ++wstats.batches;
+          wstats.ios += static_cast<std::uint64_t>(batch.count);
           for (std::int64_t k = 0; k < batch.count; ++k) {
             fabric_->PostRecordRead(ports_[st.index],
                                     NextKey(st.key_state) % config_.records,
@@ -182,6 +187,7 @@ void ThreadedExperiment::WorkerLoop(std::size_t worker) {
     if (!progress && active_count > 0) {
       // Every owned client is parked (pre-start, throttled, or awaiting
       // the next period): yield the CPU briefly instead of spinning.
+      ++wstats.idle_sleeps;
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
   }
@@ -262,6 +268,9 @@ ThreadedExperimentResult ThreadedExperiment::Run() {
                                     std::int64_t completions,
                                     std::int64_t estimate) {
     result.capacity_trace.push_back({period, completions, estimate});
+    metrics_.Add("monitor.completions", completions);
+    metrics_.Set("monitor.capacity_estimate", static_cast<double>(estimate));
+    metrics_.SnapshotPeriod(period);
     if (period == static_cast<std::uint32_t>(warmup_periods_) &&
         recorder_ != nullptr) {
       recorder_->EmitAt(clock_.Now() - config_.qos.period / 2,
@@ -278,6 +287,7 @@ ThreadedExperimentResult ThreadedExperiment::Run() {
     }
   });
 
+  worker_stats_.assign(worker_count_, {});
   for (std::size_t w = 0; w < worker_count_; ++w) {
     workers_.emplace_back([this, w] { WorkerLoop(w); });
   }
@@ -317,11 +327,57 @@ ThreadedExperimentResult ThreadedExperiment::Run() {
       result.series.Total(),
       static_cast<SimDuration>(config_.measure_periods) * config_.qos.period);
   result.monitor_stats = monitor_->StatsSnapshot();
+  result.monitor_runtime_stats = monitor_->RuntimeStatsSnapshot();
   result.ledger = monitor_->LedgerSnapshot();
   for (auto& engine : engines_) {
     result.engine_stats.push_back(engine->StatsSnapshot());
+    result.engine_runtime_stats.push_back(engine->RuntimeStatsSnapshot());
+  }
+  result.worker_stats = worker_stats_;
+  for (const std::size_t slot : ports_) {
+    result.report_write_retries += fabric_->SlotWriteRetries(slot);
   }
   result.wall_time = clock_.Now() - run_start;
+
+  // Runtime-layer rollups: the "dark" counters the trace cannot carry at
+  // full rate — shard FAA outcome mix, seqlock writer contention, worker
+  // pool occupancy.
+  metrics_.Set("run.total_kiops", result.total_kiops);
+  for (const auto& rt : result.engine_runtime_stats) {
+    metrics_.Add("runtime.faa_home_hits",
+                 static_cast<std::int64_t>(rt.faa_home_hits));
+    metrics_.Add("runtime.faa_steals",
+                 static_cast<std::int64_t>(rt.faa_steals));
+    metrics_.Add("runtime.faa_dry_probes",
+                 static_cast<std::int64_t>(rt.faa_dry_probes));
+    metrics_.Add("runtime.span_ios",
+                 static_cast<std::int64_t>(rt.span_ios));
+  }
+  metrics_.Add("runtime.convert_cas_retries",
+               static_cast<std::int64_t>(
+                   result.monitor_runtime_stats.convert_cas_retries));
+  metrics_.Add("runtime.shard_samples",
+               static_cast<std::int64_t>(
+                   result.monitor_runtime_stats.shard_samples));
+  metrics_.Add("runtime.report_write_retries",
+               static_cast<std::int64_t>(result.report_write_retries));
+  metrics_.Add("runtime.rebalances",
+               static_cast<std::int64_t>(result.monitor_stats.rebalances));
+  metrics_.Add("runtime.rebalanced_tokens", result.monitor_stats.rebalanced_tokens);
+  for (std::size_t w = 0; w < result.worker_stats.size(); ++w) {
+    const std::string prefix = "worker." + std::to_string(w) + ".";
+    const auto& ws = result.worker_stats[w];
+    metrics_.Add(prefix + "batches", static_cast<std::int64_t>(ws.batches));
+    metrics_.Add(prefix + "ios", static_cast<std::int64_t>(ws.ios));
+    metrics_.Add(prefix + "idle_sleeps",
+                 static_cast<std::int64_t>(ws.idle_sleeps));
+  }
+  if (recorder_ != nullptr) {
+    metrics_.Add("trace.emitted_events",
+                 static_cast<std::int64_t>(recorder_->TotalEmitted()));
+    metrics_.Add("trace.dropped_events",
+                 static_cast<std::int64_t>(recorder_->TotalDropped()));
+  }
 
   if (recorder_ != nullptr && !config_.trace.out_path.empty()) {
     const Status status =
@@ -329,6 +385,30 @@ ThreadedExperimentResult ThreadedExperiment::Run() {
     if (!status.ok()) {
       HAECHI_LOG_WARN("threaded experiment: trace export failed: %s",
                       status.ToString().c_str());
+    }
+  }
+  if (!config_.trace.metrics_out.empty()) {
+    const Status written =
+        metrics_.ToCsv().WriteFile(config_.trace.metrics_out);
+    if (!written.ok()) {
+      HAECHI_LOG_WARN("threaded experiment: metrics export failed: %s",
+                      written.ToString().c_str());
+    }
+  }
+  if (!config_.trace.prom_out.empty()) {
+    const std::string exposition = metrics_.ToPrometheus();
+    std::FILE* file = std::fopen(config_.trace.prom_out.c_str(), "wb");
+    if (file == nullptr) {
+      HAECHI_LOG_WARN("threaded experiment: cannot open prom file: %s",
+                      config_.trace.prom_out.c_str());
+    } else {
+      const std::size_t written =
+          std::fwrite(exposition.data(), 1, exposition.size(), file);
+      const int closed = std::fclose(file);
+      if (written != exposition.size() || closed != 0) {
+        HAECHI_LOG_WARN("threaded experiment: short write to prom file: %s",
+                        config_.trace.prom_out.c_str());
+      }
     }
   }
   return result;

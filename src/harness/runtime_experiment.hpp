@@ -30,6 +30,7 @@
 
 #include "common/types.hpp"
 #include "harness/experiment.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/clock.hpp"
 #include "runtime/threaded_engine.hpp"
@@ -53,6 +54,21 @@ struct ThreadedExperimentResult {
   std::vector<runtime::ThreadedMonitor::PeriodLedger> ledger;
   /// Wall-clock duration of the run (ns, Clock epoch-relative).
   SimDuration wall_time = 0;
+
+  /// One worker thread's occupancy over the run (single-writer rows, read
+  /// after the join): how often the pool's threads did useful work vs.
+  /// parked with every owned client blocked.
+  struct WorkerStats {
+    std::uint64_t batches = 0;      // kToken grants serviced
+    std::uint64_t ios = 0;          // record reads issued
+    std::uint64_t idle_sleeps = 0;  // no-progress 100 us parks
+  };
+  std::vector<WorkerStats> worker_stats;
+  /// Shard-contention telemetry (threaded runtime only).
+  runtime::ThreadedMonitor::RuntimeStats monitor_runtime_stats;
+  std::vector<runtime::ThreadedEngine::RuntimeStats> engine_runtime_stats;
+  /// Report-slot seqlock writer CAS retries summed over all slots.
+  std::uint64_t report_write_retries = 0;
 };
 
 class ThreadedExperiment {
@@ -74,6 +90,10 @@ class ThreadedExperiment {
   }
   [[nodiscard]] runtime::ThreadedFabric& fabric() { return *fabric_; }
   [[nodiscard]] obs::Recorder* recorder() { return recorder_.get(); }
+  /// Per-period snapshots plus the runtime-layer rollups (shard FAA mix,
+  /// seqlock retries, worker occupancy) — what trace.metrics_out/prom_out
+  /// persist for the threaded backend.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
 
  private:
@@ -96,6 +116,11 @@ class ThreadedExperiment {
   /// completions_[client][period] — written only by that client's owning
   /// worker thread, read by Run() after the join.
   std::vector<std::vector<std::int64_t>> completions_;
+  /// worker_stats_[worker] — written only by that worker, read after join.
+  std::vector<ThreadedExperimentResult::WorkerStats> worker_stats_;
+  /// Written by the monitor thread (period hook) during the run and by
+  /// Run() after the join — never concurrently.
+  obs::MetricsRegistry metrics_;
   std::vector<std::thread> workers_;
 };
 

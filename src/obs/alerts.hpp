@@ -33,6 +33,8 @@ enum class AlertKind : std::uint8_t {
   kCapacityOscillation,       // Algorithm 1 estimate ping-ponging
   kFaaStarvation,             // FAA retry backoff exhausted within a period
   kBorrowStorm,               // cross-server borrow requests flooding a period
+  kTraceTruncation,           // recorder ring wrapped / replay seq gap:
+                              // the trace under audit is incomplete
 };
 
 enum class AlertSeverity : std::uint8_t {

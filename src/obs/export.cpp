@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <string_view>
 
+#include "obs/span.hpp"
+
 namespace haechi::obs {
 
 namespace {
@@ -133,6 +135,63 @@ std::string ToPerfettoString(const std::vector<TraceEvent>& events) {
     AppendInt(out, e.b);
     out.append(",\"c\":");
     AppendInt(out, e.c);
+    out.append("}}");
+  }
+  // Detail traces additionally render per-I/O duration spans (ph:"X") on
+  // the engine tracks: one complete event per assembled span covering
+  // queued->completed with the stage breakdown in args, plus a nested
+  // nic_service slice for the exactly-known issue->completion interval.
+  // AssembleSpans is a stub under HAECHI_TRACE=OFF, so this appends
+  // nothing there and on traces without kIo* events.
+  const std::vector<IoSpan> spans = AssembleSpans(events);
+  for (const IoSpan& span : spans) {
+    if (!first) out.append(",\n");
+    first = false;
+    char ts[48];
+    char dur[48];
+    const auto us = [](char (&buf)[48], SimTime ns) {
+      std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                    static_cast<long long>(ns / 1000),
+                    static_cast<long long>(ns % 1000));
+    };
+    us(ts, span.queued_at);
+    us(dur, span.Total());
+    out.append("{\"ph\":\"X\",\"name\":\"io_span\",\"pid\":");
+    AppendInt(out, static_cast<std::int64_t>(ActorKind::kEngine));
+    out.append(",\"tid\":");
+    AppendInt(out, span.engine);
+    out.append(",\"ts\":");
+    out.append(ts);
+    out.append(",\"dur\":");
+    out.append(dur);
+    out.append(",\"args\":{\"io_id\":");
+    AppendInt(out, static_cast<std::int64_t>(span.io_id));
+    out.append(",\"period\":");
+    AppendInt(out, span.period);
+    out.append(",\"token_source\":");
+    AppendInt(out, span.token_source);
+    out.append(",\"token_fetch_ns\":");
+    AppendInt(out, span.stage_ns[static_cast<std::size_t>(
+                       SpanStage::kTokenFetch)]);
+    out.append(",\"convert_wait_ns\":");
+    AppendInt(out, span.stage_ns[static_cast<std::size_t>(
+                       SpanStage::kConvertWait)]);
+    out.append(",\"queue_ns\":");
+    AppendInt(out, span.stage_ns[static_cast<std::size_t>(
+                       SpanStage::kQueue)]);
+    out.append("}},\n");
+    us(ts, span.issued_at);
+    us(dur, span.completed_at - span.issued_at);
+    out.append("{\"ph\":\"X\",\"name\":\"nic_service\",\"pid\":");
+    AppendInt(out, static_cast<std::int64_t>(ActorKind::kEngine));
+    out.append(",\"tid\":");
+    AppendInt(out, span.engine);
+    out.append(",\"ts\":");
+    out.append(ts);
+    out.append(",\"dur\":");
+    out.append(dur);
+    out.append(",\"args\":{\"io_id\":");
+    AppendInt(out, static_cast<std::int64_t>(span.io_id));
     out.append("}}");
   }
   out.append("\n],\"displayTimeUnit\":\"ms\"}\n");

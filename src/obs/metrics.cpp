@@ -67,6 +67,34 @@ void MetricsRegistry::SnapshotPeriod(std::uint32_t period) {
   }
 }
 
+void MetricsRegistry::SnapshotHistograms(std::uint32_t period,
+                                         const std::string& prefix) {
+  auto push = [&](const std::string& name, const char* kind, double value) {
+    SnapshotRow row;
+    row.period = period;
+    row.name = name;
+    row.kind = kind;
+    row.value = value;
+    const std::string key = std::string(kind) + ":" + name;
+    row.delta = value - last_snapshot_[key];
+    last_snapshot_[key] = value;
+    snapshots_.push_back(std::move(row));
+  };
+  for (const auto& [name, histogram] : histograms_) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    push(name, "histogram_count", static_cast<double>(histogram.Count()));
+    push(name, "histogram_p50",
+         static_cast<double>(histogram.ValueAtQuantile(0.5)));
+    push(name, "histogram_p95",
+         static_cast<double>(histogram.ValueAtQuantile(0.95)));
+    push(name, "histogram_p99",
+         static_cast<double>(histogram.ValueAtQuantile(0.99)));
+    push(name, "histogram_p999",
+         static_cast<double>(histogram.ValueAtQuantile(0.999)));
+    push(name, "histogram_max", static_cast<double>(histogram.Max()));
+  }
+}
+
 stats::CsvWriter MetricsRegistry::ToCsv() const {
   stats::CsvWriter csv({"period", "name", "kind", "value", "delta"});
   for (const SnapshotRow& row : snapshots_) {
@@ -74,6 +102,47 @@ stats::CsvWriter MetricsRegistry::ToCsv() const {
                 FormatDouble(row.value), FormatDouble(row.delta)});
   }
   return csv;
+}
+
+namespace {
+
+// "engine.faa_ops" -> "haechi_engine_faa_ops": Prometheus metric names are
+// [a-zA-Z_:][a-zA-Z0-9_:]*, so dots and any other punctuation collapse to
+// underscores.
+std::string PromName(const std::string& name, const std::string& kind) {
+  std::string out = "haechi_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  // Histogram quantile rows keep their kind suffix ("histogram_p99" ->
+  // "_p99") so each quantile is its own series; plain counters and gauges
+  // need no suffix.
+  if (kind.rfind("histogram_", 0) == 0) {
+    out.push_back('_');
+    out += kind.substr(sizeof("histogram_") - 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheus() const {
+  // One exposition covering every snapshot, the period as a label — the
+  // text-format analogue of ToCsv()'s long format. Scrape-style consumers
+  // read the last sample per series; offline tooling gets the full
+  // per-period trajectory in one file.
+  std::string out;
+  for (const SnapshotRow& row : snapshots_) {
+    out += PromName(row.name, row.kind);
+    out += "{period=\"";
+    out += std::to_string(row.period);
+    out += "\"} ";
+    out += FormatDouble(row.value);
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace haechi::obs

@@ -57,6 +57,13 @@ class MetricsRegistry {
   /// snapshot) and histogram quantiles, tagged with `period`.
   void SnapshotPeriod(std::uint32_t period);
 
+  /// Snapshots only the histograms whose name starts with `prefix`, with
+  /// the full quantile ladder (count/p50/p95/p99/p999/max). Used for the
+  /// per-period span-stage distributions, which are assembled after the
+  /// run and replayed period by period — SnapshotPeriod's row kinds stay
+  /// untouched so existing golden CSVs remain byte-stable.
+  void SnapshotHistograms(std::uint32_t period, const std::string& prefix);
+
   [[nodiscard]] const std::vector<SnapshotRow>& snapshots() const {
     return snapshots_;
   }
@@ -64,6 +71,12 @@ class MetricsRegistry {
   /// Long-format CSV: period,name,kind,value,delta — one row per metric per
   /// snapshot.
   [[nodiscard]] stats::CsvWriter ToCsv() const;
+
+  /// Prometheus text exposition (one sample per snapshot row): metric names
+  /// sanitized to [a-zA-Z0-9_] with a `haechi_` prefix, the QoS period as a
+  /// `period` label, histogram quantiles flattened into per-kind series.
+  /// Deterministic for byte-stable golden files, like ToCsv().
+  [[nodiscard]] std::string ToPrometheus() const;
 
  private:
   std::map<std::string, std::int64_t> counters_;

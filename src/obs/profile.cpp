@@ -1,0 +1,79 @@
+#include "obs/profile.hpp"
+
+#if HAECHI_TRACE_ENABLED
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace haechi::obs {
+
+namespace {
+
+// Pseudo-engine id for the all-engines rollup. Sorts after every real
+// engine, so rollup rows land at the bottom of the table.
+constexpr std::uint32_t kAllEngines = 0xffffffffu;
+
+// Stage index kSpanStages encodes the whole-span total.
+constexpr std::uint8_t kTotalStage = static_cast<std::uint8_t>(kSpanStages);
+
+std::string_view StageName(std::uint8_t stage) {
+  return stage == kTotalStage ? std::string_view("total")
+                              : ToString(static_cast<SpanStage>(stage));
+}
+
+}  // namespace
+
+void SpanProfile::Record(std::uint32_t engine, std::uint8_t stage,
+                         std::int64_t ns) {
+  histograms_[Key{engine, stage}].Record(ns);
+  histograms_[Key{kAllEngines, stage}].Record(ns);
+}
+
+void SpanProfile::Add(const IoSpan& span) {
+  for (std::size_t s = 0; s < kSpanStages; ++s) {
+    Record(span.engine, static_cast<std::uint8_t>(s), span.stage_ns[s]);
+  }
+  Record(span.engine, kTotalStage, span.Total());
+  ++spans_;
+}
+
+void SpanProfile::AddAll(const std::vector<IoSpan>& spans) {
+  for (const IoSpan& span : spans) Add(span);
+}
+
+const stats::Histogram* SpanProfile::StageHistogram(std::uint32_t engine,
+                                                    SpanStage stage) const {
+  const auto it =
+      histograms_.find(Key{engine, static_cast<std::uint8_t>(stage)});
+  return it != histograms_.end() ? &it->second : nullptr;
+}
+
+std::string SpanProfile::Table() const {
+  // Integer nanoseconds only: quantiles of a log-bucketed histogram over
+  // integer samples are integers, so the rendering has no float formatting
+  // to drift between platforms — byte-identical across same-seed runs.
+  std::string out =
+      "engine stage            count        p50        p95        p99"
+      "       p999        max\n";
+  char line[160];
+  for (const auto& [key, h] : histograms_) {
+    char engine_col[16];
+    if (key.engine == kAllEngines) {
+      std::snprintf(engine_col, sizeof(engine_col), "%s", "all");
+    } else {
+      std::snprintf(engine_col, sizeof(engine_col), "%" PRIu32, key.engine);
+    }
+    std::snprintf(line, sizeof(line),
+                  "%-6s %-12s %10" PRIu64 " %10" PRId64 " %10" PRId64
+                  " %10" PRId64 " %10" PRId64 " %10" PRId64 "\n",
+                  engine_col, std::string(StageName(key.stage)).c_str(),
+                  h.Count(), h.ValueAtQuantile(0.50), h.ValueAtQuantile(0.95),
+                  h.ValueAtQuantile(0.99), h.ValueAtQuantile(0.999), h.Max());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace haechi::obs
+
+#endif  // HAECHI_TRACE_ENABLED

@@ -1,0 +1,64 @@
+// Span profile: per-client/per-stage latency distributions over assembled
+// I/O spans, rendered as a deterministic text table.
+//
+// This is the human-facing half of the span pipeline (span.hpp is the
+// assembler): each (engine, stage) pair gets a log-bucketed histogram, and
+// Table() prints count/p50/p95/p99/p999/max per row — the per-stage tail
+// breakdown the paper's Fig 15-style analysis needs. The table is fully
+// deterministic (map-ordered rows, integer nanoseconds, no floats), so
+// `haechi_audit --spans` output is byte-identical across same-seed runs —
+// the profiler's own output is auditable.
+//
+// Like the assembler, the profile compiles out under HAECHI_TRACE=OFF:
+// only this declaration-free stub surface remains.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "stats/histogram.hpp"
+
+namespace haechi::obs {
+
+#if HAECHI_TRACE_ENABLED
+
+/// Aggregates IoSpans into per-(engine, stage) histograms plus an "all
+/// engines" rollup and a total-latency distribution per engine.
+class SpanProfile {
+ public:
+  void Add(const IoSpan& span);
+  void AddAll(const std::vector<IoSpan>& spans);
+
+  [[nodiscard]] std::uint64_t SpanCount() const { return spans_; }
+
+  /// Histogram for one engine/stage (nullptr when nothing recorded).
+  [[nodiscard]] const stats::Histogram* StageHistogram(
+      std::uint32_t engine, SpanStage stage) const;
+
+  /// Deterministic per-engine/per-stage percentile table (nanoseconds).
+  /// Columns: engine stage count p50 p95 p99 p999 max. Rows are ordered by
+  /// (engine, stage declaration order), engine 'all' rollup rows last.
+  [[nodiscard]] std::string Table() const;
+
+ private:
+  struct Key {
+    std::uint32_t engine;
+    std::uint8_t stage;  // kSpanStages = whole-span total
+    [[nodiscard]] bool operator<(const Key& other) const {
+      if (engine != other.engine) return engine < other.engine;
+      return stage < other.stage;
+    }
+  };
+
+  void Record(std::uint32_t engine, std::uint8_t stage, std::int64_t ns);
+
+  std::map<Key, stats::Histogram> histograms_;
+  std::uint64_t spans_ = 0;
+};
+
+#endif  // HAECHI_TRACE_ENABLED
+
+}  // namespace haechi::obs

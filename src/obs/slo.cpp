@@ -32,6 +32,19 @@ std::string FormatStatusLine(const PeriodStatus& status) {
   for (const auto& [client, pct] : status.attainment) {
     line += Fmt(" C%u:%d%%", client, pct);
   }
+  // Sharded / cluster segments appear only when the trace carries them, so
+  // single-pool single-node lines stay byte-identical to the PR 3 format.
+  if (!status.shard_pools.empty()) {
+    line += " | shards";
+    for (const auto& [shard, pool] : status.shard_pools) {
+      line += Fmt(" s%u:%lld", shard, static_cast<long long>(pool));
+    }
+  }
+  if (status.borrow_granted != 0 || status.borrow_repaid != 0) {
+    line += Fmt(" | borrow +%lld/-%lld",
+                static_cast<long long>(status.borrow_granted),
+                static_cast<long long>(status.borrow_repaid));
+  }
   line += Fmt(" | alerts +%zu/%zu", status.period_alerts,
               status.total_alerts);
   return line;
@@ -103,7 +116,40 @@ void SloWatchdog::ObservePool(const TraceEvent& event, std::int64_t value) {
   last_pool_ = value;
 }
 
+void SloWatchdog::CheckSeq(const TraceEvent& e) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(e.actor_kind) << 32) | e.actor;
+  const auto [it, fresh] = last_seq_.try_emplace(key, e.seq);
+  std::uint64_t expected = e.seq;
+  if (fresh) {
+    // A stream must start at seq 0; a higher first seq means the ring
+    // already wrapped before export.
+    expected = 0;
+  } else {
+    expected = it->second + 1;
+    it->second = e.seq;
+  }
+  if (e.seq != expected && !truncation_alerted_) {
+    truncation_alerted_ = true;
+    Raise({AlertKind::kTraceTruncation, AlertSeverity::kWarning, e.time,
+           e.period, -1, static_cast<std::int64_t>(expected),
+           static_cast<std::int64_t>(e.seq),
+           "per-actor seq gap: the recorder ring wrapped and events were "
+           "lost before export"});
+  }
+}
+
+void SloWatchdog::NotifyTruncation(SimTime time) {
+  if (truncation_alerted_) return;
+  truncation_alerted_ = true;
+  Raise({AlertKind::kTraceTruncation, AlertSeverity::kWarning, time,
+         cur_.period, -1, 0, 0,
+         "recorder ring wrapped: oldest events overwritten, any export of "
+         "this run is truncated"});
+}
+
 void SloWatchdog::OnEvent(const TraceEvent& e) {
+  CheckSeq(e);
   // Cluster traces carry one monitor stream per data node; the watchdog's
   // single pool state machine follows node 0 and leaves cross-node
   // invariants to the offline auditor's C checks.
@@ -191,6 +237,13 @@ void SloWatchdog::OnEvent(const TraceEvent& e) {
     case EventType::kPoolSample:
       ObservePool(e, e.a);
       break;
+    case EventType::kShardSample:
+      // Per-shard occupancy for the status line; the summed kPoolSample in
+      // the same check tick drives the conservation math.
+      if (period_open_) {
+        cur_.shard_pools[static_cast<std::uint32_t>(e.a)] = e.b;
+      }
+      break;
     case EventType::kPoolBorrowOut:
     case EventType::kPoolBorrowIn:
       // Coordinator-driven pool moves: any drop since the last write is
@@ -202,6 +255,12 @@ void SloWatchdog::OnEvent(const TraceEvent& e) {
       break;
     case EventType::kBorrowRequest:
       if (period_open_) ++cur_.borrow_requests;
+      break;
+    case EventType::kBorrowGrant:
+      if (period_open_) cur_.borrow_granted += e.b;
+      break;
+    case EventType::kBorrowRepay:
+      if (period_open_) cur_.borrow_repaid += e.b;
       break;
     case EventType::kTokenConvert: {
       ObservePool(e, e.a);
@@ -445,6 +504,11 @@ void SloWatchdog::EvaluatePeriod(const TraceEvent& end_event) {
       status.attainment.emplace_back(
           client, static_cast<int>(completed * 100 / target));
     }
+    for (const auto& [shard, pool] : p.shard_pools) {
+      status.shard_pools.emplace_back(shard, pool);
+    }
+    status.borrow_granted = p.borrow_granted;
+    status.borrow_repaid = p.borrow_repaid;
     status.period_alerts = alerts_.size() - alerts_before;
     status.total_alerts = alerts_.size();
     status_fn_(status);

@@ -107,6 +107,13 @@ struct PeriodStatus {
   std::int64_t completed = 0;
   /// (client, attainment %) of min(R, demand), demanding clients only.
   std::vector<std::pair<std::uint32_t, int>> attainment;
+  /// (shard, last sampled pool word) — sharded threaded runtime only
+  /// (kShardSample events); empty on sim and single-shard traces.
+  std::vector<std::pair<std::uint32_t, std::int64_t>> shard_pools;
+  /// Cluster borrow flow this period: tokens moved by coordinator grants
+  /// and repaid by borrowers. Zero outside cluster traces.
+  std::int64_t borrow_granted = 0;
+  std::int64_t borrow_repaid = 0;
   std::size_t period_alerts = 0;  // alerts raised for this period
   std::size_t total_alerts = 0;   // run total so far
 };
@@ -134,6 +141,13 @@ class SloWatchdog {
   /// Feeds one event — the Recorder tap entry point, also used by
   /// ReplayTrace. Events must arrive in emission order per actor.
   void OnEvent(const TraceEvent& event);
+
+  /// Live truncation notification (the harness wires this to
+  /// Recorder::SetDropNotify): the ring wrapped, so any export of this run
+  /// is incomplete. Raises one kTraceTruncation alert, shared one-shot
+  /// with the replay-side seq-gap detection — a truncated run alerts once
+  /// whether caught live or on replay.
+  void NotifyTruncation(SimTime time);
 
   /// Ends the stream: flushes every sink, returning the first failure.
   /// Periods settle on their own end events, so no verdicts are pending
@@ -184,6 +198,11 @@ class SloWatchdog {
     std::int64_t decay_surrendered = 0;  // sum over engines, this period
     std::int64_t pool_empty_events = 0;
     std::int64_t borrow_requests = 0;  // W7: coordinator requests observed
+    // Status-line telemetry: last witnessed per-shard pool words
+    // (kShardSample) and the period's cluster borrow flow.
+    std::map<std::uint32_t, std::int64_t> shard_pools;
+    std::int64_t borrow_granted = 0;
+    std::int64_t borrow_repaid = 0;
     // Net borrow movement this period (absorbed - lent): conversion
     // preserves loans, so the W3 time budget extends by the positive part.
     std::int64_t borrow_credit = 0;
@@ -194,6 +213,8 @@ class SloWatchdog {
   };
 
   void Raise(Alert alert);
+  /// Satellite of the truncation alert: per-(kind, actor) seq continuity.
+  void CheckSeq(const TraceEvent& event);
   /// A3-style pool observation between monitor writes.
   void ObservePool(const TraceEvent& event, std::int64_t value);
   /// Settles every W-rule for the period that just closed.
@@ -230,6 +251,11 @@ class SloWatchdog {
   std::int64_t last_estimate_ = -1;
   int last_delta_sign_ = 0;
   int flips_ = 0;
+
+  // Truncation detection: last seq per (kind << 32 | actor) stream, plus
+  // the one-shot latch shared by CheckSeq and NotifyTruncation.
+  std::map<std::uint64_t, std::uint64_t> last_seq_;
+  bool truncation_alerted_ = false;
 
   std::size_t periods_evaluated_ = 0;
   int guarantee_checks_ = 0;

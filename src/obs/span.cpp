@@ -1,0 +1,138 @@
+#include "obs/span.hpp"
+
+#if HAECHI_TRACE_ENABLED
+
+#include <algorithm>
+
+namespace haechi::obs {
+
+void SpanAssembler::OnEvent(const TraceEvent& event) {
+  if (event.actor_kind != ActorKind::kEngine) return;
+  EngineState& st = engines_[event.actor];
+  const SimTime t = event.time;
+  switch (event.type) {
+    // --- token-path state machine -----------------------------------------
+    case EventType::kTokenFetch:
+      // A posted FAA ends any convert wait (the engine is actively fetching
+      // again) and opens a fetch interval.
+      st.CloseWait(t);
+      st.OpenFetch(t);
+      break;
+    case EventType::kTokenFetchDone:
+    case EventType::kTokenDiscard:
+      st.CloseFetch(t);
+      break;
+    case EventType::kTokenFetchFail:
+      // Backoff between retries still counts as token_fetch: the I/O is
+      // stalled on the fetch path, not on conversion. Keep the interval
+      // open across the retry.
+      break;
+    case EventType::kPoolEmpty:
+      // The FAA came back empty: the engine now waits for the monitor's
+      // conversion to refill the pool (step T4's retry interval).
+      st.CloseFetch(t);
+      st.OpenWait(t);
+      break;
+    case EventType::kEnginePeriodStart:
+      // Fresh reservation tokens arrived; the engine is no longer blocked
+      // on pool conversion. An in-flight FAA stays open — its tokens get
+      // discarded at the boundary and kTokenDiscard closes it.
+      st.CloseWait(t);
+      break;
+    case EventType::kEngineStop:
+      DropLeftovers(st);
+      st = EngineState{};
+      break;
+    // --- per-IO causal chain ----------------------------------------------
+    case EventType::kIoQueued: {
+      PendingIo p;
+      p.io_id = static_cast<std::uint64_t>(event.a);
+      p.period = event.period;
+      p.queued_at = t;
+      p.fetch0 = st.CumFetch(t);
+      p.wait0 = st.CumWait(t);
+      st.pending.push_back(p);
+      break;
+    }
+    case EventType::kIoIssue: {
+      const auto io_id = static_cast<std::uint64_t>(event.a);
+      // The engine queue is FIFO, so the match is almost always the front;
+      // the linear fallback only runs on truncated traces.
+      auto it = st.pending.begin();
+      while (it != st.pending.end() && it->io_id != io_id) ++it;
+      if (it == st.pending.end()) {
+        ++stats_.orphan_events;
+        break;
+      }
+      IoSpan span;
+      span.engine = event.actor;
+      span.period = it->period;
+      span.io_id = io_id;
+      span.token_source = event.b;
+      span.queued_at = it->queued_at;
+      span.issued_at = t;
+      const SimDuration fetch = st.CumFetch(t) - it->fetch0;
+      const SimDuration wait = st.CumWait(t) - it->wait0;
+      span.stage_ns[static_cast<std::size_t>(SpanStage::kAdmit)] = 0;
+      span.stage_ns[static_cast<std::size_t>(SpanStage::kTokenFetch)] = fetch;
+      span.stage_ns[static_cast<std::size_t>(SpanStage::kConvertWait)] = wait;
+      span.stage_ns[static_cast<std::size_t>(SpanStage::kQueue)] =
+          std::max<SimDuration>(0, (t - it->queued_at) - fetch - wait);
+      st.pending.erase(it);
+      st.inflight.emplace(io_id, span);
+      break;
+    }
+    case EventType::kIoComplete: {
+      const auto io_id = static_cast<std::uint64_t>(event.a);
+      auto it = st.inflight.find(io_id);
+      if (it == st.inflight.end()) {
+        ++stats_.orphan_events;
+        break;
+      }
+      IoSpan span = it->second;
+      st.inflight.erase(it);
+      span.completed_at = t;
+      span.stage_ns[static_cast<std::size_t>(SpanStage::kNicService)] =
+          t - span.issued_at;
+      done_.push_back(span);
+      ++stats_.spans;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void SpanAssembler::DropLeftovers(EngineState& state) {
+  stats_.dropped_unissued += state.pending.size();
+  stats_.dropped_uncompleted += state.inflight.size();
+  state.pending.clear();
+  state.inflight.clear();
+}
+
+std::vector<IoSpan> SpanAssembler::Finish() {
+  for (auto& [actor, state] : engines_) DropLeftovers(state);
+  engines_.clear();
+  // Merged() orders by time with (kind, actor, seq) tiebreaks, so same-seed
+  // runs feed identical streams; the final sort makes the output canonical
+  // regardless of completion interleaving across engines.
+  std::sort(done_.begin(), done_.end(),
+            [](const IoSpan& x, const IoSpan& y) {
+              if (x.engine != y.engine) return x.engine < y.engine;
+              return x.io_id < y.io_id;
+            });
+  return std::move(done_);
+}
+
+std::vector<IoSpan> AssembleSpans(const std::vector<TraceEvent>& events,
+                                  SpanAssemblyStats* stats) {
+  SpanAssembler assembler;
+  for (const TraceEvent& event : events) assembler.OnEvent(event);
+  std::vector<IoSpan> spans = assembler.Finish();
+  if (stats != nullptr) *stats = assembler.stats();
+  return spans;
+}
+
+}  // namespace haechi::obs
+
+#endif  // HAECHI_TRACE_ENABLED

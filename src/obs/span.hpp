@@ -1,0 +1,190 @@
+// Per-IO span assembly: turns the flight recorder's causal detail events
+// (kIoQueued -> kIoIssue -> kIoComplete, correlated by io_id) plus the
+// engine's token-path events into per-IO latency spans broken down by
+// pipeline stage. This is the measurement layer for the paper's central
+// claim — that token fetch (FAA retries), conversion waits, and queueing
+// at the client dominate one-sided I/O tail latency — so each stage of
+// the span maps to one mechanism in §II:
+//
+//   admit        Submit() -> engine queue. Admission is synchronous in both
+//                runtimes, so this stage is 0 ns today; it is kept so the
+//                pipeline structure is stable when an async admission path
+//                appears (and so sim and threads traces always agree on
+//                stage *structure*, an acceptance property of the audit).
+//   token_fetch  time the engine spent with a FAA in flight (including
+//                failed posts and backoff retries, step T4) while this I/O
+//                sat queued.
+//   convert_wait time the engine spent parked on an empty pool — waiting
+//                for the monitor's conversion (xi_global, step T2') to
+//                refill it — while this I/O sat queued.
+//   queue        residual queued time not attributed to fetch/convert:
+//                head-of-line wait behind earlier I/Os, the period-end
+//                fetch guard, and L_i throttling.
+//   nic_service  issue -> completion at the backend (the one-sided data
+//                op itself).
+//
+// Attribution is O(1) per event: the assembler keeps, per engine, running
+// cumulative totals of "fetch open" and "wait open" interval time, snapshots
+// them when an I/O is queued, and differences them when it issues. Overlap
+// queries are never needed because the engine has at most one FAA in flight
+// and the fetch/wait states are engine-global, not per-IO.
+//
+// Everything here compiles out under HAECHI_TRACE=OFF: the notrace build
+// keeps only the type declarations (POD structs a caller may mention) and
+// an inline stub AssembleSpans that returns empty — no assembler object
+// code exists (bench_overhead's static_assert proves it).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/trace.hpp"
+
+namespace haechi::obs {
+
+/// Pipeline stage of a per-IO span. Order is presentation order.
+enum class SpanStage : std::uint8_t {
+  kAdmit = 0,
+  kTokenFetch,
+  kConvertWait,
+  kQueue,
+  kNicService,
+};
+inline constexpr std::size_t kSpanStages = 5;
+
+/// Stable stage name ("admit", "token_fetch", ...) used by the profile
+/// table, the Prometheus writer, and the Perfetto span exporter. Inline so
+/// it exists in notrace builds (error paths may still name stages).
+[[nodiscard]] inline std::string_view ToString(SpanStage stage) {
+  switch (stage) {
+    case SpanStage::kAdmit: return "admit";
+    case SpanStage::kTokenFetch: return "token_fetch";
+    case SpanStage::kConvertWait: return "convert_wait";
+    case SpanStage::kQueue: return "queue";
+    case SpanStage::kNicService: return "nic_service";
+  }
+  return "unknown";
+}
+
+/// One assembled per-IO span. POD so same-seed runs produce byte-identical
+/// span streams.
+struct IoSpan {
+  std::uint32_t engine = 0;       // engine trace actor
+  std::uint32_t period = 0;       // period the I/O was queued in
+  std::uint64_t io_id = 0;        // dense per engine from 0
+  std::int64_t token_source = 0;  // 0=reservation 1=pool (kIoIssue.b)
+  SimTime queued_at = 0;
+  SimTime issued_at = 0;
+  SimTime completed_at = 0;
+  SimDuration stage_ns[kSpanStages] = {};
+
+  [[nodiscard]] SimDuration Total() const {
+    SimDuration total = 0;
+    for (const SimDuration d : stage_ns) total += d;
+    return total;
+  }
+};
+
+/// Assembly bookkeeping: how many spans were produced and what was left
+/// over when the trace ended (truncated rings and engine stops surface
+/// here instead of silently vanishing).
+struct SpanAssemblyStats {
+  std::uint64_t spans = 0;
+  std::uint64_t dropped_unissued = 0;    // queued, never issued
+  std::uint64_t dropped_uncompleted = 0; // issued, never completed
+  std::uint64_t orphan_events = 0;       // issue/complete with no match
+};
+
+#if HAECHI_TRACE_ENABLED
+
+inline constexpr bool kSpanAssemblyCompiled = true;
+
+/// Streaming span assembler. Feed it trace events in merged (time-ordered)
+/// order — Recorder::Merged() or a parsed CSV trace — then Finish().
+/// Deterministic: the output is sorted by (engine, io_id), so two runs of
+/// the same seed produce byte-identical span streams.
+class SpanAssembler {
+ public:
+  void OnEvent(const TraceEvent& event);
+
+  /// Flushes leftovers into the drop counters and returns all assembled
+  /// spans sorted by (engine, io_id). The assembler is spent afterwards.
+  [[nodiscard]] std::vector<IoSpan> Finish();
+
+  [[nodiscard]] const SpanAssemblyStats& stats() const { return stats_; }
+
+ private:
+  struct PendingIo {
+    std::uint64_t io_id = 0;
+    std::uint32_t period = 0;
+    SimTime queued_at = 0;
+    SimDuration fetch0 = 0;  // cumulative fetch time at queue
+    SimDuration wait0 = 0;   // cumulative wait time at queue
+  };
+
+  struct EngineState {
+    // Cumulative interval accumulators. `*_open` holds the interval start
+    // while one is open, -1 otherwise; Cum*(t) extends an open interval
+    // to t without closing it.
+    SimDuration fetch_cum = 0;
+    SimTime fetch_open = -1;
+    SimDuration wait_cum = 0;
+    SimTime wait_open = -1;
+    std::deque<PendingIo> pending;             // queued, not yet issued
+    std::map<std::uint64_t, IoSpan> inflight;  // issued, not yet completed
+
+    [[nodiscard]] SimDuration CumFetch(SimTime t) const {
+      return fetch_cum + (fetch_open >= 0 ? t - fetch_open : 0);
+    }
+    [[nodiscard]] SimDuration CumWait(SimTime t) const {
+      return wait_cum + (wait_open >= 0 ? t - wait_open : 0);
+    }
+    void OpenFetch(SimTime t) {
+      if (fetch_open < 0) fetch_open = t;
+    }
+    void CloseFetch(SimTime t) {
+      if (fetch_open >= 0) {
+        fetch_cum += t - fetch_open;
+        fetch_open = -1;
+      }
+    }
+    void OpenWait(SimTime t) {
+      if (wait_open < 0) wait_open = t;
+    }
+    void CloseWait(SimTime t) {
+      if (wait_open >= 0) {
+        wait_cum += t - wait_open;
+        wait_open = -1;
+      }
+    }
+  };
+
+  void DropLeftovers(EngineState& state);
+
+  std::map<std::uint32_t, EngineState> engines_;
+  std::vector<IoSpan> done_;
+  SpanAssemblyStats stats_;
+};
+
+/// One-call convenience: assemble all spans from a merged event stream.
+[[nodiscard]] std::vector<IoSpan> AssembleSpans(
+    const std::vector<TraceEvent>& events, SpanAssemblyStats* stats = nullptr);
+
+#else  // !HAECHI_TRACE_ENABLED
+
+inline constexpr bool kSpanAssemblyCompiled = false;
+
+// Notrace stub: callers compile, assembly elides to an empty result.
+[[nodiscard]] inline std::vector<IoSpan> AssembleSpans(
+    const std::vector<TraceEvent>&, SpanAssemblyStats* stats = nullptr) {
+  if (stats != nullptr) *stats = SpanAssemblyStats{};
+  return {};
+}
+
+#endif  // HAECHI_TRACE_ENABLED
+
+}  // namespace haechi::obs

@@ -38,6 +38,7 @@ constexpr TypeName kTypeNames[] = {
     {EventType::kReservationUpdate, "reservation_update"},
     {EventType::kPoolBorrowOut, "borrow_out"},
     {EventType::kPoolBorrowIn, "borrow_in"},
+    {EventType::kShardSample, "shard_sample"},
     {EventType::kEnginePeriodStart, "engine_period_start"},
     {EventType::kTokenDecay, "decay"},
     {EventType::kTokenFetch, "faa_post"},
@@ -48,6 +49,9 @@ constexpr TypeName kTypeNames[] = {
     {EventType::kReportWrite, "report_write"},
     {EventType::kEngineStop, "engine_stop"},
     {EventType::kFaaExhausted, "faa_exhausted"},
+    {EventType::kIoQueued, "io_queued"},
+    {EventType::kIoIssue, "io_issue"},
+    {EventType::kIoComplete, "io_complete"},
     {EventType::kNodeCrash, "node_crash"},
     {EventType::kNodeRestart, "node_restart"},
     {EventType::kNodePause, "node_pause"},
@@ -163,6 +167,12 @@ void Recorder::EmitAt(SimTime time, ActorKind kind, std::uint32_t actor,
   } else {
     ring.buf[ring.appended % options_.ring_capacity] = event;
     total_dropped_.fetch_add(1, std::memory_order_relaxed);
+    // First wrap fires the one-shot truncation notification (exactly once
+    // across all emitters — the exchange arbitrates concurrent wraps).
+    if (drop_notify_ &&
+        !drop_notified_.exchange(true, std::memory_order_relaxed)) {
+      drop_notify_();
+    }
   }
   ++ring.appended;
   total_emitted_.fetch_add(1, std::memory_order_relaxed);

@@ -83,6 +83,8 @@ enum class EventType : std::uint16_t {
   kReservationUpdate,       // a=client b=new reservation c=old reservation
   kPoolBorrowOut,           // a=pool_before(raw) b=pool_after c=peer node
   kPoolBorrowIn,            // a=pool_before(raw) b=pool_after c=peer node
+  kShardSample,             // a=shard b=shard pool word at a check tick
+                            // (sharded threaded runtime; one per shard)
   // --- engine (client) -----------------------------------------------------
   kEnginePeriodStart = 32,  // a=reservation tokens b=limit
   kTokenDecay,              // a=surrendered tokens b=new bound X
@@ -98,6 +100,10 @@ enum class EventType : std::uint16_t {
   kReportWrite,             // a=residual claims b=completed c=seq
   kEngineStop,              // engine quiesced (crash/teardown)
   kFaaExhausted,            // FAA retry backoff hit its configured maximum
+  kIoQueued,                // detail: a=io_id b=queue depth after admit
+  kIoIssue,                 // detail: a=io_id b=token source (0=reservation,
+                            // 1=pool) c=queue depth after issue
+  kIoComplete,              // detail: a=io_id b=outstanding after completion
   // --- fabric (RDMA) -------------------------------------------------------
   kNodeCrash = 64,          // node killed (actor = node)
   kNodeRestart,             // a=new incarnation
@@ -228,6 +234,15 @@ class Recorder {
     return total_dropped_.load(std::memory_order_relaxed);
   }
 
+  /// One-shot wrap notification: `fn` runs exactly once, from the first
+  /// emitter whose append overwrites a retained event (truncation is no
+  /// longer silent — the harness wires this to a watchdog alert and the
+  /// trace_dropped_events metric). Install before emitters start; like a
+  /// tap, the callback must not emit trace events or mutate run state.
+  void SetDropNotify(std::function<void()> fn) {
+    drop_notify_ = std::move(fn);
+  }
+
   /// All retained events merged into one deterministic stream, ordered by
   /// (time, actor_kind, actor, seq).
   [[nodiscard]] std::vector<TraceEvent> Merged() const;
@@ -261,6 +276,8 @@ class Recorder {
   std::atomic<std::uint64_t> tap_exited_{0};
   std::atomic<std::uint64_t> total_emitted_{0};
   std::atomic<std::uint64_t> total_dropped_{0};
+  std::function<void()> drop_notify_;
+  std::atomic<bool> drop_notified_{false};
 };
 
 /// The process-active recorder (nullptr when tracing is runtime-disabled).

@@ -17,6 +17,7 @@ void SeqlockSlot::Write(std::uint64_t packed, SimTime written_at) {
                                    std::memory_order_relaxed)) {
       break;
     }
+    write_retries_.fetch_add(1, std::memory_order_relaxed);
     std::this_thread::yield();
     seq = seq_.load(std::memory_order_relaxed);
   }

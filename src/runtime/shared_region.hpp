@@ -48,6 +48,13 @@ class alignas(64) SeqlockSlot {
   void Write(std::uint64_t packed, SimTime written_at);
   [[nodiscard]] Snapshot Read() const;
 
+  /// Writer-side CAS failures (the even->odd acquire lost to a concurrent
+  /// writer and spun). A contention signal, not a correctness one: the two
+  /// slot writers are the owning client and the monitor's boundary prime.
+  [[nodiscard]] std::uint64_t WriteRetries() const {
+    return write_retries_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<std::uint32_t> seq_{0};
   // Payload fields are relaxed atomics purely so the seqlock's benign
@@ -58,6 +65,7 @@ class alignas(64) SeqlockSlot {
   // bench_overhead's padded-vs-packed seqlock microbenchmark.
   std::atomic<std::uint64_t> packed_{0};
   std::atomic<SimTime> written_at_{0};
+  std::atomic<std::uint64_t> write_retries_{0};
 };
 
 static_assert(sizeof(SeqlockSlot) == 64,

@@ -148,10 +148,12 @@ void ThreadedEngine::WriteReportLocked(SimTime now) {
 
 std::int64_t ThreadedEngine::TakeLocalLocked(std::int64_t want) {
   std::int64_t granted = 0;
+  std::int64_t from_reservation = 0;
   if (want > 0 && xi_reservation_ > 0) {
     const std::int64_t n = std::min(want, xi_reservation_);
     xi_reservation_ -= n;
     stats_.tokens_from_reservation += n;
+    from_reservation = n;
     granted += n;
     want -= n;
   }
@@ -164,6 +166,24 @@ std::int64_t ThreadedEngine::TakeLocalLocked(std::int64_t want) {
   if (granted > 0) {
     stats_.issued_this_period += granted;
     backend_outstanding_ += granted;
+    if (recorder_ != nullptr && recorder_->detail()) {
+      // Span triplet, threads flavour: grant and issue are the same instant
+      // (workers pull tokens; there is no engine-side request queue), so
+      // kIoQueued and kIoIssue share a timestamp. Sim and threads traces
+      // then agree on stage *structure* while the client-side stages are
+      // ~0 here and the real durations live in nic_service.
+      const SimTime now = clock_.Now();
+      for (std::int64_t k = 0; k < granted; ++k) {
+        const std::uint64_t io_id = next_io_id_++;
+        const std::int64_t source = k < from_reservation ? 0 : 1;
+        EmitLocked(now, EventType::kIoQueued, period_,
+                   static_cast<std::int64_t>(io_id), 0);
+        EmitLocked(now, EventType::kIoIssue, period_,
+                   static_cast<std::int64_t>(io_id), source, 0);
+        outstanding_io_ids_.push_back(io_id);
+        ++runtime_stats_.span_ios;
+      }
+    }
   }
   return granted;
 }
@@ -196,7 +216,15 @@ void ThreadedEngine::FetchPoolRoundLocked(std::unique_lock<std::mutex>& lk) {
     local_global_ += acquired;
     EmitLocked(done, EventType::kTokenFetchDone, period_, before, acquired,
                delta);
-    if (acquired > 0) return;
+    if (acquired > 0) {
+      if (probe == 0) {
+        ++runtime_stats_.faa_home_hits;
+      } else {
+        ++runtime_stats_.faa_steals;
+      }
+      return;
+    }
+    ++runtime_stats_.faa_dry_probes;
     EmitLocked(done, EventType::kPoolEmpty, period_, before,
                static_cast<std::int64_t>(shard));
   }
@@ -284,6 +312,18 @@ void ThreadedEngine::OnIoCompleted(std::int64_t n) {
     backend_outstanding_ -= n;
     stats_.completed_this_period += n;
     stats_.completed_total += n;
+    if (!outstanding_io_ids_.empty() && recorder_ != nullptr &&
+        recorder_->detail()) {
+      // Close the n oldest spans (grants complete FIFO per engine).
+      const SimTime now = clock_.Now();
+      std::int64_t out = backend_outstanding_ + n;
+      for (std::int64_t k = 0; k < n && !outstanding_io_ids_.empty(); ++k) {
+        const std::uint64_t io_id = outstanding_io_ids_.front();
+        outstanding_io_ids_.pop_front();
+        EmitLocked(now, EventType::kIoComplete, period_,
+                   static_cast<std::int64_t>(io_id), --out);
+      }
+    }
     notify = waiters_ > 0;
   }
   if (notify) cv_.notify_all();
@@ -305,6 +345,11 @@ bool ThreadedEngine::Stopped() const {
 ThreadedEngine::Stats ThreadedEngine::StatsSnapshot() const {
   std::lock_guard lk(mu_);
   return stats_;
+}
+
+ThreadedEngine::RuntimeStats ThreadedEngine::RuntimeStatsSnapshot() const {
+  std::lock_guard lk(mu_);
+  return runtime_stats_;
 }
 
 std::uint32_t ThreadedEngine::CurrentPeriod() const {

@@ -21,6 +21,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 
@@ -39,6 +40,16 @@ class ThreadedEngine {
   /// Reuses the sim engine's stats struct so differential tests compare
   /// like with like.
   using Stats = core::ClientQosEngine::Stats;
+
+  /// Threaded-runtime-only shard-contention telemetry. Kept separate from
+  /// Stats (shared with the sim engine and diffed field-for-field by the
+  /// differential tests, so it must not grow runtime-only fields).
+  struct RuntimeStats {
+    std::uint64_t faa_home_hits = 0;   // home-shard FAA acquired tokens
+    std::uint64_t faa_steals = 0;      // non-home-shard FAA acquired tokens
+    std::uint64_t faa_dry_probes = 0;  // an FAA probe found its shard empty
+    std::uint64_t span_ios = 0;        // detail span triplets emitted
+  };
 
   /// What AcquireToken's blocking wait (or TryAcquireBatch's poll) ended
   /// with.
@@ -102,6 +113,7 @@ class ThreadedEngine {
 
   [[nodiscard]] ClientId id() const { return id_; }
   [[nodiscard]] Stats StatsSnapshot() const;
+  [[nodiscard]] RuntimeStats RuntimeStatsSnapshot() const;
   [[nodiscard]] std::uint32_t CurrentPeriod() const;
 
  private:
@@ -153,6 +165,12 @@ class ThreadedEngine {
   std::uint8_t report_seq_ = 0;
   std::int64_t backend_outstanding_ = 0;
   Stats stats_;
+  RuntimeStats runtime_stats_;
+  // Per-IO span support (detail traces only): ids are assigned at grant and
+  // completed FIFO — workers issue granted I/Os in order, so the oldest
+  // outstanding id completes first.
+  std::uint64_t next_io_id_ = 0;
+  std::deque<std::uint64_t> outstanding_io_ids_;
 
   std::unique_ptr<PeriodicTimer> token_timer_;
   std::unique_ptr<PeriodicTimer> report_timer_;

@@ -91,6 +91,9 @@ class ThreadedFabric {
   [[nodiscard]] SeqlockSlot::Snapshot ReadSlot(std::size_t slot) const {
     return region_.slot(slot).Read();
   }
+  [[nodiscard]] std::uint64_t SlotWriteRetries(std::size_t slot) const {
+    return region_.slot(slot).WriteRetries();
+  }
   void PrimeSlot(std::size_t slot, std::uint64_t packed) {
     region_.slot(slot).Write(packed, clock_.Now());
   }

@@ -274,6 +274,14 @@ void ThreadedMonitor::CheckTickLocked(SimTime now) {
     raw_sum += raw;
     sample_granted += shard_last_pool_[s] - raw;
     shard_last_pool_[s] = raw;
+    // Per-shard occupancy telemetry for the sharded runtime (the watchdog's
+    // status line and the span profiler's shard view). Single-shard runs
+    // stay bit-identical to sim traces, which have no kShardSample.
+    if (nshards > 1) {
+      EmitLocked(now, EventType::kShardSample,
+                 static_cast<std::int64_t>(s), raw);
+      ++runtime_stats_.shard_samples;
+    }
   }
   if (!ledger_.empty()) {
     ledger_.back().granted += sample_granted;
@@ -416,6 +424,7 @@ void ThreadedMonitor::ConvertTokensLocked(SimTime now) {
     const std::int64_t share = ShardShare(new_pool, s);
     std::int64_t expected = fabric_.LoadPool(s);
     while (!fabric_.CasPool(s, expected, share)) {
+      ++runtime_stats_.convert_cas_retries;
     }
     raw_before_sum += expected;
     convert_granted += shard_last_pool_[s] - expected;
@@ -552,6 +561,11 @@ ThreadedMonitor::ClientEntry* ThreadedMonitor::FindClientLocked(
 ThreadedMonitor::Stats ThreadedMonitor::StatsSnapshot() const {
   std::lock_guard lk(mu_);
   return stats_;
+}
+
+ThreadedMonitor::RuntimeStats ThreadedMonitor::RuntimeStatsSnapshot() const {
+  std::lock_guard lk(mu_);
+  return runtime_stats_;
 }
 
 std::vector<ThreadedMonitor::PeriodLedger> ThreadedMonitor::LedgerSnapshot()

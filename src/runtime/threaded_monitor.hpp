@@ -59,6 +59,14 @@ class ThreadedMonitor {
  public:
   using Stats = core::QosMonitor::Stats;
   using PeriodLedger = core::QosMonitor::PeriodLedger;
+
+  /// Threaded-runtime-only contention telemetry. Separate from Stats,
+  /// which is shared with the sim monitor and compared field-for-field by
+  /// the differential tests.
+  struct RuntimeStats {
+    std::uint64_t convert_cas_retries = 0;  // conversion CAS lost to a FAA
+    std::uint64_t shard_samples = 0;        // kShardSample events emitted
+  };
   using PeriodHook =
       std::function<void(std::uint32_t, std::int64_t, std::int64_t)>;
   /// (period, client, completed) for every fresh per-period client report
@@ -89,6 +97,7 @@ class ThreadedMonitor {
   void Stop();
 
   [[nodiscard]] Stats StatsSnapshot() const;
+  [[nodiscard]] RuntimeStats RuntimeStatsSnapshot() const;
   [[nodiscard]] std::vector<PeriodLedger> LedgerSnapshot() const;
   /// Sum over all pool shards (diagnostic; the ledger never uses it).
   [[nodiscard]] std::int64_t GlobalPoolValue() const {
@@ -151,6 +160,7 @@ class ThreadedMonitor {
   std::vector<std::size_t> retired_slots_;
   std::vector<std::size_t> free_slots_;
   Stats stats_;
+  RuntimeStats runtime_stats_;
   bool running_ = false;
   SimTime period_start_time_ = 0;
   std::int64_t period_capacity_ = 0;

@@ -99,6 +99,14 @@ std::int64_t ToleranceFor(std::int64_t sim_total,
 
 void ExpectAuditClean(const obs::Recorder& recorder, const char* runtime,
                       std::uint64_t seed) {
+#if !HAECHI_TRACE_ENABLED
+  // Without the recorder there is no trace to audit; the per-client
+  // totals comparison below still runs and is the diff test's core.
+  (void)recorder;
+  (void)runtime;
+  (void)seed;
+  return;
+#else
   const obs::AuditReport report = obs::AuditTrace(recorder.Merged());
   for (const auto& v : report.violations) {
     ADD_FAILURE() << runtime << " seed " << seed << ": " << v.check << ": "
@@ -108,6 +116,7 @@ void ExpectAuditClean(const obs::Recorder& recorder, const char* runtime,
                            << ")";
   EXPECT_GT(report.guarantee_checks, 0u)
       << runtime << " audit ran no A9 checks (seed " << seed << ")";
+#endif
 }
 
 TEST(RuntimeDiffTest, SimAndThreadsAgreeAcrossSeedsAndShardConfigs) {

@@ -229,6 +229,18 @@ TraceEvent E(SimTime time, obs::ActorKind kind, std::uint32_t actor,
   return event;
 }
 
+// Assigns the dense per-actor sequence numbers the recorder always emits;
+// without them the watchdog's truncation check reads every repeat of an
+// actor as a ring-wrap seq gap.
+std::vector<TraceEvent> DenseSeqs(std::vector<TraceEvent> events) {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> next;
+  for (TraceEvent& event : events) {
+    event.seq =
+        next[{static_cast<std::uint32_t>(event.actor_kind), event.actor}]++;
+  }
+  return events;
+}
+
 TEST(SloWatchdogRules, LimitOvershootIsCriticalWhileTheFloorStaysQuiet) {
   const auto kMon = obs::ActorKind::kMonitor;
   const auto kHar = obs::ActorKind::kHarness;
@@ -242,7 +254,7 @@ TEST(SloWatchdogRules, LimitOvershootIsCriticalWhileTheFloorStaysQuiet) {
       E(900, kMon, 0, EventType::kClientPeriodReport, 1, 0, 450, 0),
       E(1000, kMon, 0, EventType::kMonitorPeriodEnd, 1, 600, 450, 0),
   };
-  const auto alerts = obs::ReplayTrace(events);
+  const auto alerts = obs::ReplayTrace(DenseSeqs(events));
   ASSERT_EQ(alerts.size(), 1u);
   EXPECT_EQ(alerts[0].kind, AlertKind::kLimitOvershoot);
   EXPECT_EQ(alerts[0].severity, AlertSeverity::kCritical);
@@ -268,7 +280,7 @@ TEST(SloWatchdogRules, ConversionStallUnderIdleReservationsWarns) {
       E(600, kMon, 0, EventType::kTokenConvert, 1, 0, 0),
       E(1000, kMon, 0, EventType::kMonitorPeriodEnd, 1, 0, 0, 0),
   };
-  const auto alerts = obs::ReplayTrace(events);
+  const auto alerts = obs::ReplayTrace(DenseSeqs(events));
   ASSERT_EQ(CountKind(alerts, AlertKind::kConversionStall), 1u);
   const auto stall =
       std::find_if(alerts.begin(), alerts.end(), [](const Alert& a) {
@@ -287,7 +299,7 @@ TEST(SloWatchdogRules, CapacityEstimateOscillationTripsAfterFourFlips) {
                        EventType::kCapacityEstimate,
                        static_cast<std::uint32_t>(i + 1), 0, estimates[i]));
   }
-  const auto alerts = obs::ReplayTrace(events);
+  const auto alerts = obs::ReplayTrace(DenseSeqs(events));
   ASSERT_EQ(alerts.size(), 1u);
   EXPECT_EQ(alerts[0].kind, AlertKind::kCapacityOscillation);
   EXPECT_EQ(alerts[0].severity, AlertSeverity::kWarning);
@@ -300,7 +312,7 @@ TEST(SloWatchdogRules, CapacityEstimateOscillationTripsAfterFourFlips) {
                        static_cast<std::uint32_t>(i + 1), 0,
                        static_cast<std::int64_t>(1000 + 100 * i)));
   }
-  EXPECT_TRUE(obs::ReplayTrace(steady).empty());
+  EXPECT_TRUE(obs::ReplayTrace(DenseSeqs(steady)).empty());
 }
 
 // ---------------------------------------------------------------------------

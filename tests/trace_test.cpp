@@ -10,8 +10,10 @@
 #include <string>
 
 #include "harness/experiment.hpp"
+#include "obs/alerts.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "workload/distributions.hpp"
@@ -73,6 +75,28 @@ TEST(Recorder, RingWrapKeepsNewestEventsAndCountsDrops) {
   }
   EXPECT_EQ(recorder.TotalEmitted(), 10u);
   EXPECT_EQ(recorder.TotalDropped(), 6u);
+}
+
+TEST(Recorder, DropNotifyFiresExactlyOnceOnTheFirstWrap) {
+  // Regression for silent ring truncation: the first overwriting append
+  // must invoke the notify callback, and later drops (same ring or a
+  // sibling actor's) must not re-fire it.
+  sim::Simulator sim;
+  Recorder recorder(sim, SmallRing(4));
+  int notified = 0;
+  recorder.SetDropNotify([&] { ++notified; });
+  for (std::int64_t i = 0; i < 4; ++i) {
+    recorder.Emit(ActorKind::kMonitor, 0, EventType::kPoolSample, 1, i);
+  }
+  EXPECT_EQ(notified, 0);  // ring exactly full, nothing dropped yet
+  recorder.Emit(ActorKind::kMonitor, 0, EventType::kPoolSample, 1, 4);
+  EXPECT_EQ(notified, 1);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    recorder.Emit(ActorKind::kMonitor, 0, EventType::kPoolSample, 1, 5 + i);
+    recorder.Emit(ActorKind::kEngine, 2, EventType::kTokenFetch, 1, i);
+  }
+  EXPECT_EQ(notified, 1);
+  EXPECT_EQ(recorder.TotalDropped(), 7u + 2u);  // monitor 7, engine 2
 }
 
 TEST(Recorder, MergedOrdersByTimeThenKindThenActorThenSeq) {
@@ -237,6 +261,112 @@ TEST(TraceExport, PerfettoRenderingHasCounterTracksAndInstants) {
   EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
   EXPECT_EQ(json.find("\"pool_sample\""), std::string::npos);
 }
+
+// Cluster traces carry coordinator (kCluster) and harness C-records; both
+// exporters must round-trip them like any other event (satellite of the
+// cluster metrics rollup — the offline tooling reads these streams).
+std::vector<TraceEvent> SampleClusterEvents() {
+  sim::Simulator sim;
+  Recorder recorder(sim);
+  sim.ScheduleAt(500'000, [&] {
+    recorder.Emit(ActorKind::kHarness, 0, EventType::kClusterConfig, 0, 2, 1,
+                  2);
+    recorder.Emit(ActorKind::kHarness, 0, EventType::kNodeCapacity, 0, 0,
+                  10000, 5000);
+    recorder.Emit(ActorKind::kHarness, 3, EventType::kEngineBinding, 0, 1, 1,
+                  0);
+  });
+  sim.ScheduleAt(1'200'000, [&] {
+    recorder.Emit(ActorKind::kCluster, 0, EventType::kBorrowRequest, 2, 1,
+                  400, 500);
+    recorder.Emit(ActorKind::kCluster, 0, EventType::kBorrowGrant, 2, 0, 400,
+                  1);
+    recorder.Emit(ActorKind::kCluster, 0, EventType::kClusterStaleReport, 2,
+                  1, 3, 2);
+    recorder.Emit(ActorKind::kCluster, 0, EventType::kClusterRebalance, 2, 3,
+                  250, 0);
+  });
+  sim.ScheduleAt(1'900'000, [&] {
+    recorder.Emit(ActorKind::kCluster, 0, EventType::kBorrowRepay, 3, 1, 400,
+                  0);
+  });
+  sim.Run();
+  return recorder.Merged();
+}
+
+TEST(TraceExport, ClusterEventsRoundTripThroughCsv) {
+  const auto events = SampleClusterEvents();
+  ASSERT_EQ(events.size(), 8u);
+  const auto parsed = obs::ParseCsvTrace(obs::ToCsvString(events));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(parsed.value()[i].type, events[i].type);
+    EXPECT_EQ(parsed.value()[i].actor_kind, events[i].actor_kind);
+    EXPECT_EQ(parsed.value()[i].a, events[i].a);
+    EXPECT_EQ(parsed.value()[i].b, events[i].b);
+    EXPECT_EQ(parsed.value()[i].c, events[i].c);
+  }
+}
+
+TEST(TraceExport, ClusterEventsRenderAsPerfettoInstantsOnTheClusterTrack) {
+  const std::string json = obs::ToPerfettoString(SampleClusterEvents());
+  EXPECT_NE(json.find("\"cluster\""), std::string::npos);  // process name
+  for (const char* name :
+       {"borrow_request", "borrow_grant", "borrow_repay",
+        "cluster_stale_report", "cluster_rebalance", "cluster_config",
+        "node_capacity", "engine_binding"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+}
+
+#if HAECHI_WATCHDOG_ENABLED
+
+TraceEvent MonitorEvent(SimTime time, std::uint64_t seq, EventType type) {
+  TraceEvent event;
+  event.time = time;
+  event.seq = seq;
+  event.type = type;
+  event.actor_kind = ActorKind::kMonitor;
+  event.actor = 0;
+  event.period = 1;
+  return event;
+}
+
+std::size_t TruncationAlerts(const obs::SloWatchdog& watchdog) {
+  std::size_t n = 0;
+  for (const obs::Alert& alert : watchdog.alerts()) {
+    n += alert.kind == obs::AlertKind::kTraceTruncation;
+  }
+  return n;
+}
+
+TEST(Watchdog, ReplaySeqGapRaisesOneTruncationAlert) {
+  // Regression for silent truncation on the replay path: a wrapped ring
+  // leaves a hole in an actor's seq sequence; the watchdog must flag the
+  // trace as incomplete — once, no matter how many actors are truncated.
+  obs::SloWatchdog watchdog;
+  watchdog.OnEvent(MonitorEvent(100, 0, EventType::kPoolSample));
+  watchdog.OnEvent(MonitorEvent(200, 1, EventType::kPoolSample));
+  EXPECT_EQ(TruncationAlerts(watchdog), 0u);
+  watchdog.OnEvent(MonitorEvent(300, 5, EventType::kPoolSample));  // gap
+  EXPECT_EQ(TruncationAlerts(watchdog), 1u);
+  watchdog.OnEvent(MonitorEvent(400, 9, EventType::kPoolSample));  // again
+  EXPECT_EQ(TruncationAlerts(watchdog), 1u);
+  EXPECT_TRUE(watchdog.Finish().ok());
+}
+
+TEST(Watchdog, LiveDropNotifySharesTheTruncationLatchWithReplay) {
+  obs::SloWatchdog watchdog;
+  watchdog.NotifyTruncation(1000);
+  watchdog.NotifyTruncation(2000);
+  EXPECT_EQ(TruncationAlerts(watchdog), 1u);
+  // A later replay-side seq gap must not double-report the same run.
+  watchdog.OnEvent(MonitorEvent(3000, 7, EventType::kPoolSample));
+  EXPECT_EQ(TruncationAlerts(watchdog), 1u);
+}
+
+#endif  // HAECHI_WATCHDOG_ENABLED
 
 // ---------------------------------------------------------------------------
 // Metrics registry.

@@ -22,7 +22,9 @@
 //
 // Optionally refreshes BENCH_overhead.json by spawning the bench_overhead
 // binary (--overhead-bin=PATH); that file's tracing-delta percentages are
-// wall-clock based and *not* compared, only regenerated.
+// wall-clock based and *not* compared, only regenerated — except the span
+// pipeline's B=1 slowdown (span_delta_percent), which is checked against
+// the generous compiled-in bound span_delta_gate_percent.
 //
 // Exit codes: 0 = within tolerance (or no baseline yet), 1 = regression,
 // 2 = usage/IO error.
@@ -64,7 +66,9 @@ flags (all optional):
                        runs entirely                [BENCH_cluster.json]
   --cluster-tolerance=F allowed cluster drift       [0.05]
   --overhead-bin=PATH  also run the bench_overhead sweep to refresh
-                       BENCH_overhead.json (skips its microbenchmarks)
+                       BENCH_overhead.json (skips its microbenchmarks) and
+                       gate span_delta_percent against the committed
+                       span_delta_gate_percent
   --selftest           verify the gate itself: current numbers must pass
                        against themselves and fail against a doctored
                        baseline; runs no file writes
@@ -495,14 +499,39 @@ int Run(int argc, const char* const* argv) {
 
   const std::string overhead_bin = flags.GetString("overhead-bin", "");
   if (!overhead_bin.empty()) {
-    // Refresh the tracing-overhead sweep, skipping the microbenchmarks
-    // (their wall-clock numbers are not part of this gate).
+    // Refresh the tracing-overhead sweep, skipping the microbenchmarks.
+    // The tracing-delta percentages are wall-clock based and only
+    // regenerated, but the span-pipeline delta is gate-checked below
+    // against the bound the sweep itself writes (span_delta_gate_percent,
+    // a compiled-in constant, so the committed bound survives refreshes).
     const std::string cmd =
         overhead_bin + " --benchmark_filter=DoesNotExistAnywhere";
     if (std::system(cmd.c_str()) != 0) {
       std::fprintf(stderr, "bench_overhead sweep failed: %s\n",
                    cmd.c_str());
       return 2;
+    }
+    const auto overhead_json = obs::ReadFileToString("BENCH_overhead.json");
+    if (overhead_json.ok() &&
+        overhead_json.value().find("\"trace_compiled\": true") !=
+            std::string::npos) {
+      const auto field = [&](const char* name, double& out) {
+        const std::string key = std::string("\"") + name + "\": ";
+        const std::size_t at = overhead_json.value().find(key);
+        if (at == std::string::npos) return false;
+        out = std::strtod(overhead_json.value().c_str() + at + key.size(),
+                          nullptr);
+        return true;
+      };
+      double span_delta = 0.0, span_gate = 0.0;
+      if (field("span_delta_percent", span_delta) &&
+          field("span_delta_gate_percent", span_gate)) {
+        const bool ok = span_delta <= span_gate;
+        std::printf("%-26s %9.2f%% slowdown  gate %.1f%%  %s\n",
+                    "span_pipeline_overhead", span_delta, span_gate,
+                    ok ? "ok" : "REGRESSION");
+        regressions += !ok;
+      }
     }
   }
 

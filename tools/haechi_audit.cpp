@@ -20,6 +20,8 @@
 #include "common/flags.hpp"
 #include "obs/audit.hpp"
 #include "obs/export.hpp"
+#include "obs/profile.hpp"
+#include "obs/span.hpp"
 
 using namespace haechi;
 
@@ -34,6 +36,10 @@ flags:
                              period [0.95]
   --allow-truncated          accept traces whose rings wrapped (skips
                              count-based checks on truncated actors)
+  --spans                    instead of auditing, assemble per-I/O spans
+                             from a detail trace (--trace-detail) and print
+                             the per-client/per-stage percentile table;
+                             byte-identical across same-seed runs
   --quiet                    print only the verdict line
 
 exit codes: 0 = PASS, 2 = usage/corrupt trace, 10+k = check Ak failed,
@@ -43,7 +49,8 @@ exit codes: 0 = PASS, 2 = usage/corrupt trace, 10+k = check Ak failed,
 int Run(int argc, const char* const* argv) {
   auto parsed = Flags::Parse(
       argc, argv,
-      {"trace", "guarantee-fraction", "allow-truncated", "quiet", "help"});
+      {"trace", "guarantee-fraction", "allow-truncated", "spans", "quiet",
+       "help"});
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.status().ToString().c_str(),
                  kUsage);
@@ -73,6 +80,38 @@ int Run(int argc, const char* const* argv) {
     std::fprintf(stderr, "corrupt trace: %s\n",
                  events.status().ToString().c_str());
     return 2;
+  }
+
+  if (flags.GetBool("spans", false)) {
+#if HAECHI_TRACE_ENABLED
+    obs::SpanAssemblyStats stats;
+    const std::vector<obs::IoSpan> spans =
+        obs::AssembleSpans(events.value(), &stats);
+    obs::SpanProfile profile;
+    profile.AddAll(spans);
+    if (!flags.GetBool("quiet", false)) {
+      std::printf("%s", profile.Table().c_str());
+    }
+    std::printf(
+        "spans %llu assembled, %llu never issued, %llu never completed, "
+        "%llu orphan events\n",
+        static_cast<unsigned long long>(stats.spans),
+        static_cast<unsigned long long>(stats.dropped_unissued),
+        static_cast<unsigned long long>(stats.dropped_uncompleted),
+        static_cast<unsigned long long>(stats.orphan_events));
+    if (stats.spans == 0) {
+      std::fprintf(stderr,
+                   "no spans assembled: the trace has no per-I/O detail "
+                   "events (rerun with --trace-detail)\n");
+      return 2;
+    }
+    return 0;
+#else
+    std::fprintf(stderr,
+                 "this binary was built with HAECHI_TRACE=OFF; span "
+                 "assembly is compiled out\n");
+    return 2;
+#endif
   }
 
   obs::AuditOptions options;

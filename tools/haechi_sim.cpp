@@ -75,10 +75,15 @@ flags (all optional):
   --trace-ring=N             per-actor trace ring capacity, events
                              [65536; 2097152 with --runtime=threads]
   --metrics-out=PATH         export per-period metrics snapshots as CSV
+  --prom-out=PATH            export the same snapshots as Prometheus text
+                             exposition (haechi_* series, period label)
   --alerts-out=PATH          run the online SLO watchdog; write alerts as
                              JSONL (one alert object per line)
   --status-interval=N        print a live status line to stderr every N
-                             QoS periods (implies the watchdog)
+                             QoS periods (implies the watchdog; with
+                             --runtime=threads the lines are replayed from
+                             the trace after the run, with per-shard pool
+                             occupancy when --shards > 1)
   --progress-events=N        stderr heartbeat every N simulator events
 )";
 
@@ -118,8 +123,8 @@ int Run(int argc, const char* const* argv) {
        "demand-factor", "limit-factor", "periods", "warmup-seconds", "scale",
        "seed", "background-pct", "csv", "trace-out", "trace-detail",
        "trace-ring",
-       "metrics-out", "alerts-out", "status-interval", "progress-events",
-       "help"});
+       "metrics-out", "prom-out", "alerts-out", "status-interval",
+       "progress-events", "help"});
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.status().ToString().c_str(),
                  kUsage);
@@ -226,9 +231,11 @@ int Run(int argc, const char* const* argv) {
 
   config.trace.out_path = flags.GetString("trace-out", "");
   config.trace.metrics_out = flags.GetString("metrics-out", "");
+  config.trace.prom_out = flags.GetString("prom-out", "");
   config.trace.detail = flags.Has("trace-detail");
-  config.trace.enabled =
-      !config.trace.out_path.empty() || !config.trace.metrics_out.empty();
+  config.trace.enabled = !config.trace.out_path.empty() ||
+                         !config.trace.metrics_out.empty() ||
+                         !config.trace.prom_out.empty();
   // Rings grow lazily, so a generous capacity only costs what a run
   // actually emits. The threads runtime sustains two orders of magnitude
   // more I/O than the old one-thread-per-client design, so its protocol
@@ -485,11 +492,24 @@ int Run(int argc, const char* const* argv) {
                    "--runtime=threads does not support --background-pct\n");
       return 2;
     }
+#if HAECHI_WATCHDOG_ENABLED
+    if (!alerts_out.empty()) {
+      std::fprintf(stderr,
+                   "warning: the live SLO watchdog only runs on "
+                   "--runtime=sim; --alerts-out is ignored\n");
+    }
+    // The status line is a pure function of the event stream, so with
+    // threads it is replayed from the trace after the run ends (the live
+    // tap stays sim-only). Force a recorder so there is a trace to replay;
+    // sharded runs then show per-shard pool occupancy in the lines.
+    if (status_interval > 0) config.trace.enabled = true;
+#else
     if (!alerts_out.empty() || status_interval > 0) {
       std::fprintf(stderr,
-                   "warning: the SLO watchdog only runs on --runtime=sim; "
+                   "warning: built with HAECHI_WATCHDOG=OFF; "
                    "--alerts-out/--status-interval are ignored\n");
     }
+#endif
     config.watchdog = {};
     // The threaded fabric has no analytic model: feed it the sim model's
     // calibrated capacities so both runtimes run the same token budget.
@@ -497,6 +517,22 @@ int Run(int argc, const char* const* argv) {
     config.profiled_local_iops = config.net.LocalCapacityIops();
     harness::ThreadedExperiment experiment(std::move(config));
     harness::ThreadedExperimentResult result = experiment.Run();
+
+#if HAECHI_WATCHDOG_ENABLED
+    if (status_interval > 0 && experiment.recorder() != nullptr) {
+      obs::SloWatchdog watchdog;
+      watchdog.SetStatusFn(
+          [](const obs::PeriodStatus& status) {
+            std::fprintf(stderr, "%s\n",
+                         obs::FormatStatusLine(status).c_str());
+          },
+          status_interval);
+      for (const obs::TraceEvent& event : experiment.recorder()->Merged()) {
+        watchdog.OnEvent(event);
+      }
+      (void)watchdog.Finish();
+    }
+#endif
 
     std::printf("mode=%s runtime=threads shards=%lld fetch-batch=%lld "
                 "workers=%lld distribution=%s clients=%zu "

@@ -27,12 +27,21 @@
 #                                          # cluster_property_test) — the
 #                                          # quick gate for src/cluster
 #                                          # changes
+#   tools/run_ctest_matrix.sh trace-spans notrace
+#                                          # the span-pipeline gate: the
+#                                          # trace preset restricted to the
+#                                          # span-labelled suites
+#                                          # (trace_test, span_test), then
+#                                          # the notrace preset proving the
+#                                          # whole pipeline compiles out
 #   JOBS=8 tools/run_ctest_matrix.sh       # override parallelism
 #   BENCH=1 tools/run_ctest_matrix.sh      # also run the bench regression
 #                                          # gates (tools/bench_regress:
 #                                          # BENCH_qos.json sim figures +
 #                                          # BENCH_runtime.json threads run +
-#                                          # BENCH_cluster.json borrow gate)
+#                                          # BENCH_cluster.json borrow gate +
+#                                          # the BENCH_overhead.json span-
+#                                          # pipeline slowdown gate)
 #
 # Exits non-zero on the first failing preset (or a bench regression).
 set -euo pipefail
@@ -62,6 +71,9 @@ for preset in "${PRESETS[@]}"; do
   elif [[ "$preset" == "tsan-cluster" ]]; then
     config_preset=tsan
     ctest_args=(-L cluster)
+  elif [[ "$preset" == "trace-spans" ]]; then
+    config_preset=trace
+    ctest_args=(-L span)
   fi
   echo "==== [$preset] configure ===="
   cmake --preset "$config_preset"
