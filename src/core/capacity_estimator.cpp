@@ -26,7 +26,7 @@ void CapacityEstimator::OnPeriodEnd(std::int64_t total_completed) {
     // bound, while U > Omega means leftovers from an over-provisioned
     // previous period spilled across the boundary — in both cases growing
     // the estimate would compound the over-allocation.
-    estimate_ += params_.eta;
+    estimate_ += EffectiveEta();
     ++growth_steps_;
     last_decision_ = Decision::kGrow;
     return;

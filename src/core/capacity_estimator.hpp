@@ -20,6 +20,7 @@
 // inflate the history either.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 
@@ -55,6 +56,24 @@ class CapacityEstimator {
   /// Feeds one period's total completed I/Os U and advances the estimate.
   void OnPeriodEnd(std::int64_t total_completed);
 
+  /// Scales the growth increment eta, in integer thousandths (1000 = the
+  /// configured eta, 500 = half). The closed-loop controller damps the
+  /// estimate step through this when the watchdog reports W5 oscillation;
+  /// integer arithmetic keeps the damped estimate bit-reproducible.
+  /// Clamped to [1, 1000]; a positive configured eta never damps to zero
+  /// (the Grow branch must keep probing or the estimate can wedge).
+  void SetEtaScaleMilli(std::int64_t milli) {
+    eta_scale_milli_ = std::clamp<std::int64_t>(milli, 1, 1000);
+  }
+
+  [[nodiscard]] std::int64_t EtaScaleMilli() const { return eta_scale_milli_; }
+
+  /// The growth increment OnPeriodEnd currently applies on the Grow branch.
+  [[nodiscard]] std::int64_t EffectiveEta() const {
+    if (params_.eta == 0) return 0;
+    return std::max<std::int64_t>(params_.eta * eta_scale_milli_ / 1000, 1);
+  }
+
   /// Number of samples currently in the history window.
   [[nodiscard]] std::size_t WindowFill() const { return window_.size(); }
 
@@ -67,6 +86,7 @@ class CapacityEstimator {
   Params params_;
   std::int64_t estimate_;
   std::int64_t lower_bound_;
+  std::int64_t eta_scale_milli_ = 1000;
   std::deque<std::int64_t> window_;
   std::uint64_t growth_steps_ = 0;
   Decision last_decision_ = Decision::kNone;

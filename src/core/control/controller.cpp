@@ -1,0 +1,333 @@
+#include "core/control/controller.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace haechi::core::control {
+
+namespace {
+
+constexpr std::string_view kPolicyNames[] = {"off", "conservative",
+                                             "aggressive"};
+
+/// Per-policy knobs derived from Policy; kept out of ControllerConfig so a
+/// runtime SetPolicy retunes everything at once.
+struct Tuning {
+  std::int64_t shed_milli = 0;     // fraction of a W1 gap shed per boundary
+  std::int64_t eta_damp_milli = 0; // eta scale multiplier per W5 alert
+  std::int64_t readmit_after = 0;  // lease expiries before re-admission
+};
+
+Tuning Tuned(Policy policy) {
+  switch (policy) {
+    case Policy::kConservative:
+      return {500, 500, 2};
+    case Policy::kAggressive:
+      return {1000, 250, 1};
+    case Policy::kOff:
+      break;
+  }
+  return {0, 0, 0};
+}
+
+constexpr std::int64_t kEtaScaleFloorMilli = 125;
+
+std::uint8_t KindKey(obs::AlertKind kind) {
+  return static_cast<std::uint8_t>(kind);
+}
+
+}  // namespace
+
+std::string_view ToString(Policy policy) {
+  const auto index = static_cast<std::size_t>(policy);
+  return index < std::size(kPolicyNames) ? kPolicyNames[index] : "unknown";
+}
+
+bool PolicyFromName(std::string_view name, Policy& out) {
+  for (std::size_t i = 0; i < std::size(kPolicyNames); ++i) {
+    if (kPolicyNames[i] == name) {
+      out = static_cast<Policy>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::uint32_t> ParseRuleMask(std::string_view csv) {
+  if (csv == "all") return std::uint32_t{kAllRules};
+  if (csv == "none") return std::uint32_t{0};
+  std::uint32_t mask = 0;
+  while (!csv.empty()) {
+    const std::size_t comma = csv.find(',');
+    const std::string_view token = csv.substr(0, comma);
+    if (token == "w1") {
+      mask |= kRuleShortfall;
+    } else if (token == "w5") {
+      mask |= kRuleOscillation;
+    } else if (token == "w6") {
+      mask |= kRuleStarvation;
+    } else if (token == "lease") {
+      mask |= kRuleLease;
+    } else {
+      return ErrInvalidArgument("unknown control rule (want w1,w5,w6,lease)");
+    }
+    if (comma == std::string_view::npos) break;
+    csv.remove_prefix(comma + 1);
+  }
+  return mask;
+}
+
+QosController::QosController(const ControllerConfig& config)
+    : config_(config) {}
+
+void QosController::SetClientSpec(std::uint32_t client,
+                                  std::int64_t reservation, std::int64_t limit,
+                                  std::int64_t demand) {
+  specs_[client] = {reservation, limit, demand};
+}
+
+void QosController::SetClientClass(std::uint32_t client, ClientClass cls) {
+  classes_[client] = cls;
+}
+
+void QosController::OnAlert(const obs::Alert& alert) {
+  switch (alert.kind) {
+    case obs::AlertKind::kReservationShortfall:
+    case obs::AlertKind::kCapacityOscillation:
+    case obs::AlertKind::kFaaStarvation:
+    case obs::AlertKind::kLeaseChurn:
+      ++stats_.alerts;
+      pending_.push_back(alert);
+      break;
+    default:  // not a rule this controller acts on (incl. its own recovered)
+      break;
+  }
+}
+
+std::uint32_t QosController::QuietFor(obs::AlertKind kind) const {
+  return kind == obs::AlertKind::kCapacityOscillation
+             ? config_.oscillation_quiet
+             : config_.quiet_periods;
+}
+
+QosController::Boundary QosController::PlanBoundary(
+    std::uint32_t period, const std::vector<ClientView>& view) {
+  Boundary out;
+  if (!enabled()) {
+    pending_.clear();
+    return out;
+  }
+  const Tuning tuning = Tuned(config_.policy);
+
+  // ---- fold the alerts recorded since the last boundary ------------------
+  const auto rule_on = [&](std::uint32_t bit) {
+    return (config_.rules & bit) != 0;
+  };
+  for (const obs::Alert& alert : pending_) {
+    bool track = false;
+    switch (alert.kind) {
+      case obs::AlertKind::kReservationShortfall:
+        track = rule_on(kRuleShortfall);
+        break;
+      case obs::AlertKind::kCapacityOscillation:
+        track = rule_on(kRuleOscillation);
+        if (track) last_osc_period_ = alert.period;
+        break;
+      case obs::AlertKind::kFaaStarvation:
+        track = rule_on(kRuleStarvation);
+        break;
+      case obs::AlertKind::kLeaseChurn:
+        track = rule_on(kRuleLease);
+        if (track) {
+          auto& seen = churn_seen_[alert.client];
+          seen = std::max(seen, alert.observed);
+        }
+        break;
+      default:
+        break;
+    }
+    if (!track) continue;
+    auto [it, inserted] = violations_.try_emplace(
+        {KindKey(alert.kind), alert.client},
+        Violation{alert.period, alert.period, alert.expected, alert.observed});
+    if (!inserted) {
+      it->second.last_period = std::max(it->second.last_period, alert.period);
+      it->second.expected = alert.expected;
+      it->second.observed = alert.observed;
+    }
+  }
+  pending_.clear();
+
+  // ---- recovery scan: violations that stayed quiet -----------------------
+  for (auto it = violations_.begin(); it != violations_.end();) {
+    const auto kind = static_cast<obs::AlertKind>(it->first.first);
+    const Violation& v = it->second;
+    if (period >= v.last_period + QuietFor(kind)) {
+      out.recovered.push_back(
+          {kind, it->first.second, (v.last_period + 1) - v.first_period});
+      ++stats_.recoveries;
+      it = violations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // ---- W5: damp the estimate step, relax it after quiet ------------------
+  bool osc_fresh = false;
+  for (const auto& [key, v] : violations_) {
+    if (key.first == KindKey(obs::AlertKind::kCapacityOscillation) &&
+        v.last_period == period) {
+      osc_fresh = true;
+    }
+  }
+  if (osc_fresh) {
+    const std::int64_t damped =
+        std::max(eta_scale_milli_ * tuning.eta_damp_milli / 1000,
+                 kEtaScaleFloorMilli);
+    if (damped != eta_scale_milli_) {
+      eta_scale_milli_ = damped;
+      ++stats_.eta_scalings;
+      out.actions.push_back(
+          {ActionKind::kScaleEta, -1, eta_scale_milli_, 0});
+    }
+  } else if (eta_scale_milli_ < 1000 && last_osc_period_ > 0 &&
+             period >= last_osc_period_ + config_.eta_recover_after) {
+    eta_scale_milli_ = std::min<std::int64_t>(eta_scale_milli_ * 2, 1000);
+    last_osc_period_ = period;  // relax one doubling per quiet window
+    ++stats_.eta_scalings;
+    out.actions.push_back({ActionKind::kScaleEta, -1, eta_scale_milli_, 0});
+  }
+
+  // ---- W6: latch forced early conversion ---------------------------------
+  for (const auto& [key, v] : violations_) {
+    if (key.first != KindKey(obs::AlertKind::kFaaStarvation)) continue;
+    if (v.last_period != period || force_active_) continue;
+    force_active_ = true;
+    ++stats_.forced_conversions;
+    out.actions.push_back({ActionKind::kForceConversion, -1, 0, 0});
+    break;
+  }
+
+  // ---- lease churn: re-admit once the policy's threshold is met ----------
+  for (const auto& [client, count] : churn_seen_) {
+    if (count < tuning.readmit_after) continue;
+    auto& readmitted = churn_readmits_[client];
+    if (count <= readmitted) continue;  // one re-admission per new expiry
+    readmitted = count;
+    ++stats_.readmits;
+    out.actions.push_back({ActionKind::kReadmit, client, 0, 0});
+  }
+
+  // ---- W1: sum-neutral reservation reallocation --------------------------
+  PlanShortfalls(period, view, out);
+  return out;
+}
+
+void QosController::PlanShortfalls(std::uint32_t period,
+                                   const std::vector<ClientView>& view,
+                                   Boundary& out) {
+  if ((config_.rules & kRuleShortfall) == 0) return;
+  const Tuning tuning = Tuned(config_.policy);
+  if (tuning.shed_milli == 0) return;
+
+  // Working reservation map so several victims in one boundary see each
+  // other's moves; also marks fresh victims (never receivers this round).
+  std::map<std::uint32_t, std::int64_t> res;
+  for (const ClientView& cv : view) res[cv.client] = cv.reservation;
+  std::map<std::uint32_t, const ClientView*> by_id;
+  for (const ClientView& cv : view) by_id[cv.client] = &cv;
+
+  std::vector<std::pair<std::int64_t, const Violation*>> victims;
+  for (const auto& [key, v] : violations_) {
+    if (key.first != KindKey(obs::AlertKind::kReservationShortfall)) continue;
+    if (v.last_period != period) continue;  // only freshly violated clients
+    victims.emplace_back(key.second, &v);
+  }
+  std::sort(victims.begin(), victims.end());
+
+  for (const auto& [victim_id, v] : victims) {
+    if (victim_id < 0) continue;
+    const auto victim = static_cast<std::uint32_t>(victim_id);
+    const auto vit = by_id.find(victim);
+    if (vit == by_id.end()) continue;  // departed since the alert
+
+    // The violation payload carries floor_target (expected) and the
+    // reported completions (observed): `observed` is the demonstrated
+    // sustainable rate, so shrink the reservation toward it and the W1
+    // target min(R, demand) follows it down.
+    const std::int64_t sustainable =
+        std::max(v->observed, config_.min_reservation);
+    const std::int64_t current = res[victim];
+    if (current <= sustainable) continue;
+    std::int64_t shed =
+        (current - sustainable) * tuning.shed_milli / 1000;
+    if (shed <= 0) continue;
+
+    // Receiver ranking: demand-capped clients first (their W1 target is
+    // min(R, demand) = demand already, so extra reservation is free),
+    // then higher priority, then client id for determinism.
+    struct Ranked {
+      int demand_capped;
+      int priority;
+      std::uint32_t client;
+    };
+    std::vector<Ranked> receivers;
+    for (const ClientView& cv : view) {
+      if (cv.client == victim) continue;
+      bool fresh_victim = false;
+      for (const auto& [id, unused] : victims) {
+        if (id == cv.client) fresh_victim = true;
+      }
+      if (fresh_victim) continue;
+      const auto spec = specs_.find(cv.client);
+      const bool capped = spec != specs_.end() && spec->second.demand > 0 &&
+                          res[cv.client] >= spec->second.demand;
+      const auto cls = classes_.find(cv.client);
+      const int priority =
+          cls != classes_.end() ? cls->second.priority : ClientClass{}.priority;
+      receivers.push_back({capped ? 0 : 1, -priority, cv.client});
+    }
+    std::sort(receivers.begin(), receivers.end(),
+              [](const Ranked& x, const Ranked& y) {
+                return std::tie(x.demand_capped, x.priority, x.client) <
+                       std::tie(y.demand_capped, y.priority, y.client);
+              });
+
+    std::vector<std::pair<std::uint32_t, std::int64_t>> placements;
+    std::int64_t placed = 0;
+    for (const Ranked& r : receivers) {
+      if (shed <= placed) break;
+      const ClientView& cv = *by_id[r.client];
+      std::int64_t cap = cv.limit > 0
+                             ? cv.limit
+                             : std::numeric_limits<std::int64_t>::max() / 4;
+      const auto cls = classes_.find(r.client);
+      const bool burst =
+          cls != classes_.end() ? cls->second.burst : ClientClass{}.burst;
+      if (!burst) {
+        const auto spec = specs_.find(r.client);
+        if (spec != specs_.end()) cap = std::min(cap, spec->second.reservation);
+      }
+      const std::int64_t room = cap - res[r.client];
+      if (room <= 0) continue;
+      const std::int64_t take = std::min(room, shed - placed);
+      placements.emplace_back(r.client, take);
+      res[r.client] += take;
+      placed += take;
+    }
+    if (placed == 0) continue;  // nowhere to park: stay sum-neutral, no move
+
+    // Shrink first so admission feasibility holds while the grows land.
+    res[victim] -= placed;
+    out.actions.push_back(
+        {ActionKind::kResize, victim_id, res[victim], -placed});
+    for (const auto& [receiver, take] : placements) {
+      out.actions.push_back({ActionKind::kResize,
+                             static_cast<std::int64_t>(receiver),
+                             res[receiver], take});
+    }
+    stats_.resizes += 1 + placements.size();
+  }
+}
+
+}  // namespace haechi::core::control

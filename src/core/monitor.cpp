@@ -318,6 +318,13 @@ void QosMonitor::StartPeriod() {
                        stats_.last_period_completions, prev.granted);
   }
 
+  // Closed-loop control boundary: the period-end emit above just ran the
+  // recorder tap, so the watchdog's verdicts for the ended period are
+  // settled; apply the controller's plan before the next period reads the
+  // reservations (resizes take effect immediately, and they are
+  // sum-neutral so the pool provisioning below is unaffected).
+  if (controller_ != nullptr && stats_.periods > 0) RunControlBoundary();
+
   // Slots retired last period sat out a full boundary; any stale in-flight
   // WRITE to them has long landed, so they are safe to recycle.
   free_slots_.insert(free_slots_.end(), retired_slots_.begin(),
@@ -372,6 +379,100 @@ void QosMonitor::StartPeriod() {
     msg.limit = entry.limit;
     SendToClient(entry, &msg, sizeof(msg));
   }
+
+  // Forced early conversion (controller kForceConversion): activate
+  // reporting at the period start instead of waiting for S2 — with a zero
+  // initial pool the word can never be observed to decrease, so S2 alone
+  // would leave conversion off and pool-dependent clients starved (W6).
+  if (force_reporting_ && !reporting_active_) {
+    ActivateReporting(ReadPoolWord());
+  }
+}
+
+void QosMonitor::ActivateReporting(std::int64_t observed_pool) {
+  reporting_active_ = true;
+  ++stats_.report_signals;
+  HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, trace_actor_,
+                     obs::EventType::kReportSignal, stats_.periods,
+                     observed_pool, initial_pool_);
+  ReportRequestMsg msg;
+  msg.period = stats_.periods;
+  for (auto& entry : clients_) SendToClient(entry, &msg, sizeof(msg));
+}
+
+void QosMonitor::RunControlBoundary() {
+  // The view: reservations as configured, completions as reported for the
+  // period that just ended (slots still hold the final reports here — they
+  // are re-primed only when the next period starts below).
+  std::vector<control::QosController::ClientView> view;
+  view.reserve(clients_.size());
+  for (const auto& entry : clients_) {
+    std::int64_t completed = 0;
+    const std::uint64_t slot = ReadSlot(entry.slot);
+    if (ReportPeriod(slot) == (stats_.periods & kReportPeriodMask)) {
+      completed = static_cast<std::int64_t>(ReportCompleted(slot));
+    }
+    // The admissible region caps the planning limit: a receiver can never
+    // be grown past the per-client local capacity, so every planned resize
+    // passes admission_.Update and the emitted deltas stay sum-neutral.
+    const std::int64_t local = admission_.LocalCapacity();
+    const std::int64_t plan_limit =
+        entry.limit > 0 ? std::min(entry.limit, local) : local;
+    view.push_back({Raw(entry.id), entry.reservation, plan_limit, completed});
+  }
+  std::sort(view.begin(), view.end(),
+            [](const control::QosController::ClientView& x,
+               const control::QosController::ClientView& y) {
+              return x.client < y.client;
+            });
+
+  const control::QosController::Boundary plan =
+      controller_->PlanBoundary(stats_.periods, view);
+  for (const auto& r : plan.recovered) {
+    HAECHI_TRACE_EVENT(obs::ActorKind::kController, trace_actor_,
+                       obs::EventType::kControlRecovered, stats_.periods,
+                       static_cast<std::int64_t>(r.rule), r.client,
+                       static_cast<std::int64_t>(r.periods));
+  }
+  for (const auto& action : plan.actions) {
+    bool applied = false;
+    std::int64_t payload = action.value;
+    switch (action.kind) {
+      case control::ActionKind::kResize: {
+        const Status s = UpdateReservation(
+            MakeClientId(static_cast<std::uint32_t>(action.client)),
+            action.value);
+        if (!s.ok()) {
+          HAECHI_LOG_WARN("controller: resize of client %lld failed: %s",
+                          static_cast<long long>(action.client),
+                          s.ToString().c_str());
+        }
+        applied = s.ok();
+        payload = action.delta;
+        break;
+      }
+      case control::ActionKind::kScaleEta:
+        estimator_->SetEtaScaleMilli(action.value);
+        applied = true;
+        break;
+      case control::ActionKind::kForceConversion:
+        force_reporting_ = true;
+        applied = true;
+        break;
+      case control::ActionKind::kReadmit:
+        if (readmit_cb_) {
+          readmit_cb_(MakeClientId(static_cast<std::uint32_t>(action.client)));
+          applied = true;
+        }
+        break;
+    }
+    if (applied) {
+      HAECHI_TRACE_EVENT(obs::ActorKind::kController, trace_actor_,
+                         obs::EventType::kControlAction, stats_.periods,
+                         static_cast<std::int64_t>(action.kind), action.client,
+                         payload);
+    }
+  }
 }
 
 void QosMonitor::CheckTick() {
@@ -421,14 +522,7 @@ void QosMonitor::CheckTick() {
 
   // Step S2: reservation-token overflow — someone is drawing on the pool.
   if (!reporting_active_ && observed_now < initial_pool_) {
-    reporting_active_ = true;
-    ++stats_.report_signals;
-    HAECHI_TRACE_EVENT(obs::ActorKind::kMonitor, trace_actor_,
-                       obs::EventType::kReportSignal, stats_.periods,
-                       observed_now, initial_pool_);
-    ReportRequestMsg msg;
-    msg.period = stats_.periods;
-    for (auto& entry : clients_) SendToClient(entry, &msg, sizeof(msg));
+    ActivateReporting(observed_now);
   }
 
   // Report lease: only meaningful once clients were asked to report.

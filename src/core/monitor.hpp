@@ -31,6 +31,7 @@
 #include "core/admission.hpp"
 #include "core/capacity_estimator.hpp"
 #include "core/config.hpp"
+#include "core/control/controller.hpp"
 #include "core/wire.hpp"
 #include "rdma/fabric.hpp"
 #include "sim/simulator.hpp"
@@ -202,6 +203,19 @@ class QosMonitor {
       std::function<void(std::uint32_t, std::int64_t, std::int64_t)>;
   void SetPeriodHook(PeriodHook fn) { period_hook_ = std::move(fn); }
 
+  /// Wires the closed-loop controller (DESIGN.md §14). At every boundary —
+  /// after the period-end emit settled the watchdog's verdicts, before the
+  /// next period is provisioned — the monitor hands the controller a
+  /// per-client view, applies the returned plan (reservation resizes, eta
+  /// damping, forced conversion) and emits one kControlAction per applied
+  /// action. `readmit` is invoked for kReadmit actions; the harness owns
+  /// re-admission (it must defer actual re-wiring off this call stack).
+  void SetController(control::QosController* controller,
+                     std::function<void(ClientId)> readmit) {
+    controller_ = controller;
+    readmit_cb_ = std::move(readmit);
+  }
+
  private:
   struct ClientEntry {
     ClientId id;
@@ -224,6 +238,8 @@ class QosMonitor {
 
   void StartPeriod();
   void CheckTick();
+  void RunControlBoundary();
+  void ActivateReporting(std::int64_t observed_pool);
   void CheckLeases();
   void DeclareDead(ClientId client);
   void ConvertTokens();
@@ -275,6 +291,12 @@ class QosMonitor {
   std::function<void(ClientId)> over_reserve_cb_;
   std::function<void(ClientId)> client_dead_cb_;
   PeriodHook period_hook_;
+  control::QosController* controller_ = nullptr;
+  std::function<void(ClientId)> readmit_cb_;
+  // Latched by a kForceConversion action: every subsequent period starts
+  // with reporting active instead of waiting for S2 (which can never fire
+  // when the initial pool is zero — the W6 starvation deadlock).
+  bool force_reporting_ = false;
 
   // Token ledger bookkeeping: ledger_last_pool_ is the raw pool word at
   // the monitor's last observation/write, so every decrease between

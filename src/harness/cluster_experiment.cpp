@@ -71,6 +71,24 @@ void ClusterExperiment::Build() {
     monitor->SetPeriodHook([this, d, monitor, prefix](
                                std::uint32_t period, std::int64_t completions,
                                std::int64_t estimate) {
+      if (d == 0) {
+        // Scripted control-api swaps land on node 0's boundary callback, so
+        // the same boundary's PlanBoundary already sees the new policy.
+        while (control_api_next_ < config_.control.api.size() &&
+               config_.control.api[control_api_next_].first <= period) {
+          const auto swap = config_.control.api[control_api_next_++];
+          if (controller_ != nullptr) {
+            controller_->SetPolicy(swap.second);
+            HAECHI_TRACE_EVENT(
+                obs::ActorKind::kHarness, 0,
+                obs::EventType::kControllerConfig, period,
+                static_cast<std::int64_t>(swap.second),
+                static_cast<std::int64_t>(controller_->config().rules),
+                static_cast<std::int64_t>(
+                    controller_->config().quiet_periods));
+          }
+        }
+      }
       metrics_.Add(prefix + "completions", completions);
       metrics_.Set(prefix + "capacity_estimate",
                    static_cast<double>(estimate));
@@ -107,6 +125,25 @@ void ClusterExperiment::Build() {
                        static_cast<std::uint64_t>(d),
                        admission.AggregateCapacity(),
                        admission.LocalCapacity());
+  }
+
+  if (controller_ != nullptr) {
+    for (std::size_t i = 0; i < config_.clients.size(); ++i) {
+      const ClusterClientSpec& spec = config_.clients[i];
+      std::int64_t demand = 0;
+      for (const auto per_node : spec.demand_per_node) demand += per_node;
+      controller_->SetClientSpec(static_cast<std::uint32_t>(i),
+                                 spec.reservation, spec.limit, demand);
+      const auto cls = config_.control.classes.find(i);
+      if (cls != config_.control.classes.end()) {
+        controller_->SetClientClass(static_cast<std::uint32_t>(i),
+                                    cls->second);
+      }
+    }
+    // Node 0 hosts the control boundary (the watchdog follows node 0's
+    // pool in cluster mode); no readmit path — the coordinator's purge
+    // machinery owns cluster-wide client death.
+    monitors_[0]->SetController(controller_.get(), nullptr);
   }
 
   for (std::size_t t = 0; t < config_.tenants.size(); ++t) {
@@ -249,7 +286,8 @@ ClusterExperimentResult ClusterExperiment::Run() {
 #if HAECHI_WATCHDOG_ENABLED
   const bool want_watchdog = config_.watchdog.enabled ||
                              !config_.watchdog.alerts_out.empty() ||
-                             config_.watchdog.status_interval > 0;
+                             config_.watchdog.status_interval > 0 ||
+                             config_.control.armed();
   want_recorder = want_recorder || want_watchdog;
 #endif
   if (want_recorder) {
@@ -276,6 +314,15 @@ ClusterExperimentResult ClusterExperiment::Run() {
       }
       watchdog_->SetStatusFn(std::move(status_fn),
                              config_.watchdog.status_interval);
+    }
+    if (config_.control.armed()) {
+      controller_ = std::make_unique<core::control::QosController>(
+          config_.control.ToControllerConfig());
+      watchdog_->AddSink(controller_.get());
+      std::stable_sort(config_.control.api.begin(), config_.control.api.end(),
+                       [](const auto& x, const auto& y) {
+                         return x.first < y.first;
+                       });
     }
     recorder_->SetTap(
         [this](const obs::TraceEvent& event) { watchdog_->OnEvent(event); });
@@ -316,6 +363,13 @@ ClusterExperimentResult ClusterExperiment::Run() {
                        static_cast<std::uint32_t>(i),
                        obs::EventType::kClientSpec, 0, spec.reservation,
                        spec.limit, demand);
+  }
+  if (controller_ != nullptr) {
+    HAECHI_TRACE_EVENT(
+        obs::ActorKind::kHarness, 0, obs::EventType::kControllerConfig, 0,
+        static_cast<std::int64_t>(controller_->policy()),
+        static_cast<std::int64_t>(controller_->config().rules),
+        static_cast<std::int64_t>(controller_->config().quiet_periods));
   }
 
   Build();

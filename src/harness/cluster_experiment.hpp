@@ -81,6 +81,11 @@ struct ClusterExperimentConfig {
   /// Same knobs (and semantics) as the single-node experiment.
   ExperimentConfig::TraceConfig trace;
   ExperimentConfig::WatchdogConfig watchdog;
+  /// Closed-loop controller, attached to node 0's monitor (the watchdog
+  /// only follows node 0's pool in cluster mode). W1 resizing is inert —
+  /// the cluster watchdog leaves reservation verdicts to the offline
+  /// audit — so the cluster controller acts on W5/W6/lease rules.
+  ExperimentConfig::ControlConfig control;
 };
 
 struct ClusterExperimentResult {
@@ -129,6 +134,9 @@ class ClusterExperiment {
   /// and `--prom-out` persist in cluster mode.
   [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] obs::SloWatchdog* watchdog() { return watchdog_.get(); }
+  [[nodiscard]] core::control::QosController* controller() {
+    return controller_.get();
+  }
   [[nodiscard]] const std::string& alerts_jsonl() const {
     static const std::string kEmpty;
     return alerts_sink_ != nullptr ? alerts_sink_->buffer() : kEmpty;
@@ -154,6 +162,8 @@ class ClusterExperiment {
   std::unique_ptr<obs::Recorder> recorder_;
   std::unique_ptr<obs::SloWatchdog> watchdog_;
   std::unique_ptr<obs::JsonlAlertSink> alerts_sink_;
+  std::unique_ptr<core::control::QosController> controller_;
+  std::size_t control_api_next_ = 0;
   obs::MetricsRegistry metrics_;
   std::unique_ptr<sim::PeriodicTimer> measure_timer_;
   std::size_t measured_periods_ = 0;

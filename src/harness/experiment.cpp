@@ -1,5 +1,6 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -67,6 +68,20 @@ void Experiment::BuildCluster() {
     monitor_->SetPeriodHook([this](std::uint32_t period,
                                    std::int64_t completions,
                                    std::int64_t estimate) {
+      // Scripted control-api swaps land on the boundary callback, so the
+      // same boundary's PlanBoundary already sees the new policy.
+      while (control_api_next_ < config_.control.api.size() &&
+             config_.control.api[control_api_next_].first <= period) {
+        const auto swap = config_.control.api[control_api_next_++];
+        if (controller_ != nullptr) {
+          controller_->SetPolicy(swap.second);
+          HAECHI_TRACE_EVENT(
+              obs::ActorKind::kHarness, 0, obs::EventType::kControllerConfig,
+              period, static_cast<std::int64_t>(swap.second),
+              static_cast<std::int64_t>(controller_->config().rules),
+              static_cast<std::int64_t>(controller_->config().quiet_periods));
+        }
+      }
       result_->capacity_trace.push_back({period, completions, estimate});
       // One metrics snapshot per QoS period: the registry's long-format
       // CSV carries the same per-period trajectory the figures plot.
@@ -80,6 +95,21 @@ void Experiment::BuildCluster() {
       metrics_.Record("monitor.period_completions", completions);
       metrics_.SnapshotPeriod(period);
     });
+    if (controller_ != nullptr) {
+      for (std::size_t i = 0; i < config_.clients.size(); ++i) {
+        const ClientSpec& spec = config_.clients[i];
+        controller_->SetClientSpec(static_cast<std::uint32_t>(i),
+                                   spec.reservation, spec.limit, spec.demand);
+        const auto cls = config_.control.classes.find(i);
+        if (cls != config_.control.classes.end()) {
+          controller_->SetClientClass(static_cast<std::uint32_t>(i),
+                                      cls->second);
+        }
+      }
+      monitor_->SetController(controller_.get(), [this](ClientId client) {
+        ReadmitClient(static_cast<std::size_t>(Raw(client)));
+      });
+    }
   }
 
   for (std::size_t i = 0; i < config_.clients.size(); ++i) BuildClient(i);
@@ -140,6 +170,22 @@ void Experiment::RestartClient(std::size_t index) {
   // The previous incarnation stays in the ownership pools untouched.
   WireClient(index);
   rigs_.at(index).generator->Start(sim_.Now());
+}
+
+void Experiment::ReadmitClient(std::size_t index) {
+  if (index >= rigs_.size()) return;
+  // Deferred off the monitor's boundary callback stack: re-wiring tears
+  // down the engine whose lease expiry the monitor is still processing.
+  sim_.ScheduleAt(sim_.Now(), [this, index] {
+    ClientRig& rig = rigs_.at(index);
+    if (fabric_->IsCrashed(rig.node->id())) return;  // restart path owns it
+    HAECHI_LOG_INFO("experiment: controller re-admits client %zu at t=%lld",
+                    index, static_cast<long long>(sim_.Now()));
+    if (rig.engine != nullptr) rig.engine->Stop();
+    rig.generator->Stop();
+    WireClient(index);
+    rigs_.at(index).generator->Start(sim_.Now());
+  });
 }
 
 void Experiment::WireClient(std::size_t index) {
@@ -360,10 +406,12 @@ ExperimentResult Experiment::Run() {
       config_.trace.enabled || !config_.trace.out_path.empty();
 #if HAECHI_WATCHDOG_ENABLED
   // Arming the watchdog forces a recorder: the watchdog is a tap on the
-  // event stream, and sees nothing without one.
+  // event stream, and sees nothing without one. An armed controller in
+  // turn forces the watchdog — it feeds on the live alert stream.
   const bool want_watchdog = config_.watchdog.enabled ||
                              !config_.watchdog.alerts_out.empty() ||
-                             config_.watchdog.status_interval > 0;
+                             config_.watchdog.status_interval > 0 ||
+                             config_.control.armed();
   want_recorder = want_recorder || want_watchdog;
 #endif
   if (want_recorder) {
@@ -392,6 +440,15 @@ ExperimentResult Experiment::Run() {
       }
       watchdog_->SetStatusFn(std::move(status_fn),
                              config_.watchdog.status_interval);
+    }
+    if (config_.control.armed()) {
+      controller_ = std::make_unique<core::control::QosController>(
+          config_.control.ToControllerConfig());
+      watchdog_->AddSink(controller_.get());
+      std::stable_sort(config_.control.api.begin(), config_.control.api.end(),
+                       [](const auto& x, const auto& y) {
+                         return x.first < y.first;
+                       });
     }
     // Installed before the first harness event below: the watchdog's view
     // must start at kRunConfig or its period-length inference runs blind.
@@ -425,6 +482,13 @@ ExperimentResult Experiment::Run() {
                        static_cast<std::uint32_t>(i),
                        obs::EventType::kClientSpec, 0, spec.reservation,
                        spec.limit, spec.demand);
+  }
+  if (controller_ != nullptr) {
+    HAECHI_TRACE_EVENT(
+        obs::ActorKind::kHarness, 0, obs::EventType::kControllerConfig, 0,
+        static_cast<std::int64_t>(controller_->policy()),
+        static_cast<std::int64_t>(controller_->config().rules),
+        static_cast<std::int64_t>(controller_->config().quiet_periods));
   }
 
   BuildCluster();
@@ -572,6 +636,19 @@ ExperimentResult Experiment::Run() {
                      watchdog_->CountAtLeast(obs::AlertSeverity::kCritical)));
     metrics_.Add("watchdog.periods_evaluated",
                  static_cast<std::int64_t>(watchdog_->periods_evaluated()));
+  }
+  if (controller_ != nullptr) {
+    const auto& cs = controller_->stats();
+    metrics_.Add("controller.alerts", static_cast<std::int64_t>(cs.alerts));
+    metrics_.Add("controller.resizes", static_cast<std::int64_t>(cs.resizes));
+    metrics_.Add("controller.eta_scalings",
+                 static_cast<std::int64_t>(cs.eta_scalings));
+    metrics_.Add("controller.forced_conversions",
+                 static_cast<std::int64_t>(cs.forced_conversions));
+    metrics_.Add("controller.readmits",
+                 static_cast<std::int64_t>(cs.readmits));
+    metrics_.Add("controller.recoveries",
+                 static_cast<std::int64_t>(cs.recoveries));
   }
 #endif
   if (!config_.trace.metrics_out.empty()) {

@@ -9,12 +9,15 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
 #include "core/config.hpp"
+#include "core/control/controller.hpp"
 #include "core/engine.hpp"
 #include "core/monitor.hpp"
 #include "kvstore/client.hpp"
@@ -140,6 +143,39 @@ struct ExperimentConfig {
     std::function<void(const obs::PeriodStatus&)> status_fn;
   };
   WatchdogConfig watchdog;
+
+  /// Closed-loop QoS control plane (src/core/control, DESIGN.md §14). A
+  /// non-kOff policy (or a scripted swap below) arms the controller, which
+  /// force-arms the watchdog — the controller feeds on its alert stream.
+  /// Inert when HAECHI_WATCHDOG=OFF, like the watchdog itself.
+  struct ControlConfig {
+    core::control::Policy policy = core::control::Policy::kOff;
+    std::uint32_t rules = core::control::kAllRules;
+    std::uint32_t quiet_periods = 1;
+    std::uint32_t oscillation_quiet = 6;
+    std::uint32_t eta_recover_after = 16;
+    std::int64_t min_reservation = 0;
+    /// Service classes by client index; missing = permissive default.
+    std::map<std::size_t, core::control::ClientClass> classes;
+    /// Scripted runtime policy swaps (the --control-api surface): applied
+    /// at the first boundary whose period counter is >= `first`.
+    std::vector<std::pair<std::uint32_t, core::control::Policy>> api;
+
+    [[nodiscard]] bool armed() const {
+      return policy != core::control::Policy::kOff || !api.empty();
+    }
+    [[nodiscard]] core::control::ControllerConfig ToControllerConfig() const {
+      core::control::ControllerConfig out;
+      out.policy = policy;
+      out.rules = rules;
+      out.quiet_periods = quiet_periods;
+      out.oscillation_quiet = oscillation_quiet;
+      out.eta_recover_after = eta_recover_after;
+      out.min_reservation = min_reservation;
+      return out;
+    }
+  };
+  ControlConfig control;
 };
 
 struct ExperimentResult {
@@ -201,6 +237,11 @@ class Experiment {
   /// The online watchdog (null unless config.watchdog armed one — always
   /// null when HAECHI_WATCHDOG=OFF).
   [[nodiscard]] obs::SloWatchdog* watchdog() { return watchdog_.get(); }
+  /// The closed-loop controller (null unless config.control armed one —
+  /// always null when HAECHI_WATCHDOG=OFF).
+  [[nodiscard]] core::control::QosController* controller() {
+    return controller_.get();
+  }
   /// The watchdog's buffered JSONL alert document ("" when not armed) —
   /// the same bytes `alerts_out` persists.
   [[nodiscard]] const std::string& alerts_jsonl() const {
@@ -226,6 +267,9 @@ class Experiment {
   void WireClient(std::size_t index);
   void CrashClient(std::size_t index);
   void RestartClient(std::size_t index);
+  /// Controller kReadmit action: stop the client's current incarnation and
+  /// re-wire it under its old id (deferred to the next sim event).
+  void ReadmitClient(std::size_t index);
   void BuildBackground(std::size_t index);
   /// Record-sized dummy payload shared by all PUTs (its bytes only matter
   /// when payload copying is on).
@@ -251,6 +295,9 @@ class Experiment {
   // HAECHI_WATCHDOG=OFF).
   std::unique_ptr<obs::SloWatchdog> watchdog_;
   std::unique_ptr<obs::JsonlAlertSink> alerts_sink_;
+  std::unique_ptr<core::control::QosController> controller_;
+  /// Scripted policy swaps not yet applied (drained by the period hook).
+  std::size_t control_api_next_ = 0;
   obs::MetricsRegistry metrics_;
   std::unique_ptr<sim::PeriodicTimer> measure_timer_;
   std::size_t measured_periods_ = 0;

@@ -46,9 +46,6 @@ ThreadedExperiment::ThreadedExperiment(ExperimentConfig config)
     HAECHI_EXPECTS(fault.restart_at == kSimTimeMax);
   }
   HAECHI_EXPECTS(config_.background_demand == 0);
-  HAECHI_EXPECTS(!config_.watchdog.enabled &&
-                 config_.watchdog.alerts_out.empty() &&
-                 config_.watchdog.status_interval == 0);
   HAECHI_EXPECTS(config_.qos.period > 0);
   HAECHI_EXPECTS(config_.qos.pool_shards >= 1 &&
                  config_.qos.pool_shards <=
@@ -198,7 +195,17 @@ ThreadedExperimentResult ThreadedExperiment::Run() {
   ThreadedExperimentResult result{stats::PeriodSeries(n)};
   const SimTime run_start = clock_.Now();
 
-  if (config_.trace.enabled) {
+#if HAECHI_WATCHDOG_ENABLED
+  // Arming the watchdog forces a recorder (it taps the event stream); an
+  // armed controller in turn forces the watchdog (it feeds on its alerts).
+  const bool want_watchdog = config_.watchdog.enabled ||
+                             !config_.watchdog.alerts_out.empty() ||
+                             config_.watchdog.status_interval > 0 ||
+                             config_.control.armed();
+#else
+  const bool want_watchdog = false;
+#endif
+  if (config_.trace.enabled || want_watchdog) {
     obs::Recorder::Options options;
     options.ring_capacity = config_.trace.ring_capacity;
     options.detail = config_.trace.detail;
@@ -206,6 +213,49 @@ ThreadedExperimentResult ThreadedExperiment::Run() {
     recorder_ = std::make_unique<obs::Recorder>(
         obs::Recorder::ClockFn([this] { return clock_.Now(); }), options);
   }
+#if HAECHI_WATCHDOG_ENABLED
+  if (want_watchdog) {
+    obs::WatchdogOptions wd_options;
+    wd_options.guarantee_fraction = config_.watchdog.guarantee_fraction;
+    watchdog_ = std::make_unique<obs::SloWatchdog>(wd_options);
+    alerts_sink_ =
+        std::make_unique<obs::JsonlAlertSink>(config_.watchdog.alerts_out);
+    watchdog_->AddSink(alerts_sink_.get());
+    if (config_.watchdog.status_interval > 0) {
+      auto status_fn = config_.watchdog.status_fn;
+      if (!status_fn) {
+        status_fn = [](const obs::PeriodStatus& status) {
+          std::fprintf(stderr, "%s\n", obs::FormatStatusLine(status).c_str());
+        };
+      }
+      watchdog_->SetStatusFn(std::move(status_fn),
+                             config_.watchdog.status_interval);
+    }
+    if (config_.control.armed()) {
+      controller_ = std::make_unique<core::control::QosController>(
+          config_.control.ToControllerConfig());
+      // The controller's OnAlert only ever fires while the watchdog
+      // processes monitor-emitted events, and PlanBoundary runs on the
+      // monitor thread too — its state is effectively monitor-thread-local.
+      watchdog_->AddSink(controller_.get());
+      std::stable_sort(config_.control.api.begin(), config_.control.api.end(),
+                       [](const auto& x, const auto& y) {
+                         return x.first < y.first;
+                       });
+    }
+    // Installed before the first harness event below, and serialised: the
+    // monitor's two timer threads and every worker-owned engine emit
+    // concurrently, while the watchdog is single-threaded by contract.
+    recorder_->SetTap([this](const obs::TraceEvent& event) {
+      std::lock_guard lk(watchdog_mu_);
+      watchdog_->OnEvent(event);
+    });
+    recorder_->SetDropNotify([this] {
+      std::lock_guard lk(watchdog_mu_);
+      watchdog_->NotifyTruncation(clock_.Now());
+    });
+  }
+#endif
   const auto emit = [this](EventType type, std::uint32_t actor, std::int64_t a,
                            std::int64_t b, std::int64_t c) {
     if (recorder_ != nullptr) {
@@ -252,6 +302,26 @@ ThreadedExperimentResult ThreadedExperiment::Run() {
     result.reservations.push_back(spec.reservation);
   }
 
+  if (controller_ != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const ClientSpec& spec = config_.clients[i];
+      controller_->SetClientSpec(static_cast<std::uint32_t>(i),
+                                 spec.reservation, spec.limit, spec.demand);
+      const auto cls = config_.control.classes.find(i);
+      if (cls != config_.control.classes.end()) {
+        controller_->SetClientClass(static_cast<std::uint32_t>(i),
+                                    cls->second);
+      }
+    }
+    // No readmit callback: threaded clients never depart through a lease
+    // (no fault plans here), so kReadmit actions stay unapplied.
+    monitor_->SetController(controller_.get(), nullptr);
+    emit(EventType::kControllerConfig, 0,
+         static_cast<std::int64_t>(controller_->policy()),
+         static_cast<std::int64_t>(controller_->config().rules),
+         static_cast<std::int64_t>(controller_->config().quiet_periods));
+  }
+
   // Completion latch: the monitor's period hook fires with the period that
   // just ended (the boundary starting the next one). The measurement
   // markers are stamped half a period away from that boundary — start at
@@ -267,6 +337,20 @@ ThreadedExperimentResult ThreadedExperiment::Run() {
   monitor_->SetPeriodHook([&, this](std::uint32_t period,
                                     std::int64_t completions,
                                     std::int64_t estimate) {
+    // Scripted control-api swaps: the hook runs on the monitor thread, the
+    // same thread that calls PlanBoundary, so SetPolicy needs no lock and
+    // the same boundary already sees the new policy.
+    while (control_api_next_ < config_.control.api.size() &&
+           config_.control.api[control_api_next_].first <= period) {
+      const auto swap = config_.control.api[control_api_next_++];
+      if (controller_ != nullptr) {
+        controller_->SetPolicy(swap.second);
+        emit(EventType::kControllerConfig, 0,
+             static_cast<std::int64_t>(swap.second),
+             static_cast<std::int64_t>(controller_->config().rules),
+             static_cast<std::int64_t>(controller_->config().quiet_periods));
+      }
+    }
     result.capacity_trace.push_back({period, completions, estimate});
     metrics_.Add("monitor.completions", completions);
     metrics_.Set("monitor.capacity_estimate", static_cast<double>(estimate));
@@ -378,6 +462,36 @@ ThreadedExperimentResult ThreadedExperiment::Run() {
     metrics_.Add("trace.dropped_events",
                  static_cast<std::int64_t>(recorder_->TotalDropped()));
   }
+#if HAECHI_WATCHDOG_ENABLED
+  if (watchdog_ != nullptr) {
+    // Every emitter thread is joined; no lock needed past this point.
+    const Status flushed = watchdog_->Finish();
+    if (!flushed.ok()) {
+      HAECHI_LOG_WARN("threaded experiment: alert sink flush failed: %s",
+                      flushed.ToString().c_str());
+    }
+    metrics_.Add("watchdog.alerts",
+                 static_cast<std::int64_t>(watchdog_->alerts().size()));
+    metrics_.Add("watchdog.critical",
+                 static_cast<std::int64_t>(
+                     watchdog_->CountAtLeast(obs::AlertSeverity::kCritical)));
+    metrics_.Add("watchdog.periods_evaluated",
+                 static_cast<std::int64_t>(watchdog_->periods_evaluated()));
+  }
+  if (controller_ != nullptr) {
+    const auto& cs = controller_->stats();
+    metrics_.Add("controller.alerts", static_cast<std::int64_t>(cs.alerts));
+    metrics_.Add("controller.resizes", static_cast<std::int64_t>(cs.resizes));
+    metrics_.Add("controller.eta_scalings",
+                 static_cast<std::int64_t>(cs.eta_scalings));
+    metrics_.Add("controller.forced_conversions",
+                 static_cast<std::int64_t>(cs.forced_conversions));
+    metrics_.Add("controller.readmits",
+                 static_cast<std::int64_t>(cs.readmits));
+    metrics_.Add("controller.recoveries",
+                 static_cast<std::int64_t>(cs.recoveries));
+  }
+#endif
 
   if (recorder_ != nullptr && !config_.trace.out_path.empty()) {
     const Status status =

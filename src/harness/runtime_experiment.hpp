@@ -10,11 +10,13 @@
 //
 // Scope: the threaded backend runs the QoS protocol proper. Scripted
 // *crash-only* client faults are supported (the engine stops silently at
-// crash_at; the monitor's report lease reclaims the residual). Features
-// that belong to the simulated cluster — fabric fault plans, client
-// restarts, background traffic, the two-sided I/O path, bare mode, the
-// SLO watchdog tap — are rejected up front (HAECHI_EXPECTS) rather than
-// half-supported.
+// crash_at; the monitor's report lease reclaims the residual), and so are
+// the SLO watchdog and the closed-loop controller — the recorder tap
+// serialises multi-threaded emitters through a mutex before the
+// single-threaded watchdog. Features that belong to the simulated cluster
+// — fabric fault plans, client restarts, background traffic, the
+// two-sided I/O path, bare mode — are rejected up front (HAECHI_EXPECTS)
+// rather than half-supported.
 //
 // Determinism caveat: results are statistically, not bitwise, reproducible.
 // The same config and seed produce the same admitted reservations and the
@@ -25,6 +27,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -95,6 +98,17 @@ class ThreadedExperiment {
   /// persist for the threaded backend.
   [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  /// The online watchdog (null unless config.watchdog or an armed
+  /// controller wired one; always null when HAECHI_WATCHDOG=OFF).
+  [[nodiscard]] obs::SloWatchdog* watchdog() { return watchdog_.get(); }
+  [[nodiscard]] core::control::QosController* controller() {
+    return controller_.get();
+  }
+  /// The watchdog's buffered JSONL alert document ("" when not armed).
+  [[nodiscard]] const std::string& alerts_jsonl() const {
+    static const std::string kEmpty;
+    return alerts_sink_ != nullptr ? alerts_sink_->buffer() : kEmpty;
+  }
 
  private:
   void WorkerLoop(std::size_t worker);
@@ -107,6 +121,14 @@ class ThreadedExperiment {
   std::size_t worker_count_ = 0;
   runtime::Clock clock_;
   std::unique_ptr<obs::Recorder> recorder_;
+  /// Serialises the recorder tap: the monitor's timer threads and every
+  /// worker-owned engine emit concurrently, and the watchdog is
+  /// single-threaded by contract.
+  std::mutex watchdog_mu_;
+  std::unique_ptr<obs::SloWatchdog> watchdog_;
+  std::unique_ptr<obs::JsonlAlertSink> alerts_sink_;
+  std::unique_ptr<core::control::QosController> controller_;
+  std::size_t control_api_next_ = 0;
   std::unique_ptr<runtime::ThreadedFabric> fabric_;
   std::unique_ptr<runtime::ThreadedMonitor> monitor_;
   std::vector<std::unique_ptr<runtime::ThreadedEngine>> engines_;

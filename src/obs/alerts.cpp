@@ -11,7 +11,8 @@ namespace {
 constexpr std::string_view kKindNames[] = {
     "reservation_shortfall", "limit_overshoot",      "pool_conservation",
     "conversion_stall",      "capacity_oscillation", "faa_starvation",
-    "borrow_storm",          "trace_truncation",
+    "borrow_storm",          "trace_truncation",     "lease_churn",
+    "recovered",
 };
 
 constexpr std::string_view kSeverityNames[] = {"info", "warning", "critical"};

@@ -35,6 +35,13 @@ enum class AlertKind : std::uint8_t {
   kBorrowStorm,               // cross-server borrow requests flooding a period
   kTraceTruncation,           // recorder ring wrapped / replay seq gap:
                               // the trace under audit is incomplete
+  kLeaseChurn,                // a client's report lease expired (observed =
+                              // cumulative expiries for the client) — fuel
+                              // for the controller's re-admission rule
+  kRecovered,                 // a previously violated rule went quiet: the
+                              // closed-loop controller cleared it (expected
+                              // = the AlertKind that recovered, observed =
+                              // periods from first violation to recovery)
 };
 
 enum class AlertSeverity : std::uint8_t {

@@ -358,6 +358,10 @@ AuditReport AuditTrace(const std::vector<TraceEvent>& events,
           live_res[static_cast<std::uint32_t>(e.a)] = e.b;
           break;
         case EventType::kReservationUpdate:
+          // A controller resize re-baselines the reservation A9 judges
+          // against, exactly like a re-admission.
+          clients[static_cast<std::uint32_t>(e.a)].admits.emplace_back(e.time,
+                                                                       e.b);
           live_res[static_cast<std::uint32_t>(e.a)] = e.b;
           break;
         case EventType::kRelease:
@@ -665,6 +669,34 @@ AuditReport AuditTrace(const std::vector<TraceEvent>& events,
                        static_cast<long long>(reservation),
                        static_cast<long long>(info.spec_demand),
                        static_cast<long long>(floor_target)));
+      }
+    }
+  }
+
+  // ---- A10: controller resize neutrality ---------------------------------
+  // Every applied controller resize stamps its signed reservation delta in
+  // kControlAction.c; the controller plans shrink-and-park pairs, so per
+  // (node, period) the deltas must sum to zero — reservations move between
+  // clients, capacity is never minted or destroyed.
+  for (const auto& [ckey, cstream] : streams) {
+    if (static_cast<ActorKind>(ckey.first) != ActorKind::kController) {
+      continue;
+    }
+    if (truncated.contains(ckey)) continue;  // A1 already flagged it
+    std::map<std::uint32_t, std::int64_t> resize_sum;
+    for (const TraceEvent& e : cstream) {
+      if (e.type != EventType::kControlAction) continue;
+      if (e.a != 0) continue;  // 0 = control::ActionKind::kResize
+      resize_sum[e.period] += e.c;
+    }
+    for (const auto& [period, sum] : resize_sum) {
+      ++report.checks_run;
+      ++report.control_checks;
+      if (sum != 0) {
+        fail("A10", Fmt("node %u period %u: controller resize deltas sum "
+                        "to %lld, expected 0 (reservation moves must be "
+                        "sum-neutral)",
+                        ckey.second, period, static_cast<long long>(sum)));
       }
     }
   }

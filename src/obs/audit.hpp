@@ -104,6 +104,7 @@ struct AuditReport {
   std::uint32_t data_nodes = 1;
   int checks_run = 0;
   int guarantee_checks = 0;  // (client, period) pairs A9 evaluated
+  int control_checks = 0;    // (node, period) pairs A10 evaluated
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
   /// Multi-line human-readable summary (per-period ledger + verdict).

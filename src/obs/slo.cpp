@@ -350,9 +350,33 @@ void SloWatchdog::OnEvent(const TraceEvent& e) {
       client.admitted_limit = e.c;
       break;
     }
+    // A controller resize re-baselines the reservation W1/W2 judge against,
+    // exactly like a re-admission (b = the new reservation).
+    case EventType::kReservationUpdate:
+      clients_[static_cast<std::uint32_t>(e.a)].admits.emplace_back(e.time,
+                                                                    e.b);
+      break;
     case EventType::kRelease:
-    case EventType::kLeaseExpire:
       clients_[static_cast<std::uint32_t>(e.a)].departures.push_back(e.time);
+      break;
+    case EventType::kLeaseExpire: {
+      ClientState& client = clients_[static_cast<std::uint32_t>(e.a)];
+      client.departures.push_back(e.time);
+      ++client.lease_expiries;
+      Raise({AlertKind::kLeaseChurn,
+             cur_.faulted || run_faulted_ ? AlertSeverity::kInfo
+                                          : AlertSeverity::kWarning,
+             e.time, e.period, e.a, 0, client.lease_expiries,
+             FaultCause("report lease expired; client presumed dead")});
+      break;
+    }
+
+    // --- controller: recovery claims become typed alerts, so live runs and
+    // offline ReplayTrace produce byte-identical alert streams.
+    case EventType::kControlRecovered:
+      Raise({AlertKind::kRecovered, AlertSeverity::kInfo, e.time, e.period,
+             e.b, e.a, e.c,
+             "controller: violated rule stayed quiet through its window"});
       break;
 
     // --- engine: token-path distress signals ------------------------------
@@ -397,8 +421,13 @@ void SloWatchdog::EvaluatePeriod(const TraceEvent& end_event) {
   // geometry — identical to the auditor's A9 so verdicts agree.
   const SimTime p_end =
       period_len_ > 0 ? p.start_time + period_len_ : kTimeMax;
+  // Harness traces declare their window with kMeasureStart; until that
+  // event arrives nothing is measured. This keeps the streaming verdict
+  // independent of tie-breaking when a period boundary lands on the same
+  // timestamp as the warmup edge (Merged() orders monitors before the
+  // harness), so live taps and trace replays agree with audit A9.
   bool measured =
-      (measure_start_ < 0 || p.start_time >= measure_start_) &&
+      (measure_start_ >= 0 && p.start_time >= measure_start_) &&
       (measure_end_ < 0 || (p_end != kTimeMax && p_end <= measure_end_));
   if (!have_harness_) measured = true;
 

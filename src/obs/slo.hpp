@@ -172,6 +172,7 @@ class SloWatchdog {
     std::vector<std::pair<SimTime, std::int64_t>> admits;
     std::int64_t admitted_limit = -1;
     std::vector<SimTime> departures;  // releases + lease expiries
+    std::int64_t lease_expiries = 0;  // cumulative, fuels kLeaseChurn
     // Scripted crash windows [crash, restart); restart == kTimeMax while
     // the client is still down.
     std::vector<std::pair<SimTime, SimTime>> crash_windows;

@@ -79,10 +79,13 @@ constexpr TypeName kTypeNames[] = {
     {EventType::kEngineBinding, "engine_binding"},
     {EventType::kNodeCapacity, "node_capacity"},
     {EventType::kTenantSpec, "tenant_spec"},
+    {EventType::kControllerConfig, "controller_config"},
+    {EventType::kControlAction, "control_action"},
+    {EventType::kControlRecovered, "control_recovered"},
 };
 
 constexpr std::string_view kKindNames[kActorKinds] = {
-    "monitor", "engine", "fabric", "kv", "harness", "cluster"};
+    "monitor", "engine", "fabric", "kv", "harness", "cluster", "controller"};
 
 }  // namespace
 

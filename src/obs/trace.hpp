@@ -58,8 +58,9 @@ enum class ActorKind : std::uint8_t {
   kKv = 3,       // KV store client (actor = node id)
   kHarness = 4,  // experiment harness (actor = client index or 0)
   kCluster = 5,  // cluster coordinator (actor = 0)
+  kController = 6,  // closed-loop QoS controller (actor = node, 0 off-cluster)
 };
-inline constexpr std::size_t kActorKinds = 6;
+inline constexpr std::size_t kActorKinds = 7;
 
 /// The event taxonomy (DESIGN.md §9). Payload fields a/b/c are typed per
 /// event; the comments give the binding used by exporters and the audit.
@@ -136,6 +137,14 @@ enum class EventType : std::uint16_t {
                             // c=tenant (cluster striping map)
   kNodeCapacity,            // a=node b=aggregate capacity c=local capacity
   kTenantSpec,              // actor=tenant; a=reservation b=limit c=clients
+  // --- closed-loop controller (DESIGN.md §14) ------------------------------
+  kControllerConfig = 128,  // a=policy (control::Policy) b=rule enable mask
+                            // c=recovery window (periods)
+  kControlAction,           // a=action kind (control::ActionKind) b=client
+                            // (-1 monitor-wide) c=value: resize delta
+                            // (signed tokens), eta scale milli, or 0
+  kControlRecovered,        // a=AlertKind that went quiet b=client (-1)
+                            // c=periods from first violation to recovery
 };
 
 /// Stable short name ("period_start", "faa_done", ...) used by the CSV and

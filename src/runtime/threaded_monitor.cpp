@@ -219,6 +219,13 @@ void ThreadedMonitor::StartPeriodLocked(SimTime now) {
                stats_.last_period_completions, prev.granted);
   }
 
+  // Closed-loop control boundary. The kMonitorPeriodEnd emit above ran the
+  // watchdog synchronously through the recorder tap, so the controller's
+  // alert intake for the closing period is settled. Resizes are sum-neutral
+  // on total_reserved, so next_initial (already exchanged into the shards)
+  // stays valid; the T1 dispatch loop below reads the updated reservations.
+  if (controller_ != nullptr && stats_.periods > 0) RunControlBoundaryLocked(now);
+
   // Slots retired last period sat out a full boundary; safe to recycle.
   free_slots_.insert(free_slots_.end(), retired_slots_.begin(),
                      retired_slots_.end());
@@ -259,6 +266,12 @@ void ThreadedMonitor::StartPeriodLocked(SimTime now) {
     msg.reservation_tokens = entry.reservation;
     msg.limit = entry.limit;
     if (entry.engine != nullptr) entry.engine->DeliverPeriodStart(msg);
+  }
+
+  // Controller W6 recovery: a zero-initial pool can never trip S2, so once
+  // forced conversion is latched, activate reporting at every period start.
+  if (force_reporting_ && !reporting_active_) {
+    ActivateReportingLocked(now, fabric_.LoadPoolSum());
   }
 }
 
@@ -309,12 +322,7 @@ void ThreadedMonitor::CheckTickLocked(SimTime now) {
 
   // Step S2: reservation-token overflow — someone is drawing on the pool.
   if (!reporting_active_ && observed_now < initial_pool_) {
-    reporting_active_ = true;
-    ++stats_.report_signals;
-    EmitLocked(now, EventType::kReportSignal, observed_now, initial_pool_);
-    for (auto& entry : clients_) {
-      if (entry.engine != nullptr) entry.engine->DeliverReportRequest();
-    }
+    ActivateReportingLocked(now, observed_now);
   }
 
   if (reporting_active_ && config_.report_lease_intervals > 0) {
@@ -556,6 +564,122 @@ ThreadedMonitor::ClientEntry* ThreadedMonitor::FindClientLocked(
       std::find_if(clients_.begin(), clients_.end(),
                    [&](const ClientEntry& e) { return e.id == client; });
   return it == clients_.end() ? nullptr : &*it;
+}
+
+void ThreadedMonitor::SetController(core::control::QosController* controller,
+                                    std::function<void(ClientId)> readmit) {
+  std::lock_guard lk(mu_);
+  controller_ = controller;
+  readmit_cb_ = std::move(readmit);
+}
+
+Status ThreadedMonitor::UpdateReservation(ClientId client,
+                                          std::int64_t reservation) {
+  std::lock_guard lk(mu_);
+  return UpdateReservationLocked(clock_.Now(), client, reservation);
+}
+
+Status ThreadedMonitor::UpdateReservationLocked(SimTime now, ClientId client,
+                                                std::int64_t reservation) {
+  ClientEntry* entry = FindClientLocked(client);
+  if (entry == nullptr) return ErrNotFound("client not admitted");
+  if (entry->limit > 0 && reservation > entry->limit) {
+    return ErrInvalidArgument("reservation above the client's limit");
+  }
+  if (auto s = admission_.Update(client, reservation); !s.ok()) return s;
+  const std::int64_t previous = entry->reservation;
+  entry->reservation = reservation;
+  EmitLocked(now, EventType::kReservationUpdate,
+             static_cast<std::int64_t>(Raw(client)), reservation, previous);
+  return Status::Ok();
+}
+
+void ThreadedMonitor::ActivateReportingLocked(SimTime now,
+                                              std::int64_t observed_pool) {
+  reporting_active_ = true;
+  ++stats_.report_signals;
+  EmitLocked(now, EventType::kReportSignal, observed_pool, initial_pool_);
+  for (auto& entry : clients_) {
+    if (entry.engine != nullptr) entry.engine->DeliverReportRequest();
+  }
+}
+
+void ThreadedMonitor::RunControlBoundaryLocked(SimTime now) {
+  // The view: reservations as configured, completions as reported for the
+  // period that just ended (slots still hold the final reports — they are
+  // re-primed only when the next period is dispatched below).
+  std::vector<core::control::QosController::ClientView> view;
+  view.reserve(clients_.size());
+  for (const auto& entry : clients_) {
+    std::int64_t completed = 0;
+    const std::uint64_t slot = fabric_.ReadSlot(entry.slot).packed;
+    if (core::ReportPeriod(slot) ==
+        (stats_.periods & core::kReportPeriodMask)) {
+      completed = static_cast<std::int64_t>(core::ReportCompleted(slot));
+    }
+    // The admissible region caps the planning limit: a receiver can never
+    // be grown past the per-client local capacity, so every planned resize
+    // passes admission_.Update and the emitted deltas stay sum-neutral.
+    const std::int64_t local = admission_.LocalCapacity();
+    const std::int64_t plan_limit =
+        entry.limit > 0 ? std::min(entry.limit, local) : local;
+    view.push_back({Raw(entry.id), entry.reservation, plan_limit, completed});
+  }
+  std::sort(view.begin(), view.end(),
+            [](const core::control::QosController::ClientView& x,
+               const core::control::QosController::ClientView& y) {
+              return x.client < y.client;
+            });
+
+  const core::control::QosController::Boundary plan =
+      controller_->PlanBoundary(stats_.periods, view);
+  if (recorder_ != nullptr) {
+    for (const auto& r : plan.recovered) {
+      recorder_->EmitAt(now, ActorKind::kController, 0,
+                        EventType::kControlRecovered, stats_.periods,
+                        static_cast<std::int64_t>(r.rule), r.client,
+                        static_cast<std::int64_t>(r.periods));
+    }
+  }
+  for (const auto& action : plan.actions) {
+    bool applied = false;
+    std::int64_t payload = action.value;
+    switch (action.kind) {
+      case core::control::ActionKind::kResize: {
+        const Status s = UpdateReservationLocked(
+            now, MakeClientId(static_cast<std::uint32_t>(action.client)),
+            action.value);
+        if (!s.ok()) {
+          HAECHI_LOG_WARN("controller: resize of client %lld failed: %s",
+                          static_cast<long long>(action.client),
+                          s.ToString().c_str());
+        }
+        applied = s.ok();
+        payload = action.delta;
+        break;
+      }
+      case core::control::ActionKind::kScaleEta:
+        estimator_->SetEtaScaleMilli(action.value);
+        applied = true;
+        break;
+      case core::control::ActionKind::kForceConversion:
+        force_reporting_ = true;
+        applied = true;
+        break;
+      case core::control::ActionKind::kReadmit:
+        if (readmit_cb_) {
+          readmit_cb_(MakeClientId(static_cast<std::uint32_t>(action.client)));
+          applied = true;
+        }
+        break;
+    }
+    if (applied && recorder_ != nullptr) {
+      recorder_->EmitAt(now, ActorKind::kController, 0,
+                        EventType::kControlAction, stats_.periods,
+                        static_cast<std::int64_t>(action.kind), action.client,
+                        payload);
+    }
+  }
 }
 
 ThreadedMonitor::Stats ThreadedMonitor::StatsSnapshot() const {

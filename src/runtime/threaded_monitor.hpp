@@ -39,6 +39,7 @@
 #include "core/admission.hpp"
 #include "core/capacity_estimator.hpp"
 #include "core/config.hpp"
+#include "core/control/controller.hpp"
 #include "core/monitor.hpp"
 #include "core/wire.hpp"
 #include "obs/trace.hpp"
@@ -92,6 +93,19 @@ class ThreadedMonitor {
   /// Removes a client and releases its reservation.
   Status ReleaseClient(ClientId client);
 
+  /// Runtime reservation resize (the closed-loop controller's W1 action).
+  /// Validates against the client's limit and admission capacity, then
+  /// emits kReservationUpdate so the watchdog and audit re-baseline.
+  Status UpdateReservation(ClientId client, std::int64_t reservation);
+
+  /// Wires the closed-loop controller (may be null to unwire). PlanBoundary
+  /// runs under the monitor mutex at each boundary, right after the period
+  /// verdicts settle through the recorder tap; `readmit` (optional) is
+  /// called for kReadmit actions and must defer the actual re-admission —
+  /// it runs on the monitor's timer thread holding mu_.
+  void SetController(core::control::QosController* controller,
+                     std::function<void(ClientId)> readmit);
+
   /// Starts period 1 immediately and runs until Stop().
   void Start();
   void Stop();
@@ -138,6 +152,10 @@ class ThreadedMonitor {
   void ConvertTokensLocked(SimTime now);
   void RebalanceLocked(SimTime now);
   void CalibrateLocked(SimTime now);
+  Status UpdateReservationLocked(SimTime now, ClientId client,
+                                 std::int64_t reservation);
+  void RunControlBoundaryLocked(SimTime now);
+  void ActivateReportingLocked(SimTime now, std::int64_t observed_pool);
   /// Shard `shard`'s share of `total` under the monitor's even split.
   [[nodiscard]] std::int64_t ShardShare(std::int64_t total,
                                         std::size_t shard) const;
@@ -174,6 +192,12 @@ class ThreadedMonitor {
   /// shard sum across samples, conversions, rebalances and boundaries.
   std::vector<std::int64_t> shard_last_pool_;
   std::int64_t dead_completed_this_period_ = 0;
+  core::control::QosController* controller_ = nullptr;
+  std::function<void(ClientId)> readmit_cb_;
+  /// Latched by the controller's kForceConversion action: activate
+  /// reporting at every period start instead of waiting for S2, which can
+  /// never fire when the initial pool is zero (the W6 deadlock).
+  bool force_reporting_ = false;
   PeriodHook period_hook_;
   ClientReportHook client_report_hook_;
   std::function<void(ClientId)> over_reserve_cb_;

@@ -1,0 +1,703 @@
+// Closed-loop QoS controller tests (DESIGN.md §14): pure policy-engine
+// unit tests (plans over synthetic alert streams and client views), and
+// the chaos/recovery suite from the acceptance criteria — scripted W1/W5/
+// W6/lease-churn violations that the controller must detect, correct with
+// sum-neutral actions, and declare recovered within a bounded number of
+// periods, with the audit (including A10 neutrality) staying green.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/control/controller.hpp"
+#include "harness/experiment.hpp"
+#include "harness/runtime_experiment.hpp"
+#include "obs/alerts.hpp"
+#include "obs/audit.hpp"
+#include "obs/slo.hpp"
+#include "workload/distributions.hpp"
+
+namespace haechi {
+namespace {
+
+using core::control::ActionKind;
+using core::control::ClientClass;
+using core::control::ControllerConfig;
+using core::control::kAllRules;
+using core::control::kRuleLease;
+using core::control::kRuleOscillation;
+using core::control::kRuleShortfall;
+using core::control::kRuleStarvation;
+using core::control::ParseRuleMask;
+using core::control::Policy;
+using core::control::PolicyFromName;
+using core::control::QosController;
+using harness::ClientSpec;
+using harness::Experiment;
+using harness::ExperimentConfig;
+using obs::Alert;
+using obs::AlertKind;
+using obs::AlertSeverity;
+
+using Action = QosController::Action;
+using ClientView = QosController::ClientView;
+
+Alert MakeAlert(AlertKind kind, std::uint32_t period, std::int64_t client,
+                std::int64_t expected, std::int64_t observed) {
+  Alert alert;
+  alert.kind = kind;
+  alert.period = period;
+  alert.client = client;
+  alert.expected = expected;
+  alert.observed = observed;
+  return alert;
+}
+
+std::int64_t DeltaSum(const std::vector<Action>& actions) {
+  std::int64_t sum = 0;
+  for (const Action& a : actions) {
+    if (a.kind == ActionKind::kResize) sum += a.delta;
+  }
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// Flag-surface parsers.
+
+TEST(ControlParsing, RuleMaskAcceptsSubsetsAllAndNone) {
+  EXPECT_EQ(ParseRuleMask("all").value(), kAllRules);
+  EXPECT_EQ(ParseRuleMask("none").value(), 0u);
+  EXPECT_EQ(ParseRuleMask("w1").value(), kRuleShortfall);
+  EXPECT_EQ(ParseRuleMask("w5,lease").value(),
+            kRuleOscillation | kRuleLease);
+  EXPECT_EQ(ParseRuleMask("w1,w5,w6,lease").value(), kAllRules);
+  EXPECT_FALSE(ParseRuleMask("w2").ok());
+  EXPECT_FALSE(ParseRuleMask("w1,bogus").ok());
+}
+
+TEST(ControlParsing, PolicyNamesRoundTrip) {
+  for (const Policy policy :
+       {Policy::kOff, Policy::kConservative, Policy::kAggressive}) {
+    Policy parsed{};
+    ASSERT_TRUE(PolicyFromName(core::control::ToString(policy), parsed));
+    EXPECT_EQ(parsed, policy);
+  }
+  Policy unused{};
+  EXPECT_FALSE(PolicyFromName("gentle", unused));
+}
+
+// ---------------------------------------------------------------------------
+// Policy-engine unit tests: synthetic alerts in, plans out.
+
+TEST(ControllerPlan, OffPolicyDrainsAlertsWithoutActions) {
+  ControllerConfig config;
+  config.policy = Policy::kOff;
+  QosController controller(config);
+  controller.OnAlert(
+      MakeAlert(AlertKind::kReservationShortfall, 3, 0, 900, 100));
+  const auto plan = controller.PlanBoundary(3, {{0, 1000, 0, 100}});
+  EXPECT_TRUE(plan.actions.empty());
+  EXPECT_TRUE(plan.recovered.empty());
+  // A later boundary must not act on the drained alert either.
+  EXPECT_TRUE(controller.PlanBoundary(4, {{0, 1000, 0, 100}}).actions.empty());
+}
+
+TEST(ControllerPlan, ShortfallShedsSumNeutralShrinkBeforeGrow) {
+  ControllerConfig config;
+  config.policy = Policy::kConservative;
+  QosController controller(config);
+  // Receiver 1 is demand-capped (reservation >= demand): the safe place
+  // to park shed reservation.
+  controller.SetClientSpec(0, 1000, 0, 2000);
+  controller.SetClientSpec(1, 400, 0, 200);
+  controller.OnAlert(
+      MakeAlert(AlertKind::kReservationShortfall, 5, 0, 950, 400));
+  const std::vector<ClientView> view = {{0, 1000, 5000, 400},
+                                        {1, 400, 5000, 200}};
+  const auto plan = controller.PlanBoundary(5, view);
+  ASSERT_EQ(plan.actions.size(), 2u);
+  // Conservative: shed half the (current - observed) gap = 300.
+  EXPECT_EQ(plan.actions[0].kind, ActionKind::kResize);
+  EXPECT_EQ(plan.actions[0].client, 0);
+  EXPECT_EQ(plan.actions[0].value, 700);
+  EXPECT_EQ(plan.actions[0].delta, -300);
+  EXPECT_EQ(plan.actions[1].client, 1);
+  EXPECT_EQ(plan.actions[1].value, 700);
+  EXPECT_EQ(plan.actions[1].delta, 300);
+  EXPECT_EQ(DeltaSum(plan.actions), 0);
+  EXPECT_EQ(controller.stats().resizes, 2u);
+}
+
+TEST(ControllerPlan, AggressiveClosesTheWholeGapAtOnce) {
+  ControllerConfig config;
+  config.policy = Policy::kAggressive;
+  QosController controller(config);
+  controller.SetClientSpec(0, 1000, 0, 2000);
+  controller.SetClientSpec(1, 400, 0, 200);
+  controller.OnAlert(
+      MakeAlert(AlertKind::kReservationShortfall, 5, 0, 950, 400));
+  const auto plan = controller.PlanBoundary(
+      5, {{0, 1000, 5000, 400}, {1, 400, 5000, 200}});
+  ASSERT_EQ(plan.actions.size(), 2u);
+  EXPECT_EQ(plan.actions[0].value, 400);  // shrunk all the way to observed
+  EXPECT_EQ(plan.actions[0].delta, -600);
+  EXPECT_EQ(DeltaSum(plan.actions), 0);
+}
+
+TEST(ControllerPlan, ReceiverRankingPrefersDemandCappedThenPriority) {
+  ControllerConfig config;
+  config.policy = Policy::kAggressive;
+  QosController controller(config);
+  controller.SetClientSpec(0, 900, 0, 2000);
+  controller.SetClientSpec(1, 300, 0, 1000);  // hungry: not demand-capped
+  controller.SetClientSpec(2, 300, 0, 100);   // demand-capped
+  controller.SetClientSpec(3, 300, 0, 100);   // demand-capped, higher prio
+  controller.SetClientClass(3, {/*priority=*/7, /*burst=*/true});
+  controller.OnAlert(
+      MakeAlert(AlertKind::kReservationShortfall, 2, 0, 855, 300));
+  // Limits bound each receiver to +100, forcing the plan to spill across
+  // the ranking order.
+  const auto plan = controller.PlanBoundary(2, {{0, 900, 5000, 300},
+                                                {1, 300, 400, 0},
+                                                {2, 300, 400, 100},
+                                                {3, 300, 400, 100}});
+  ASSERT_EQ(plan.actions.size(), 4u);
+  EXPECT_EQ(plan.actions[0].client, 0);  // shrink first
+  EXPECT_LT(plan.actions[0].delta, 0);
+  // Demand-capped receivers first, priority 7 ahead of priority 1, the
+  // hungry client last.
+  EXPECT_EQ(plan.actions[1].client, 3);
+  EXPECT_EQ(plan.actions[2].client, 2);
+  EXPECT_EQ(plan.actions[3].client, 1);
+  EXPECT_EQ(DeltaSum(plan.actions), 0);
+}
+
+TEST(ControllerPlan, NonBurstReceiverNeverGrowsPastItsSpecReservation) {
+  ControllerConfig config;
+  config.policy = Policy::kAggressive;
+  QosController controller(config);
+  controller.SetClientSpec(0, 900, 0, 2000);
+  controller.SetClientSpec(1, 300, 0, 100);
+  controller.SetClientClass(1, {/*priority=*/1, /*burst=*/false});
+  controller.OnAlert(
+      MakeAlert(AlertKind::kReservationShortfall, 2, 0, 855, 300));
+  // Receiver already at its spec reservation: no room at all, and with no
+  // other receiver the plan must stay empty rather than leak tokens.
+  const auto plan =
+      controller.PlanBoundary(2, {{0, 900, 5000, 300}, {1, 300, 5000, 100}});
+  EXPECT_TRUE(plan.actions.empty());
+
+  // Below spec, the non-burst receiver absorbs only up to spec.
+  controller.OnAlert(
+      MakeAlert(AlertKind::kReservationShortfall, 3, 0, 855, 300));
+  const auto partial =
+      controller.PlanBoundary(3, {{0, 900, 5000, 300}, {1, 250, 5000, 100}});
+  ASSERT_EQ(partial.actions.size(), 2u);
+  EXPECT_EQ(partial.actions[1].client, 1);
+  EXPECT_EQ(partial.actions[1].value, 300);  // spec cap, not the full shed
+  EXPECT_EQ(partial.actions[1].delta, 50);
+  EXPECT_EQ(DeltaSum(partial.actions), 0);
+}
+
+TEST(ControllerPlan, OscillationDampsEtaToTheFloorThenRelaxes) {
+  ControllerConfig config;
+  config.policy = Policy::kConservative;  // damp x0.5 per fresh alert
+  config.eta_recover_after = 4;
+  QosController controller(config);
+
+  controller.OnAlert(MakeAlert(AlertKind::kCapacityOscillation, 2, -1, 0, 0));
+  auto plan = controller.PlanBoundary(2, {});
+  ASSERT_EQ(plan.actions.size(), 1u);
+  EXPECT_EQ(plan.actions[0].kind, ActionKind::kScaleEta);
+  EXPECT_EQ(plan.actions[0].value, 500);
+  EXPECT_EQ(controller.eta_scale_milli(), 500);
+
+  // Fresh alerts keep halving down to the 125-milli floor, never below.
+  controller.OnAlert(MakeAlert(AlertKind::kCapacityOscillation, 3, -1, 0, 0));
+  EXPECT_EQ(controller.PlanBoundary(3, {}).actions.at(0).value, 250);
+  controller.OnAlert(MakeAlert(AlertKind::kCapacityOscillation, 4, -1, 0, 0));
+  EXPECT_EQ(controller.PlanBoundary(4, {}).actions.at(0).value, 125);
+  controller.OnAlert(MakeAlert(AlertKind::kCapacityOscillation, 5, -1, 0, 0));
+  EXPECT_TRUE(controller.PlanBoundary(5, {}).actions.empty());  // at floor
+  EXPECT_EQ(controller.eta_scale_milli(), 125);
+
+  // After eta_recover_after quiet periods the damping relaxes one
+  // doubling per window.
+  EXPECT_TRUE(controller.PlanBoundary(8, {}).actions.empty());
+  auto relaxed = controller.PlanBoundary(9, {});
+  ASSERT_EQ(relaxed.actions.size(), 1u);
+  EXPECT_EQ(relaxed.actions[0].value, 250);
+}
+
+TEST(ControllerPlan, StarvationLatchesForcedConversionOnce) {
+  ControllerConfig config;
+  config.policy = Policy::kAggressive;
+  QosController controller(config);
+  controller.OnAlert(MakeAlert(AlertKind::kFaaStarvation, 2, 1, 100, 0));
+  auto plan = controller.PlanBoundary(2, {});
+  ASSERT_EQ(plan.actions.size(), 1u);
+  EXPECT_EQ(plan.actions[0].kind, ActionKind::kForceConversion);
+  EXPECT_TRUE(controller.force_conversion_active());
+  // Latched: further starvation alerts add no duplicate action.
+  controller.OnAlert(MakeAlert(AlertKind::kFaaStarvation, 3, 1, 100, 0));
+  EXPECT_TRUE(controller.PlanBoundary(3, {}).actions.empty());
+  EXPECT_EQ(controller.stats().forced_conversions, 1u);
+}
+
+TEST(ControllerPlan, LeaseChurnReadmitsPerPolicyThreshold) {
+  ControllerConfig conservative;
+  conservative.policy = Policy::kConservative;  // readmit after 2 expiries
+  QosController slow(conservative);
+  slow.OnAlert(MakeAlert(AlertKind::kLeaseChurn, 2, 4, 0, 1));
+  EXPECT_TRUE(slow.PlanBoundary(2, {}).actions.empty());
+  slow.OnAlert(MakeAlert(AlertKind::kLeaseChurn, 3, 4, 0, 2));
+  auto plan = slow.PlanBoundary(3, {});
+  ASSERT_EQ(plan.actions.size(), 1u);
+  EXPECT_EQ(plan.actions[0].kind, ActionKind::kReadmit);
+  EXPECT_EQ(plan.actions[0].client, 4);
+  // One re-admission per *new* expiry: replaying the same count is a no-op.
+  slow.OnAlert(MakeAlert(AlertKind::kLeaseChurn, 4, 4, 0, 2));
+  EXPECT_TRUE(slow.PlanBoundary(4, {}).actions.empty());
+
+  ControllerConfig aggressive;
+  aggressive.policy = Policy::kAggressive;  // readmit on the first expiry
+  QosController fast(aggressive);
+  fast.OnAlert(MakeAlert(AlertKind::kLeaseChurn, 2, 4, 0, 1));
+  EXPECT_EQ(fast.PlanBoundary(2, {}).actions.size(), 1u);
+}
+
+TEST(ControllerPlan, DisabledRulesAreIgnored) {
+  ControllerConfig config;
+  config.policy = Policy::kAggressive;
+  config.rules = kRuleOscillation;  // everything else off
+  QosController controller(config);
+  controller.SetClientSpec(0, 1000, 0, 2000);
+  controller.SetClientSpec(1, 400, 0, 200);
+  controller.OnAlert(
+      MakeAlert(AlertKind::kReservationShortfall, 2, 0, 950, 100));
+  controller.OnAlert(MakeAlert(AlertKind::kFaaStarvation, 2, 1, 100, 0));
+  controller.OnAlert(MakeAlert(AlertKind::kLeaseChurn, 2, 1, 0, 5));
+  EXPECT_TRUE(controller
+                  .PlanBoundary(2, {{0, 1000, 5000, 100}, {1, 400, 5000, 200}})
+                  .actions.empty());
+
+  // EnableRule turns W1 back on at runtime.
+  controller.EnableRule(kRuleShortfall, true);
+  controller.OnAlert(
+      MakeAlert(AlertKind::kReservationShortfall, 3, 0, 950, 100));
+  EXPECT_FALSE(controller
+                   .PlanBoundary(3, {{0, 1000, 5000, 100}, {1, 400, 5000, 200}})
+                   .actions.empty());
+}
+
+TEST(ControllerPlan, RecoveryFiresAfterTheQuietWindow) {
+  ControllerConfig config;
+  config.policy = Policy::kAggressive;
+  config.quiet_periods = 2;
+  config.oscillation_quiet = 5;
+  QosController controller(config);
+  controller.SetClientSpec(0, 1000, 0, 2000);
+  controller.SetClientSpec(1, 400, 0, 200);
+  controller.OnAlert(
+      MakeAlert(AlertKind::kReservationShortfall, 4, 0, 950, 400));
+  controller.OnAlert(MakeAlert(AlertKind::kCapacityOscillation, 4, -1, 0, 0));
+  const std::vector<ClientView> view = {{0, 1000, 5000, 400},
+                                        {1, 400, 5000, 200}};
+  controller.PlanBoundary(4, view);
+  EXPECT_TRUE(controller.PlanBoundary(5, view).recovered.empty());
+  // Period 6 = last violation (4) + quiet_periods (2): W1 recovers; the
+  // oscillation needs its longer window.
+  auto plan = controller.PlanBoundary(6, view);
+  ASSERT_EQ(plan.recovered.size(), 1u);
+  EXPECT_EQ(plan.recovered[0].rule, AlertKind::kReservationShortfall);
+  EXPECT_EQ(plan.recovered[0].client, 0);
+  EXPECT_EQ(plan.recovered[0].periods, 1u);  // violated in period 4 only
+  auto osc = controller.PlanBoundary(9, view);
+  ASSERT_EQ(osc.recovered.size(), 1u);
+  EXPECT_EQ(osc.recovered[0].rule, AlertKind::kCapacityOscillation);
+  EXPECT_EQ(controller.stats().recoveries, 2u);
+}
+
+TEST(ControllerPlan, PolicySwapMidRunActsOnOngoingViolations) {
+  ControllerConfig config;
+  config.policy = Policy::kOff;
+  QosController controller(config);
+  controller.SetClientSpec(0, 1000, 0, 2000);
+  controller.SetClientSpec(1, 400, 0, 200);
+  controller.OnAlert(
+      MakeAlert(AlertKind::kReservationShortfall, 2, 0, 950, 400));
+  EXPECT_TRUE(controller
+                  .PlanBoundary(2, {{0, 1000, 5000, 400}, {1, 400, 5000, 200}})
+                  .actions.empty());
+  controller.SetPolicy(Policy::kAggressive);
+  // The violation re-alerts while ongoing; the swapped-in policy reacts.
+  controller.OnAlert(
+      MakeAlert(AlertKind::kReservationShortfall, 3, 0, 950, 400));
+  const auto plan = controller.PlanBoundary(
+      3, {{0, 1000, 5000, 400}, {1, 400, 5000, 200}});
+  EXPECT_EQ(plan.actions.size(), 2u);
+  EXPECT_EQ(DeltaSum(plan.actions), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos/recovery end-to-end: scripted violations, closed loop, audits.
+
+#if HAECHI_WATCHDOG_ENABLED
+
+std::int64_t Capacity(const ExperimentConfig& config) {
+  return static_cast<std::int64_t>(config.net.GlobalCapacityIops());
+}
+
+/// Base scenario all chaos configs extend: small scale, tracing and
+/// watchdog armed (the controller requires both).
+ExperimentConfig ControlBase(std::uint64_t seed) {
+  ExperimentConfig config;
+  config.mode = harness::Mode::kHaechi;
+  config.net.capacity_scale = 0.02;
+  config.warmup = Seconds(1);
+  config.measure_periods = 10;
+  config.records = 256;
+  config.seed = seed;
+  config.trace.enabled = true;
+  config.watchdog.enabled = true;
+  return config;
+}
+
+/// W1 chaos: client 0 holds a large reservation it cannot fill once
+/// background congestion eats into fabric capacity; clients 1-3 are
+/// demand-capped (reservation >= demand), i.e. safe receivers whose W1
+/// target min(R, demand) never moves when shed reservation lands on them.
+ExperimentConfig ShortfallChaosConfig(std::uint64_t seed, Policy policy) {
+  ExperimentConfig config = ControlBase(seed);
+  config.watchdog.guarantee_fraction = 0.9;
+  config.control.policy = policy;
+  const std::int64_t cap = Capacity(config);
+  // The per-client admissible ceiling is the local NIC capacity (~25% of
+  // the aggregate); the victim reserves just under it.
+  ClientSpec victim;
+  victim.reservation = cap * 24 / 100;
+  victim.demand = cap / 2;  // hungry: W1 target is the full reservation
+  victim.pattern = workload::RequestPattern::kOpenLoop;
+  config.clients.push_back(victim);
+  for (int i = 0; i < 3; ++i) {
+    ClientSpec spec;
+    spec.reservation = cap * 12 / 100;
+    spec.demand = spec.reservation / 2;  // demand-capped receiver
+    spec.pattern = workload::RequestPattern::kOpenLoop;
+    config.clients.push_back(spec);
+  }
+  // fig16-style congestion: uncontrolled background traffic on every node
+  // squeezes the fabric below the admitted reservations.
+  config.background_demand = cap / 4 / 4;
+  return config;
+}
+
+/// W5 chaos: an oversized eta makes Algorithm 1 overshoot on every Grow
+/// and fall back on the next window mean — a period-2 sawtooth whose
+/// amplitude clears the watchdog's 5% oscillation bar. The Grow branch
+/// needs *exact* U == Omega, so the load is built to complete a bit-
+/// reproducible count every period: four burst clients funded entirely by
+/// reservation (completed == demand, no pool contention), plus one tiny
+/// zero-reservation "stirrer" whose pool draw fires S2 and whose 200
+/// tokens are exactly the slack Omega - dispatched leaves at the plateau.
+/// Undamped eta (10% of Omega_prof) flips the estimate ~16% every period;
+/// one aggressive damp to 250 milli shrinks the step under the 5% bar.
+ExperimentConfig OscillationChaosConfig(std::uint64_t seed, Policy policy) {
+  ExperimentConfig config = ControlBase(seed);
+  config.measure_periods = 16;
+  config.control.policy = policy;
+  config.control.eta_recover_after = 64;  // keep damping latched in-run
+  config.qos.eta_fraction = 0.10;
+  config.qos.sigma_fraction = 0.20;  // keep the plateau above Omega_min
+  config.qos.history_window = 2;
+  config.qos.token_batch = 50;  // stirrer demand is a whole number of FAAs
+  const std::int64_t cap = Capacity(config);
+  for (const auto r : workload::UniformShare(cap * 6 / 10, 4)) {
+    ClientSpec spec;
+    spec.reservation = r;
+    spec.demand = r;  // burst to the funded target, then idle: U is exact
+    spec.pattern = workload::RequestPattern::kBurst;
+    config.clients.push_back(spec);
+  }
+  ClientSpec stirrer;
+  stirrer.reservation = 0;
+  stirrer.demand = 200;
+  stirrer.pattern = workload::RequestPattern::kBurst;
+  config.clients.push_back(stirrer);
+  return config;
+}
+
+/// W6 chaos: a lossy fabric drops token-fetch FAAs until mid-run, driving
+/// the engines' retry backoff to its (shortened) maximum.
+ExperimentConfig StarvationChaosConfig(std::uint64_t seed, Policy policy) {
+  ExperimentConfig config = ControlBase(seed);
+  config.control.policy = policy;
+  config.qos.faa_retry_backoff_max = Millis(4);
+  config.qos.token_batch = 100;
+  const std::int64_t cap = Capacity(config);
+  for (const auto r : workload::UniformShare(cap / 2, 4)) {
+    ClientSpec spec;
+    spec.reservation = r;
+    spec.demand = r + cap / 4;  // pool-hungry: constant FAA pressure
+    spec.pattern = workload::RequestPattern::kOpenLoop;
+    config.clients.push_back(spec);
+  }
+  config.faults.seed = seed * 31 + 7;
+  rdma::FaultRule drop_faa;
+  drop_faa.action = rdma::FaultAction::kDrop;
+  drop_faa.opcode = rdma::Opcode::kFetchAdd;
+  drop_faa.probability = 0.6;
+  drop_faa.from = Seconds(1);
+  drop_faa.until = Seconds(5);  // chaos ends: recovery window begins
+  config.faults.Add(drop_faa);
+  return config;
+}
+
+/// Lease churn chaos: report WRITEs are dropped hard until mid-run, so
+/// report leases expire and the monitor declares live clients dead; the
+/// controller must re-admit them through the harness.
+ExperimentConfig LeaseChurnChaosConfig(std::uint64_t seed, Policy policy) {
+  ExperimentConfig config = ControlBase(seed);
+  config.control.policy = policy;
+  config.qos.report_lease_intervals = 4;
+  config.qos.token_batch = 100;
+  const std::int64_t cap = Capacity(config);
+  for (const auto r : workload::UniformShare(cap / 2, 4)) {
+    ClientSpec spec;
+    spec.reservation = r;
+    spec.demand = r + cap / 4;
+    spec.pattern = workload::RequestPattern::kOpenLoop;
+    config.clients.push_back(spec);
+  }
+  config.faults.seed = seed * 131 + 3;
+  rdma::FaultRule drop_report;
+  drop_report.action = rdma::FaultAction::kDrop;
+  drop_report.opcode = rdma::Opcode::kWrite;
+  drop_report.probability = 0.95;
+  drop_report.from = Seconds(1) + Millis(600);
+  drop_report.until = Seconds(4);
+  config.faults.Add(drop_report);
+  return config;
+}
+
+std::unique_ptr<Experiment> RunControlled(ExperimentConfig config) {
+  auto experiment = std::make_unique<Experiment>(std::move(config));
+  experiment->Run();
+  return experiment;
+}
+
+std::size_t CountKind(const std::vector<Alert>& alerts, AlertKind kind) {
+  return static_cast<std::size_t>(
+      std::count_if(alerts.begin(), alerts.end(),
+                    [&](const Alert& a) { return a.kind == kind; }));
+}
+
+/// First `recovered` alert for `rule`, or nullptr.
+const Alert* FindRecovery(const std::vector<Alert>& alerts, AlertKind rule) {
+  for (const Alert& a : alerts) {
+    if (a.kind == AlertKind::kRecovered &&
+        a.expected == static_cast<std::int64_t>(rule)) {
+      return &a;
+    }
+  }
+  return nullptr;
+}
+
+/// Chaos audits run A1-A8 and A10 at full strength but lower the A9 bar:
+/// the scripted violation *is* a real shortfall, and proving recovery is
+/// the watchdog/controller contract, not the ledger's.
+obs::AuditReport ChaosAudit(Experiment& experiment) {
+  obs::AuditOptions options;
+  options.guarantee_fraction = 0.05;
+  return obs::AuditTrace(experiment.recorder()->Merged(), options);
+}
+
+TEST(ControllerChaos, ShortfallIsResizedSumNeutrallyAndRecovers) {
+  auto experiment = RunControlled(
+      ShortfallChaosConfig(11, Policy::kConservative));
+  ASSERT_NE(experiment->controller(), nullptr);
+  const auto& stats = experiment->controller()->stats();
+  EXPECT_GT(stats.alerts, 0u);
+  EXPECT_GE(stats.resizes, 2u);  // at least one shrink+grow pair
+
+  const auto& alerts = experiment->watchdog()->alerts();
+  ASSERT_GT(CountKind(alerts, AlertKind::kReservationShortfall), 0u);
+  const Alert* recovered =
+      FindRecovery(alerts, AlertKind::kReservationShortfall);
+  ASSERT_NE(recovered, nullptr) << experiment->alerts_jsonl();
+  EXPECT_EQ(recovered->client, 0);
+  // SLO restored within a bounded number of periods of the first alert.
+  EXPECT_LE(recovered->observed, 8);
+
+  const obs::AuditReport report = ChaosAudit(*experiment);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GT(report.control_checks, 0);  // A10 actually ran
+}
+
+TEST(ControllerChaos, ShortfallUnaddressedWithoutTheResizeRule) {
+  // Same chaos, W1 rule masked off: alerts keep firing, nothing resizes,
+  // and no recovery is declared for the shortfall.
+  ExperimentConfig config = ShortfallChaosConfig(11, Policy::kConservative);
+  config.control.rules = kRuleOscillation | kRuleStarvation | kRuleLease;
+  auto experiment = RunControlled(std::move(config));
+  ASSERT_NE(experiment->controller(), nullptr);
+  EXPECT_EQ(experiment->controller()->stats().resizes, 0u);
+  const auto& alerts = experiment->watchdog()->alerts();
+  EXPECT_GT(CountKind(alerts, AlertKind::kReservationShortfall), 2u);
+  EXPECT_EQ(FindRecovery(alerts, AlertKind::kReservationShortfall), nullptr);
+}
+
+TEST(ControllerChaos, OscillationIsDampedAndCalmsTheEstimator) {
+  auto experiment = RunControlled(
+      OscillationChaosConfig(3, Policy::kAggressive));
+  ASSERT_NE(experiment->controller(), nullptr);
+  const auto& stats = experiment->controller()->stats();
+  EXPECT_GE(stats.eta_scalings, 1u);
+  EXPECT_LT(experiment->controller()->eta_scale_milli(), 1000);
+
+  const auto& alerts = experiment->watchdog()->alerts();
+  ASSERT_GT(CountKind(alerts, AlertKind::kCapacityOscillation), 0u);
+
+  // The undamped twin keeps flipping: the controller must beat it.
+  auto undamped = RunControlled(OscillationChaosConfig(3, Policy::kOff));
+  EXPECT_LT(CountKind(alerts, AlertKind::kCapacityOscillation),
+            CountKind(undamped->watchdog()->alerts(),
+                      AlertKind::kCapacityOscillation))
+      << "damping did not reduce oscillation alerts";
+
+  EXPECT_TRUE(ChaosAudit(*experiment).ok());
+}
+
+TEST(ControllerChaos, StarvationForcesEarlyConversionAndRecovers) {
+  auto experiment = RunControlled(
+      StarvationChaosConfig(5, Policy::kAggressive));
+  ASSERT_NE(experiment->controller(), nullptr);
+  const auto& stats = experiment->controller()->stats();
+  EXPECT_EQ(stats.forced_conversions, 1u);  // latched, not repeated
+  EXPECT_TRUE(experiment->controller()->force_conversion_active());
+
+  const auto& alerts = experiment->watchdog()->alerts();
+  ASSERT_GT(CountKind(alerts, AlertKind::kFaaStarvation), 0u);
+  // The fault window closes at t=5s; the violation must then go quiet and
+  // be declared recovered before the run ends.
+  EXPECT_NE(FindRecovery(alerts, AlertKind::kFaaStarvation), nullptr)
+      << experiment->alerts_jsonl();
+
+  EXPECT_TRUE(ChaosAudit(*experiment).ok());
+}
+
+TEST(ControllerChaos, LeaseChurnTriggersReadmissionAndRecovers) {
+  auto experiment = RunControlled(
+      LeaseChurnChaosConfig(9, Policy::kAggressive));
+  ASSERT_NE(experiment->controller(), nullptr);
+  const auto& stats = experiment->controller()->stats();
+  EXPECT_GE(stats.readmits, 1u);
+
+  const auto& alerts = experiment->watchdog()->alerts();
+  ASSERT_GT(CountKind(alerts, AlertKind::kLeaseChurn), 0u);
+  EXPECT_NE(FindRecovery(alerts, AlertKind::kLeaseChurn), nullptr)
+      << experiment->alerts_jsonl();
+
+  // Dropping 95% of writes destroys the calibration reports A9 attests
+  // completions from, so fault-window periods can audit as under-served
+  // even though the read data path never faulted. Every other identity —
+  // stream integrity through reclamation (A8) and controller neutrality
+  // (A10) — must hold unconditionally on the churned trace.
+  const obs::AuditReport report = ChaosAudit(*experiment);
+  for (const auto& violation : report.violations) {
+    EXPECT_EQ(violation.check, "A9")
+        << violation.check << ": " << violation.detail;
+  }
+}
+
+TEST(ControllerChaos, SameSeedRunsAreByteIdentical) {
+  auto first = RunControlled(ShortfallChaosConfig(17, Policy::kAggressive));
+  auto second = RunControlled(ShortfallChaosConfig(17, Policy::kAggressive));
+  EXPECT_EQ(first->alerts_jsonl(), second->alerts_jsonl());
+  EXPECT_EQ(first->controller()->stats().resizes,
+            second->controller()->stats().resizes);
+  EXPECT_EQ(first->controller()->stats().recoveries,
+            second->controller()->stats().recoveries);
+}
+
+TEST(ControllerChaos, LiveAlertsMatchReplayOfTheExportedTrace) {
+  // kControlAction/kControlRecovered ride the trace, so the offline
+  // replay reproduces the recovered alerts byte-for-byte.
+  auto experiment = RunControlled(ShortfallChaosConfig(13, Policy::kAggressive));
+  obs::WatchdogOptions options;
+  options.guarantee_fraction = 0.9;
+  const auto replayed =
+      obs::ReplayTrace(experiment->recorder()->Merged(), options);
+  const auto& live = experiment->watchdog()->alerts();
+  ASSERT_EQ(live.size(), replayed.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(obs::ToJsonl(live[i]), obs::ToJsonl(replayed[i]));
+  }
+}
+
+TEST(ControllerChaos, ScriptedApiSwapArmsTheControllerMidRun) {
+  // Starts with the policy off; the scripted swap turns it aggressive at
+  // period 3. The watchdog is still armed from the start (an armed control
+  // api forces it), so the ongoing violation is acted on after the swap.
+  ExperimentConfig config = ShortfallChaosConfig(11, Policy::kOff);
+  config.control.api.emplace_back(3, Policy::kAggressive);
+  auto experiment = RunControlled(std::move(config));
+  ASSERT_NE(experiment->controller(), nullptr);
+  EXPECT_EQ(experiment->controller()->policy(), Policy::kAggressive);
+  EXPECT_GE(experiment->controller()->stats().resizes, 2u);
+}
+
+TEST(ControllerChaos, ControllerOffLeavesTheRunByteIdenticalToNoController) {
+  // Policy off and no api: config.control stays unarmed, the controller is
+  // never constructed, and the run matches a plain watchdog run.
+  ExperimentConfig with_off = ShortfallChaosConfig(19, Policy::kOff);
+  auto off = RunControlled(std::move(with_off));
+  EXPECT_EQ(off->controller(), nullptr);
+  ExperimentConfig plain = ShortfallChaosConfig(19, Policy::kOff);
+  auto baseline = RunControlled(std::move(plain));
+  EXPECT_EQ(off->alerts_jsonl(), baseline->alerts_jsonl());
+}
+
+// ---------------------------------------------------------------------------
+// Threaded runtime: the same control plane on real threads.
+
+TEST(ControllerThreaded, HealthyRunArmsTheLoopWithoutActions) {
+  ExperimentConfig config;
+  config.mode = harness::Mode::kHaechi;
+  config.net.capacity_scale = 0.02;
+  config.warmup = Millis(600);
+  config.measure_periods = 4;
+  config.qos.period = Millis(200);
+  config.records = 256;
+  config.seed = 21;
+  config.control.policy = Policy::kConservative;
+  config.profiled_global_iops = config.net.GlobalCapacityIops();
+  config.profiled_local_iops = config.net.LocalCapacityIops();
+  const std::int64_t cap = static_cast<std::int64_t>(
+      config.net.GlobalCapacityIops() * ToSeconds(config.qos.period));
+  for (const auto r : workload::UniformShare(cap * 6 / 10, 4)) {
+    ClientSpec spec;
+    spec.reservation = r;
+    spec.demand = r + cap / 8;
+    spec.pattern = workload::RequestPattern::kOpenLoop;
+    config.clients.push_back(spec);
+  }
+  harness::ThreadedExperiment experiment(std::move(config));
+  experiment.Run();
+  ASSERT_NE(experiment.watchdog(), nullptr);
+  ASSERT_NE(experiment.controller(), nullptr);
+  // A healthy run: the loop is armed, watches every period, and needs no
+  // corrective actions (resizes/forcing would perturb a meeting-SLO run).
+  EXPECT_GT(experiment.watchdog()->periods_evaluated(), 0u);
+  EXPECT_EQ(experiment.controller()->stats().resizes, 0u);
+  EXPECT_EQ(experiment.controller()->stats().forced_conversions, 0u);
+}
+
+#endif  // HAECHI_WATCHDOG_ENABLED
+
+}  // namespace
+}  // namespace haechi

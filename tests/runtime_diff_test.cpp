@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/control/controller.hpp"
 #include "harness/experiment.hpp"
 #include "harness/runtime_experiment.hpp"
 #include "obs/audit.hpp"
@@ -179,6 +180,44 @@ TEST(RuntimeDiffTest, SimAndThreadsAgreeAcrossSeedsAndShardConfigs) {
           << "client " << c << " under-served in threads runtime";
     }
   }
+}
+
+// A controller-armed run must also agree: the closed loop rides each
+// runtime's own period boundaries, and whatever actions it takes are
+// sum-neutral, so the per-client totals stay inside the same band and
+// both traces pass the full audit (including A10 when actions fired).
+TEST(RuntimeDiffTest, ControllerArmedRunsAgree) {
+#if !HAECHI_WATCHDOG_ENABLED
+  GTEST_SKIP() << "controller requires HAECHI_WATCHDOG=ON";
+#else
+  harness::ExperimentConfig config = DiffConfig(55);
+  config.watchdog.enabled = true;
+  config.control.policy = core::control::Policy::kConservative;
+
+  harness::Experiment sim_experiment(config);
+  const harness::ExperimentResult sim_result = sim_experiment.Run();
+  ASSERT_NE(sim_experiment.controller(), nullptr);
+  ASSERT_NE(sim_experiment.recorder(), nullptr);
+  ExpectAuditClean(*sim_experiment.recorder(), "sim", 55);
+
+  harness::ThreadedExperiment threaded_experiment(config);
+  const harness::ThreadedExperimentResult threaded_result =
+      threaded_experiment.Run();
+  ASSERT_NE(threaded_experiment.controller(), nullptr);
+  ASSERT_NE(threaded_experiment.recorder(), nullptr);
+  ExpectAuditClean(*threaded_experiment.recorder(), "threads", 55);
+
+  for (std::uint32_t c = 0; c < config.clients.size(); ++c) {
+    const auto id = MakeClientId(c);
+    const std::int64_t sim_total = sim_result.series.ClientTotal(id);
+    const std::int64_t threaded_total =
+        threaded_result.series.ClientTotal(id);
+    EXPECT_LE(std::abs(sim_total - threaded_total),
+              ToleranceFor(sim_total, config))
+        << "client " << c << ": sim=" << sim_total
+        << " threads=" << threaded_total;
+  }
+#endif
 }
 
 // Basic Haechi (token conversion off) must also agree: unused reservation

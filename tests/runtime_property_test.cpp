@@ -14,9 +14,14 @@
 //     full A1-A9 audit stays green on the faulted trace.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <numeric>
+#include <random>
 #include <string>
+#include <vector>
 
+#include "core/control/controller.hpp"
 #include "harness/experiment.hpp"
 #include "harness/runtime_experiment.hpp"
 #include "obs/audit.hpp"
@@ -147,6 +152,178 @@ TEST(RuntimePropertyTest, BatchedFetchNeverLeaksTokensAcrossShardsAndCrash) {
   EXPECT_GT(reclaimed_across_sweep, 0)
       << "no arm of the fetch-batch sweep reclaimed residual tokens";
 }
+
+#if HAECHI_WATCHDOG_ENABLED
+
+// Randomized controller-plan property: whatever alert stream hits the
+// controller, every boundary plan it emits must
+//   * keep resize deltas sum-neutral (the A10 identity at the source),
+//   * state each resize as value == reservation + delta with value >= 0
+//     and value <= limit (when limited),
+//   * never grow a non-burst client past its spec reservation,
+//   * keep eta scaling inside [125, 1000] milli,
+// and a twin controller fed the identical sequence must produce the
+// identical plans (determinism — the sim's byte-identical-replay
+// guarantee reduces to this).
+TEST(RuntimePropertyTest, RandomControllerPlansPreserveTheInvariants) {
+  using core::control::ActionKind;
+  using core::control::ClientClass;
+  using core::control::ControllerConfig;
+  using core::control::Policy;
+  using core::control::QosController;
+  using Action = QosController::Action;
+  using ClientView = QosController::ClientView;
+
+  const obs::AlertKind kinds[] = {
+      obs::AlertKind::kReservationShortfall,
+      obs::AlertKind::kCapacityOscillation,
+      obs::AlertKind::kFaaStarvation,
+      obs::AlertKind::kLeaseChurn,
+  };
+
+  for (const std::uint64_t seed : {11u, 23u, 47u}) {
+    std::mt19937_64 rng(seed);
+    ControllerConfig config;
+    config.policy = (seed % 2 != 0u) ? Policy::kAggressive
+                                     : Policy::kConservative;
+    QosController controller(config);
+    QosController twin(config);
+
+    const auto clients =
+        static_cast<std::uint32_t>(2 + rng() % 7);  // 2..8 clients
+    std::vector<std::int64_t> reservation(clients);
+    std::vector<std::int64_t> limit(clients);
+    std::vector<std::int64_t> spec_reservation(clients);
+    std::vector<bool> burst(clients);
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      spec_reservation[c] = 100 + static_cast<std::int64_t>(rng() % 2000);
+      reservation[c] = spec_reservation[c];
+      limit[c] = (rng() % 3 == 0)
+                     ? 0  // unlimited
+                     : spec_reservation[c] +
+                           static_cast<std::int64_t>(rng() % 3000);
+      burst[c] = rng() % 2 == 0;
+      ClientClass cls;
+      cls.priority = static_cast<std::uint8_t>(rng() % 4);
+      cls.burst = burst[c];
+      const std::int64_t demand =
+          100 + static_cast<std::int64_t>(rng() % 4000);
+      for (QosController* target : {&controller, &twin}) {
+        target->SetClientSpec(c, spec_reservation[c], limit[c], demand);
+        target->SetClientClass(c, cls);
+      }
+    }
+    const std::int64_t initial_sum =
+        std::accumulate(reservation.begin(), reservation.end(),
+                        std::int64_t{0});
+
+    for (std::uint32_t period = 1; period <= 24; ++period) {
+      const std::uint64_t alert_count = rng() % 4;
+      for (std::uint64_t i = 0; i < alert_count; ++i) {
+        obs::Alert alert;
+        alert.kind = kinds[rng() % std::size(kinds)];
+        alert.severity = (rng() % 2 != 0u) ? obs::AlertSeverity::kCritical
+                                           : obs::AlertSeverity::kWarning;
+        alert.period = period;
+        alert.client = static_cast<std::int64_t>(rng() % clients);
+        alert.expected = 50 + static_cast<std::int64_t>(rng() % 2000);
+        alert.observed =
+            static_cast<std::int64_t>(rng() % 64) * alert.expected / 64;
+        controller.OnAlert(alert);
+        twin.OnAlert(alert);
+      }
+
+      std::vector<ClientView> view;
+      for (std::uint32_t c = 0; c < clients; ++c) {
+        view.push_back({c, reservation[c], limit[c],
+                        static_cast<std::int64_t>(rng() % 2000)});
+      }
+      const auto plan = controller.PlanBoundary(period, view);
+      const auto twin_plan = twin.PlanBoundary(period, view);
+
+      ASSERT_EQ(plan.actions.size(), twin_plan.actions.size())
+          << "seed " << seed << " period " << period;
+      std::int64_t delta_sum = 0;
+      for (std::size_t i = 0; i < plan.actions.size(); ++i) {
+        const Action& action = plan.actions[i];
+        const Action& twin_action = twin_plan.actions[i];
+        EXPECT_TRUE(action.kind == twin_action.kind &&
+                    action.client == twin_action.client &&
+                    action.value == twin_action.value &&
+                    action.delta == twin_action.delta)
+            << "twin controllers diverged at seed " << seed << " period "
+            << period << " action " << i;
+        switch (action.kind) {
+          case ActionKind::kResize: {
+            ASSERT_GE(action.client, 0);
+            const auto c = static_cast<std::uint32_t>(action.client);
+            ASSERT_LT(c, clients);
+            delta_sum += action.delta;
+            EXPECT_EQ(action.value, reservation[c] + action.delta);
+            EXPECT_GE(action.value, 0);
+            if (limit[c] > 0) EXPECT_LE(action.value, limit[c]);
+            if (!burst[c]) {
+              EXPECT_LE(action.value,
+                        std::max(spec_reservation[c], reservation[c]))
+                  << "non-burst client " << c << " grew past its spec";
+            }
+            reservation[c] = action.value;  // the monitor would apply it
+            break;
+          }
+          case ActionKind::kScaleEta:
+            EXPECT_GE(action.value, 125);
+            EXPECT_LE(action.value, 1000);
+            break;
+          case ActionKind::kForceConversion:
+          case ActionKind::kReadmit:
+            break;
+        }
+      }
+      EXPECT_EQ(delta_sum, 0)
+          << "seed " << seed << " period " << period
+          << ": plan is not sum-neutral";
+      EXPECT_EQ(std::accumulate(reservation.begin(), reservation.end(),
+                                std::int64_t{0}),
+                initial_sum)
+          << "seed " << seed << " period " << period
+          << ": total reservation drifted";
+    }
+  }
+}
+
+// The controller rides the threaded runtime's real period boundaries: a
+// conservative policy armed over the crash/lease scenario must leave the
+// full A1-A10 audit green — in particular every kControlAction the
+// monitor applied under real-time scheduling still sums to zero per
+// period (A10), and forced actions never break token conservation.
+TEST(RuntimePropertyTest, ControllerArmedThreadedRunKeepsTheAuditGreen) {
+  harness::ExperimentConfig config = PropertyConfig(4, 29);
+  config.watchdog.enabled = true;
+  config.control.policy = core::control::Policy::kConservative;
+
+  harness::ThreadedExperiment experiment(config);
+  const harness::ThreadedExperimentResult result = experiment.Run();
+  ASSERT_NE(experiment.controller(), nullptr);
+  EXPECT_TRUE(experiment.controller()->enabled());
+
+  for (const auto& ledger : result.ledger) {
+    if (ledger.period >= result.monitor_stats.periods) continue;
+    EXPECT_EQ(ledger.initial_pool + ledger.minted - ledger.granted,
+              ledger.end_pool)
+        << "ledger period " << ledger.period;
+  }
+
+  ASSERT_NE(experiment.recorder(), nullptr);
+  const obs::AuditReport report =
+      obs::AuditTrace(experiment.recorder()->Merged());
+  for (const auto& v : report.violations) {
+    ADD_FAILURE() << v.check << ": " << v.detail;
+  }
+  EXPECT_TRUE(report.ok());
+  EXPECT_GT(report.guarantee_checks, 0u);
+}
+
+#endif  // HAECHI_WATCHDOG_ENABLED
 
 }  // namespace
 }  // namespace haechi

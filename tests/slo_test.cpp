@@ -246,6 +246,9 @@ TEST(SloWatchdogRules, LimitOvershootIsCriticalWhileTheFloorStaysQuiet) {
   const auto kHar = obs::ActorKind::kHarness;
   const std::vector<TraceEvent> events = {
       E(0, kHar, 0, EventType::kRunConfig, 0, 1000, 50, 1),
+      // Harness traces must declare their measurement window before any
+      // period counts as measured (real harnesses always emit this).
+      E(0, kHar, 0, EventType::kMeasureStart, 0),
       // client 0: reservation 400, limit 300, demand 500
       E(0, kHar, 0, EventType::kClientSpec, 0, 400, 300, 500),
       E(0, kMon, 0, EventType::kMonitorPeriodStart, 1, 1000, 400, 600),

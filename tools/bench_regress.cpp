@@ -42,9 +42,11 @@
 #include "bench/bench_common.hpp"
 #include "cluster/borrow.hpp"
 #include "common/flags.hpp"
+#include "core/control/controller.hpp"
 #include "harness/cluster_experiment.hpp"
 #include "harness/runtime_experiment.hpp"
 #include "obs/export.hpp"
+#include "obs/slo.hpp"
 
 using namespace haechi;
 
@@ -295,6 +297,59 @@ FigureResult RunClusterBorrow(const bench::BenchArgs& args,
           "borrowed_tokens"};
 }
 
+#if HAECHI_WATCHDOG_ENABLED
+/// Closed-loop recovery figure: the controller suite's W1 shortfall chaos
+/// (an over-reserved victim squeezed by background congestion) run once
+/// per policy. total_kiops is the usual throughput band; the detail is
+/// periods_to_recover — first W1 alert to the controller's `recovered`
+/// verdict, 0 when the loop never closes (the off policy's signature).
+FigureResult RunRecovery(const bench::BenchArgs& args,
+                         core::control::Policy policy) {
+  harness::ExperimentConfig config;
+  config.mode = harness::Mode::kHaechi;
+  config.net.capacity_scale = args.scale;
+  config.warmup = args.warmup;
+  config.measure_periods = 10;
+  config.records = args.records;
+  config.seed = args.seed;
+  config.trace.enabled = true;
+  config.watchdog.enabled = true;
+  config.watchdog.guarantee_fraction = 0.9;
+  config.control.policy = policy;
+  const auto cap =
+      static_cast<std::int64_t>(config.net.GlobalCapacityIops());
+  harness::ClientSpec victim;
+  victim.reservation = cap * 24 / 100;
+  victim.demand = cap / 2;
+  victim.pattern = workload::RequestPattern::kOpenLoop;
+  config.clients.push_back(victim);
+  for (int i = 0; i < 3; ++i) {
+    harness::ClientSpec spec;
+    spec.reservation = cap * 12 / 100;
+    spec.demand = spec.reservation / 2;  // demand-capped receiver
+    spec.pattern = workload::RequestPattern::kOpenLoop;
+    config.clients.push_back(spec);
+  }
+  config.background_demand = cap / 4 / 4;
+
+  harness::Experiment experiment(std::move(config));
+  const harness::ExperimentResult result = experiment.Run();
+  double periods_to_recover = 0.0;
+  for (const obs::Alert& alert : experiment.watchdog()->alerts()) {
+    if (alert.kind == obs::AlertKind::kRecovered &&
+        alert.expected == static_cast<std::int64_t>(
+                              obs::AlertKind::kReservationShortfall)) {
+      periods_to_recover = static_cast<double>(alert.observed);
+      break;
+    }
+  }
+  const std::string name =
+      std::string("recovery_") + std::string(core::control::ToString(policy));
+  return {name, bench::NormKiops(result.total_kiops, args),
+          periods_to_recover, "periods_to_recover"};
+}
+#endif  // HAECHI_WATCHDOG_ENABLED
+
 std::string ToJson(const std::vector<FigureResult>& figures, double scale,
                    double tolerance, std::uint64_t seed) {
   std::string out = "{\n  \"bench\": \"qos_regress\",\n";
@@ -401,8 +456,23 @@ int Run(int argc, const char* const* argv) {
       static_cast<std::size_t>(flags.GetInt("periods", 0));
 
   const bench::BenchArgs args = GateArgs(scale, seed, periods);
-  const std::vector<FigureResult> figures = {RunFig09(args), RunFig10(args),
-                                             RunFig16(args)};
+  std::vector<FigureResult> figures = {RunFig09(args), RunFig10(args),
+                                       RunFig16(args)};
+#if HAECHI_WATCHDOG_ENABLED
+  // Recovery-time figures: one shortfall chaos run per controller policy.
+  // The off run pins the open-loop baseline; the armed runs must close
+  // the loop (shape gate below), and their periods_to_recover lands in
+  // the JSON so the figure history tracks control-plane latency.
+  const FigureResult recovery_off =
+      RunRecovery(args, core::control::Policy::kOff);
+  const FigureResult recovery_conservative =
+      RunRecovery(args, core::control::Policy::kConservative);
+  const FigureResult recovery_aggressive =
+      RunRecovery(args, core::control::Policy::kAggressive);
+  figures.push_back(recovery_off);
+  figures.push_back(recovery_conservative);
+  figures.push_back(recovery_aggressive);
+#endif
 
   if (flags.GetBool("selftest", false)) {
     return SelfTest(figures, scale, tolerance, seed);
@@ -415,6 +485,30 @@ int Run(int argc, const char* const* argv) {
   } else {
     std::printf("no baseline at %s; seeding it\n", baseline_path.c_str());
   }
+
+#if HAECHI_WATCHDOG_ENABLED
+  // Shape gate: an armed controller must recover the scripted shortfall;
+  // the open loop must not (if it "recovers" the chaos stopped being
+  // chaos and the figure lost its meaning).
+  for (const FigureResult* f :
+       {&recovery_conservative, &recovery_aggressive}) {
+    if (f->detail > 0.0) {
+      std::printf("%-26s %10.0f periods  ok (loop closed)\n",
+                  f->name.c_str(), f->detail);
+    } else {
+      std::printf("%-26s %10s          REGRESSION (armed controller never "
+                  "recovered)\n",
+                  f->name.c_str(), "-");
+      ++regressions;
+    }
+  }
+  if (recovery_off.detail > 0.0) {
+    std::printf("%-26s %10.0f periods  REGRESSION (open loop reported "
+                "recovery)\n",
+                recovery_off.name.c_str(), recovery_off.detail);
+    ++regressions;
+  }
+#endif
 
   const std::string json = ToJson(figures, scale, tolerance, seed);
   std::FILE* file = std::fopen(out_path.c_str(), "wb");

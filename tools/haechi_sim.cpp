@@ -19,6 +19,7 @@
 //   haechi_sim --cluster=4 --tenants=2 --borrow=adaptive
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 
 #include "cluster/borrow.hpp"
@@ -84,6 +85,15 @@ flags (all optional):
                              --runtime=threads the lines are replayed from
                              the trace after the run, with per-shard pool
                              occupancy when --shards > 1)
+  --controller=off|conservative|aggressive   closed-loop control plane:
+                             react to watchdog alerts with sum-neutral
+                             corrective actions at period boundaries
+                             (implies the watchdog)                    [off]
+  --control-rules=LIST       rules the controller may act on: a subset of
+                             w1,w5,w6,lease, or all|none              [all]
+  --control-api=P:POLICY[,P:POLICY...]   scripted runtime policy swaps:
+                             at measured period P switch the running
+                             controller to POLICY
   --progress-events=N        stderr heartbeat every N simulator events
 )";
 
@@ -114,6 +124,25 @@ int PrintClientTable(const stats::PeriodSeries& series,
   return met;
 }
 
+/// Controller summary goes to stderr next to the watchdog line (stdout
+/// stays byte-identical with and without the control plane).
+void PrintControllerSummary(const core::control::QosController* controller) {
+  if (controller == nullptr) return;
+  const auto& s = controller->stats();
+  const std::string policy{core::control::ToString(controller->policy())};
+  std::fprintf(
+      stderr,
+      "controller: policy=%s, %llu alert(s) -> %llu resize(s), "
+      "%llu eta-scaling(s), %llu forced conversion(s), %llu readmit(s); "
+      "%llu recovery(ies)\n",
+      policy.c_str(), static_cast<unsigned long long>(s.alerts),
+      static_cast<unsigned long long>(s.resizes),
+      static_cast<unsigned long long>(s.eta_scalings),
+      static_cast<unsigned long long>(s.forced_conversions),
+      static_cast<unsigned long long>(s.readmits),
+      static_cast<unsigned long long>(s.recoveries));
+}
+
 int Run(int argc, const char* const* argv) {
   auto parsed = Flags::Parse(
       argc, argv,
@@ -124,6 +153,7 @@ int Run(int argc, const char* const* argv) {
        "seed", "background-pct", "csv", "trace-out", "trace-detail",
        "trace-ring",
        "metrics-out", "prom-out", "alerts-out", "status-interval",
+       "controller", "control-rules", "control-api",
        "progress-events", "help"});
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.status().ToString().c_str(),
@@ -264,6 +294,55 @@ int Run(int argc, const char* const* argv) {
   }
 #endif
 
+  // --- closed-loop controller flags --------------------------------------
+  const std::string controller_name = flags.GetString("controller", "off");
+  if (!core::control::PolicyFromName(controller_name,
+                                     config.control.policy)) {
+    std::fprintf(stderr, "unknown --controller=%s\n%s",
+                 controller_name.c_str(), kUsage);
+    return 2;
+  }
+  const auto rule_mask =
+      core::control::ParseRuleMask(flags.GetString("control-rules", "all"));
+  if (!rule_mask.ok()) {
+    std::fprintf(stderr, "--control-rules: %s\n%s",
+                 rule_mask.status().ToString().c_str(), kUsage);
+    return 2;
+  }
+  config.control.rules = rule_mask.value();
+  const std::string control_api = flags.GetString("control-api", "");
+  for (std::size_t pos = 0; pos < control_api.size();) {
+    std::size_t comma = control_api.find(',', pos);
+    if (comma == std::string::npos) comma = control_api.size();
+    const std::string entry = control_api.substr(pos, comma - pos);
+    const std::size_t colon = entry.find(':');
+    core::control::Policy swap_policy{};
+    char* period_end = nullptr;
+    const unsigned long swap_period =
+        std::strtoul(entry.c_str(), &period_end, 10);
+    if (colon == std::string::npos || colon == 0 ||
+        period_end != entry.c_str() + colon ||
+        !core::control::PolicyFromName(entry.substr(colon + 1),
+                                       swap_policy)) {
+      std::fprintf(stderr,
+                   "--control-api expects PERIOD:POLICY[,PERIOD:POLICY...]"
+                   ", got \"%s\"\n%s",
+                   entry.c_str(), kUsage);
+      return 2;
+    }
+    config.control.api.emplace_back(
+        static_cast<std::uint32_t>(swap_period), swap_policy);
+    pos = comma + 1;
+  }
+#if !HAECHI_WATCHDOG_ENABLED
+  if (config.control.armed()) {
+    std::fprintf(stderr,
+                 "warning: built with HAECHI_WATCHDOG=OFF; the controller "
+                 "rides the watchdog and is ignored\n");
+    config.control = {};
+  }
+#endif
+
   const auto periods = config.measure_periods;
   const auto scale = config.net.capacity_scale;
   const std::string csv_path_flag = flags.GetString("csv", "");
@@ -311,6 +390,7 @@ int Run(int argc, const char* const* argv) {
     cc.seed = config.seed;
     cc.trace = config.trace;
     cc.watchdog = config.watchdog;
+    cc.control = config.control;
     cc.cluster.borrow.policy = policy;
     // Borrow knobs scale with the scenario, not the wall clock.
     cc.cluster.dry_watermark = config.qos.token_batch * 5;
@@ -458,6 +538,7 @@ int Run(int argc, const char* const* argv) {
           watchdog->CountAtLeast(obs::AlertSeverity::kCritical),
           alerts_out.empty() ? "" : ", written to ", alerts_out.c_str());
     }
+    PrintControllerSummary(experiment.controller());
 #endif
     return 0;
   }
@@ -493,24 +574,21 @@ int Run(int argc, const char* const* argv) {
       return 2;
     }
 #if HAECHI_WATCHDOG_ENABLED
-    if (!alerts_out.empty()) {
-      std::fprintf(stderr,
-                   "warning: the live SLO watchdog only runs on "
-                   "--runtime=sim; --alerts-out is ignored\n");
-    }
-    // The status line is a pure function of the event stream, so with
-    // threads it is replayed from the trace after the run ends (the live
-    // tap stays sim-only). Force a recorder so there is a trace to replay;
-    // sharded runs then show per-shard pool occupancy in the lines.
+    // The live watchdog (and the controller riding it) runs on threads too:
+    // the recorder tap is serialised through a mutex. The status line stays
+    // a post-run trace replay so sharded runs can show per-shard pool
+    // occupancy; force a recorder so there is a trace to replay, and keep
+    // the live tap free of the status callback.
     if (status_interval > 0) config.trace.enabled = true;
+    config.watchdog.status_interval = 0;
 #else
     if (!alerts_out.empty() || status_interval > 0) {
       std::fprintf(stderr,
                    "warning: built with HAECHI_WATCHDOG=OFF; "
                    "--alerts-out/--status-interval are ignored\n");
     }
-#endif
     config.watchdog = {};
+#endif
     // The threaded fabric has no analytic model: feed it the sim model's
     // calibrated capacities so both runtimes run the same token budget.
     config.profiled_global_iops = config.net.GlobalCapacityIops();
@@ -532,6 +610,15 @@ int Run(int argc, const char* const* argv) {
       }
       (void)watchdog.Finish();
     }
+    if (obs::SloWatchdog* watchdog = experiment.watchdog()) {
+      std::fprintf(
+          stderr,
+          "watchdog: %zu alert(s) over %zu period(s), %zu critical%s%s\n",
+          watchdog->alerts().size(), watchdog->periods_evaluated(),
+          watchdog->CountAtLeast(obs::AlertSeverity::kCritical),
+          alerts_out.empty() ? "" : ", written to ", alerts_out.c_str());
+    }
+    PrintControllerSummary(experiment.controller());
 #endif
 
     std::printf("mode=%s runtime=threads shards=%lld fetch-batch=%lld "
@@ -624,6 +711,7 @@ int Run(int argc, const char* const* argv) {
                  alerts_out.empty() ? "" : ", written to ",
                  alerts_out.c_str());
   }
+  PrintControllerSummary(experiment.controller());
 #endif
   return 0;
 }

@@ -27,6 +27,13 @@
 #                                          # cluster_property_test) — the
 #                                          # quick gate for src/cluster
 #                                          # changes
+#   tools/run_ctest_matrix.sh asan-controller tsan-controller
+#                                          # focused entries: the asan/tsan
+#                                          # presets restricted to the
+#                                          # closed-loop control suite
+#                                          # (controller_test) — the quick
+#                                          # gate for src/core/control
+#                                          # changes
 #   tools/run_ctest_matrix.sh trace-spans notrace
 #                                          # the span-pipeline gate: the
 #                                          # trace preset restricted to the
@@ -71,6 +78,12 @@ for preset in "${PRESETS[@]}"; do
   elif [[ "$preset" == "tsan-cluster" ]]; then
     config_preset=tsan
     ctest_args=(-L cluster)
+  elif [[ "$preset" == "asan-controller" ]]; then
+    config_preset=asan
+    ctest_args=(-L controller)
+  elif [[ "$preset" == "tsan-controller" ]]; then
+    config_preset=tsan
+    ctest_args=(-L controller)
   elif [[ "$preset" == "trace-spans" ]]; then
     config_preset=trace
     ctest_args=(-L span)
